@@ -1,0 +1,1 @@
+bench/harness.ml: Array Asap_core Asap_metrics Asap_prefetch Asap_sim Asap_tensor Asap_workloads Hashtbl List Printf String

@@ -1,0 +1,183 @@
+(* Shared benchmark engine.
+
+   Figures 6, 7 and 11 draw from the same (matrix x variant x prefetcher
+   config) measurement grid, so results are memoised per process. All
+   simulated runs are deterministic, making every table exactly
+   reproducible. *)
+
+module Coo = Asap_tensor.Coo
+module Encoding = Asap_tensor.Encoding
+module Machine = Asap_sim.Machine
+module Exec = Asap_sim.Exec
+module Hierarchy = Asap_sim.Hierarchy
+module Pipeline = Asap_core.Pipeline
+module Driver = Asap_core.Driver
+module Asap = Asap_prefetch.Asap
+module Aj = Asap_prefetch.Ainsworth_jones
+module Suite = Asap_workloads.Suite
+module Summary = Asap_metrics.Summary
+
+type hw = Default | Optimized
+
+let hw_name = function Default -> "default" | Optimized -> "optimized"
+
+type vkind = Base | A | Jones
+
+let vkind_name = function
+  | Base -> "baseline"
+  | A -> "asap"
+  | Jones -> "ainsworth-jones"
+
+(* The paper fixes distance 45 for both prefetching variants (§4.3) on the
+   real 32 KB-L1 machine; on the capacity-scaled evaluation machine the
+   equivalent lookahead is 16 (examples/distance_tuning.ml shows the
+   plateau). Both variants use the same distance, as in the paper. *)
+let eval_distance = 16
+
+let variant_of ~kernel = function
+  | Base -> Pipeline.Baseline
+  | A ->
+    (match kernel with
+     | `Spmv -> Pipeline.Asap { Asap.default with Asap.distance = eval_distance }
+     | `Spmm ->
+       Pipeline.Asap
+         { Asap.default with Asap.strategy = Asap.Outer_only;
+           distance = eval_distance })
+  | Jones -> Pipeline.Ainsworth_jones { Aj.default with Aj.distance = eval_distance }
+
+let machine_of ~kernel ~threads = function
+  | Default -> Machine.gracemont_scaled ~hw:Machine.hw_default ~cores:threads ()
+  | Optimized ->
+    let hw =
+      match kernel with
+      | `Spmv -> Machine.hw_optimized
+      | `Spmm -> Machine.hw_optimized_spmm
+    in
+    Machine.gracemont_scaled ~hw ~cores:threads ()
+
+type measurement = {
+  m_name : string;
+  m_group : string;
+  m_nnz : int;
+  m_throughput : float;        (* nnz per ms *)
+  m_mpki : float;
+  m_report : Exec.report;
+}
+
+(* Generated matrices and run results are cached per process. *)
+let matrix_cache : (string, Coo.t) Hashtbl.t = Hashtbl.create 32
+let run_cache : (string, measurement) Hashtbl.t = Hashtbl.create 256
+
+let matrix (e : Suite.entry) =
+  match Hashtbl.find_opt matrix_cache e.Suite.name with
+  | Some m -> m
+  | None ->
+    let m = e.Suite.gen () in
+    Hashtbl.add matrix_cache e.Suite.name m;
+    m
+
+(* Matrices are large; once a matrix's runs are done the cache can be
+   dropped to bound memory. *)
+let drop_matrix name = Hashtbl.remove matrix_cache name
+
+let verbose = ref true
+
+let log fmt =
+  Printf.ksprintf (fun s -> if !verbose then Printf.eprintf "%s\n%!" s) fmt
+
+(** [measure kernel entry vkind hw] runs one cell of the grid (memoised). *)
+let measure ?(threads = 1) kernel (e : Suite.entry) vkind hw : measurement =
+  let key =
+    Printf.sprintf "%s/%s/%s/%s/%d"
+      (match kernel with `Spmv -> "spmv" | `Spmm -> "spmm")
+      e.Suite.name (vkind_name vkind) (hw_name hw) threads
+  in
+  match Hashtbl.find_opt run_cache key with
+  | Some m -> m
+  | None ->
+    let coo = matrix e in
+    let machine = machine_of ~kernel ~threads hw in
+    let variant = variant_of ~kernel vkind in
+    let enc = Encoding.csr () in
+    log "  running %s ..." key;
+    let r =
+      match kernel with
+      | `Spmv ->
+        Driver.spmv ~threads ~binary:e.Suite.binary machine variant enc coo
+      | `Spmm ->
+        Driver.spmm ~threads ~binary:e.Suite.binary machine variant enc coo
+    in
+    let m =
+      { m_name = e.Suite.name; m_group = e.Suite.group; m_nnz = r.Driver.nnz;
+        m_throughput = Driver.throughput r; m_mpki = Driver.mpki r;
+        m_report = r.Driver.report }
+    in
+    Hashtbl.add run_cache key m;
+    m
+
+(* --- Matrix selections --------------------------------------------- *)
+
+let quick = ref false
+
+(* In quick mode keep one representative matrix per group. *)
+let spmv_entries () =
+  if not !quick then Suite.entries
+  else
+    List.filter_map
+      (fun g ->
+        match Suite.by_group g with e :: _ -> Some e | [] -> None)
+      Suite.groups
+
+let spmm_entries () =
+  let all = Suite.spmm_subset in
+  if not !quick then all
+  else
+    List.filteri (fun i _ -> i mod 2 = 0) all
+
+(* --- Formatting ----------------------------------------------------- *)
+
+let header title =
+  Printf.printf "\n%s\n%s\n%s\n\n" (String.make 78 '=') title
+    (String.make 78 '=')
+
+let subheader title = Printf.printf "\n--- %s ---\n\n" title
+
+(** Equal-work harmonic-mean speedup over a list of (base, variant)
+    throughput pairs. *)
+let ews pairs =
+  let base = Array.of_list (List.map fst pairs) in
+  let var = Array.of_list (List.map snd pairs) in
+  Summary.ews ~base ~variant:var
+
+(** Group rows for the Fig. 7/10/11-style tables: per matrix group, the
+    EWS of each labelled series against the first series. *)
+let group_table ~groups ~series ~(rows : (string * (string * float) list) list)
+    =
+  (* rows: (group, [(series label, throughput)]) one per matrix. *)
+  let labels = series in
+  Printf.printf "%-12s" "group";
+  List.iter (fun l -> Printf.printf " %14s" l) labels;
+  Printf.printf "\n";
+  let print_group gname matching =
+    if matching <> [] then begin
+      Printf.printf "%-12s" gname;
+      let base = List.map (fun (_, tps) -> List.assoc (List.hd labels) tps)
+          matching
+      in
+      List.iter
+        (fun l ->
+          let v = List.map (fun (_, tps) -> List.assoc l tps) matching in
+          let e =
+            Summary.ews ~base:(Array.of_list base) ~variant:(Array.of_list v)
+          in
+          Printf.printf " %14.2f" e)
+        labels;
+      Printf.printf "   (%d matrices)\n" (List.length matching)
+    end
+  in
+  List.iter
+    (fun g -> print_group g (List.filter (fun (g', _) -> g' = g) rows))
+    groups;
+  (* Aggregates: Selected = the unstructured groups; Others as-is. *)
+  print_group "Selected"
+    (List.filter (fun (g, _) -> List.mem g Suite.selected_groups) rows)

@@ -1,0 +1,251 @@
+(* asapc — command-line front end.
+
+   Subcommands:
+     compile   sparsify a kernel for a format/variant and print the IR
+     run       execute a kernel over a Matrix Market file (or a synthetic
+               matrix) on the simulated machine and report PMU metrics
+     inspect   show a matrix's storage buffers and coordinate tree
+     gen       write a synthetic matrix to a Matrix Market file *)
+
+module Coo = Asap_tensor.Coo
+module Encoding = Asap_tensor.Encoding
+module Storage = Asap_tensor.Storage
+module Coord_tree = Asap_tensor.Coord_tree
+module Matrix_market = Asap_tensor.Matrix_market
+module Kernel = Asap_lang.Kernel
+module Machine = Asap_sim.Machine
+module Exec = Asap_sim.Exec
+module Hierarchy = Asap_sim.Hierarchy
+module Pipeline = Asap_core.Pipeline
+module Driver = Asap_core.Driver
+module Asap = Asap_prefetch.Asap
+module Aj = Asap_prefetch.Ainsworth_jones
+module Generate = Asap_workloads.Generate
+open Cmdliner
+
+(* --- Shared argument parsers ---------------------------------------- *)
+
+let format_conv =
+  let parse = function
+    | "coo" -> Ok (Encoding.coo ())
+    | "csr" -> Ok (Encoding.csr ())
+    | "csc" -> Ok (Encoding.csc ())
+    | "dcsr" -> Ok (Encoding.dcsr ())
+    | s -> Error (`Msg (Printf.sprintf "unknown format %S" s))
+  in
+  Arg.conv (parse, fun fmt e -> Format.pp_print_string fmt e.Encoding.name)
+
+let format_arg =
+  Arg.(value & opt format_conv (Encoding.csr ())
+       & info [ "f"; "format" ] ~docv:"FORMAT"
+           ~doc:"Sparse format: coo, csr, csc or dcsr.")
+
+let kernel_arg =
+  Arg.(value & opt (enum [ ("spmv", `Spmv); ("spmm", `Spmm) ]) `Spmv
+       & info [ "k"; "kernel" ] ~docv:"KERNEL" ~doc:"Kernel: spmv or spmm.")
+
+let distance_arg =
+  Arg.(value & opt int 45
+       & info [ "d"; "distance" ] ~docv:"N"
+           ~doc:"Prefetch lookahead distance in iterations.")
+
+let strategy_arg =
+  Arg.(value
+       & opt (enum [ ("inner", Asap.Innermost_only); ("outer", Asap.Outer_only);
+                     ("both", Asap.Both) ])
+           Asap.Both
+       & info [ "strategy" ] ~docv:"S"
+           ~doc:"ASaP placement: inner, outer or both.")
+
+let bound_arg =
+  Arg.(value
+       & opt (enum [ ("semantic", Asap.Semantic);
+                     ("segment", Asap.Segment_local) ])
+           Asap.Semantic
+       & info [ "bound" ] ~docv:"B"
+           ~doc:"Step-2 bound: semantic (ASaP) or segment (prior art).")
+
+let variant_arg =
+  Arg.(value & opt (enum [ ("baseline", `Baseline); ("asap", `Asap); ("aj", `Aj) ])
+         `Baseline
+       & info [ "v"; "variant" ] ~docv:"VARIANT"
+           ~doc:"Prefetching variant: baseline, asap or aj.")
+
+let variant_of v ~distance ~strategy ~bound =
+  match v with
+  | `Baseline -> Pipeline.Baseline
+  | `Asap ->
+    Pipeline.Asap
+      { Asap.default with Asap.distance; strategy; bound_mode = bound }
+  | `Aj -> Pipeline.Ainsworth_jones { Aj.default with Aj.distance }
+
+let matrix_args =
+  let mtx =
+    Arg.(value & opt (some string) None
+         & info [ "m"; "matrix" ] ~docv:"FILE" ~doc:"Matrix Market input file.")
+  in
+  let gen =
+    Arg.(value & opt (some string) None
+         & info [ "g"; "gen" ] ~docv:"SPEC"
+             ~doc:"Synthetic matrix spec, e.g. powerlaw:100000,8 or \
+                   uniform:50000,400000 or banded:100000,2 or road:200000,3.")
+  in
+  let build mtx gen =
+    match (mtx, gen) with
+    | Some path, None -> Ok (Matrix_market.read path)
+    | None, Some spec ->
+      (match String.split_on_char ':' spec with
+       | [ "powerlaw"; rest ] ->
+         (match String.split_on_char ',' rest with
+          | [ n; d ] ->
+            let n = int_of_string n and d = int_of_string d in
+            Ok (Generate.power_law ~seed:1 ~rows:n ~cols:n ~avg_deg:d
+                  ~alpha:2.0 ())
+          | _ -> Error (`Msg "powerlaw:<n>,<deg>"))
+       | [ "uniform"; rest ] ->
+         (match String.split_on_char ',' rest with
+          | [ n; nnz ] ->
+            let n = int_of_string n in
+            Ok (Generate.uniform ~seed:1 ~rows:n ~cols:n
+                  ~nnz:(int_of_string nnz) ())
+          | _ -> Error (`Msg "uniform:<n>,<nnz>"))
+       | [ "banded"; rest ] ->
+         (match String.split_on_char ',' rest with
+          | [ n; band ] ->
+            Ok (Generate.banded ~seed:1 ~n:(int_of_string n)
+                  ~band:(int_of_string band) ())
+          | _ -> Error (`Msg "banded:<n>,<band>"))
+       | [ "road"; rest ] ->
+         (match String.split_on_char ',' rest with
+          | [ n; deg ] ->
+            Ok (Generate.road ~seed:1 ~n:(int_of_string n)
+                  ~deg:(int_of_string deg) ())
+          | _ -> Error (`Msg "road:<n>,<deg>"))
+       | _ -> Error (`Msg ("unknown generator spec: " ^ spec)))
+    | None, None ->
+      (* Default demo matrix: the Fig. 2 example. *)
+      Ok (Coo.of_triples ~rows:3 ~cols:3 [ (0, 0, 1.); (0, 2, 2.); (2, 2, 3.) ])
+    | Some _, Some _ -> Error (`Msg "give either --matrix or --gen, not both")
+  in
+  Term.(term_result (const (fun m g -> build m g) $ mtx $ gen))
+
+(* --- compile --------------------------------------------------------- *)
+
+let compile_cmd =
+  let run kernel enc v distance strategy bound =
+    let kernel = match kernel with
+      | `Spmv -> Kernel.spmv ~enc ()
+      | `Spmm -> Kernel.spmm ~enc ()
+    in
+    let c = Pipeline.compile kernel (variant_of v ~distance ~strategy ~bound) in
+    print_string (Pipeline.listing c);
+    Printf.printf "// prefetch sites: %d\n" c.Pipeline.n_prefetch_sites
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Sparsify a kernel and print the IR")
+    Term.(const run $ kernel_arg $ format_arg $ variant_arg $ distance_arg
+          $ strategy_arg $ bound_arg)
+
+(* --- run ------------------------------------------------------------- *)
+
+let run_cmd =
+  let threads_arg =
+    Arg.(value & opt int 1 & info [ "t"; "threads" ] ~docv:"T"
+           ~doc:"Thread count (dense-outer-loop parallelisation).")
+  in
+  let hw_arg =
+    Arg.(value & opt (enum [ ("default", `D); ("optimized", `O) ]) `O
+         & info [ "hw" ] ~docv:"HW" ~doc:"Hardware prefetcher configuration.")
+  in
+  let check_arg =
+    Arg.(value & flag & info [ "check" ] ~doc:"Verify against the reference.")
+  in
+  let run coo kernel enc v distance strategy bound threads hw checkit =
+    let hw = match (hw, kernel) with
+      | `D, _ -> Machine.hw_default
+      | `O, `Spmv -> Machine.hw_optimized
+      | `O, `Spmm -> Machine.hw_optimized_spmm
+    in
+    let machine = Machine.gracemont_scaled ~hw ~cores:(max 1 threads) () in
+    let variant = variant_of v ~distance ~strategy ~bound in
+    let r = match kernel with
+      | `Spmv -> Driver.spmv ~threads machine variant enc coo
+      | `Spmm -> Driver.spmm ~threads machine variant enc coo
+    in
+    if checkit then begin
+      let err = match kernel with
+        | `Spmv -> Driver.check_spmv coo r
+        | `Spmm -> Driver.check_spmm coo ~n:8 r
+      in
+      Printf.printf "check: max |err| = %g\n" err;
+      if err > 1e-6 then exit 1
+    end;
+    Printf.printf "%s\n" (Exec.summary r.Driver.report);
+    Printf.printf "throughput: %.0f nnz/ms  (nnz = %d, threads = %d)\n"
+      (Driver.throughput r) r.Driver.nnz threads
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a kernel on the simulated machine")
+    Term.(const run $ matrix_args $ kernel_arg $ format_arg $ variant_arg
+          $ distance_arg $ strategy_arg $ bound_arg $ threads_arg $ hw_arg
+          $ check_arg)
+
+(* --- inspect --------------------------------------------------------- *)
+
+let inspect_cmd =
+  let tree_arg =
+    Arg.(value & flag & info [ "tree" ]
+           ~doc:"Draw the coordinate hierarchy tree (small matrices only).")
+  in
+  let run coo enc tree =
+    let st = Storage.pack enc coo in
+    print_endline (Encoding.to_string enc);
+    print_endline (Storage.describe st);
+    let stats = Coo.matrix_stats coo in
+    Printf.printf
+      "rows %d, cols %d, nnz %d; row degree min/mean/max %d/%.1f/%d;\n\
+       CSR footprint %d bytes\n"
+      stats.Coo.s_rows stats.Coo.s_cols stats.Coo.s_nnz stats.Coo.s_row_min
+      stats.Coo.s_row_mean stats.Coo.s_row_max stats.Coo.s_footprint_bytes;
+    if tree then
+      if Coo.nnz coo > 64 then print_endline "(matrix too large for --tree)"
+      else print_string (Coord_tree.to_string (Coord_tree.of_storage st))
+  in
+  Cmd.v (Cmd.info "inspect" ~doc:"Show storage buffers and statistics")
+    Term.(const run $ matrix_args $ format_arg $ tree_arg)
+
+(* --- tune ------------------------------------------------------------ *)
+
+let tune_cmd =
+  let run coo enc =
+    let machine = Machine.gracemont_scaled ~hw:Machine.hw_optimized () in
+    let d = Asap_core.Tuning.tune machine enc coo in
+    print_string (Asap_core.Tuning.describe d)
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Profile a slice and pick a prefetch configuration (§3.2.3)")
+    Term.(const run $ matrix_args $ format_arg)
+
+(* --- gen ------------------------------------------------------------- *)
+
+let gen_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output .mtx path.")
+  in
+  let run coo out =
+    Matrix_market.write out coo;
+    Printf.printf "wrote %s (%d x %d, %d nnz)\n" out coo.Coo.dims.(0)
+      coo.Coo.dims.(1) (Coo.nnz coo)
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Write a synthetic matrix to Matrix Market")
+    Term.(const run $ matrix_args $ out_arg)
+
+let () =
+  let info =
+    Cmd.info "asapc" ~version:"1.0.0"
+      ~doc:"ASaP: automatic software prefetching for sparse tensor kernels"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ compile_cmd; run_cmd; inspect_cmd; gen_cmd; tune_cmd ]))

@@ -1,0 +1,1 @@
+examples/auto_tune.ml: Asap_core Asap_prefetch Asap_sim Asap_tensor Asap_workloads List Printf

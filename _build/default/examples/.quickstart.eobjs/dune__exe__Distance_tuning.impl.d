@@ -1,0 +1,1 @@
+examples/distance_tuning.ml: Asap_core Asap_prefetch Asap_sim Asap_tensor Asap_workloads List Printf

@@ -1,0 +1,1 @@
+examples/format_tour.ml: Asap_core Asap_ir Asap_lang Asap_prefetch Asap_sim Asap_sparsifier Asap_tensor Asap_workloads Ir List Printf String

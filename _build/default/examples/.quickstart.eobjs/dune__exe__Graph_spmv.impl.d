@@ -1,0 +1,1 @@
+examples/graph_spmv.ml: Asap_core Asap_prefetch Asap_sim Asap_tensor Asap_workloads List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asap_core Asap_lang Asap_prefetch Asap_sim Asap_tensor List Printf

@@ -1,0 +1,1 @@
+examples/sparse_add.ml: Array Asap_core Asap_ir Asap_sim Asap_sparsifier Asap_tensor Asap_workloads Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+examples/tensor_ttv.ml: Array Asap_core Asap_lang Asap_prefetch Asap_sim Asap_tensor Asap_workloads List Printf

@@ -1,0 +1,44 @@
+(* Prefetch distance tuning (paper §3.2.3).
+
+   ASaP leaves the lookahead distance as a user/profile-tunable parameter:
+   too small and prefetches arrive late; too large and lines are evicted
+   before use (cache pollution) and the bounded lookahead wastes its
+   coverage. This example sweeps the distance on a memory-bound matrix and
+   prints the resulting curve together with prefetch-usefulness counters,
+   showing the plateau around the paper's chosen 45. *)
+
+module Encoding = Asap_tensor.Encoding
+module Machine = Asap_sim.Machine
+module Exec = Asap_sim.Exec
+module Hierarchy = Asap_sim.Hierarchy
+module Pipeline = Asap_core.Pipeline
+module Driver = Asap_core.Driver
+module Asap = Asap_prefetch.Asap
+module Generate = Asap_workloads.Generate
+
+let () =
+  let coo =
+    Generate.power_law ~seed:33 ~rows:150_000 ~cols:150_000 ~avg_deg:8
+      ~alpha:1.9 ()
+  in
+  let machine = Machine.gracemont_scaled ~hw:Machine.hw_optimized () in
+  let enc = Encoding.csr () in
+  let base = Driver.spmv machine Pipeline.Baseline enc coo in
+  Printf.printf "baseline: %.0f nnz/ms at %.1f L2 MPKI\n\n"
+    (Driver.throughput base) (Driver.mpki base);
+  Printf.printf "%-10s %10s %12s %12s %12s\n" "distance" "speedup" "sw-pf"
+    "useful" "dropped";
+  List.iter
+    (fun d ->
+      let r =
+        Driver.spmv machine
+          (Pipeline.Asap { Asap.default with Asap.distance = d })
+          enc coo
+      in
+      assert (Driver.check_spmv coo r < 1e-9);
+      let mem = r.Driver.report.Exec.rp_mem in
+      Printf.printf "%-10d %9.2fx %12d %12d %12d\n%!" d
+        (Driver.throughput r /. Driver.throughput base)
+        mem.Hierarchy.st_sw_issued mem.Hierarchy.st_sw_useful
+        mem.Hierarchy.st_sw_dropped)
+    [ 1; 2; 4; 8; 16; 32; 45; 64; 96; 128; 256 ]

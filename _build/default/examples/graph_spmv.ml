@@ -1,0 +1,56 @@
+(* Graph-analytics SpMV: the paper's motivating workload (§1, §5.3).
+
+   Runs SpMV over a GAP-twitter-like power-law adjacency matrix — short
+   adjacency lists for most vertices, a heavy tail of hubs — and compares
+   the three implementation variants under both hardware-prefetcher
+   configurations. This is the single-matrix version of Figs. 6/7/11. *)
+
+module Coo = Asap_tensor.Coo
+module Encoding = Asap_tensor.Encoding
+module Machine = Asap_sim.Machine
+module Exec = Asap_sim.Exec
+module Hierarchy = Asap_sim.Hierarchy
+module Pipeline = Asap_core.Pipeline
+module Driver = Asap_core.Driver
+module Asap = Asap_prefetch.Asap
+module Aj = Asap_prefetch.Ainsworth_jones
+module Suite = Asap_workloads.Suite
+
+let () =
+  let entry = Suite.find "GAP-twitter" in
+  Printf.printf "generating %s (%s)...\n%!" entry.Suite.name entry.Suite.group;
+  let coo = entry.Suite.gen () in
+  let stats = Coo.matrix_stats coo in
+  Printf.printf
+    "rows=%d cols=%d nnz=%d row-degree min/mean/max = %d/%.1f/%d\n\n"
+    stats.Coo.s_rows stats.Coo.s_cols stats.Coo.s_nnz stats.Coo.s_row_min
+    stats.Coo.s_row_mean stats.Coo.s_row_max;
+  let enc = Encoding.csr () in
+  let variants =
+    [ ("baseline", Pipeline.Baseline);
+      ("asap", Pipeline.Asap Asap.default);
+      ("ainsworth-jones", Pipeline.Ainsworth_jones Aj.default) ]
+  in
+  let hw_configs =
+    [ ("default-hw", Machine.hw_default); ("optimized-hw", Machine.hw_optimized) ]
+  in
+  Printf.printf "%-16s %-13s %12s %8s %10s %10s\n" "variant" "hw-config"
+    "nnz/ms" "L2 MPKI" "sw-pf" "pf-useful";
+  let base_tp = ref 0. in
+  List.iter
+    (fun (hw_name, hw) ->
+      let machine = Machine.gracemont_scaled ~hw () in
+      List.iter
+        (fun (vname, variant) ->
+          let r = Driver.spmv machine variant enc coo in
+          let err = Driver.check_spmv coo r in
+          if err > 1e-6 then failwith "result mismatch";
+          let tp = Driver.throughput r in
+          if vname = "baseline" && hw_name = "default-hw" then base_tp := tp;
+          Printf.printf "%-16s %-13s %12.0f %8.2f %10d %10d   (%.2fx)\n%!"
+            vname hw_name tp (Driver.mpki r)
+            r.Driver.report.Exec.rp_mem.Hierarchy.st_sw_issued
+            r.Driver.report.Exec.rp_mem.Hierarchy.st_sw_useful
+            (tp /. !base_tp))
+        variants)
+    hw_configs

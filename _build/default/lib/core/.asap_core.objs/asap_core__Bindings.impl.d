@@ -1,0 +1,1 @@
+lib/core/bindings.ml: Array Asap_ir Asap_sim Asap_sparsifier Asap_tensor Bytes Ir List Printf

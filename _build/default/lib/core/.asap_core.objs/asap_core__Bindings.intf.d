@@ -1,0 +1,1 @@
+lib/core/bindings.mli: Asap_ir Asap_sim Asap_sparsifier Asap_tensor Bytes Ir

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Array Asap_lang Asap_sim Asap_sparsifier Asap_tensor Bindings Bytes Float List Option Pipeline Reference

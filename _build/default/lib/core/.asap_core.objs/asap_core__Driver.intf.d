@@ -1,0 +1,1 @@
+lib/core/driver.mli: Asap_sim Asap_sparsifier Asap_tensor Bytes Pipeline

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Asap_ir Asap_lang Asap_prefetch Asap_sparsifier Fold Ir Licm Printer

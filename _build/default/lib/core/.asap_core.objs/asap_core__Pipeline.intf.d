@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Asap_ir Asap_lang Asap_prefetch Asap_sparsifier Ir

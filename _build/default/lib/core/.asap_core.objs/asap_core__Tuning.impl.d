@@ -1,0 +1,1 @@
+lib/core/tuning.ml: Array Asap_lang Asap_prefetch Asap_sim Asap_tensor Bindings Buffer List Option Pipeline Printf

@@ -1,0 +1,1 @@
+lib/core/tuning.mli: Asap_sim Asap_tensor Pipeline

@@ -1,0 +1,59 @@
+(* Runtime binding: matching a compiled function's parameters to packed
+   sparse storage, dense operands and dimension extents. *)
+
+module Storage = Asap_tensor.Storage
+module Emitter = Asap_sparsifier.Emitter
+module Runtime = Asap_sim.Runtime
+open Asap_ir
+
+(** [float_to_bytes a] converts 0/1-valued floats to the i8 buffer of a
+    binary (pattern) matrix. *)
+let float_to_bytes (a : float array) =
+  let b = Bytes.create (Array.length a) in
+  Array.iteri (fun i v -> Bytes.set_uint8 b i (if v <> 0. then 1 else 0)) a;
+  b
+
+(** [vals_rbuf ~binary vals] is the runtime buffer for the sparse values. *)
+let vals_rbuf ~binary vals =
+  if binary then Runtime.RB (float_to_bytes vals) else Runtime.RF vals
+
+(** [storage_bufs c st ~binary ~dense] resolves every buffer parameter of
+    [c]: pos/crd/vals from the packed storage [st], dense operands from the
+    [dense] association list (operand name -> runtime buffer). *)
+let storage_bufs (c : Emitter.compiled) (st : Storage.t) ~binary
+    ~(dense : (string * Runtime.rbuf) list) :
+    (Ir.buffer * Runtime.rbuf) list =
+  List.map
+    (fun ((buf : Ir.buffer), binding) ->
+      let data =
+        match binding with
+        | Emitter.Bpos l ->
+          (match Storage.pos_buf st l with
+           | Some pos -> Runtime.RI pos
+           | None ->
+             invalid_arg
+               (Printf.sprintf "Bindings: level %d has no pos buffer" l))
+        | Emitter.Bcrd l ->
+          (match Storage.crd_buf st l with
+           | Some crd -> Runtime.RI crd
+           | None ->
+             invalid_arg
+               (Printf.sprintf "Bindings: level %d has no crd buffer" l))
+        | Emitter.Bvals -> vals_rbuf ~binary st.Storage.vals
+        | Emitter.Bdense name ->
+          (match List.assoc_opt name dense with
+           | Some rb -> rb
+           | None -> invalid_arg ("Bindings: missing dense operand " ^ name))
+      in
+      (buf, data))
+    c.Emitter.buffers
+
+(** [scalar_args c ~extents] is the scalar argument list (iteration-space
+    extents) in parameter order. *)
+let scalar_args (c : Emitter.compiled) ~(extents : int array) : int list =
+  List.map
+    (fun ((_ : Ir.value), dim) ->
+      if dim < 0 || dim >= Array.length extents then
+        invalid_arg "Bindings.scalar_args: extent missing for dimension";
+      extents.(dim))
+    c.Emitter.scalars

@@ -1,0 +1,243 @@
+(* End-to-end experiment driver: COO matrix in, PMU report and kernel
+   output out. This is the API the examples and the benchmark harness
+   use. *)
+
+module Coo = Asap_tensor.Coo
+module Storage = Asap_tensor.Storage
+module Encoding = Asap_tensor.Encoding
+module Kernel = Asap_lang.Kernel
+module Emitter = Asap_sparsifier.Emitter
+module Runtime = Asap_sim.Runtime
+module Machine = Asap_sim.Machine
+module Exec = Asap_sim.Exec
+
+type result = {
+  report : Exec.report;
+  nnz : int;
+  out_f : float array option;   (* numeric kernels *)
+  out_b : Bytes.t option;       (* binary kernels *)
+}
+
+let throughput r = Exec.throughput_nnz_per_ms r.report ~nnz:r.nnz
+let mpki r = Exec.l2_mpki r.report
+
+(* Deterministic dense operand contents (values are irrelevant to timing
+   but must be varied enough for correctness checks). *)
+let dense_f n = Array.init n (fun i -> 1.0 +. (float_of_int (i mod 97) /. 97.))
+let dense_b n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set_uint8 b i ((i * 2654435761) lsr 7 land 1)
+  done;
+  b
+
+let run_compiled (c : Pipeline.compiled) ~machine ~threads ~outer_extent
+    ~bufs ~scalars =
+  if threads <= 1 then Exec.run machine c.Pipeline.fn ~bufs ~scalars
+  else begin
+    (match c.Pipeline.cc.Emitter.kernel.Kernel.k_encoding.Encoding.levels.(0)
+     with
+     | Encoding.Dense -> ()
+     | Encoding.Compressed _ | Encoding.Singleton ->
+       invalid_arg
+         "Driver: dense-outer-loop parallelisation needs a dense top level");
+    Exec.run_parallel machine ~threads ~outer_extent c.Pipeline.fn ~bufs
+      ~scalars
+  end
+
+(** [spmv ?threads ?binary machine variant enc coo] packs [coo] under
+    [enc], compiles SpMV with [variant], and runs it. *)
+let spmv ?(threads = 1) ?(binary = false) (machine : Machine.t)
+    (variant : Pipeline.variant) (enc : Encoding.t) (coo : Coo.t) : result =
+  let rows = coo.Coo.dims.(0) and cols = coo.Coo.dims.(1) in
+  let body = if binary then Kernel.And_or else Kernel.Mul_add in
+  let kernel = Kernel.spmv ~enc ~body () in
+  let compiled = Pipeline.compile kernel variant in
+  let st = Storage.pack enc coo in
+  let out_f = if binary then None else Some (Array.make rows 0.) in
+  let out_b = if binary then Some (Bytes.make rows '\000') else None in
+  let dense =
+    if binary then
+      [ ("c", Runtime.RB (dense_b cols));
+        ("a", Runtime.RB (Option.get out_b)) ]
+    else
+      [ ("c", Runtime.RF (dense_f cols));
+        ("a", Runtime.RF (Option.get out_f)) ]
+  in
+  let bufs = Bindings.storage_bufs compiled.Pipeline.cc st ~binary ~dense in
+  let scalars =
+    Bindings.scalar_args compiled.Pipeline.cc ~extents:[| rows; cols |]
+  in
+  let report =
+    run_compiled compiled ~machine ~threads ~outer_extent:rows ~bufs ~scalars
+  in
+  { report; nnz = Coo.nnz coo; out_f; out_b }
+
+(** [spmm ?threads ?binary ?n machine variant enc coo] runs SpMM. The
+    dense operand has [n] columns — by default sized so one row fills one
+    cache line: 8 f64 columns, or 64 i8 columns for binary matrices
+    (paper §5.2). *)
+let spmm ?(threads = 1) ?(binary = false) ?n (machine : Machine.t)
+    (variant : Pipeline.variant) (enc : Encoding.t) (coo : Coo.t) : result =
+  let rows = coo.Coo.dims.(0) and cols = coo.Coo.dims.(1) in
+  let n = match n with Some n -> n | None -> if binary then 64 else 8 in
+  let body = if binary then Kernel.And_or else Kernel.Mul_add in
+  let kernel = Kernel.spmm ~enc ~body () in
+  let compiled = Pipeline.compile kernel variant in
+  let st = Storage.pack enc coo in
+  let out_f = if binary then None else Some (Array.make (rows * n) 0.) in
+  let out_b = if binary then Some (Bytes.make (rows * n) '\000') else None in
+  let dense =
+    if binary then
+      [ ("C", Runtime.RB (dense_b (cols * n)));
+        ("A", Runtime.RB (Option.get out_b)) ]
+    else
+      [ ("C", Runtime.RF (dense_f (cols * n)));
+        ("A", Runtime.RF (Option.get out_f)) ]
+  in
+  let bufs = Bindings.storage_bufs compiled.Pipeline.cc st ~binary ~dense in
+  let scalars =
+    Bindings.scalar_args compiled.Pipeline.cc ~extents:[| rows; cols; n |]
+  in
+  let report =
+    run_compiled compiled ~machine ~threads ~outer_extent:rows ~bufs ~scalars
+  in
+  { report; nnz = Coo.nnz coo; out_f; out_b }
+
+module Merge = Asap_sparsifier.Merge
+
+(* Resolve a Merge compiled function's parameters against two packed
+   storages and a dense output. *)
+let merge_bufs (m : Merge.compiled) (stb : Storage.t) (stc : Storage.t) out =
+  List.map
+    (fun (buffer, binding) ->
+      let st = function `B -> stb | `C -> stc in
+      let data =
+        match binding with
+        | Merge.Mpos (side, l) ->
+          Runtime.RI (Option.get (Storage.pos_buf (st side) l))
+        | Merge.Mcrd (side, l) ->
+          Runtime.RI (Option.get (Storage.crd_buf (st side) l))
+        | Merge.Mvals side -> Runtime.RF (st side).Storage.vals
+        | Merge.Mout -> Runtime.RF out
+      in
+      (buffer, data))
+    m.Merge.m_buffers
+
+(** [vector_ewise machine op b c] merges two sparse vectors element-wise
+    (union add or intersection multiply) into a dense output — the
+    merge-based co-iteration strategy of §3.1. *)
+let vector_ewise (machine : Machine.t) (op : Merge.op) (b : Coo.t)
+    (c : Coo.t) : result =
+  if Coo.rank b <> 1 || Coo.rank c <> 1 || b.Coo.dims.(0) <> c.Coo.dims.(0)
+  then invalid_arg "Driver.vector_ewise: need equal-length sparse vectors";
+  let n = b.Coo.dims.(0) in
+  let enc = Encoding.sparse_vector () in
+  let m = Merge.vector_ewise op in
+  let stb = Storage.pack enc b and stc = Storage.pack enc c in
+  let out = Array.make n 0. in
+  let bufs = merge_bufs m stb stc out in
+  let scalars = List.map (fun (_, d) -> [| n |].(d)) m.Merge.m_scalars in
+  let report = Exec.run machine m.Merge.m_fn ~bufs ~scalars in
+  { report; nnz = Coo.nnz b + Coo.nnz c; out_f = Some out; out_b = None }
+
+(** [matrix_ewise machine op b c] merges two CSR matrices row by row into
+    a dense row-major output. *)
+let matrix_ewise (machine : Machine.t) (op : Merge.op) (b : Coo.t)
+    (c : Coo.t) : result =
+  if Coo.rank b <> 2 || b.Coo.dims <> c.Coo.dims then
+    invalid_arg "Driver.matrix_ewise: need same-shape matrices";
+  let rows = b.Coo.dims.(0) and cols = b.Coo.dims.(1) in
+  let enc = Encoding.csr () in
+  let m = Merge.matrix_ewise op in
+  let stb = Storage.pack enc b and stc = Storage.pack enc c in
+  let out = Array.make (rows * cols) 0. in
+  let bufs = merge_bufs m stb stc out in
+  let scalars =
+    List.map (fun (_, d) -> [| rows; cols |].(d)) m.Merge.m_scalars
+  in
+  let report = Exec.run machine m.Merge.m_fn ~bufs ~scalars in
+  { report; nnz = Coo.nnz b + Coo.nnz c; out_f = Some out; out_b = None }
+
+(** [ttv machine variant enc coo] runs the rank-3 tensor-times-vector
+    contraction a(i,j) = B(i,j,k) c(k); [enc] defaults to rank-3 CSF, where
+    the step-2 bound needs the full position-chain recursion (§3.2.2). *)
+let ttv ?enc (machine : Machine.t) (variant : Pipeline.variant) (coo : Coo.t)
+  : result =
+  let enc = match enc with Some e -> e | None -> Encoding.csf 3 in
+  let di = coo.Coo.dims.(0) and dj = coo.Coo.dims.(1) and dk = coo.Coo.dims.(2) in
+  let kernel = Kernel.ttv ~enc () in
+  let compiled = Pipeline.compile kernel variant in
+  let st = Storage.pack enc coo in
+  let out = Array.make (di * dj) 0. in
+  let dense =
+    [ ("c", Runtime.RF (dense_f dk)); ("a", Runtime.RF out) ]
+  in
+  let bufs = Bindings.storage_bufs compiled.Pipeline.cc st ~binary:false ~dense in
+  let scalars =
+    Bindings.scalar_args compiled.Pipeline.cc ~extents:[| di; dj; dk |]
+  in
+  let report =
+    run_compiled compiled ~machine ~threads:1 ~outer_extent:di ~bufs ~scalars
+  in
+  { report; nnz = Coo.nnz coo; out_f = Some out; out_b = None }
+
+(** [check_ttv coo r] is the max absolute error of a TTV run against the
+    reference. *)
+let check_ttv (coo : Coo.t) (r : result) : float =
+  match r.out_f with
+  | None -> invalid_arg "check_ttv: binary TTV unsupported"
+  | Some a ->
+    let expect = Reference.ttv coo (dense_f coo.Coo.dims.(2)) in
+    let m = ref 0. in
+    Array.iteri
+      (fun i x ->
+        let d = Float.abs (x -. expect.(i)) in
+        if d > !m then m := d)
+      a;
+    !m
+
+(** [check_spmv coo r] compares an SpMV result against the reference;
+    returns the max absolute error (0 for binary matches). *)
+let check_spmv (coo : Coo.t) (r : result) : float =
+  match (r.out_f, r.out_b) with
+  | Some a, _ ->
+    let expect = Reference.spmv coo (dense_f coo.Coo.dims.(1)) in
+    let m = ref 0. in
+    Array.iteri
+      (fun i x ->
+        let d = Float.abs (x -. expect.(i)) in
+        if d > !m then m := d)
+      a;
+    !m
+  | None, Some b ->
+    let cb = dense_b coo.Coo.dims.(1) in
+    let c = Array.init (Bytes.length cb) (Bytes.get_uint8 cb) in
+    let expect = Reference.spmv_binary coo c in
+    let ok = ref true in
+    Array.iteri (fun i e -> if Bytes.get_uint8 b i <> e then ok := false)
+      expect;
+    if !ok then 0. else 1.
+  | None, None -> assert false
+
+(** [check_spmm coo ~n r] likewise for SpMM. *)
+let check_spmm (coo : Coo.t) ~n (r : result) : float =
+  match (r.out_f, r.out_b) with
+  | Some a, _ ->
+    let expect = Reference.spmm coo (dense_f (coo.Coo.dims.(1) * n)) ~n in
+    let m = ref 0. in
+    Array.iteri
+      (fun i x ->
+        let d = Float.abs (x -. expect.(i)) in
+        if d > !m then m := d)
+      a;
+    !m
+  | None, Some b ->
+    let cb = dense_b (coo.Coo.dims.(1) * n) in
+    let c = Array.init (Bytes.length cb) (Bytes.get_uint8 cb) in
+    let expect = Reference.spmm_binary coo c ~n in
+    let ok = ref true in
+    Array.iteri (fun i e -> if Bytes.get_uint8 b i <> e then ok := false)
+      expect;
+    if !ok then 0. else 1.
+  | None, None -> assert false

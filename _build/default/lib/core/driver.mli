@@ -1,0 +1,63 @@
+(** End-to-end experiment driver: COO matrix in, PMU report and verified
+    kernel output out. This is the API the examples, the CLI and the
+    benchmark harness use. *)
+
+module Coo = Asap_tensor.Coo
+module Encoding = Asap_tensor.Encoding
+module Machine = Asap_sim.Machine
+module Exec = Asap_sim.Exec
+
+type result = {
+  report : Exec.report;
+  nnz : int;
+  out_f : float array option;  (** output of numeric kernels *)
+  out_b : Bytes.t option;      (** output of binary kernels *)
+}
+
+(** [throughput r] is work throughput in non-zeros per millisecond (the
+    paper's §5 metric). *)
+val throughput : result -> float
+
+(** [mpki r] is L2 misses per kilo-instruction. *)
+val mpki : result -> float
+
+(** [spmv ?threads ?binary machine variant enc coo] packs [coo] under
+    [enc], compiles SpMV with [variant] and runs it. [threads > 1] uses the
+    dense-outer-loop parallelisation (requires a dense top level). *)
+val spmv :
+  ?threads:int -> ?binary:bool -> Machine.t -> Pipeline.variant ->
+  Encoding.t -> Coo.t -> result
+
+(** [spmm ?threads ?binary ?n machine variant enc coo] runs SpMM; [n]
+    defaults to one cache line per dense row — 8 f64 columns, or 64 i8
+    columns for binary matrices (paper §5.2). *)
+val spmm :
+  ?threads:int -> ?binary:bool -> ?n:int -> Machine.t -> Pipeline.variant ->
+  Encoding.t -> Coo.t -> result
+
+module Merge = Asap_sparsifier.Merge
+
+(** [vector_ewise machine op b c] merges two sparse vectors element-wise
+    (union add or intersection multiply) into a dense output — the
+    merge-based co-iteration strategy of §3.1. *)
+val vector_ewise : Machine.t -> Merge.op -> Coo.t -> Coo.t -> result
+
+(** [matrix_ewise machine op b c] merges two same-shape CSR matrices row
+    by row into a dense row-major output. *)
+val matrix_ewise : Machine.t -> Merge.op -> Coo.t -> Coo.t -> result
+
+(** [ttv ?enc machine variant coo] runs the rank-3 tensor-times-vector
+    contraction a(i,j) = B(i,j,k) c(k); [enc] defaults to rank-3 CSF,
+    exercising the full §3.2.2 position-chain bound recursion. *)
+val ttv :
+  ?enc:Encoding.t -> Machine.t -> Pipeline.variant -> Coo.t -> result
+
+(** [check_ttv coo r] is the max absolute error of a TTV run. *)
+val check_ttv : Coo.t -> result -> float
+
+(** [check_spmv coo r] is the max absolute error against the dense
+    reference (0 exact for binary kernels). *)
+val check_spmv : Coo.t -> result -> float
+
+(** [check_spmm coo ~n r] likewise for SpMM. *)
+val check_spmm : Coo.t -> n:int -> result -> float

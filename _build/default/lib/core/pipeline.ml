@@ -1,0 +1,59 @@
+(* Compilation pipeline: kernel + encoding + prefetch variant -> IR.
+
+   The three implementation variants of the paper's §4.3:
+   - [Baseline]: sparsification only, no software prefetching;
+   - [Asap]: sparsification with the ASaP injection hook (§3);
+   - [Ainsworth_jones]: sparsification followed by the post-hoc low-level
+     pass, mirroring the prior-art compilation flow. *)
+
+module Kernel = Asap_lang.Kernel
+module Sparsify = Asap_sparsifier.Sparsify
+module Emitter = Asap_sparsifier.Emitter
+module Asap = Asap_prefetch.Asap
+module Aj = Asap_prefetch.Ainsworth_jones
+open Asap_ir
+
+type variant =
+  | Baseline
+  | Asap of Asap.config
+  | Ainsworth_jones of Aj.config
+
+let variant_name = function
+  | Baseline -> "baseline"
+  | Asap _ -> "asap"
+  | Ainsworth_jones _ -> "ainsworth-jones"
+
+type compiled = {
+  cc : Emitter.compiled;        (* parameter layout and kernel metadata *)
+  fn : Ir.func;                 (* final function (after post-hoc passes) *)
+  variant : variant;
+  n_prefetch_sites : int;       (* sites instrumented by the variant *)
+}
+
+(** [compile ?optimize k variant] lowers kernel [k] and applies the
+    variant's prefetching. [optimize] additionally runs constant folding
+    and LICM over the final IR (off by default: the emitter already places
+    constants and invariants well, so the passes mainly serve IR built by
+    other front ends). *)
+let compile ?(optimize = false) (k : Kernel.t) (variant : variant) : compiled =
+  let c =
+    match variant with
+    | Baseline ->
+      let cc = Sparsify.run k in
+      { cc; fn = cc.Emitter.fn; variant; n_prefetch_sites = 0 }
+    | Asap cfg ->
+      let cc = Sparsify.run ~hook:(Asap.hook cfg) k in
+      { cc; fn = cc.Emitter.fn; variant; n_prefetch_sites = cc.Emitter.n_sites }
+    | Ainsworth_jones cfg ->
+      let cc = Sparsify.run k in
+      let fn, stats = Aj.run ~cfg cc.Emitter.fn in
+      { cc; fn; variant; n_prefetch_sites = stats.Aj.matched_sites }
+  in
+  if optimize then begin
+    let fn, _ = Fold.run c.fn in
+    let fn, _ = Licm.run fn in
+    { c with fn }
+  end
+  else c
+
+let listing c = Printer.to_string c.fn

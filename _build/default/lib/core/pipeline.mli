@@ -1,0 +1,32 @@
+(** Compilation pipeline: kernel + encoding + prefetch variant -> IR.
+
+    The three implementation variants of the paper's §4.3. *)
+
+module Kernel = Asap_lang.Kernel
+module Emitter = Asap_sparsifier.Emitter
+module Asap = Asap_prefetch.Asap
+module Aj = Asap_prefetch.Ainsworth_jones
+open Asap_ir
+
+type variant =
+  | Baseline                       (** sparsification only *)
+  | Asap of Asap.config            (** ASaP hook during sparsification *)
+  | Ainsworth_jones of Aj.config   (** post-hoc low-level pass *)
+
+val variant_name : variant -> string
+
+type compiled = {
+  cc : Emitter.compiled;       (** parameter layout and kernel metadata *)
+  fn : Ir.func;                (** final function, post-hoc passes applied *)
+  variant : variant;
+  n_prefetch_sites : int;      (** sites instrumented by the variant *)
+}
+
+(** [compile ?optimize k variant] lowers kernel [k] and applies the
+    variant's prefetching; the generated IR is always verified.
+    [optimize] additionally runs {!Asap_ir.Fold} and {!Asap_ir.Licm}
+    (default off — the emitter already canonicalises its output). *)
+val compile : ?optimize:bool -> Kernel.t -> variant -> compiled
+
+(** [listing c] is the MLIR-flavoured text of the final function. *)
+val listing : compiled -> string

@@ -1,0 +1,81 @@
+(* Reference kernel implementations over the COO exchange form.
+
+   Plain OCaml, no IR, no simulator: the ground truth the interpreted
+   sparsified code is checked against in tests and examples. *)
+
+module Coo = Asap_tensor.Coo
+
+(** [spmv coo c] computes a = B c. *)
+let spmv (coo : Coo.t) (c : float array) : float array =
+  if Coo.rank coo <> 2 then invalid_arg "Reference.spmv: not a matrix";
+  if Array.length c <> coo.Coo.dims.(1) then
+    invalid_arg "Reference.spmv: vector length mismatch";
+  let a = Array.make coo.Coo.dims.(0) 0. in
+  Array.iteri
+    (fun k cd -> a.(cd.(0)) <- a.(cd.(0)) +. (coo.Coo.vals.(k) *. c.(cd.(1))))
+    coo.Coo.coords;
+  a
+
+(** [spmm coo cm ~n] computes A = B C with row-major C of [n] columns. *)
+let spmm (coo : Coo.t) (cm : float array) ~n : float array =
+  if Coo.rank coo <> 2 then invalid_arg "Reference.spmm: not a matrix";
+  if Array.length cm <> coo.Coo.dims.(1) * n then
+    invalid_arg "Reference.spmm: C shape mismatch";
+  let a = Array.make (coo.Coo.dims.(0) * n) 0. in
+  Array.iteri
+    (fun idx cd ->
+      let i = cd.(0) and j = cd.(1) in
+      let v = coo.Coo.vals.(idx) in
+      for k = 0 to n - 1 do
+        a.((i * n) + k) <- a.((i * n) + k) +. (v *. cm.((j * n) + k))
+      done)
+    coo.Coo.coords;
+  a
+
+(** [ttv coo c] computes the rank-3 contraction a(i,j) = B(i,j,k) c(k),
+    row-major over (i, j). *)
+let ttv (coo : Coo.t) (c : float array) : float array =
+  if Coo.rank coo <> 3 then invalid_arg "Reference.ttv: not rank 3";
+  if Array.length c <> coo.Coo.dims.(2) then
+    invalid_arg "Reference.ttv: vector length mismatch";
+  let nj = coo.Coo.dims.(1) in
+  let a = Array.make (coo.Coo.dims.(0) * nj) 0. in
+  Array.iteri
+    (fun k cd ->
+      let off = (cd.(0) * nj) + cd.(1) in
+      a.(off) <- a.(off) +. (coo.Coo.vals.(k) *. c.(cd.(2))))
+    coo.Coo.coords;
+  a
+
+(** Boolean SpMV for binary matrices: a_i |= B_ij & c_j (paper §4.2). *)
+let spmv_binary (coo : Coo.t) (c : int array) : int array =
+  let a = Array.make coo.Coo.dims.(0) 0 in
+  Array.iteri
+    (fun k cd ->
+      let b = if coo.Coo.vals.(k) <> 0. then 1 else 0 in
+      a.(cd.(0)) <- a.(cd.(0)) lor (b land c.(cd.(1))))
+    coo.Coo.coords;
+  a
+
+(** Element-wise reference over dense expansions: union add. *)
+let ewise_add (b : Coo.t) (c : Coo.t) : float array =
+  let db = Coo.to_dense b and dc = Coo.to_dense c in
+  Array.mapi (fun i x -> x +. dc.(i)) db
+
+(** Element-wise reference: intersection multiply. *)
+let ewise_mul (b : Coo.t) (c : Coo.t) : float array =
+  let db = Coo.to_dense b and dc = Coo.to_dense c in
+  Array.mapi (fun i x -> x *. dc.(i)) db
+
+(** Boolean SpMM. *)
+let spmm_binary (coo : Coo.t) (cm : int array) ~n : int array =
+  let a = Array.make (coo.Coo.dims.(0) * n) 0 in
+  Array.iteri
+    (fun idx cd ->
+      let i = cd.(0) and j = cd.(1) in
+      let b = if coo.Coo.vals.(idx) <> 0. then 1 else 0 in
+      for k = 0 to n - 1 do
+        a.((i * n) + k) <- a.((i * n) + k) lor (b land cm.((j * n) + k))
+      done)
+    coo.Coo.coords;
+  a

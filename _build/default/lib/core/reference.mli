@@ -1,0 +1,28 @@
+(** Reference kernel implementations over the COO exchange form.
+
+    Plain OCaml, no IR, no simulator: the ground truth the interpreted
+    sparsified code is checked against. *)
+
+module Coo = Asap_tensor.Coo
+
+(** [spmv coo c] computes a = B c.
+    @raise Invalid_argument on shape mismatch. *)
+val spmv : Coo.t -> float array -> float array
+
+(** [spmm coo cm ~n] computes A = B C with row-major C of [n] columns. *)
+val spmm : Coo.t -> float array -> n:int -> float array
+
+(** [ttv coo c] computes the rank-3 contraction a(i,j) = B(i,j,k) c(k),
+    row-major over (i, j). *)
+val ttv : Coo.t -> float array -> float array
+
+(** Boolean SpMV for binary matrices: a_i |= B_ij & c_j (paper §4.2). *)
+val spmv_binary : Coo.t -> int array -> int array
+
+(** Element-wise references over dense expansions (for the merge-based
+    co-iteration kernels): union add and intersection multiply. *)
+val ewise_add : Coo.t -> Coo.t -> float array
+val ewise_mul : Coo.t -> Coo.t -> float array
+
+(** Boolean SpMM. *)
+val spmm_binary : Coo.t -> int array -> n:int -> int array

@@ -1,0 +1,121 @@
+(* Profile-guided prefetch tuning.
+
+   The paper leaves the lookahead distance user- or profile-tunable
+   (§3.2.3) and points to APT-GET and RPG^2 as orthogonal profile-guided
+   techniques (§6): selecting distances dynamically, and rolling
+   prefetching back when it does not pay. This module implements both
+   ideas over the simulator: kernels are profiled on a slice of the
+   outermost loop, then the full run uses the winning configuration.
+
+   Profiling is honest about cost: every profiled configuration is a real
+   (sliced) simulation on a cold hierarchy, and the chosen decision is
+   returned with the profile so callers can report it. *)
+
+module Coo = Asap_tensor.Coo
+module Storage = Asap_tensor.Storage
+module Encoding = Asap_tensor.Encoding
+module Kernel = Asap_lang.Kernel
+module Runtime = Asap_sim.Runtime
+module Machine = Asap_sim.Machine
+module Exec = Asap_sim.Exec
+module Asap = Asap_prefetch.Asap
+
+type profile_entry = {
+  pe_label : string;
+  pe_distance : int option;    (* None for the baseline *)
+  pe_cycles : int;
+  pe_mpki : float;
+}
+
+type decision = {
+  chosen : Pipeline.variant;
+  profile : profile_entry list;
+  profile_rows : int;          (* outer iterations profiled per entry *)
+}
+
+let default_candidates = [ 4; 8; 16; 32; 64 ]
+
+(* One sliced profiling run of SpMV under [variant]. *)
+let profile_run machine enc coo ~slice variant =
+  let rows = coo.Coo.dims.(0) and cols = coo.Coo.dims.(1) in
+  let kernel = Kernel.spmv ~enc () in
+  let compiled = Pipeline.compile kernel variant in
+  let st = Storage.pack enc coo in
+  let out = Array.make rows 0. in
+  let dense =
+    [ ("c", Runtime.RF (Array.make cols 1.0)); ("a", Runtime.RF out) ]
+  in
+  let bufs = Bindings.storage_bufs compiled.Pipeline.cc st ~binary:false ~dense in
+  let scalars =
+    Bindings.scalar_args compiled.Pipeline.cc ~extents:[| rows; cols |]
+  in
+  Exec.run ~slice machine compiled.Pipeline.fn ~bufs ~scalars
+
+(** [tune ?candidates ?mpki_threshold ?profile_fraction machine enc coo]
+    profiles SpMV over [coo] on a leading slice of rows and decides:
+
+    - if the baseline slice shows less memory pressure than
+      [mpki_threshold] (default 2.0 L2 MPKI), prefetching is rolled back
+      entirely (the RPG^2 idea) and {!Pipeline.Baseline} is chosen;
+    - otherwise ASaP is chosen with the candidate distance that minimised
+      profiled cycles (the APT-GET idea).
+
+    The top storage level must support slicing (dense outer loop). *)
+let tune ?(candidates = default_candidates) ?(mpki_threshold = 2.0)
+    ?(profile_fraction = 0.05) (machine : Machine.t) (enc : Encoding.t)
+    (coo : Coo.t) : decision =
+  (match enc.Encoding.levels.(0) with
+   | Encoding.Dense -> ()
+   | Encoding.Compressed _ | Encoding.Singleton ->
+     invalid_arg "Tuning.tune: profiling slices need a dense outer loop");
+  let rows = coo.Coo.dims.(0) in
+  let prof_rows = max 1 (int_of_float (float_of_int rows *. profile_fraction)) in
+  let slice = (0, prof_rows) in
+  let base = profile_run machine enc coo ~slice Pipeline.Baseline in
+  let base_entry =
+    { pe_label = "baseline"; pe_distance = None;
+      pe_cycles = base.Exec.rp_cycles; pe_mpki = Exec.l2_mpki base }
+  in
+  if Exec.l2_mpki base < mpki_threshold then
+    { chosen = Pipeline.Baseline; profile = [ base_entry ];
+      profile_rows = prof_rows }
+  else begin
+    let entries =
+      List.map
+        (fun d ->
+          let r =
+            profile_run machine enc coo ~slice
+              (Pipeline.Asap { Asap.default with Asap.distance = d })
+          in
+          { pe_label = Printf.sprintf "asap-d%d" d; pe_distance = Some d;
+            pe_cycles = r.Exec.rp_cycles; pe_mpki = Exec.l2_mpki r })
+        candidates
+    in
+    let best =
+      List.fold_left
+        (fun acc e -> if e.pe_cycles < acc.pe_cycles then e else acc)
+        (List.hd entries) (List.tl entries)
+    in
+    let chosen =
+      if best.pe_cycles < base.Exec.rp_cycles then
+        Pipeline.Asap
+          { Asap.default with Asap.distance = Option.get best.pe_distance }
+      else Pipeline.Baseline
+    in
+    { chosen; profile = base_entry :: entries; profile_rows = prof_rows }
+  end
+
+(** [describe d] renders the decision for logs and examples. *)
+let describe (d : decision) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "profiled %d outer rows:\n" d.profile_rows);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-10s %10d cycles  %6.2f MPKI\n" e.pe_label
+           e.pe_cycles e.pe_mpki))
+    d.profile;
+  Buffer.add_string buf
+    (Printf.sprintf "chosen: %s\n" (Pipeline.variant_name d.chosen));
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** Profile-guided prefetch tuning.
+
+    The paper leaves the lookahead distance user- or profile-tunable
+    (§3.2.3) and cites APT-GET and RPG^2 as orthogonal profile-guided
+    directions (§6). [tune] implements both over the simulator: SpMV is
+    profiled on a leading slice of rows; prefetching is rolled back when
+    the slice shows low memory pressure, otherwise the cycle-minimising
+    candidate distance is selected. *)
+
+module Coo = Asap_tensor.Coo
+module Encoding = Asap_tensor.Encoding
+module Machine = Asap_sim.Machine
+
+type profile_entry = {
+  pe_label : string;
+  pe_distance : int option;    (** [None] for the baseline entry *)
+  pe_cycles : int;
+  pe_mpki : float;
+}
+
+type decision = {
+  chosen : Pipeline.variant;
+  profile : profile_entry list;
+  profile_rows : int;
+}
+
+val default_candidates : int list
+
+(** [tune ?candidates ?mpki_threshold ?profile_fraction machine enc coo]
+    profiles and decides. The encoding's top level must be dense (the
+    profiling slice is a row range).
+    @raise Invalid_argument otherwise. *)
+val tune :
+  ?candidates:int list -> ?mpki_threshold:float -> ?profile_fraction:float ->
+  Machine.t -> Encoding.t -> Coo.t -> decision
+
+(** [describe d] renders the decision for logs and examples. *)
+val describe : decision -> string

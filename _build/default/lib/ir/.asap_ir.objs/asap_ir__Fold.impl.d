@@ -1,0 +1,1 @@
+lib/ir/fold.ml: Float Hashtbl Ir List Verify

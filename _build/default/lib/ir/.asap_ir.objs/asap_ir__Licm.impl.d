@@ -1,0 +1,1 @@
+lib/ir/licm.ml: Hashtbl Int Ir List Verify

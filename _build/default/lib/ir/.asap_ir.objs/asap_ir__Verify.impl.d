@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Array Format Int Ir List

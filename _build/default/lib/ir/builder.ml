@@ -1,0 +1,241 @@
+(* Imperative construction of Ir functions.
+
+   The builder keeps a stack of open blocks; region-building combinators
+   ([for_], [while_], [if_]) push a fresh block, run a user callback that
+   emits into it, and pop it into the structured statement. *)
+
+open Ir
+
+type t = {
+  mutable next_value : int;
+  mutable next_buffer : int;
+  mutable blocks : stmt list ref list;   (* innermost first *)
+  mutable params : param list;           (* reverse order *)
+  mutable const_cache : (const * value) list;
+}
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let create () =
+  { next_value = 0; next_buffer = 0; blocks = [ ref [] ]; params = [];
+    const_cache = [] }
+
+let fresh_value b name ty =
+  let v = { vid = b.next_value; vname = name; vty = ty } in
+  b.next_value <- b.next_value + 1;
+  v
+
+let emit b s =
+  match b.blocks with
+  | [] -> invalid_arg "Builder.emit: no open block"
+  | top :: _ -> top := s :: !top
+
+let push_block b = b.blocks <- ref [] :: b.blocks
+
+let pop_block b =
+  match b.blocks with
+  | [] | [ _ ] -> invalid_arg "Builder.pop_block: underflow"
+  | top :: rest ->
+    b.blocks <- rest;
+    List.rev !top
+
+(* Parameters *)
+
+let buf b name elem =
+  let buffer = { bid = b.next_buffer; bname = name; belem = elem } in
+  b.next_buffer <- b.next_buffer + 1;
+  b.params <- Pbuf buffer :: b.params;
+  buffer
+
+let scalar_param b name ty =
+  let v = fresh_value b name ty in
+  b.params <- Pscalar v :: b.params;
+  v
+
+(* Value-producing ops *)
+
+let let_ b name ty rv =
+  let v = fresh_value b name ty in
+  emit b (Let (v, rv));
+  v
+
+(* Emit into the function's entry block regardless of open regions; every
+   region that is still being built will be appended after [s], so the
+   definition dominates all uses. *)
+let emit_at_entry b s =
+  match List.rev b.blocks with
+  | [] -> invalid_arg "Builder.emit_at_entry: no open block"
+  | entry :: _ -> entry := s :: !entry
+
+let const b c =
+  (* Constants are cached per function and materialised once in the entry
+     block, as MLIR canonicalisation + LICM would ensure. *)
+  match List.assoc_opt c b.const_cache with
+  | Some v -> v
+  | None ->
+    let ty, name =
+      match c with
+      | Cidx i -> Index, Printf.sprintf "c%d" i
+      | Ci64 i -> I64, Printf.sprintf "ci%d" i
+      | Cf64 f -> F64, Printf.sprintf "cf%g" f
+      | Cbool bo -> I1, if bo then "true" else "false"
+    in
+    let v = fresh_value b name ty in
+    emit_at_entry b (Let (v, Const c));
+    b.const_cache <- (c, v) :: b.const_cache;
+    v
+
+let index b i = const b (Cidx i)
+let f64 b f = const b (Cf64 f)
+
+let check_int_pair op x y =
+  if x.vty <> y.vty || (x.vty <> Index && x.vty <> I64 && x.vty <> I1) then
+    type_error "%s: operands %s:%s and %s:%s must be matching integers"
+      op x.vname (scalar_name x.vty) y.vname (scalar_name y.vty)
+
+let ibin b op x y =
+  check_int_pair (ibinop_name op) x y;
+  let_ b "t" x.vty (Ibin (op, x, y))
+
+let iadd b x y = ibin b Iadd x y
+let isub b x y = ibin b Isub x y
+let imul b x y = ibin b Imul x y
+let imin b x y = ibin b Imin x y
+let imax b x y = ibin b Imax x y
+
+let fbin b op x y =
+  if x.vty <> F64 || y.vty <> F64 then
+    type_error "%s: operands must be f64" (fbinop_name op);
+  let_ b "t" F64 (Fbin (op, x, y))
+
+let fadd b x y = fbin b Fadd x y
+let fmul b x y = fbin b Fmul x y
+
+let icmp b pred x y =
+  check_int_pair "arith.cmpi" x y;
+  let_ b "t" I1 (Icmp (pred, x, y))
+
+let select b c x y =
+  if c.vty <> I1 then type_error "select: condition must be i1";
+  if x.vty <> y.vty then type_error "select: branch types differ";
+  let_ b "t" x.vty (Select (c, x, y))
+
+let load b ?(name = "t") buffer idx =
+  if idx.vty <> Index then
+    type_error "memref.load %s[%s]: index must have type index, got %s"
+      buffer.bname idx.vname (scalar_name idx.vty);
+  let_ b name (scalar_of_elem buffer.belem) (Load (buffer, idx))
+
+let dim b buffer = let_ b (buffer.bname ^ "_sz") Index (Dim buffer)
+
+let cast b ty v = let_ b "t" ty (Cast (ty, v))
+
+(* Statements *)
+
+let store b buffer idx v =
+  if idx.vty <> Index then
+    type_error "memref.store %s[%s]: index must have type index" buffer.bname
+      idx.vname;
+  if v.vty <> scalar_of_elem buffer.belem then
+    type_error "memref.store into %s: value type %s does not match element %s"
+      buffer.bname (scalar_name v.vty) (elem_name buffer.belem);
+  emit b (Store (buffer, idx, v))
+
+let prefetch b ?(write = false) ?(locality = 2) buffer idx =
+  if idx.vty <> Index then
+    type_error "memref.prefetch %s: index must have type index" buffer.bname;
+  emit b (Prefetch { pbuf = buffer; pidx = idx; pwrite = write;
+                     plocality = locality })
+
+let check_yield what carried yield =
+  if List.length carried <> List.length yield then
+    type_error "%s: yield arity %d does not match %d carried values" what
+      (List.length yield) (List.length carried);
+  List.iter2
+    (fun (arg, _) y ->
+      if arg.vty <> y.vty then
+        type_error "%s: yield for %s has type %s, expected %s" what arg.vname
+          (scalar_name y.vty) (scalar_name arg.vty))
+    carried yield
+
+(** [for_ b ~tag name lo hi body] emits a counted loop. [body] receives the
+    induction variable and the carried region arguments and returns the
+    yielded next values; the final carried values are returned. *)
+let for_ b ?(tag = "") ?step ?(carried = []) name lo hi body =
+  let step = match step with Some s -> s | None -> index b 1 in
+  let iv = fresh_value b name Index in
+  let args =
+    List.map (fun (nm, ty, _init) -> fresh_value b nm ty) carried
+  in
+  let inits = List.map (fun (_, _, init) -> (init : value)) carried in
+  push_block b;
+  let yield = body iv args in
+  let blk = pop_block b in
+  let carried_pairs = List.combine args inits in
+  check_yield "scf.for" carried_pairs yield;
+  let results =
+    List.map (fun (arg : value) -> fresh_value b (arg.vname ^ "_out") arg.vty)
+      args
+  in
+  emit b
+    (For { f_iv = iv; f_lo = lo; f_hi = hi; f_step = step;
+           f_carried = carried_pairs; f_results = results; f_body = blk;
+           f_yield = yield; f_tag = tag });
+  results
+
+(** Simple counted loop with no carried values. *)
+let for0 b ?tag ?step name lo hi body =
+  let (_ : value list) =
+    for_ b ?tag ?step name lo hi (fun iv args ->
+        assert (args = []);
+        body iv;
+        [])
+  in
+  ()
+
+(** [while_ b ~tag carried cond body] emits an scf.while. [carried] gives
+    (name, type, initial value) for each carried value; [cond] and [body]
+    receive the region arguments; [cond] returns the continuation condition,
+    [body] the next carried values. Returns the final carried values. *)
+let while_ b ?(tag = "") carried cond body =
+  let args = List.map (fun (nm, ty, _) -> fresh_value b nm ty) carried in
+  let inits = List.map (fun (_, _, init) -> (init : value)) carried in
+  push_block b;
+  let cond_v = cond args in
+  let cond_blk = pop_block b in
+  if cond_v.vty <> I1 then type_error "scf.while: condition must be i1";
+  push_block b;
+  let yield = body args in
+  let body_blk = pop_block b in
+  let carried_pairs = List.combine args inits in
+  check_yield "scf.while" carried_pairs yield;
+  let results =
+    List.map (fun (arg : value) -> fresh_value b (arg.vname ^ "_out") arg.vty)
+      args
+  in
+  emit b
+    (While { w_carried = carried_pairs; w_results = results;
+             w_cond = cond_blk; w_cond_v = cond_v; w_body = body_blk;
+             w_yield = yield; w_tag = tag });
+  results
+
+let if_ b cond then_ else_ =
+  if cond.vty <> I1 then type_error "scf.if: condition must be i1";
+  push_block b;
+  then_ ();
+  let t = pop_block b in
+  push_block b;
+  else_ ();
+  let e = pop_block b in
+  emit b (If (cond, t, e))
+
+(** [finish b name] closes the builder and produces the function. *)
+let finish b name =
+  match b.blocks with
+  | [ top ] ->
+    { fn_name = name; fn_params = List.rev b.params;
+      fn_body = List.rev !top; fn_nvalues = b.next_value;
+      fn_nbufs = b.next_buffer }
+  | _ -> invalid_arg "Builder.finish: unclosed regions remain"

@@ -1,0 +1,93 @@
+(** Imperative construction of {!Ir} functions.
+
+    The builder keeps a stack of open blocks; region-building combinators
+    ({!for_}, {!while_}, {!if_}) push a fresh block, run a user callback
+    that emits into it, and pop it into the structured statement.
+    Constants are cached and materialised once in the entry block (the
+    canonicalisation + LICM MLIR would perform). *)
+
+open Ir
+
+type t
+
+(** Raised by all emitters on operand/type mismatches. *)
+exception Type_error of string
+
+val create : unit -> t
+
+(** {1 Parameters} *)
+
+(** [buf b name elem] declares a buffer parameter. *)
+val buf : t -> string -> elem -> buffer
+
+(** [scalar_param b name ty] declares a scalar parameter. *)
+val scalar_param : t -> string -> scalar -> value
+
+(** {1 Values} *)
+
+(** [let_ b name ty rv] emits [name = rv] and returns the defined value. *)
+val let_ : t -> string -> scalar -> rvalue -> value
+
+(** [const b c] is the cached constant [c]. *)
+val const : t -> const -> value
+
+(** [index b i] is the cached index constant [i]. *)
+val index : t -> int -> value
+
+(** [f64 b x] is the cached f64 constant [x]. *)
+val f64 : t -> float -> value
+
+val ibin : t -> ibinop -> value -> value -> value
+val iadd : t -> value -> value -> value
+val isub : t -> value -> value -> value
+val imul : t -> value -> value -> value
+val imin : t -> value -> value -> value
+val imax : t -> value -> value -> value
+val fbin : t -> fbinop -> value -> value -> value
+val fadd : t -> value -> value -> value
+val fmul : t -> value -> value -> value
+val icmp : t -> icmp -> value -> value -> value
+val select : t -> value -> value -> value -> value
+
+(** [load b ?name buffer idx] emits a typed load. *)
+val load : t -> ?name:string -> buffer -> value -> value
+
+(** [dim b buffer] emits [memref.dim buffer, 0]. *)
+val dim : t -> buffer -> value
+
+val cast : t -> scalar -> value -> value
+
+(** {1 Statements} *)
+
+val store : t -> buffer -> value -> value -> unit
+
+(** [prefetch b ?write ?locality buffer idx] emits [memref.prefetch]. *)
+val prefetch : t -> ?write:bool -> ?locality:int -> buffer -> value -> unit
+
+(** [for_ b ?tag ?step ?carried name lo hi body] emits a counted loop.
+    [carried] gives (name, type, initial value) per iter_arg; [body]
+    receives the induction variable and the region arguments and returns
+    the yielded values; the loop's final carried values are returned. *)
+val for_ :
+  t -> ?tag:string -> ?step:value -> ?carried:(string * scalar * value) list ->
+  string -> value -> value -> (value -> value list -> value list) ->
+  value list
+
+(** [for0 b ?tag ?step name lo hi body] is {!for_} with no carried
+    values. *)
+val for0 :
+  t -> ?tag:string -> ?step:value -> string -> value -> value ->
+  (value -> unit) -> unit
+
+(** [while_ b ?tag carried cond body] emits an scf.while; [cond] returns
+    the continuation condition, [body] the next carried values. Returns
+    the final carried values. *)
+val while_ :
+  t -> ?tag:string -> (string * scalar * value) list ->
+  (value list -> value) -> (value list -> value list) -> value list
+
+val if_ : t -> value -> (unit -> unit) -> (unit -> unit) -> unit
+
+(** [finish b name] closes the builder and produces the function.
+    @raise Invalid_argument if regions remain open. *)
+val finish : t -> string -> func

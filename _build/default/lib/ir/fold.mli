@@ -1,0 +1,14 @@
+(** Constant folding and algebraic simplification.
+
+    Propagates compile-time-known values through pure operations and
+    simplifies identities (x*1, x+0, min(x,x), constant compares and
+    selects). Loads, loop-carried values and region arguments stay
+    unknown. *)
+
+open Ir
+
+type stats = { folded : int }
+
+(** [run fn] returns the transformed (re-verified) function and the number
+    of rewritten operations. *)
+val run : func -> func * stats

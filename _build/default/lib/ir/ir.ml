@@ -1,0 +1,189 @@
+(* Core intermediate representation.
+
+   A small, SSA-flavoured, region-based imperative IR modelling the subset of
+   MLIR that sparsification emits: arith on index/i64/f64/i1 scalars,
+   1-D dynamically-sized buffers (memref<?x...>), structured control flow
+   (scf.for with iter_args, scf.while with carried values, scf.if), and
+   memref.load / memref.store / memref.prefetch.
+
+   Values are immutable SSA names identified by a dense integer id (used to
+   index interpreter environments).  Buffers are function parameters
+   identified likewise by a dense id. *)
+
+(** Scalar types. [Index] and [I64] are both machine integers at runtime but
+    are kept distinct, as in MLIR, to catch mixing errors in the verifier. *)
+type scalar = Index | I64 | F64 | I1
+
+(** Buffer element kinds. [EIdx32]/[EIdx64] hold coordinates/positions and
+    load as [Index]; they differ only in their byte width, which matters for
+    the simulated address space (the paper uses 32-bit indices when the
+    non-zero count permits, 64-bit otherwise). [EI8] holds single-byte values
+    of binary matrices and loads as [I64]. *)
+type elem = EIdx32 | EIdx64 | EF64 | EI8
+
+(** A buffer (memref) parameter. *)
+type buffer = { bid : int; bname : string; belem : elem }
+
+(** An SSA value. *)
+type value = { vid : int; vname : string; vty : scalar }
+
+type const = Cidx of int | Ci64 of int | Cf64 of float | Cbool of bool
+
+type ibinop =
+  | Iadd | Isub | Imul | Idiv | Irem
+  | Imin | Imax | Iand | Ior | Ixor | Ishl
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax
+
+(** Integer comparison predicates (MLIR [arith.cmpi]). *)
+type icmp = Eq | Ne | Ult | Ule | Ugt | Uge | Slt | Sle | Sgt | Sge
+
+(** Value-producing operations. *)
+type rvalue =
+  | Const of const
+  | Ibin of ibinop * value * value
+  | Fbin of fbinop * value * value
+  | Icmp of icmp * value * value
+  | Select of value * value * value      (* select cond, a, b *)
+  | Load of buffer * value               (* memref.load buf[idx] *)
+  | Dim of buffer                        (* memref.dim buf, 0 *)
+  | Cast of scalar * value               (* index_cast / sitofp-free subset *)
+
+type stmt =
+  | Let of value * rvalue
+  | Store of buffer * value * value      (* memref.store v, buf[idx] *)
+  | Prefetch of prefetch
+  | For of forloop
+  | While of whileloop
+  | If of value * block * block
+
+(** memref.prefetch buf[idx], read|write, locality<n>, data *)
+and prefetch = {
+  pbuf : buffer;
+  pidx : value;
+  pwrite : bool;
+  plocality : int;                       (* 0..3, paper uses 2 *)
+}
+
+(** scf.for with optional iter_args. [f_results] are bound after the loop to
+    the final carried values; [f_yield] gives the next-iteration values and
+    must match [f_carried] in arity and type. *)
+and forloop = {
+  f_iv : value;
+  f_lo : value;
+  f_hi : value;
+  f_step : value;
+  f_carried : (value * value) list;      (* (region argument, initial value) *)
+  f_results : value list;
+  f_body : block;
+  f_yield : value list;
+  f_tag : string;                        (* debug label, e.g. "rows" *)
+}
+
+(** scf.while. The condition block is re-evaluated each iteration with the
+    carried region arguments in scope; the loop runs while [w_cond_v] is
+    true. [w_results] are the final carried values. *)
+and whileloop = {
+  w_carried : (value * value) list;
+  w_results : value list;
+  w_cond : block;
+  w_cond_v : value;
+  w_body : block;
+  w_yield : value list;
+  w_tag : string;
+}
+
+and block = stmt list
+
+type param = Pbuf of buffer | Pscalar of value
+
+(** A function: parameters, a body, and the id-space sizes needed to allocate
+    dense interpreter environments. *)
+type func = {
+  fn_name : string;
+  fn_params : param list;
+  fn_body : block;
+  fn_nvalues : int;                      (* all value ids are < fn_nvalues *)
+  fn_nbufs : int;                        (* all buffer ids are < fn_nbufs *)
+}
+
+(** [scalar_of_elem e] is the scalar type produced by loading from a buffer
+    of element kind [e]. *)
+let scalar_of_elem = function
+  | EIdx32 | EIdx64 -> Index
+  | EF64 -> F64
+  | EI8 -> I64
+
+(** [elem_bytes e] is the width in bytes of one element, used to compute
+    simulated addresses. *)
+let elem_bytes = function
+  | EIdx32 -> 4
+  | EIdx64 -> 8
+  | EF64 -> 8
+  | EI8 -> 1
+
+let scalar_name = function
+  | Index -> "index"
+  | I64 -> "i64"
+  | F64 -> "f64"
+  | I1 -> "i1"
+
+let elem_name = function
+  | EIdx32 -> "i32"
+  | EIdx64 -> "i64"
+  | EF64 -> "f64"
+  | EI8 -> "i8"
+
+let ibinop_name = function
+  | Iadd -> "arith.addi" | Isub -> "arith.subi" | Imul -> "arith.muli"
+  | Idiv -> "arith.divui" | Irem -> "arith.remui"
+  | Imin -> "arith.minui" | Imax -> "arith.maxui"
+  | Iand -> "arith.andi" | Ior -> "arith.ori" | Ixor -> "arith.xori"
+  | Ishl -> "arith.shli"
+
+let fbinop_name = function
+  | Fadd -> "arith.addf" | Fsub -> "arith.subf" | Fmul -> "arith.mulf"
+  | Fdiv -> "arith.divf" | Fmin -> "arith.minimumf" | Fmax -> "arith.maximumf"
+
+let icmp_name = function
+  | Eq -> "eq" | Ne -> "ne"
+  | Ult -> "ult" | Ule -> "ule" | Ugt -> "ugt" | Uge -> "uge"
+  | Slt -> "slt" | Sle -> "sle" | Sgt -> "sgt" | Sge -> "sge"
+
+(** Structural statistics used by tests and by the benchmark listings. *)
+type op_counts = {
+  mutable n_lets : int;
+  mutable n_stores : int;
+  mutable n_prefetches : int;
+  mutable n_fors : int;
+  mutable n_whiles : int;
+  mutable n_ifs : int;
+}
+
+let rec count_block (c : op_counts) (b : block) =
+  List.iter (count_stmt c) b
+
+and count_stmt c = function
+  | Let _ -> c.n_lets <- c.n_lets + 1
+  | Store _ -> c.n_stores <- c.n_stores + 1
+  | Prefetch _ -> c.n_prefetches <- c.n_prefetches + 1
+  | For f ->
+    c.n_fors <- c.n_fors + 1;
+    count_block c f.f_body
+  | While w ->
+    c.n_whiles <- c.n_whiles + 1;
+    count_block c w.w_cond;
+    count_block c w.w_body
+  | If (_, t, e) ->
+    c.n_ifs <- c.n_ifs + 1;
+    count_block c t;
+    count_block c e
+
+(** [counts fn] tallies the operations in [fn], including nested regions. *)
+let counts (fn : func) : op_counts =
+  let c =
+    { n_lets = 0; n_stores = 0; n_prefetches = 0;
+      n_fors = 0; n_whiles = 0; n_ifs = 0 }
+  in
+  count_block c fn.fn_body;
+  c

@@ -1,0 +1,14 @@
+(** Loop-invariant code motion for pure value computations.
+
+    Hoists [Let]s whose rvalue is side-effect free out of for loops when
+    every operand is defined outside the loop — the LLVM LICM equivalent
+    of the paper's compilation flow (§4.3). Loads are never moved (they
+    may alias stores). *)
+
+open Ir
+
+type stats = { hoisted : int }
+
+(** [run fn] returns the transformed (re-verified) function and hoist
+    statistics. *)
+val run : func -> func * stats

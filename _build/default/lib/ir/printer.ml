@@ -1,0 +1,182 @@
+(* MLIR-flavoured textual rendering of Ir functions.
+
+   The output is close to the scf/memref/arith dialects the paper's listings
+   use, so that the Fig. 3/5/9 benchmark listings read like the paper. Names
+   are made unique by suffixing the SSA id when two values share a name. *)
+
+open Ir
+
+let buf_type b = Printf.sprintf "memref<?x%s>" (elem_name b.belem)
+
+(* Values are rendered by their source name, suffixed with the SSA id when
+   the same name is defined more than once in the function (temporaries
+   named "t" always carry their id). The rename table is rebuilt per
+   function by [to_string]. *)
+let rename_table : (int, string) Hashtbl.t = Hashtbl.create 64
+
+let pv (v : value) =
+  match Hashtbl.find_opt rename_table v.vid with
+  | Some s -> "%" ^ s
+  | None ->
+    if v.vname = "t" then Printf.sprintf "%%t%d" v.vid
+    else Printf.sprintf "%%%s" v.vname
+
+let pb (b : buffer) = Printf.sprintf "%%%s" b.bname
+
+(* Collect every value definition in program order and build unique
+   printed names. *)
+let build_renames (fn : func) =
+  Hashtbl.reset rename_table;
+  let seen : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let def (v : value) =
+    let name = if v.vname = "t" then Printf.sprintf "t%d" v.vid else v.vname in
+    match Hashtbl.find_opt seen name with
+    | None ->
+      Hashtbl.add seen name 1;
+      Hashtbl.replace rename_table v.vid name
+    | Some k ->
+      Hashtbl.replace seen name (k + 1);
+      Hashtbl.replace rename_table v.vid (Printf.sprintf "%s_%d" name v.vid)
+  in
+  let rec go_block b = List.iter go_stmt b
+  and go_stmt = function
+    | Let (v, _) -> def v
+    | Store _ | Prefetch _ -> ()
+    | For f ->
+      def f.f_iv;
+      List.iter (fun (a, _) -> def a) f.f_carried;
+      go_block f.f_body;
+      List.iter def f.f_results
+    | While w ->
+      List.iter (fun (a, _) -> def a) w.w_carried;
+      go_block w.w_cond;
+      go_block w.w_body;
+      List.iter def w.w_results
+    | If (_, t, e) -> go_block t; go_block e
+  in
+  List.iter (function Pscalar v -> def v | Pbuf _ -> ()) fn.fn_params;
+  go_block fn.fn_body
+
+let const_str = function
+  | Cidx i -> Printf.sprintf "arith.constant %d : index" i
+  | Ci64 i -> Printf.sprintf "arith.constant %d : i64" i
+  | Cf64 f -> Printf.sprintf "arith.constant %g : f64" f
+  | Cbool b -> Printf.sprintf "arith.constant %b : i1" b
+
+let rvalue_str = function
+  | Const c -> const_str c
+  | Ibin (op, x, y) ->
+    Printf.sprintf "%s %s, %s : %s" (ibinop_name op) (pv x) (pv y)
+      (scalar_name x.vty)
+  | Fbin (op, x, y) ->
+    Printf.sprintf "%s %s, %s : f64" (fbinop_name op) (pv x) (pv y)
+  | Icmp (pred, x, y) ->
+    Printf.sprintf "arith.cmpi %s, %s, %s : %s" (icmp_name pred) (pv x) (pv y)
+      (scalar_name x.vty)
+  | Select (c, x, y) ->
+    Printf.sprintf "arith.select %s, %s, %s : %s" (pv c) (pv x) (pv y)
+      (scalar_name x.vty)
+  | Load (b, i) ->
+    Printf.sprintf "memref.load %s[%s] : %s" (pb b) (pv i) (buf_type b)
+  | Dim b -> Printf.sprintf "memref.dim %s, 0 : %s" (pb b) (buf_type b)
+  | Cast (ty, v) ->
+    Printf.sprintf "arith.index_cast %s : %s to %s" (pv v)
+      (scalar_name v.vty) (scalar_name ty)
+
+let line buf indent fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string buf (String.make indent ' ');
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n')
+    fmt
+
+let rec pp_block buf indent (b : block) =
+  List.iter (pp_stmt buf indent) b
+
+and pp_stmt buf indent = function
+  | Let (v, rv) -> line buf indent "%s = %s" (pv v) (rvalue_str rv)
+  | Store (b, i, v) ->
+    line buf indent "memref.store %s, %s[%s] : %s" (pv v) (pb b) (pv i)
+      (buf_type b)
+  | Prefetch p ->
+    line buf indent "memref.prefetch %s[%s], %s, locality<%d>, data : %s"
+      (pb p.pbuf) (pv p.pidx)
+      (if p.pwrite then "write" else "read")
+      p.plocality (buf_type p.pbuf)
+  | For f ->
+    let results =
+      match f.f_results with
+      | [] -> ""
+      | rs -> String.concat ", " (List.map pv rs) ^ " = "
+    in
+    let iter_args =
+      match f.f_carried with
+      | [] -> ""
+      | cs ->
+        " iter_args("
+        ^ String.concat ", "
+            (List.map (fun (a, i) -> Printf.sprintf "%s = %s" (pv a) (pv i))
+               cs)
+        ^ ")"
+    in
+    let tag = if f.f_tag = "" then "" else Printf.sprintf "  // %s" f.f_tag in
+    line buf indent "%sscf.for %s = %s to %s step %s%s {%s" results
+      (pv f.f_iv) (pv f.f_lo) (pv f.f_hi) (pv f.f_step) iter_args tag;
+    pp_block buf (indent + 2) f.f_body;
+    (match f.f_yield with
+     | [] -> ()
+     | ys ->
+       line buf (indent + 2) "scf.yield %s"
+         (String.concat ", " (List.map pv ys)));
+    line buf indent "}"
+  | While w ->
+    let results =
+      match w.w_results with
+      | [] -> ""
+      | rs -> String.concat ", " (List.map pv rs) ^ " = "
+    in
+    let args =
+      String.concat ", "
+        (List.map (fun (a, i) -> Printf.sprintf "%s = %s" (pv a) (pv i))
+           w.w_carried)
+    in
+    let tag = if w.w_tag = "" then "" else Printf.sprintf "  // %s" w.w_tag in
+    line buf indent "%sscf.while (%s) {%s" results args tag;
+    pp_block buf (indent + 2) w.w_cond;
+    line buf (indent + 2) "scf.condition(%s) %s" (pv w.w_cond_v)
+      (String.concat ", " (List.map (fun (a, _) -> pv a) w.w_carried));
+    line buf indent "} do {";
+    pp_block buf (indent + 2) w.w_body;
+    line buf (indent + 2) "scf.yield %s"
+      (String.concat ", " (List.map pv w.w_yield));
+    line buf indent "}"
+  | If (c, t, e) ->
+    line buf indent "scf.if %s {" (pv c);
+    pp_block buf (indent + 2) t;
+    (match e with
+     | [] -> line buf indent "}"
+     | _ ->
+       line buf indent "} else {";
+       pp_block buf (indent + 2) e;
+       line buf indent "}")
+
+(** [to_string fn] renders [fn] as MLIR-flavoured text. *)
+let to_string (fn : func) =
+  build_renames fn;
+  let buf = Buffer.create 1024 in
+  let params =
+    String.concat ", "
+      (List.map
+         (function
+           | Pbuf b -> Printf.sprintf "%s : %s" (pb b) (buf_type b)
+           | Pscalar v ->
+             Printf.sprintf "%s : %s" (pv v) (scalar_name v.vty))
+         fn.fn_params)
+  in
+  line buf 0 "func.func @%s(%s) {" fn.fn_name params;
+  pp_block buf 2 fn.fn_body;
+  line buf 0 "}";
+  Buffer.contents buf
+
+let print fn = print_string (to_string fn)

@@ -1,0 +1,13 @@
+(** MLIR-flavoured textual rendering of {!Ir} functions.
+
+    Output is close to the scf/memref/arith dialects used by the paper's
+    listings (Figs. 3, 5, 9). Duplicate source names are made unique by
+    suffixing the SSA id. *)
+
+open Ir
+
+(** [to_string fn] renders the whole function. *)
+val to_string : func -> string
+
+(** [print fn] writes {!to_string} to stdout. *)
+val print : func -> unit

@@ -1,0 +1,86 @@
+(* Generic traversal and use-def utilities over Ir functions.
+
+   These are the "low-level" analyses available to a post-hoc pass such as
+   the Ainsworth & Jones baseline: they see only IR structure, with none of
+   the sparsification-time semantic context ASaP enjoys. *)
+
+open Ir
+
+(** [def_table fn] maps a value id to the rvalue that defines it, when the
+    definition is a [Let]. Region arguments and loop results map to [None]. *)
+let def_table (fn : func) : rvalue option array =
+  let t = Array.make fn.fn_nvalues None in
+  let rec go_block b = List.iter go_stmt b
+  and go_stmt = function
+    | Let (v, rv) -> t.(v.vid) <- Some rv
+    | Store _ | Prefetch _ -> ()
+    | For f -> go_block f.f_body
+    | While w -> go_block w.w_cond; go_block w.w_body
+    | If (_, th, el) -> go_block th; go_block el
+  in
+  go_block fn.fn_body;
+  t
+
+(** [iter_stmts f fn] applies [f] to every statement, outermost first. *)
+let iter_stmts f (fn : func) =
+  let rec go_block b = List.iter go_stmt b
+  and go_stmt s =
+    f s;
+    match s with
+    | Let _ | Store _ | Prefetch _ -> ()
+    | For fl -> go_block fl.f_body
+    | While w -> go_block w.w_cond; go_block w.w_body
+    | If (_, th, el) -> go_block th; go_block el
+  in
+  go_block fn.fn_body
+
+(** [loads fn] lists every [Load] with its defined value. *)
+let loads (fn : func) : (value * buffer * value) list =
+  let acc = ref [] in
+  iter_stmts
+    (function
+      | Let (v, Load (b, i)) -> acc := (v, b, i) :: !acc
+      | _ -> ())
+    fn;
+  List.rev !acc
+
+(** [contains_for b] tests whether a block contains a nested for loop. *)
+let rec contains_for (b : block) =
+  List.exists
+    (function
+      | For _ -> true
+      | While w -> contains_for w.w_cond || contains_for w.w_body
+      | If (_, th, el) -> contains_for th || contains_for el
+      | Let _ | Store _ | Prefetch _ -> false)
+    b
+
+(** [map_fors f fn] rebuilds [fn], replacing every for loop [fl] by
+    [f ~innermost fl] where [innermost] says whether [fl] contains no nested
+    for loop. Children are transformed before their parents. *)
+let map_fors f (fn : func) : func =
+  let rec go_block b = List.map go_stmt b
+  and go_stmt = function
+    | (Let _ | Store _ | Prefetch _) as s -> s
+    | For fl ->
+      let fl = { fl with f_body = go_block fl.f_body } in
+      For (f ~innermost:(not (contains_for fl.f_body)) fl)
+    | While w ->
+      While { w with w_cond = go_block w.w_cond; w_body = go_block w.w_body }
+    | If (c, th, el) -> If (c, go_block th, go_block el)
+  in
+  { fn with fn_body = go_block fn.fn_body }
+
+(** A fresh-name supply for passes that must add values to an existing
+    function (ids continue from [fn_nvalues]). *)
+type supply = { mutable next : int }
+
+let supply (fn : func) = { next = fn.fn_nvalues }
+
+let fresh (s : supply) name ty =
+  let v = { vid = s.next; vname = name; vty = ty } in
+  s.next <- s.next + 1;
+  v
+
+(** [with_supply fn s] updates the function's id bound after a pass that
+    used [s] to mint new values. *)
+let with_supply (fn : func) (s : supply) = { fn with fn_nvalues = s.next }

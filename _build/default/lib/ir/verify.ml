@@ -1,0 +1,181 @@
+(* Structural and SSA verification.
+
+   Checks, for a whole function:
+   - every value id is defined exactly once (params, lets, region args,
+     loop results) and every id is within [0, fn_nvalues);
+   - every use is dominated by its definition under structured-region
+     scoping (a region sees the values defined before its statement plus its
+     own region arguments; values defined inside a region are not visible
+     after it, except loop results);
+   - operand and yield types are consistent;
+   - buffer ids are within [0, fn_nbufs). *)
+
+open Ir
+
+exception Invalid of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+type env = {
+  defined : bool array;        (* ever defined anywhere (uniqueness) *)
+  mutable scope : int list list; (* visible ids, innermost scope first *)
+  nbufs : int;
+}
+
+let in_scope env id =
+  List.exists (List.exists (Int.equal id)) env.scope
+
+let define env (v : value) =
+  if v.vid < 0 || v.vid >= Array.length env.defined then
+    fail "value %s has id %d outside [0, %d)" v.vname v.vid
+      (Array.length env.defined);
+  if env.defined.(v.vid) then fail "value %s (id %d) defined twice" v.vname v.vid;
+  env.defined.(v.vid) <- true;
+  match env.scope with
+  | [] -> fail "no open scope"
+  | top :: rest -> env.scope <- (v.vid :: top) :: rest
+
+let use env (v : value) =
+  if not (in_scope env v.vid) then
+    fail "use of %s (id %d) outside the scope of its definition" v.vname v.vid
+
+let use_buf env (b : buffer) =
+  if b.bid < 0 || b.bid >= env.nbufs then
+    fail "buffer %s has id %d outside [0, %d)" b.bname b.bid env.nbufs
+
+let push env = env.scope <- [] :: env.scope
+
+let pop env =
+  match env.scope with
+  | [] -> fail "scope underflow"
+  | _ :: rest -> env.scope <- rest
+
+let expect what ty (v : value) =
+  if v.vty <> ty then
+    fail "%s: %s has type %s, expected %s" what v.vname (scalar_name v.vty)
+      (scalar_name ty)
+
+let check_rvalue env (v : value) rv =
+  let int_pair what x y =
+    use env x; use env y;
+    if x.vty <> y.vty then fail "%s: mismatched operand types" what;
+    (match x.vty with
+     | Index | I64 | I1 -> ()
+     | F64 -> fail "%s: integer op on f64" what);
+    if v.vty <> x.vty then fail "%s: result type mismatch" what
+  in
+  match rv with
+  | Const (Cidx _) -> expect "const" Index v
+  | Const (Ci64 _) -> expect "const" I64 v
+  | Const (Cf64 _) -> expect "const" F64 v
+  | Const (Cbool _) -> expect "const" I1 v
+  | Ibin (op, x, y) -> int_pair (ibinop_name op) x y
+  | Fbin (_, x, y) ->
+    use env x; use env y;
+    expect "fbin" F64 x; expect "fbin" F64 y; expect "fbin" F64 v
+  | Icmp (_, x, y) ->
+    use env x; use env y;
+    if x.vty <> y.vty then fail "cmpi: mismatched operand types";
+    expect "cmpi result" I1 v
+  | Select (c, x, y) ->
+    use env c; use env x; use env y;
+    expect "select cond" I1 c;
+    if x.vty <> y.vty || v.vty <> x.vty then fail "select: type mismatch"
+  | Load (b, i) ->
+    use_buf env b; use env i;
+    expect "load index" Index i;
+    if v.vty <> scalar_of_elem b.belem then fail "load: result type mismatch"
+  | Dim b -> use_buf env b; expect "dim" Index v
+  | Cast (ty, x) ->
+    use env x;
+    if v.vty <> ty then fail "cast: result type mismatch"
+
+let check_yield what carried yield =
+  if List.length carried <> List.length yield then
+    fail "%s: yield arity mismatch" what;
+  List.iter2
+    (fun ((a : value), (_ : value)) (y : value) ->
+      if a.vty <> y.vty then fail "%s: yield type mismatch for %s" what a.vname)
+    carried yield
+
+let rec check_block env (b : block) = List.iter (check_stmt env) b
+
+and check_stmt env = function
+  | Let (v, rv) ->
+    check_rvalue env v rv;
+    define env v
+  | Store (b, i, v) ->
+    use_buf env b; use env i; use env v;
+    expect "store index" Index i;
+    if v.vty <> scalar_of_elem b.belem then fail "store: value type mismatch"
+  | Prefetch p ->
+    use_buf env p.pbuf; use env p.pidx;
+    expect "prefetch index" Index p.pidx;
+    if p.plocality < 0 || p.plocality > 3 then fail "prefetch: bad locality"
+  | For f ->
+    use env f.f_lo; use env f.f_hi; use env f.f_step;
+    expect "for lo" Index f.f_lo;
+    expect "for hi" Index f.f_hi;
+    expect "for step" Index f.f_step;
+    List.iter (fun ((_ : value), init) -> use env init) f.f_carried;
+    push env;
+    define env f.f_iv;
+    expect "for iv" Index f.f_iv;
+    List.iter
+      (fun ((a : value), (init : value)) ->
+        if a.vty <> init.vty then fail "for: iter_arg init type mismatch";
+        define env a)
+      f.f_carried;
+    check_block env f.f_body;
+    List.iter (use env) f.f_yield;
+    check_yield "scf.for" f.f_carried f.f_yield;
+    pop env;
+    List.iter2
+      (fun (r : value) ((a : value), _) ->
+        if r.vty <> a.vty then fail "for: result type mismatch";
+        define env r)
+      f.f_results f.f_carried
+  | While w ->
+    List.iter (fun ((_ : value), init) -> use env init) w.w_carried;
+    push env;
+    List.iter
+      (fun ((a : value), (init : value)) ->
+        if a.vty <> init.vty then fail "while: carried init type mismatch";
+        define env a)
+      w.w_carried;
+    check_block env w.w_cond;
+    use env w.w_cond_v;
+    expect "while cond" I1 w.w_cond_v;
+    check_block env w.w_body;
+    List.iter (use env) w.w_yield;
+    check_yield "scf.while" w.w_carried w.w_yield;
+    pop env;
+    List.iter2
+      (fun (r : value) ((a : value), _) ->
+        if r.vty <> a.vty then fail "while: result type mismatch";
+        define env r)
+      w.w_results w.w_carried
+  | If (c, t, e) ->
+    use env c;
+    expect "if cond" I1 c;
+    push env; check_block env t; pop env;
+    push env; check_block env e; pop env
+
+(** [check fn] raises [Invalid] if [fn] is ill-formed. *)
+let check (fn : func) =
+  let env =
+    { defined = Array.make fn.fn_nvalues false; scope = [ [] ];
+      nbufs = fn.fn_nbufs }
+  in
+  List.iter
+    (function
+      | Pbuf b -> use_buf env b
+      | Pscalar v -> define env v)
+    fn.fn_params;
+  check_block env fn.fn_body
+
+(** [check_result fn] is [Ok ()] or [Error message]. *)
+let check_result fn =
+  match check fn with
+  | () -> Ok ()
+  | exception Invalid m -> Error m

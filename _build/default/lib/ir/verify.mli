@@ -1,0 +1,15 @@
+(** Structural and SSA verification of {!Ir} functions.
+
+    Checks unique definitions, def-before-use under structured-region
+    scoping, operand/yield typing, and id-space bounds. Every compilation
+    path runs this before IR is executed or rewritten. *)
+
+open Ir
+
+exception Invalid of string
+
+(** [check fn] raises {!Invalid} if [fn] is ill-formed. *)
+val check : func -> unit
+
+(** [check_result fn] is [Ok ()] or [Error message]. *)
+val check_result : func -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/lang/affine.ml: Array Int Printf String

@@ -1,0 +1,1 @@
+lib/lang/kernel.ml: Affine Array Asap_tensor Buffer List Printf String

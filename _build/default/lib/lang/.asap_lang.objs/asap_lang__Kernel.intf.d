@@ -1,0 +1,1 @@
+lib/lang/kernel.mli: Affine Asap_tensor

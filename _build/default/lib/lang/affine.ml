@@ -1,0 +1,41 @@
+(* Affine indexing maps.
+
+   The paper's kernels only need projection/permutation maps — each result
+   of the map is one iteration-space dimension (e.g. SpMV's
+   #m_B = (i, j) -> (i, j), #m_c = (i, j) -> (j)). A map is therefore an
+   array of dimension indices. *)
+
+type t = { n_dims : int; results : int array }
+
+let make ~n_dims results =
+  Array.iter
+    (fun d ->
+      if d < 0 || d >= n_dims then invalid_arg "Affine.make: dim out of range")
+    results;
+  { n_dims; results = Array.copy results }
+
+let rank t = Array.length t.results
+
+(** [uses t d] tells whether dimension [d] appears among the results. *)
+let uses t d = Array.exists (Int.equal d) t.results
+
+(** [result_of_dim t d] is the result position carrying dimension [d]. *)
+let result_of_dim t d =
+  let rec go i =
+    if i = Array.length t.results then None
+    else if t.results.(i) = d then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let dim_names n =
+  Array.init n (fun d ->
+      if n <= 3 then [| "i"; "j"; "k" |].(d) else Printf.sprintf "d%d" d)
+
+(** [to_string t] renders e.g. "affine_map<(i, j) -> (j)>". *)
+let to_string t =
+  let names = dim_names t.n_dims in
+  Printf.sprintf "affine_map<(%s) -> (%s)>"
+    (String.concat ", " (Array.to_list names))
+    (String.concat ", "
+       (Array.to_list (Array.map (fun d -> names.(d)) t.results)))

@@ -1,0 +1,27 @@
+(** Affine indexing maps.
+
+    The paper's kernels only need projection/permutation maps — each map
+    result is one iteration-space dimension (e.g. SpMV's
+    [#m_c = (i, j) -> (j)]). *)
+
+type t = { n_dims : int; results : int array }
+
+(** [make ~n_dims results] validates the dimension indices.
+    @raise Invalid_argument when a result is out of range. *)
+val make : n_dims:int -> int array -> t
+
+(** [rank t] is the number of results (operand rank). *)
+val rank : t -> int
+
+(** [uses t d] tells whether dimension [d] appears among the results. *)
+val uses : t -> int -> bool
+
+(** [result_of_dim t d] is the result position carrying dimension [d]. *)
+val result_of_dim : t -> int -> int option
+
+(** [dim_names n] is the conventional naming (i, j, k, or d0..) used across
+    printers. *)
+val dim_names : int -> string array
+
+(** [to_string t] renders e.g. ["affine_map<(i, j) -> (j)>"]. *)
+val to_string : t -> string

@@ -1,0 +1,135 @@
+(* Declarative kernel descriptions — the linalg.generic analogue.
+
+   A kernel is an iteration space with parallel/reduction markers, one
+   sparse-annotated input operand, further dense inputs, a dense output, and
+   a scalar body. This carries exactly the semantic payload sparsification
+   consumes (paper §2.1, Fig. 1a). *)
+
+module Encoding = Asap_tensor.Encoding
+
+type iterator = Parallel | Reduction
+
+(** The scalar computation of the basic block: multiply-accumulate for
+    numeric tensors, and the boolean and/or pairing the paper uses for
+    binary matrices (§4.2). *)
+type body = Mul_add | And_or
+
+type operand = { o_name : string; o_map : Affine.t }
+
+type t = {
+  k_name : string;
+  k_iterators : iterator array;        (* one per iteration dimension *)
+  k_sparse : operand;                  (* the annotated input, e.g. B *)
+  k_encoding : Encoding.t;
+  k_dense_ins : operand list;          (* e.g. c or C *)
+  k_out : operand;                     (* e.g. a or A *)
+  k_body : body;
+  k_sorted : bool;                     (* coordinates sorted; Fig. 1a line 7 *)
+}
+
+let n_dims t = Array.length t.k_iterators
+
+let validate t =
+  let n = n_dims t in
+  let check (o : operand) =
+    if o.o_map.Affine.n_dims <> n then
+      invalid_arg
+        (Printf.sprintf "Kernel %s: operand %s map has wrong dimensionality"
+           t.k_name o.o_name)
+  in
+  check t.k_sparse;
+  List.iter check t.k_dense_ins;
+  check t.k_out;
+  if Affine.rank t.k_sparse.o_map <> Encoding.rank t.k_encoding then
+    invalid_arg "Kernel: sparse operand rank does not match encoding rank";
+  Array.iteri
+    (fun d it ->
+      match it with
+      | Reduction ->
+        if Affine.uses t.k_out.o_map d then
+          invalid_arg "Kernel: reduction dimension indexes the output"
+      | Parallel ->
+        (* Linalg semantics: a dimension absent from the output is a
+           reduction. The emitter's accumulator placement relies on it. *)
+        if not (Affine.uses t.k_out.o_map d) then
+          invalid_arg "Kernel: parallel dimension missing from the output")
+    t.k_iterators;
+  t
+
+(** [spmv ?enc ()] is a(i) = B(i,j) * c(j). *)
+let spmv ?(enc = Encoding.csr ()) ?(body = Mul_add) () =
+  validate
+    { k_name = "spmv";
+      k_iterators = [| Parallel; Reduction |];
+      k_sparse = { o_name = "B"; o_map = Affine.make ~n_dims:2 [| 0; 1 |] };
+      k_encoding = enc;
+      k_dense_ins = [ { o_name = "c"; o_map = Affine.make ~n_dims:2 [| 1 |] } ];
+      k_out = { o_name = "a"; o_map = Affine.make ~n_dims:2 [| 0 |] };
+      k_body = body;
+      k_sorted = true }
+
+(** [spmm ?enc ()] is A(i,k) = B(i,j) * C(j,k); the dense operand C has as
+    many columns as fit one cache line in the paper's setup (§5.2). *)
+let spmm ?(enc = Encoding.csr ()) ?(body = Mul_add) () =
+  validate
+    { k_name = "spmm";
+      k_iterators = [| Parallel; Reduction; Parallel |];
+      k_sparse = { o_name = "B"; o_map = Affine.make ~n_dims:3 [| 0; 1 |] };
+      k_encoding = enc;
+      k_dense_ins =
+        [ { o_name = "C"; o_map = Affine.make ~n_dims:3 [| 1; 2 |] } ];
+      k_out = { o_name = "A"; o_map = Affine.make ~n_dims:3 [| 0; 2 |] };
+      k_body = body;
+      k_sorted = true }
+
+(** [ttv ?enc ()] is the rank-3 tensor-times-vector contraction
+    a(i,j) = B(i,j,k) * c(k). With the CSF encoding every level is
+    compressed, so the §3.2.2 bound recursion runs through the full
+    position-buffer chain. *)
+let ttv ?(enc = Encoding.csf 3) ?(body = Mul_add) () =
+  validate
+    { k_name = "ttv";
+      k_iterators = [| Parallel; Parallel; Reduction |];
+      k_sparse = { o_name = "B"; o_map = Affine.make ~n_dims:3 [| 0; 1; 2 |] };
+      k_encoding = enc;
+      k_dense_ins = [ { o_name = "c"; o_map = Affine.make ~n_dims:3 [| 2 |] } ];
+      k_out = { o_name = "a"; o_map = Affine.make ~n_dims:3 [| 0; 1 |] };
+      k_body = body;
+      k_sorted = true }
+
+(** [to_linalg_string t] renders the kernel in the style of Fig. 1a. *)
+let to_linalg_string t =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let ops = (t.k_sparse :: t.k_dense_ins) @ [ t.k_out ] in
+  List.iter
+    (fun o -> add "#m_%s = %s\n" o.o_name (Affine.to_string o.o_map))
+    ops;
+  add "#attributes = {\n  indexing_maps = [%s],\n"
+    (String.concat ", " (List.map (fun o -> "#m_" ^ o.o_name) ops));
+  add "  iterator_types = [%s],\n"
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (function
+               | Parallel -> "\"parallel\""
+               | Reduction -> "\"reduction\"")
+             t.k_iterators)));
+  add "  sorted = %b\n}\n" t.k_sorted;
+  add "%%res = linalg.generic #attributes\n  ins(%%%s : tensor<...x..., #%s>%s)\n"
+    t.k_sparse.o_name t.k_encoding.Encoding.name
+    (String.concat ""
+       (List.map (fun o -> Printf.sprintf ", %%%s : tensor<...>" o.o_name)
+          t.k_dense_ins));
+  add "  outs(%%%s : tensor<...>) {\n" t.k_out.o_name;
+  (match t.k_body with
+   | Mul_add ->
+     add "  ^bb0(%%in: f64, %%in_0: f64, %%out: f64):\n";
+     add "    %%1 = arith.mulf %%in, %%in_0 : f64\n";
+     add "    %%2 = arith.addf %%out, %%1 : f64\n"
+   | And_or ->
+     add "  ^bb0(%%in: i8, %%in_0: i8, %%out: i8):\n";
+     add "    %%1 = arith.andi %%in, %%in_0 : i8\n";
+     add "    %%2 = arith.ori %%out, %%1 : i8\n");
+  add "    linalg.yield %%2\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,50 @@
+(** Declarative kernel descriptions — the linalg.generic analogue (paper
+    §2.1, Fig. 1a).
+
+    A kernel is an iteration space with parallel/reduction markers, one
+    sparse-annotated input operand, further dense inputs, a dense output
+    and a scalar body — exactly the semantic payload sparsification
+    consumes. *)
+
+module Encoding = Asap_tensor.Encoding
+
+type iterator = Parallel | Reduction
+
+(** The scalar computation: multiply-accumulate for numeric tensors, or the
+    boolean and/or pairing used for binary matrices (paper §4.2). *)
+type body = Mul_add | And_or
+
+type operand = { o_name : string; o_map : Affine.t }
+
+type t = {
+  k_name : string;
+  k_iterators : iterator array;
+  k_sparse : operand;          (** the annotated input, e.g. B *)
+  k_encoding : Encoding.t;
+  k_dense_ins : operand list;
+  k_out : operand;
+  k_body : body;
+  k_sorted : bool;             (** coordinates sorted (Fig. 1a line 7) *)
+}
+
+(** [n_dims t] is the iteration-space rank. *)
+val n_dims : t -> int
+
+(** [validate t] checks map arities, encoding rank, and linalg's
+    iterator/output consistency rules.
+    @raise Invalid_argument on violation. *)
+val validate : t -> t
+
+(** [spmv ?enc ?body ()] is a(i) = B(i,j) * c(j). *)
+val spmv : ?enc:Encoding.t -> ?body:body -> unit -> t
+
+(** [spmm ?enc ?body ()] is A(i,k) = B(i,j) * C(j,k). *)
+val spmm : ?enc:Encoding.t -> ?body:body -> unit -> t
+
+(** [ttv ?enc ()] is the rank-3 tensor-times-vector contraction
+    a(i,j) = B(i,j,k) * c(k); the default CSF encoding compresses every
+    level, exercising the full §3.2.2 bound recursion. *)
+val ttv : ?enc:Encoding.t -> ?body:body -> unit -> t
+
+(** [to_linalg_string t] renders the kernel in the style of Fig. 1a. *)
+val to_linalg_string : t -> string

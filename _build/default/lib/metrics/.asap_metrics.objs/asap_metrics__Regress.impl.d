@@ -1,0 +1,1 @@
+lib/metrics/regress.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/metrics/roofline.ml: Float List Printf

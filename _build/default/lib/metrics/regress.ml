@@ -1,0 +1,37 @@
+(* Ordinary least squares over (x, y) samples: the linear fits of the
+   speedup-vs-MPKI scatter plots (Fig. 6 and Fig. 8, e.g.
+   y = 0.706x + 0.995, R^2 = 0.776). *)
+
+type fit = { slope : float; intercept : float; r2 : float; n : int }
+
+let fit (points : (float * float) array) : fit =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Regress.fit: need at least two points";
+  let fn = float_of_int n in
+  let sx = ref 0. and sy = ref 0. in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y)
+    points;
+  let mx = !sx /. fn and my = !sy /. fn in
+  let sxx = ref 0. and sxy = ref 0. and syy = ref 0. in
+  Array.iter
+    (fun (x, y) ->
+      let dx = x -. mx and dy = y -. my in
+      sxx := !sxx +. (dx *. dx);
+      sxy := !sxy +. (dx *. dy);
+      syy := !syy +. (dy *. dy))
+    points;
+  if !sxx = 0. then invalid_arg "Regress.fit: degenerate x";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 = if !syy = 0. then 1. else !sxy *. !sxy /. (!sxx *. !syy) in
+  { slope; intercept; r2; n }
+
+let to_string f =
+  Printf.sprintf "y = %.3fx + %.3f, R^2 = %.3f (n = %d)" f.slope f.intercept
+    f.r2 f.n
+
+(** [x_at f y] solves for x: the break-even MPKI of §5.1 is [x_at fit 1.0]. *)
+let x_at f y = (y -. f.intercept) /. f.slope

@@ -1,0 +1,15 @@
+(** Ordinary least squares over (x, y) samples: the linear fits of the
+    speedup-vs-MPKI scatter plots (paper Figs. 6 and 8). *)
+
+type fit = { slope : float; intercept : float; r2 : float; n : int }
+
+(** [fit points] computes the OLS line.
+    @raise Invalid_argument with fewer than two points or degenerate x. *)
+val fit : (float * float) array -> fit
+
+(** [to_string f] renders e.g. ["y = 0.706x + 0.995, R^2 = 0.776 (n = 40)"]. *)
+val to_string : fit -> string
+
+(** [x_at f y] solves the fitted line for x — e.g. the break-even MPKI of
+    §5.1 is [x_at f 1.0]. *)
+val x_at : fit -> float -> float

@@ -1,0 +1,53 @@
+(* Cache-aware roofline model (Ilic et al.; paper Fig. 12).
+
+   Ceilings: a compute roof (peak FLOP rate) and one bandwidth roof per
+   memory level. A kernel's operating point is (arithmetic intensity,
+   attained GFLOP/s); the attainable performance at intensity ai is
+   min(peak, bw * ai) for the relevant bandwidth. *)
+
+type ceiling = { c_name : string; c_gbps : float }
+
+type model = {
+  peak_gflops : float;
+  ceilings : ceiling list;      (* outermost (DRAM) first *)
+}
+
+(** [of_machine ~freq_ghz ~width ~line_bytes ~dram_gap ~threads ~lat_l3
+    ~lat_l2] derives the roofs from the simulated machine: peak assumes one
+    FLOP per issue slot; DRAM bandwidth is one line per [dram_gap] cycles
+    (shared); cache bandwidths one line per hit latency per thread. *)
+let of_machine ~freq_ghz ~width ~line_bytes ~dram_gap ~lat_l2 ~lat_l3
+    ~threads () =
+  ignore lat_l2;
+  ignore lat_l3;
+  let t = float_of_int threads in
+  let line = float_of_int line_bytes in
+  { peak_gflops = freq_ghz *. float_of_int width *. t /. 2.0;
+    (* /2: one fused multiply-add chain per iteration at fp latency ~ half
+       the issue slots do useful FLOPs in practice. *)
+    ceilings =
+      [ (* DRAM: one line per [dram_gap] cycles, shared by all cores. *)
+        { c_name = "DRAM"; c_gbps = freq_ghz *. line /. float_of_int dram_gap };
+        (* Caches sustain roughly one line per (L2) / per two (L3) cycles
+           per cluster — far above DRAM, as in the cache-aware model. *)
+        { c_name = "L3"; c_gbps = freq_ghz *. line /. 2.0 *. t };
+        { c_name = "L2"; c_gbps = freq_ghz *. line *. t } ] }
+
+(** [attainable m ~ceiling ~ai] is min(peak, bw*ai) for the named roof. *)
+let attainable m ~ceiling ~ai =
+  match List.find_opt (fun c -> c.c_name = ceiling) m.ceilings with
+  | None -> invalid_arg ("Roofline.attainable: no ceiling " ^ ceiling)
+  | Some c -> Float.min m.peak_gflops (c.c_gbps *. ai)
+
+(** One operating point of a measured kernel. *)
+type point = {
+  p_label : string;
+  p_ai : float;                 (* flops per DRAM byte *)
+  p_gflops : float;
+}
+
+let point_to_string m p =
+  Printf.sprintf "%-24s ai=%.4f flop/B  perf=%.3f GFLOP/s  (DRAM roof %.3f, peak %.2f)"
+    p.p_label p.p_ai p.p_gflops
+    (attainable m ~ceiling:"DRAM" ~ai:p.p_ai)
+    m.peak_gflops

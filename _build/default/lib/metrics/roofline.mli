@@ -1,0 +1,27 @@
+(** Cache-aware roofline model (Ilic et al.; paper Fig. 12). *)
+
+type ceiling = { c_name : string; c_gbps : float }
+
+type model = {
+  peak_gflops : float;
+  ceilings : ceiling list;     (** outermost (DRAM) first *)
+}
+
+(** [of_machine ~freq_ghz ~width ~line_bytes ~dram_gap ~lat_l2 ~lat_l3
+    ~threads ()] derives the roofs from the simulated machine. *)
+val of_machine :
+  freq_ghz:float -> width:int -> line_bytes:int -> dram_gap:int ->
+  lat_l2:int -> lat_l3:int -> threads:int -> unit -> model
+
+(** [attainable m ~ceiling ~ai] is min(peak, bw * ai) for the named roof.
+    @raise Invalid_argument for an unknown ceiling name. *)
+val attainable : model -> ceiling:string -> ai:float -> float
+
+(** One operating point of a measured kernel. *)
+type point = {
+  p_label : string;
+  p_ai : float;                (** flops per DRAM byte *)
+  p_gflops : float;
+}
+
+val point_to_string : model -> point -> string

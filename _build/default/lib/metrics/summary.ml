@@ -1,0 +1,45 @@
+(* Summary statistics for performance results.
+
+   The paper summarises throughputs with the harmonic mean and reports
+   Equal-Work harmonic-mean Speedups (EWS, Eeckhout 2024): the ratio of
+   harmonic means of throughputs, which weighs the work done on each input
+   equally — unlike the geometric mean (§5). *)
+
+let mean xs =
+  match Array.length xs with
+  | 0 -> invalid_arg "Summary.mean: empty"
+  | n -> Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let harmonic_mean xs =
+  match Array.length xs with
+  | 0 -> invalid_arg "Summary.harmonic_mean: empty"
+  | n ->
+    Array.iter
+      (fun x -> if x <= 0. then invalid_arg "Summary.harmonic_mean: x <= 0")
+      xs;
+    float_of_int n /. Array.fold_left (fun s x -> s +. (1. /. x)) 0. xs
+
+let geometric_mean xs =
+  match Array.length xs with
+  | 0 -> invalid_arg "Summary.geometric_mean: empty"
+  | n ->
+    exp (Array.fold_left (fun s x -> s +. Float.log x) 0. xs /. float_of_int n)
+
+(** [ews ~base ~variant] is the equal-work harmonic-mean speedup of
+    [variant] over [base], both arrays of throughputs over the same
+    inputs. *)
+let ews ~base ~variant =
+  if Array.length base <> Array.length variant then
+    invalid_arg "Summary.ews: mismatched lengths";
+  harmonic_mean variant /. harmonic_mean base
+
+let stddev xs =
+  let m = mean xs in
+  let v =
+    Array.fold_left (fun s x -> s +. ((x -. m) *. (x -. m))) 0. xs
+    /. float_of_int (Array.length xs)
+  in
+  sqrt v
+
+(** Coefficient of variation (the paper's stability criterion, §4.2). *)
+let cov xs = stddev xs /. mean xs

@@ -1,0 +1,1 @@
+lib/prefetch/ainsworth_jones.ml: Asap_ir Ir List Rewrite Verify

@@ -1,0 +1,1 @@
+lib/prefetch/ainsworth_jones.mli: Asap_ir Ir

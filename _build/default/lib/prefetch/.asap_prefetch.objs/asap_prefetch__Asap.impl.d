@@ -1,0 +1,1 @@
+lib/prefetch/asap.ml: Asap_ir Asap_sparsifier Builder List

@@ -1,0 +1,1 @@
+lib/prefetch/asap.mli: Asap_sparsifier

@@ -1,0 +1,23 @@
+(** The Ainsworth & Jones (CGO'17/TOCS'18) software-prefetching pass — the
+    prior-art baseline, reimplemented as a post-hoc low-level IR pass.
+
+    It sees only generated IR: it scans {e innermost} counted loops for the
+    pattern [load target[load crd[iv]]] and injects the same three-step
+    sequence as ASaP, but with the two limitations the paper identifies
+    (§3.2.2, §5.3): the step-2 bound is derived from the enclosing loop's
+    limit (segment-local, so the first [distance] elements of every segment
+    are never covered), and only innermost induction variables are
+    considered (so SpMM's C[j*N + k] produces no prefetches, as with the
+    published artifact). *)
+
+open Asap_ir
+
+type config = { distance : int; locality : int }
+
+val default : config
+
+type stats = { matched_sites : int; loops_scanned : int }
+
+(** [run ?cfg fn] applies the pass; the result is verified before being
+    returned. *)
+val run : ?cfg:config -> Ir.func -> Ir.func * stats

@@ -1,0 +1,82 @@
+(* ASaP prefetch injection (paper §3.2, Fig. 5).
+
+   Runs as a sparsification hook: at every iterate-and-locate site it emits
+   the three-step sequence
+
+     1. prefetch crd[jj + 2*distance]            (cover the step-2 operand)
+     2. j_ahead = load crd[min(jj + distance, bound)]
+     3. prefetch target[j_ahead * scale]         (one per reached operand)
+
+   The defining difference from prior art is the bound in step 2: ASaP uses
+   the sparsification-time knowledge of the whole coordinate buffer's size
+   (hoisted into the prologue via the recursive pos-chain of §3.2.2), so
+   prefetching runs across segment boundaries; the [Segment_local] ablation
+   reproduces the Ainsworth & Jones behaviour of clamping to the enclosing
+   loop's bound. *)
+
+module Access = Asap_sparsifier.Access
+open Asap_ir
+
+(** Where prefetches may be injected relative to the loop nest. The paper
+    uses innermost-loop prefetching for SpMV (§5.1) and outer-loop
+    prefetching for SpMM (§5.2); [Both] lets the site decide. *)
+type strategy = Innermost_only | Outer_only | Both
+
+(** Step-2 bound selection (§3.2.2): [Semantic] is ASaP's whole-buffer
+    bound; [Segment_local] clamps to the current segment, the prior-art
+    behaviour kept as an ablation. *)
+type bound_mode = Semantic | Segment_local
+
+type config = {
+  distance : int;          (* lookahead in iterations (paper: 45) *)
+  locality : int;          (* prefetch locality hint (paper: 2) *)
+  strategy : strategy;
+  bound_mode : bound_mode;
+  step1 : bool;            (* emit the step-1 crd prefetch (§3.2.1) *)
+}
+
+let default =
+  { distance = 45; locality = 2; strategy = Both; bound_mode = Semantic;
+    step1 = true }
+
+(** [hook cfg] is the sparsification hook implementing the scheme. *)
+let hook (cfg : config) : Access.hook =
+ fun b site ->
+  let allowed =
+    match cfg.strategy with
+    | Both -> true
+    | Innermost_only -> site.Access.s_innermost
+    | Outer_only -> not site.Access.s_innermost
+  in
+  if allowed && site.Access.s_targets <> [] then begin
+    let dist = Builder.index b cfg.distance in
+    if cfg.step1 then begin
+      let twice = Builder.index b (2 * cfg.distance) in
+      let idx1 = Builder.iadd b site.Access.s_iv twice in
+      Builder.prefetch b ~locality:cfg.locality site.Access.s_crd idx1
+    end;
+    let bound =
+      match cfg.bound_mode with
+      | Semantic -> site.Access.s_bound
+      | Segment_local ->
+        Builder.isub b site.Access.s_hi (Builder.index b 1)
+    in
+    let ahead_raw = Builder.iadd b site.Access.s_iv dist in
+    let clamped = Builder.imin b ahead_raw bound in
+    let j_ahead = Builder.load b ~name:"j_ahead" site.Access.s_crd clamped in
+    List.iter
+      (fun (t : Access.target) ->
+        let scaled =
+          match t.Access.t_scale with
+          | None -> j_ahead
+          | Some scale -> Builder.imul b j_ahead scale
+        in
+        let addr =
+          match t.Access.t_base with
+          | None -> scaled
+          | Some base -> Builder.iadd b base scaled
+        in
+        Builder.prefetch b ~write:t.Access.t_write ~locality:cfg.locality
+          t.Access.t_buf addr)
+      site.Access.s_targets
+  end

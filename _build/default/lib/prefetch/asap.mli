@@ -1,0 +1,43 @@
+(** ASaP prefetch injection (paper §3.2, Fig. 5).
+
+    Runs as a sparsification hook: at every iterate-and-locate site it
+    emits
+
+    {v
+    1. prefetch crd[jj + 2*distance]              (step 1, §3.2.1)
+    2. j_ahead = load crd[min(jj + distance, bound)]   (step 2, §3.2.2)
+    3. prefetch target[j_ahead * scale]           (step 3, §3.2.3)
+    v}
+
+    The defining difference from prior art is the step-2 bound: ASaP uses
+    the sparsification-time knowledge of the whole coordinate buffer's
+    size (hoisted to the prologue via the recursive pos-chain of §3.2.2),
+    so prefetching crosses segment boundaries. *)
+
+module Access = Asap_sparsifier.Access
+
+(** Where prefetches may be injected relative to the loop nest: the paper
+    uses innermost-loop prefetching for SpMV (§5.1) and outer-loop
+    prefetching for SpMM (§5.2). *)
+type strategy = Innermost_only | Outer_only | Both
+
+(** Step-2 bound selection: [Semantic] is ASaP's whole-buffer bound;
+    [Segment_local] clamps to the enclosing loop (the prior-art behaviour,
+    kept as an ablation). *)
+type bound_mode = Semantic | Segment_local
+
+type config = {
+  distance : int;              (** lookahead in iterations (paper: 45) *)
+  locality : int;              (** prefetch locality hint (paper: 2) *)
+  strategy : strategy;
+  bound_mode : bound_mode;
+  step1 : bool;                (** emit the step-1 crd prefetch *)
+}
+
+(** The paper's configuration: distance 45, locality 2, all sites, semantic
+    bounds, step 1 enabled. *)
+val default : config
+
+(** [hook cfg] is the sparsification hook implementing the scheme; pass it
+    to {!Asap_sparsifier.Sparsify.run}. *)
+val hook : config -> Access.hook

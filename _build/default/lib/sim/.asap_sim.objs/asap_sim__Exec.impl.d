@@ -1,0 +1,1 @@
+lib/sim/exec.ml: Array Asap_ir Hierarchy Interp Ir Machine Multicore Printf Runtime

@@ -1,0 +1,1 @@
+lib/sim/exec.mli: Asap_ir Hierarchy Ir Machine Runtime

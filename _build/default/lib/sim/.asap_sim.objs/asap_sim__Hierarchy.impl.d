@@ -1,0 +1,1 @@
+lib/sim/hierarchy.ml: Array Cache Dram Hw_prefetcher List Machine Mshr Option Printf

@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Asap_ir Bytes Float Ir List Runtime

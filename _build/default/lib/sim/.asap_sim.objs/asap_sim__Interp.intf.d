@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Asap_ir Ir Runtime

@@ -1,0 +1,1 @@
+lib/sim/multicore.ml: Array Asap_ir Effect Hierarchy Interp Machine Option Runtime

@@ -1,0 +1,1 @@
+lib/sim/multicore.mli: Asap_ir Hierarchy Interp Machine Runtime

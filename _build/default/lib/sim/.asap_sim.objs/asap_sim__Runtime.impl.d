@@ -1,0 +1,1 @@
+lib/sim/runtime.ml: Array Asap_ir Bytes Ir List Printf

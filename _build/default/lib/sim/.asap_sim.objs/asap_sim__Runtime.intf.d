@@ -1,0 +1,1 @@
+lib/sim/runtime.mli: Asap_ir Bytes Ir

@@ -1,0 +1,96 @@
+(* Set-associative cache tag store with LRU replacement.
+
+   Only tags are modelled (data correctness is the interpreter's job).
+   Each line remembers its provenance — demand fill or the id of the
+   prefetcher that brought it in — so prefetch-accuracy counters can tell
+   useful prefetches from pollution. *)
+
+type t = {
+  name : string;
+  sets : int;
+  ways : int;
+  line_bits : int;
+  tags : int array;        (* sets*ways; -1 = invalid, else line address *)
+  last_use : int array;    (* LRU stamps *)
+  prov : int array;        (* provenance: demand = -1, else prefetcher id *)
+  mutable stamp : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable pf_hits : int;   (* demand hits on prefetched lines *)
+}
+
+let demand_prov = -1
+
+let create ~name ~size_bytes ~ways ~line_bytes =
+  let lines = size_bytes / line_bytes in
+  if lines mod ways <> 0 then invalid_arg "Cache.create: geometry";
+  let sets = lines / ways in
+  if sets land (sets - 1) <> 0 then invalid_arg "Cache.create: sets not 2^k";
+  let line_bits =
+    int_of_float (Float.round (Float.log2 (float_of_int line_bytes)))
+  in
+  { name; sets; ways; line_bits;
+    tags = Array.make (sets * ways) (-1);
+    last_use = Array.make (sets * ways) 0;
+    prov = Array.make (sets * ways) demand_prov;
+    stamp = 0; hits = 0; misses = 0; pf_hits = 0 }
+
+let set_of t line = (line land (t.sets - 1)) * t.ways
+
+(* Way index of [line] or -1. *)
+let find t line =
+  let base = set_of t line in
+  let rec go w =
+    if w = t.ways then -1
+    else if t.tags.(base + w) = line then base + w
+    else go (w + 1)
+  in
+  go 0
+
+(** [lookup t line] checks for [line], updating LRU and hit/miss counters.
+    Returns the provenance of the line on a hit. *)
+let lookup t line : int option =
+  t.stamp <- t.stamp + 1;
+  let i = find t line in
+  if i >= 0 then begin
+    t.hits <- t.hits + 1;
+    t.last_use.(i) <- t.stamp;
+    let p = t.prov.(i) in
+    if p <> demand_prov then begin
+      t.pf_hits <- t.pf_hits + 1;
+      (* After the first demand use the line counts as demand-resident. *)
+      t.prov.(i) <- demand_prov
+    end;
+    Some p
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    None
+  end
+
+(** [probe t line] tests presence without touching LRU or counters. *)
+let probe t line = find t line >= 0
+
+(** [insert t line ~prov] installs [line], evicting the LRU way. No-op if
+    already present (refreshes LRU). *)
+let insert t line ~prov =
+  t.stamp <- t.stamp + 1;
+  let i = find t line in
+  if i >= 0 then t.last_use.(i) <- t.stamp
+  else begin
+    let base = set_of t line in
+    let victim = ref base in
+    for w = 1 to t.ways - 1 do
+      if t.last_use.(base + w) < t.last_use.(!victim) then victim := base + w
+    done;
+    t.tags.(!victim) <- line;
+    t.last_use.(!victim) <- t.stamp;
+    t.prov.(!victim) <- prov
+  end
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.pf_hits <- 0
+
+let accesses t = t.hits + t.misses

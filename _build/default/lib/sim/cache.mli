@@ -1,0 +1,41 @@
+(** Set-associative cache tag store with LRU replacement.
+
+    Only tags are modelled (data correctness is the interpreter's job).
+    Each line remembers its provenance — demand fill or the id of the
+    prefetcher that brought it in — so prefetch-accuracy counters can tell
+    useful prefetches from pollution. *)
+
+type t = {
+  name : string;
+  sets : int;
+  ways : int;
+  line_bits : int;
+  tags : int array;
+  last_use : int array;
+  prov : int array;
+  mutable stamp : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable pf_hits : int;       (** demand hits on prefetched lines *)
+}
+
+(** Provenance value of demand-fetched lines. *)
+val demand_prov : int
+
+(** [create ~name ~size_bytes ~ways ~line_bytes] builds a tag store.
+    @raise Invalid_argument unless sets are a power of two. *)
+val create : name:string -> size_bytes:int -> ways:int -> line_bytes:int -> t
+
+(** [lookup t line] checks for [line], updating LRU and counters; returns
+    the line's provenance on a hit (cleared to demand after first use). *)
+val lookup : t -> int -> int option
+
+(** [probe t line] tests presence without touching LRU or counters. *)
+val probe : t -> int -> bool
+
+(** [insert t line ~prov] installs [line], evicting the LRU way; refreshes
+    LRU if already present. *)
+val insert : t -> int -> prov:int -> unit
+
+val reset_stats : t -> unit
+val accesses : t -> int

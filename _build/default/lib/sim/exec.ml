@@ -1,0 +1,96 @@
+(* Top-level execution drivers and the PMU-style report (paper §4.4). *)
+
+open Asap_ir
+
+type report = {
+  rp_machine : Machine.t;
+  rp_threads : int;
+  rp_cycles : int;              (* max over cores *)
+  rp_instructions : int;        (* summed over cores *)
+  rp_flops : int;
+  rp_loads : int;
+  rp_stores : int;
+  rp_prefetch_instrs : int;
+  rp_mem : Hierarchy.stats;
+}
+
+let aggregate machine threads (rs : Interp.result array) mem =
+  let max_cycles = Array.fold_left (fun m r -> max m r.Interp.r_cycles) 0 rs in
+  let sum f = Array.fold_left (fun s r -> s + f r) 0 rs in
+  { rp_machine = machine;
+    rp_threads = threads;
+    rp_cycles = max_cycles;
+    rp_instructions = sum (fun r -> r.Interp.r_instructions);
+    rp_flops = sum (fun r -> r.Interp.r_flops);
+    rp_loads = sum (fun r -> r.Interp.r_loads);
+    rp_stores = sum (fun r -> r.Interp.r_stores);
+    rp_prefetch_instrs = sum (fun r -> r.Interp.r_prefetches);
+    rp_mem = mem }
+
+(** [run ?slice machine fn ~bufs ~scalars] executes [fn] on one core;
+    [slice] restricts the outermost loop's range (used by profiling). *)
+let run ?slice (machine : Machine.t) (fn : Ir.func)
+    ~(bufs : (Ir.buffer * Runtime.rbuf) list) ~(scalars : int list) : report =
+  let bound = Runtime.layout fn bufs in
+  let hier = Hierarchy.create machine in
+  let mem =
+    { Interp.m_load = (fun ~pc ~addr ~at -> Hierarchy.load hier ~core:0 ~pc ~addr ~at);
+      m_store = (fun ~pc ~addr ~at -> Hierarchy.store hier ~core:0 ~pc ~addr ~at);
+      m_prefetch =
+        (fun ~addr ~locality ~at ->
+          Hierarchy.prefetch hier ~core:0 ~addr ~locality ~at) }
+  in
+  let r =
+    Interp.run ?slice ~width:machine.Machine.width
+      ~rob_size:machine.Machine.rob ~branch_miss:machine.Machine.branch_miss
+      fn ~bufs:bound ~scalars ~mem
+  in
+  aggregate machine 1 [| r |] (Hierarchy.stats hier)
+
+(** [run_parallel machine ~threads ~outer_extent fn ...] executes [fn] with
+    the dense-outer-loop parallelisation strategy: the outermost loop range
+    [0, outer_extent) is split into [threads] contiguous slices, one per
+    core, on a shared memory hierarchy. *)
+let run_parallel (machine : Machine.t) ~threads ~outer_extent (fn : Ir.func)
+    ~(bufs : (Ir.buffer * Runtime.rbuf) list) ~(scalars : int list) : report =
+  if threads < 1 || threads > machine.Machine.cores then
+    invalid_arg "Exec.run_parallel: bad thread count";
+  let bound = Runtime.layout fn bufs in
+  let hier = Hierarchy.create machine in
+  let chunk = (outer_extent + threads - 1) / threads in
+  let slices =
+    Array.init threads (fun t ->
+        (t * chunk, min outer_extent ((t + 1) * chunk)))
+  in
+  let rs = Multicore.run machine hier fn ~bufs:bound ~scalars ~slices in
+  aggregate machine threads rs (Hierarchy.stats hier)
+
+(* Derived metrics (paper §5). *)
+
+(** L2 misses per kilo-instruction. *)
+let l2_mpki r =
+  1000. *. float_of_int r.rp_mem.Hierarchy.st_l2_misses
+  /. float_of_int (max 1 r.rp_instructions)
+
+(** Work throughput: non-zeros processed per millisecond (paper §5). *)
+let throughput_nnz_per_ms r ~nnz =
+  float_of_int nnz /. Machine.cycles_to_ms r.rp_machine r.rp_cycles
+
+(** GFLOP/s at the simulated frequency (for the roofline of Fig. 12). *)
+let gflops r =
+  float_of_int r.rp_flops
+  /. (Machine.cycles_to_ms r.rp_machine r.rp_cycles *. 1e6)
+
+(** Arithmetic intensity (flops per DRAM byte moved). *)
+let arithmetic_intensity r =
+  float_of_int r.rp_flops
+  /. float_of_int
+       (max 1 (r.rp_mem.Hierarchy.st_dram_lines * r.rp_machine.Machine.line_bytes))
+
+let summary r =
+  Printf.sprintf
+    "cycles %d | instr %d | loads %d | stores %d | sw-pf %d (drop %d, useful %d) | L2 miss %d | MPKI %.2f"
+    r.rp_cycles r.rp_instructions r.rp_loads r.rp_stores
+    r.rp_mem.Hierarchy.st_sw_issued r.rp_mem.Hierarchy.st_sw_dropped
+    r.rp_mem.Hierarchy.st_sw_useful r.rp_mem.Hierarchy.st_l2_misses
+    (l2_mpki r)

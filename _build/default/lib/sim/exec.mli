@@ -1,0 +1,45 @@
+(** Top-level execution drivers and the PMU-style report (paper §4.4). *)
+
+open Asap_ir
+
+type report = {
+  rp_machine : Machine.t;
+  rp_threads : int;
+  rp_cycles : int;             (** max over cores *)
+  rp_instructions : int;       (** summed over cores *)
+  rp_flops : int;
+  rp_loads : int;
+  rp_stores : int;
+  rp_prefetch_instrs : int;
+  rp_mem : Hierarchy.stats;
+}
+
+(** [run ?slice machine fn ~bufs ~scalars] executes [fn] on one core of a
+    fresh memory hierarchy; [slice] restricts the outermost loop's
+    iteration range (used by profile-guided tuning). *)
+val run :
+  ?slice:int * int -> Machine.t -> Ir.func ->
+  bufs:(Ir.buffer * Runtime.rbuf) list -> scalars:int list -> report
+
+(** [run_parallel machine ~threads ~outer_extent fn ~bufs ~scalars]
+    executes [fn] with the dense-outer-loop strategy: the outermost loop
+    range [0, outer_extent) is split into [threads] contiguous slices, one
+    per core, on a shared hierarchy. *)
+val run_parallel :
+  Machine.t -> threads:int -> outer_extent:int -> Ir.func ->
+  bufs:(Ir.buffer * Runtime.rbuf) list -> scalars:int list -> report
+
+(** [l2_mpki r] is demand L2 misses per kilo-instruction. *)
+val l2_mpki : report -> float
+
+(** [throughput_nnz_per_ms r ~nnz] is the paper's work-throughput metric. *)
+val throughput_nnz_per_ms : report -> nnz:int -> float
+
+(** [gflops r] is attained FLOP rate at the simulated frequency. *)
+val gflops : report -> float
+
+(** [arithmetic_intensity r] is flops per DRAM byte moved (roofline x). *)
+val arithmetic_intensity : report -> float
+
+(** [summary r] is a one-line textual digest. *)
+val summary : report -> string

@@ -1,0 +1,284 @@
+(* The full memory system: per-core L1s, per-cluster L2s + MSHR pools,
+   a shared inclusive L3, one DRAM channel, and the Table-2 hardware
+   prefetchers observing the demand stream at their levels.
+
+   Fills install tags immediately and park the completion time in the
+   cluster's MSHR pool, so later accesses to an in-flight line wait for the
+   fill instead of re-requesting it. Demand misses on a full pool stall
+   until the earliest completion; hardware and software prefetches are
+   dropped instead. *)
+
+module Hp = Hw_prefetcher
+
+let sw_prov = Hp.n_ids           (* provenance id of software prefetches *)
+let n_prov = Hp.n_ids + 1
+
+type cluster = {
+  l2 : Cache.t;
+  mshr : Mshr.t;
+  l2_pfs : Hp.t list;
+}
+
+type t = {
+  cfg : Machine.t;
+  l1s : Cache.t array;           (* per core *)
+  l1_pfs : Hp.t list array;      (* per core *)
+  clusters : cluster array;
+  l3 : Cache.t;
+  l3_pfs : Hp.t list;
+  dram : Dram.t;
+  (* Statistics *)
+  pf_issued : int array;         (* per provenance id *)
+  pf_useful : int array;
+  mutable sw_dropped : int;
+  mutable demand_loads : int;
+  mutable demand_stores : int;
+  mutable l1_demand_misses : int;
+  mutable l2_demand_misses : int;  (* went past L2: L3 hit or DRAM *)
+  mutable l3_demand_misses : int;
+}
+
+let create (cfg : Machine.t) : t =
+  let line = cfg.Machine.line_bytes in
+  let mk_l1 c =
+    Cache.create ~name:(Printf.sprintf "L1-%d" c)
+      ~size_bytes:(cfg.Machine.l1_kb * 1024) ~ways:cfg.Machine.l1_ways
+      ~line_bytes:line
+  in
+  let mk_l1_pfs _ =
+    List.concat
+      [ (if cfg.Machine.hw.Machine.l1_nlp then [ Hp.l1_nlp () ] else []);
+        (if cfg.Machine.hw.Machine.l1_ipp then [ Hp.l1_ipp () ] else []) ]
+  in
+  let mk_cluster k =
+    { l2 =
+        Cache.create ~name:(Printf.sprintf "L2-%d" k)
+          ~size_bytes:(cfg.Machine.l2_kb * 1024) ~ways:cfg.Machine.l2_ways
+          ~line_bytes:line;
+      mshr = Mshr.create cfg.Machine.mshrs;
+      l2_pfs =
+        List.concat
+          [ (if cfg.Machine.hw.Machine.l2_nlp then [ Hp.l2_nlp () ] else []);
+            (if cfg.Machine.hw.Machine.mlc_streamer then [ Hp.mlc_streamer () ]
+             else []);
+            (if cfg.Machine.hw.Machine.l2_amp then [ Hp.l2_amp () ] else []) ] }
+  in
+  { cfg;
+    l1s = Array.init cfg.Machine.cores mk_l1;
+    l1_pfs = Array.init cfg.Machine.cores mk_l1_pfs;
+    clusters = Array.init (Machine.clusters cfg) mk_cluster;
+    l3 =
+      Cache.create ~name:"L3" ~size_bytes:(cfg.Machine.l3_kb * 1024)
+        ~ways:cfg.Machine.l3_ways ~line_bytes:line;
+    l3_pfs =
+      (if cfg.Machine.hw.Machine.llc_streamer then [ Hp.llc_streamer () ]
+       else []);
+    dram = Dram.create ~latency:cfg.Machine.dram_latency
+        ~gap:cfg.Machine.dram_gap;
+    pf_issued = Array.make n_prov 0;
+    pf_useful = Array.make n_prov 0;
+    sw_dropped = 0; demand_loads = 0; demand_stores = 0;
+    l1_demand_misses = 0; l2_demand_misses = 0; l3_demand_misses = 0 }
+
+let cluster_of t core = t.clusters.(core / t.cfg.Machine.cores_per_cluster)
+
+let note_useful t prov = if prov >= 0 then t.pf_useful.(prov) <- t.pf_useful.(prov) + 1
+
+(* Install a line at [level] and the levels outward of it (inclusive L3).
+   The provenance tag is set only at the innermost level installed so that
+   a prefetched line counts as useful at most once. *)
+let install t ~core ~prov ~level line =
+  let cl = cluster_of t core in
+  (match level with
+   | Hp.L1 ->
+     Cache.insert t.l1s.(core) line ~prov;
+     Cache.insert cl.l2 line ~prov:Cache.demand_prov;
+     Cache.insert t.l3 line ~prov:Cache.demand_prov
+   | Hp.L2 ->
+     Cache.insert cl.l2 line ~prov;
+     Cache.insert t.l3 line ~prov:Cache.demand_prov
+   | Hp.L3 -> Cache.insert t.l3 line ~prov)
+
+(* Bring [line] in from wherever it is, without waiting (prefetch / store
+   fill). Returns true if a request was actually issued somewhere.
+
+   An L1-level fill that misses L1 traverses the L2, so the L2-level
+   prefetchers observe it exactly as real hardware's do — without this, an
+   enabled L1 NLP would hide every stream from the MLC streamer. *)
+let rec fetch_line t ~core ~prov ~level ~at line =
+  let cl = cluster_of t core in
+  Mshr.expire cl.mshr ~now:at;
+  let present =
+    match level with
+    | Hp.L1 -> Cache.probe t.l1s.(core) line
+    | Hp.L2 -> Cache.probe cl.l2 line
+    | Hp.L3 -> Cache.probe t.l3 line
+  in
+  if present || Mshr.find cl.mshr line <> None then false
+  else begin
+    let in_l2 = Cache.probe cl.l2 line in
+    (match level with
+     | Hp.L1 ->
+       let ev =
+         { Hp.pc = prov lor 0x40000; addr = line lsl 6; line; hit = in_l2 }
+       in
+       List.iter
+         (fun (pf : Hp.t) ->
+           List.iter
+             (fun (r : Hp.request) ->
+               if r.Hp.r_line >= 0 then begin
+                 if fetch_line t ~core ~prov:r.Hp.r_src ~level:r.Hp.r_level
+                      ~at r.Hp.r_line
+                 then
+                   t.pf_issued.(r.Hp.r_src) <- t.pf_issued.(r.Hp.r_src) + 1
+               end)
+             (pf.Hp.pf_observe ev))
+         cl.l2_pfs
+     | Hp.L2 | Hp.L3 -> ());
+    if in_l2 || Cache.probe t.l3 line then begin
+      (* Move inward from L2/L3: cheap, no MSHR needed in this model. *)
+      install t ~core ~prov ~level line;
+      true
+    end
+    else if Mshr.full cl.mshr then begin
+      if prov = sw_prov then t.sw_dropped <- t.sw_dropped + 1;
+      false
+    end
+    else begin
+      let done_at = Dram.fill t.dram ~at in
+      Mshr.add cl.mshr line done_at;
+      install t ~core ~prov ~level line;
+      true
+    end
+  end
+
+(** [load t ~core ~pc ~addr ~at] performs a demand load issued at cycle
+    [at]; returns the cycle the data is ready. *)
+let load t ~core ~pc ~addr ~at =
+  t.demand_loads <- t.demand_loads + 1;
+  let line = addr asr 6 in
+  let l1 = t.l1s.(core) in
+  let cl = cluster_of t core in
+  Mshr.expire cl.mshr ~now:at;
+  let lat1 = at + t.cfg.Machine.lat_l1 in
+  let fire pfs hit =
+    let ev = { Hp.pc; addr; line; hit } in
+    List.iter
+      (fun (pf : Hp.t) ->
+        List.iter
+          (fun (r : Hp.request) ->
+            if r.Hp.r_line >= 0 then begin
+              if fetch_line t ~core ~prov:r.Hp.r_src ~level:r.Hp.r_level ~at
+                   r.Hp.r_line
+              then t.pf_issued.(r.Hp.r_src) <- t.pf_issued.(r.Hp.r_src) + 1
+            end)
+          (pf.Hp.pf_observe ev))
+      pfs
+  in
+  match Cache.lookup l1 line with
+  | Some prov ->
+    note_useful t prov;
+    fire t.l1_pfs.(core) true;
+    (* The tag may be present while the fill is still in flight. *)
+    (match Mshr.find cl.mshr line with
+     | Some d -> max d lat1
+     | None -> lat1)
+  | None ->
+    t.l1_demand_misses <- t.l1_demand_misses + 1;
+    fire t.l1_pfs.(core) false;
+    (match Mshr.find cl.mshr line with
+     | Some d ->
+       Cache.insert l1 line ~prov:Cache.demand_prov;
+       max d lat1
+     | None ->
+       (match Cache.lookup cl.l2 line with
+        | Some prov ->
+          note_useful t prov;
+          fire cl.l2_pfs true;
+          Cache.insert l1 line ~prov:Cache.demand_prov;
+          at + t.cfg.Machine.lat_l2
+        | None ->
+          fire cl.l2_pfs false;
+          t.l2_demand_misses <- t.l2_demand_misses + 1;
+          (match Cache.lookup t.l3 line with
+           | Some prov ->
+             note_useful t prov;
+             fire t.l3_pfs true;
+             install t ~core ~prov:Cache.demand_prov ~level:Hp.L1 line;
+             at + t.cfg.Machine.lat_l3
+           | None ->
+             fire t.l3_pfs false;
+             t.l3_demand_misses <- t.l3_demand_misses + 1;
+             (* Wait for an MSHR if the pool is exhausted. *)
+             let at' =
+               if Mshr.full cl.mshr then begin
+                 let e = Option.value (Mshr.earliest cl.mshr) ~default:at in
+                 let now = max at e in
+                 Mshr.expire cl.mshr ~now;
+                 now
+               end
+               else at
+             in
+             let done_at = Dram.fill t.dram ~at:at' in
+             Mshr.add cl.mshr line done_at;
+             install t ~core ~prov:Cache.demand_prov ~level:Hp.L1 line;
+             done_at)))
+
+(** [store t ~core ~pc ~addr ~at] performs a write-allocate store; it never
+    stalls the core (completion is hidden by the store buffer), but misses
+    consume fill bandwidth. *)
+let store t ~core ~pc:_ ~addr ~at =
+  t.demand_stores <- t.demand_stores + 1;
+  let line = addr asr 6 in
+  let l1 = t.l1s.(core) in
+  match Cache.lookup l1 line with
+  | Some prov -> note_useful t prov
+  | None ->
+    t.l1_demand_misses <- t.l1_demand_misses + 1;
+    let cl = cluster_of t core in
+    if not (Cache.probe cl.l2 line) && not (Cache.probe t.l3 line) then
+      t.l2_demand_misses <- t.l2_demand_misses + 1;
+    let (_ : bool) =
+      fetch_line t ~core ~prov:Cache.demand_prov ~level:Hp.L1 ~at line
+    in
+    Cache.insert l1 line ~prov:Cache.demand_prov
+
+(** [prefetch t ~core ~addr ~locality ~at] performs a software prefetch.
+    Locality maps to the fill level: 3-2 into L1, 1 into L2, 0 into L3. *)
+let prefetch t ~core ~addr ~locality ~at =
+  let line = addr asr 6 in
+  let level =
+    if locality >= 2 then Hp.L1 else if locality = 1 then Hp.L2 else Hp.L3
+  in
+  if fetch_line t ~core ~prov:sw_prov ~level ~at line then
+    t.pf_issued.(sw_prov) <- t.pf_issued.(sw_prov) + 1
+
+(** Statistics snapshot for the PMU-style report (paper §4.4). *)
+type stats = {
+  st_demand_loads : int;
+  st_demand_stores : int;
+  st_l1_misses : int;
+  st_l2_misses : int;
+  st_l3_misses : int;
+  st_dram_lines : int;
+  st_sw_issued : int;
+  st_sw_dropped : int;
+  st_sw_useful : int;
+  st_hw_issued : (string * int) list;
+  st_hw_useful : (string * int) list;
+}
+
+let stats t =
+  { st_demand_loads = t.demand_loads;
+    st_demand_stores = t.demand_stores;
+    st_l1_misses = t.l1_demand_misses;
+    st_l2_misses = t.l2_demand_misses;
+    st_l3_misses = t.l3_demand_misses;
+    st_dram_lines = t.dram.Dram.lines;
+    st_sw_issued = t.pf_issued.(sw_prov);
+    st_sw_dropped = t.sw_dropped;
+    st_sw_useful = t.pf_useful.(sw_prov);
+    st_hw_issued =
+      List.init Hp.n_ids (fun i -> (Hp.name_of_id i, t.pf_issued.(i)));
+    st_hw_useful =
+      List.init Hp.n_ids (fun i -> (Hp.name_of_id i, t.pf_useful.(i))) }

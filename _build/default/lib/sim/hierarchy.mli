@@ -1,0 +1,46 @@
+(** The full memory system: per-core L1s, per-cluster L2s with MSHR pools,
+    a shared inclusive L3, one DRAM channel, and the Table-2 hardware
+    prefetchers observing the demand stream at their levels.
+
+    Fills install tags immediately and park the completion time in the
+    cluster's MSHR pool, so later accesses to an in-flight line wait for
+    the fill instead of re-requesting it. Demand misses on a full pool
+    stall until the earliest completion; prefetches are dropped instead. *)
+
+type t
+
+(** [create machine] builds a fresh hierarchy (cores and clusters per the
+    machine's topology). *)
+val create : Machine.t -> t
+
+(** The provenance id of software prefetches in the accuracy counters. *)
+val sw_prov : int
+
+(** [load t ~core ~pc ~addr ~at] performs a demand load issued at cycle
+    [at]; returns the cycle the data is ready. *)
+val load : t -> core:int -> pc:int -> addr:int -> at:int -> int
+
+(** [store t ~core ~pc ~addr ~at] performs a write-allocate store; never
+    stalls the core, but misses consume fill bandwidth. *)
+val store : t -> core:int -> pc:int -> addr:int -> at:int -> unit
+
+(** [prefetch t ~core ~addr ~locality ~at] performs a software prefetch;
+    locality maps to the fill level (3-2 into L1, 1 into L2, 0 into L3). *)
+val prefetch : t -> core:int -> addr:int -> locality:int -> at:int -> unit
+
+(** Statistics snapshot for the PMU-style report (paper §4.4). *)
+type stats = {
+  st_demand_loads : int;
+  st_demand_stores : int;
+  st_l1_misses : int;
+  st_l2_misses : int;          (** went past L2: L3 hit or DRAM *)
+  st_l3_misses : int;
+  st_dram_lines : int;
+  st_sw_issued : int;
+  st_sw_dropped : int;
+  st_sw_useful : int;
+  st_hw_issued : (string * int) list;
+  st_hw_useful : (string * int) list;
+}
+
+val stats : t -> stats

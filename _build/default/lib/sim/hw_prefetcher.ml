@@ -1,0 +1,207 @@
+(* Hardware prefetchers of the Alder Lake E-core (paper Table 2).
+
+   Each prefetcher observes the demand-access stream at its cache level and
+   returns fill requests; the hierarchy pushes those through the shared
+   MSHR/bandwidth paths, so inaccurate prefetchers genuinely cost the
+   resources the paper's §5.1 insight is about.
+
+   Models are deliberately simple but keep the properties the evaluation
+   depends on: the next-line prefetchers are useless (and costly) on
+   irregular streams; the IPP tracks only a couple of strided load PCs, so
+   it cannot cover all of SpMV's streams (§3.2.1); the streamers cover
+   sequential buffers; the AMP fires on repeated deltas, helping 2-D
+   strides and polluting on random ones.
+
+   These run on every demand access, so the implementations are
+   allocation-free except when a request actually fires. *)
+
+type event = {
+  pc : int;                    (* static id of the load *)
+  addr : int;                  (* byte address *)
+  line : int;                  (* line address (addr >> 6) *)
+  hit : bool;                  (* hit at the observing level *)
+}
+
+type level = L1 | L2 | L3
+
+type request = { r_line : int; r_src : int; r_level : level }
+
+(* Prefetcher ids (indices into accuracy counters). *)
+let id_l1_nlp = 0
+let id_l1_ipp = 1
+let id_l2_nlp = 2
+let id_mlc = 3
+let id_amp = 4
+let id_llc = 5
+let n_ids = 6
+
+let name_of_id = function
+  | 0 -> "L1 NLP" | 1 -> "L1 IPP" | 2 -> "L2 NLP"
+  | 3 -> "MLC Streamer" | 4 -> "L2 AMP" | 5 -> "LLC Streamer"
+  | _ -> "?"
+
+type t = {
+  pf_id : int;
+  pf_level : level;            (* where it observes and fills *)
+  pf_observe : event -> request list;
+}
+
+(** L1 next-line: on a miss, fetch the following line. *)
+let l1_nlp () =
+  { pf_id = id_l1_nlp; pf_level = L1;
+    pf_observe =
+      (fun e ->
+        if e.hit then []
+        else [ { r_line = e.line + 1; r_src = id_l1_nlp; r_level = L1 } ]) }
+
+(** L2 next-line (default off on the platform). *)
+let l2_nlp () =
+  { pf_id = id_l2_nlp; pf_level = L2;
+    pf_observe =
+      (fun e ->
+        if e.hit then []
+        else [ { r_line = e.line + 1; r_src = id_l2_nlp; r_level = L2 } ]) }
+
+type ipp_stream = {
+  mutable s_pc : int;
+  mutable s_last : int;
+  mutable s_stride : int;
+  mutable s_conf : int;
+  mutable s_used : int;
+}
+
+(** L1 instruction-pointer prefetcher: per-PC stride detection with a small
+    stream capacity (the paper observes 2 concurrent streams, §3.2.1). *)
+let l1_ipp ?(streams = 2) ?(lookahead = 16) () =
+  let table =
+    Array.init streams (fun _ ->
+        { s_pc = -1; s_last = 0; s_stride = 0; s_conf = 0; s_used = 0 })
+  in
+  let stamp = ref 0 in
+  { pf_id = id_l1_ipp; pf_level = L1;
+    pf_observe =
+      (fun e ->
+        incr stamp;
+        let entry = ref None in
+        Array.iter (fun s -> if s.s_pc = e.pc then entry := Some s) table;
+        match !entry with
+        | None ->
+          (* Replacement with hysteresis: steal only a zero-confidence
+             slot, otherwise decay the weakest stream. Plain LRU would
+             thrash under the round-robin PC pattern of a loop body and
+             the unit would never lock onto any stream. *)
+          let victim = ref table.(0) in
+          Array.iter (fun s -> if s.s_conf < !victim.s_conf then victim := s)
+            table;
+          let v = !victim in
+          if v.s_conf = 0 then begin
+            v.s_pc <- e.pc;
+            v.s_last <- e.addr;
+            v.s_stride <- 0;
+            (* A fresh entry starts with one confidence point so it can
+               survive until its PC's next access. *)
+            v.s_conf <- 1;
+            v.s_used <- 0
+          end
+          else begin
+            (* Slow decay: one confidence point per 8 conflicting
+               accesses, so established streams survive a loop body's
+               other loads. *)
+            v.s_used <- v.s_used + 1;
+            if v.s_used mod 8 = 0 then v.s_conf <- v.s_conf - 1
+          end;
+          []
+        | Some s ->
+          s.s_used <- 0;
+          let d = e.addr - s.s_last in
+          if d = s.s_stride && d <> 0 then s.s_conf <- min 4 (s.s_conf + 1)
+          else begin
+            s.s_stride <- d;
+            s.s_conf <- 1
+          end;
+          s.s_last <- e.addr;
+          if s.s_conf >= 2 then begin
+            let target = e.addr + (s.s_stride * lookahead) in
+            if target >= 0 && target asr 6 <> e.line then
+              [ { r_line = target asr 6; r_src = id_l1_ipp; r_level = L1 } ]
+            else []
+          end
+          else []) }
+
+type stream_entry = {
+  mutable t_page : int;
+  mutable t_last : int;
+  mutable t_conf : int;
+  mutable t_used : int;
+}
+
+(** Streaming prefetcher: forward line streams within a 4 KiB page,
+    prefetching [degree] lines past the page's high-water mark.
+    Tracking the maximum accessed line (rather than demanding strictly
+    consecutive accesses) keeps the unit trained when an L1 prefetcher
+    reorders the miss stream. Instantiated at L2 (MLC streamer) and L3
+    (LLC streamer). *)
+let streamer ~pf_id ~level ?(entries = 16) ?(degree = 4) () =
+  let table =
+    Array.init entries (fun _ ->
+        { t_page = -1; t_last = -1; t_conf = 0; t_used = 0 })
+  in
+  let stamp = ref 0 in
+  { pf_id; pf_level = level;
+    pf_observe =
+      (fun e ->
+        incr stamp;
+        let page = e.line asr 6 in
+        let entry = ref None in
+        Array.iter (fun s -> if s.t_page = page then entry := Some s) table;
+        match !entry with
+        | None ->
+          let victim = ref table.(0) in
+          Array.iter (fun s -> if s.t_used < !victim.t_used then victim := s)
+            table;
+          let v = !victim in
+          v.t_page <- page;
+          v.t_last <- e.line;
+          v.t_conf <- 0;
+          v.t_used <- !stamp;
+          []
+        | Some s ->
+          s.t_used <- !stamp;
+          let delta = e.line - s.t_last in
+          if delta > 0 && delta <= 4 then begin
+            s.t_conf <- min 4 (s.t_conf + 1);
+            s.t_last <- e.line
+          end
+          else if delta > 4 || delta < -4 then begin
+            s.t_conf <- 0;
+            s.t_last <- e.line
+          end;
+          (* Small backward jitter (delta in [-4, 0]) leaves the
+             high-water mark and confidence untouched. *)
+          if s.t_conf >= 1 && delta > 0 then
+            List.init degree (fun k ->
+                { r_line = s.t_last + k + 1; r_src = pf_id; r_level = level })
+            |> List.filter (fun r -> r.r_line asr 6 = page)
+          else []) }
+
+let mlc_streamer () = streamer ~pf_id:id_mlc ~level:L2 ()
+let llc_streamer () = streamer ~pf_id:id_llc ~level:L3 ~degree:4 ()
+
+(** L2 adaptive multipath: fires when the delta between consecutive lines
+    repeats, covering 2-D strided walks; on irregular streams the
+    occasional repeated delta produces pure pollution (the paper disables
+    it for SpMV). *)
+let l2_amp ?(degree = 2) () =
+  let last_line = ref (-1) and last_delta = ref 0 in
+  { pf_id = id_amp; pf_level = L2;
+    pf_observe =
+      (fun e ->
+        let d = e.line - !last_line in
+        let fire = !last_line >= 0 && d = !last_delta && d <> 0 in
+        last_delta := d;
+        last_line := e.line;
+        if fire then
+          List.init degree (fun k ->
+              { r_line = e.line + ((k + 1) * d); r_src = id_amp; r_level = L2 })
+          |> List.filter (fun r -> r.r_line >= 0)
+        else []) }

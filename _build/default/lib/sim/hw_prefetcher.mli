@@ -1,0 +1,61 @@
+(** Hardware prefetchers of the Alder Lake E-core (paper Table 2).
+
+    Each prefetcher observes the demand-access stream at its cache level
+    and returns fill requests; the hierarchy pushes those through the
+    shared MSHR/bandwidth paths, so inaccurate prefetchers genuinely cost
+    the resources the paper's §5.1 insight is about. *)
+
+type event = {
+  pc : int;                    (** static id of the load *)
+  addr : int;                  (** byte address *)
+  line : int;                  (** line address (addr >> 6) *)
+  hit : bool;                  (** hit at the observing level *)
+}
+
+type level = L1 | L2 | L3
+
+type request = { r_line : int; r_src : int; r_level : level }
+
+(** {1 Prefetcher ids (accuracy-counter indices)} *)
+
+val id_l1_nlp : int
+val id_l1_ipp : int
+val id_l2_nlp : int
+val id_mlc : int
+val id_amp : int
+val id_llc : int
+val n_ids : int
+val name_of_id : int -> string
+
+type t = {
+  pf_id : int;
+  pf_level : level;            (** where it observes and fills *)
+  pf_observe : event -> request list;
+}
+
+(** L1 next-line: on a miss, fetch the following line (inaccurate on
+    irregular streams; "Default On", disabled by the paper). *)
+val l1_nlp : unit -> t
+
+(** L2 next-line ("Default Off"). *)
+val l2_nlp : unit -> t
+
+(** L1 instruction-pointer prefetcher: per-PC stride detection with a
+    small stream capacity (the paper observes 2 concurrent streams,
+    §3.2.1) and replacement hysteresis. *)
+val l1_ipp : ?streams:int -> ?lookahead:int -> unit -> t
+
+(** Generic forward streamer within 4 KiB pages (high-water-mark based). *)
+val streamer :
+  pf_id:int -> level:level -> ?entries:int -> ?degree:int -> unit -> t
+
+(** Mid-level-cache streamer (into L2). *)
+val mlc_streamer : unit -> t
+
+(** Last-level-cache streamer (into L3). *)
+val llc_streamer : unit -> t
+
+(** L2 adaptive multipath: fires on repeated line deltas — covers 2-D
+    strided walks, pollutes on random streams (disabled for SpMV by the
+    paper). *)
+val l2_amp : ?degree:int -> unit -> t

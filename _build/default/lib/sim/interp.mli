@@ -1,0 +1,48 @@
+(** Execution-driven interpretation of Ir functions with an
+    interval-simulation-style timing model.
+
+    Functional semantics: every operation computes its real value over the
+    runtime buffers, so kernel outputs can be checked against references.
+
+    Timing semantics (per core): every SSA value carries a ready time;
+    instruction [k] issues at
+    [max(k / width, operand ready times, retire of instruction k-R)] where
+    [R] is the effective out-of-order window — bounding how far execution
+    runs ahead of a stalled miss, which is what limits the memory-level
+    parallelism of non-prefetched code. Loads complete when the memory
+    system says so; stores and prefetches retire immediately; loop exits
+    charge a branch-mispredict bubble. *)
+
+open Asap_ir
+
+(** The memory port: single-core runs wire it to {!Hierarchy} directly;
+    multi-core runs route it through effect handlers ({!Multicore}). *)
+type mem = {
+  m_load : pc:int -> addr:int -> at:int -> int;  (** returns ready time *)
+  m_store : pc:int -> addr:int -> at:int -> unit;
+  m_prefetch : addr:int -> locality:int -> at:int -> unit;
+}
+
+type result = {
+  r_cycles : int;
+  r_instructions : int;
+  r_flops : int;
+  r_loads : int;
+  r_stores : int;
+  r_prefetches : int;
+}
+
+(** Raised on dynamic errors (division by zero, bad scalar arity). *)
+exception Trap of string
+
+(** [run ?slice ?width ?rob_size ?branch_miss fn ~bufs ~scalars ~mem]
+    interprets [fn]. [slice] restricts the outermost loop's iteration range
+    (the dense-outer-loop parallelisation); [bufs] is indexed by buffer id
+    (see {!Runtime.layout}); [scalars] bind the scalar parameters in
+    order.
+    @raise Runtime.Fault on out-of-bounds demand accesses.
+    @raise Trap on dynamic errors. *)
+val run :
+  ?slice:int * int -> ?width:int -> ?rob_size:int -> ?branch_miss:int ->
+  Ir.func -> bufs:Runtime.bound array -> scalars:int list -> mem:mem ->
+  result

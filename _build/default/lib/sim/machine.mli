@@ -1,0 +1,69 @@
+(** Machine configuration: the simulated stand-in for the paper's
+    experimental platform (Table 1: Alder Lake i9-12900K E-cores,
+    Gracemont) and its per-prefetcher controls (Table 2).
+
+    Absolute timings are calibrated for shape, not cycle-accuracy: the core
+    model's [rob] is the {e effective} out-of-order window (bounded in
+    practice by the load queue and scheduler, far below the nominal ROB),
+    which sets the memory-level parallelism a non-prefetched run can
+    extract. *)
+
+(** Table 2: which hardware prefetchers are enabled. *)
+type hw_config = {
+  l1_nlp : bool;
+  l1_ipp : bool;
+  l2_nlp : bool;
+  mlc_streamer : bool;
+  l2_amp : bool;
+  llc_streamer : bool;
+}
+
+(** Out-of-the-box processor state ("Default" column of Table 2). *)
+val hw_default : hw_config
+
+(** The paper's optimized SpMV setting: L1 NLP and L2 AMP disabled. *)
+val hw_optimized : hw_config
+
+(** The SpMM setting: only L1 NLP disabled (AMP kept for 2-D strides). *)
+val hw_optimized_spmm : hw_config
+
+type t = {
+  label : string;
+  width : int;                 (** issue width, instructions/cycle *)
+  rob : int;                   (** effective OoO window, instructions *)
+  branch_miss : int;           (** mispredict penalty, cycles *)
+  freq_ghz : float;
+  line_bytes : int;
+  l1_kb : int; l1_ways : int; lat_l1 : int;
+  l2_kb : int; l2_ways : int; lat_l2 : int;
+  l3_kb : int; l3_ways : int; lat_l3 : int;
+  mshrs : int;                 (** outstanding misses beyond L2, per cluster *)
+  dram_latency : int;
+  dram_gap : int;              (** cycles per line at full bandwidth *)
+  cores : int;
+  cores_per_cluster : int;
+  hw : hw_config;
+}
+
+(** [gracemont ()] models one E-core cluster of the i9-12900K per
+    Table 1. *)
+val gracemont : ?hw:hw_config -> ?cores:int -> unit -> t
+
+(** [gracemont_scaled ()] is the evaluation machine: identical core and
+    latency parameters with cache capacities scaled down so the synthetic
+    collection's footprints relate to the caches as the paper's top-5%
+    SuiteSparse selection relates to the real hierarchy. *)
+val gracemont_scaled : ?hw:hw_config -> ?cores:int -> unit -> t
+
+(** [clusters t] is the number of L2 clusters. *)
+val clusters : t -> int
+
+(** [cycles_to_ms t c] converts simulated cycles to milliseconds at the
+    machine's frequency. *)
+val cycles_to_ms : t -> int -> float
+
+(** [table1 t] renders the Table-1-style configuration dump. *)
+val table1 : t -> string
+
+(** [table2 hw] renders the Table-2-style prefetcher settings. *)
+val table2 : hw_config -> string

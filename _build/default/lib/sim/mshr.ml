@@ -1,0 +1,66 @@
+(* Miss Status Holding Registers: the pool of outstanding fills.
+
+   A demand miss to an in-flight line merges with it. When the pool is
+   full, demand misses wait for the earliest completion, while prefetches
+   are dropped — matching the hardware behaviour the paper's resource
+   argument (§4.1) relies on. *)
+
+type entry = { mutable line : int; mutable done_at : int }
+
+type t = {
+  cap : int;
+  entries : entry array;
+  mutable used : int;
+  mutable drops : int;         (* prefetches dropped on a full pool *)
+}
+
+let create cap =
+  { cap; entries = Array.init cap (fun _ -> { line = -1; done_at = 0 });
+    used = 0; drops = 0 }
+
+(** [expire t ~now] retires entries whose fill has completed. *)
+let expire t ~now =
+  let w = ref 0 in
+  for r = 0 to t.used - 1 do
+    let e = t.entries.(r) in
+    if e.done_at > now then begin
+      let d = t.entries.(!w) in
+      d.line <- e.line;
+      d.done_at <- e.done_at;
+      incr w
+    end
+  done;
+  t.used <- !w
+
+(** [find t line] is the completion time of an in-flight fill of [line]. *)
+let find t line =
+  let rec go i =
+    if i = t.used then None
+    else if t.entries.(i).line = line then Some t.entries.(i).done_at
+    else go (i + 1)
+  in
+  go 0
+
+let full t = t.used >= t.cap
+
+(** [earliest t] is the soonest completion among in-flight fills. *)
+let earliest t =
+  if t.used = 0 then None
+  else begin
+    let m = ref t.entries.(0).done_at in
+    for i = 1 to t.used - 1 do
+      if t.entries.(i).done_at < !m then m := t.entries.(i).done_at
+    done;
+    Some !m
+  end
+
+let add t line done_at =
+  assert (t.used < t.cap);
+  let e = t.entries.(t.used) in
+  e.line <- line;
+  e.done_at <- done_at;
+  t.used <- t.used + 1
+
+let reset t =
+  t.used <- 0;
+  t.drops <- 0

@@ -1,0 +1,33 @@
+(** Miss Status Holding Registers: the pool of outstanding fills.
+
+    A demand miss to an in-flight line merges with it. When the pool is
+    full, demand misses wait for the earliest completion while prefetches
+    are dropped — the resource behaviour the paper's §4.1 argument relies
+    on. *)
+
+type t = {
+  cap : int;
+  entries : entry array;
+  mutable used : int;
+  mutable drops : int;
+}
+
+and entry = { mutable line : int; mutable done_at : int }
+
+val create : int -> t
+
+(** [expire t ~now] retires entries whose fill completed by [now]. *)
+val expire : t -> now:int -> unit
+
+(** [find t line] is the completion time of an in-flight fill of [line]. *)
+val find : t -> int -> int option
+
+val full : t -> bool
+
+(** [earliest t] is the soonest completion among in-flight fills. *)
+val earliest : t -> int option
+
+(** [add t line done_at] registers a fill; the pool must not be full. *)
+val add : t -> int -> int -> unit
+
+val reset : t -> unit

@@ -1,0 +1,14 @@
+(** Multi-core simulation via effect handlers.
+
+    Each core interprets its slice of the kernel as a fiber that performs
+    an effect at every memory event; the scheduler always resumes the fiber
+    whose next event is earliest in simulated time, so cores interleave
+    deterministically on the shared L2/L3/DRAM resources. This replaces the
+    paper's OpenMP dense-outer-loop execution (§4.3). *)
+
+(** [run machine hier fn ~bufs ~scalars ~slices] interprets one copy of
+    [fn] per slice (static row partitioning), interleaving their memory
+    events on the shared hierarchy [hier]. Returns per-core results. *)
+val run :
+  Machine.t -> Hierarchy.t -> Asap_ir.Ir.func -> bufs:Runtime.bound array ->
+  scalars:int list -> slices:(int * int) array -> Interp.result array

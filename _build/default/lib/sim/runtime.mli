@@ -1,0 +1,45 @@
+(** Runtime buffer values and the simulated address space.
+
+    The interpreter computes real results over these buffers while the
+    timing model sees their simulated byte addresses. Bases are spaced and
+    page-aligned so distinct buffers never share a cache line. *)
+
+open Asap_ir
+
+type rbuf =
+  | RI of int array            (** index/position/coordinate buffers *)
+  | RF of float array          (** f64 values *)
+  | RB of Bytes.t              (** i8 values of binary matrices *)
+
+(** A buffer bound into the address space. *)
+type bound = {
+  buf : Ir.buffer;
+  data : rbuf;
+  base : int;                  (** simulated base byte address *)
+  ebytes : int;                (** element width for address arithmetic *)
+}
+
+val length_of : rbuf -> int
+
+(** [layout fn pairs] assigns addresses to all of the function's buffers;
+    the result is indexed by buffer id.
+    @raise Invalid_argument on element-kind mismatch, double or missing
+    bindings. *)
+val layout : Ir.func -> (Ir.buffer * rbuf) list -> bound array
+
+(** Raised by out-of-bounds demand accesses — the access fault the
+    paper's step-2 bound must prevent (§3.2). *)
+exception Fault of string
+
+(** Formats-and-raises helper for {!Fault}. *)
+val fault : ('a, unit, string, 'b) format4 -> 'a
+
+(** [read b i] reads element [i]. @raise Fault when out of bounds. *)
+val read : bound -> int -> [ `F of float | `I of int ]
+
+(** [write b i v] writes element [i]. @raise Fault when out of bounds. *)
+val write : bound -> int -> [ `F of float | `I of int ] -> unit
+
+(** [addr b i] is the simulated byte address of element [i] (allowed to be
+    out of bounds: prefetches never fault). *)
+val addr : bound -> int -> int

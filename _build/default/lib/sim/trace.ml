@@ -1,0 +1,68 @@
+(* Memory-trace recording.
+
+   Wraps an {!Interp.mem} port and records every event in program order.
+   Used by tests and tools to validate prefetching *mechanically*: e.g.
+   that every demand access to the indirectly-indexed operand was covered
+   by an earlier software prefetch of the same line (§3.2's coverage
+   claim), independent of any timing model. *)
+
+type event =
+  | Load of { pc : int; addr : int; at : int }
+  | Store of { pc : int; addr : int; at : int }
+  | Prefetch of { addr : int; locality : int; at : int }
+
+type t = { mutable events : event list; mutable count : int }
+
+let create () = { events = []; count = 0 }
+
+let record t e =
+  t.events <- e :: t.events;
+  t.count <- t.count + 1
+
+(** [wrap t mem] records every event flowing through [mem]. *)
+let wrap (t : t) (mem : Interp.mem) : Interp.mem =
+  { Interp.m_load =
+      (fun ~pc ~addr ~at ->
+        record t (Load { pc; addr; at });
+        mem.Interp.m_load ~pc ~addr ~at);
+    m_store =
+      (fun ~pc ~addr ~at ->
+        record t (Store { pc; addr; at });
+        mem.Interp.m_store ~pc ~addr ~at);
+    m_prefetch =
+      (fun ~addr ~locality ~at ->
+        record t (Prefetch { addr; locality; at });
+        mem.Interp.m_prefetch ~addr ~locality ~at) }
+
+(** [events t] in program order. *)
+let events t = List.rev t.events
+
+(** A free-running port (every load one cycle): traces functional access
+    order without a memory hierarchy. *)
+let free_mem : Interp.mem =
+  { Interp.m_load = (fun ~pc:_ ~addr:_ ~at -> at + 1);
+    m_store = (fun ~pc:_ ~addr:_ ~at:_ -> ());
+    m_prefetch = (fun ~addr:_ ~locality:_ ~at:_ -> ()) }
+
+(** [coverage t ~range ~line_bytes] computes, over demand loads whose
+    address falls in [range) — typically one operand's buffer — the
+    fraction of accessed lines that were software-prefetched before their
+    first demand touch. *)
+let coverage (t : t) ~range:(lo, hi) ~line_bytes =
+  let prefetched = Hashtbl.create 64 in
+  let covered = ref 0 and total = ref 0 in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Prefetch { addr; _ } when addr >= lo && addr < hi ->
+        Hashtbl.replace prefetched (addr / line_bytes) ()
+      | Load { addr; _ } when addr >= lo && addr < hi ->
+        let line = addr / line_bytes in
+        if not (Hashtbl.mem seen line) then begin
+          Hashtbl.add seen line ();
+          incr total;
+          if Hashtbl.mem prefetched line then incr covered
+        end
+      | Load _ | Store _ | Prefetch _ -> ())
+    (events t);
+  (!covered, !total)

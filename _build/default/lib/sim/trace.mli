@@ -1,0 +1,29 @@
+(** Memory-trace recording.
+
+    Wraps an {!Interp.mem} port and records every event in program order —
+    used to validate prefetching {e mechanically} (e.g. §3.2.2's coverage
+    claim), independent of the timing model. *)
+
+type event =
+  | Load of { pc : int; addr : int; at : int }
+  | Store of { pc : int; addr : int; at : int }
+  | Prefetch of { addr : int; locality : int; at : int }
+
+type t
+
+val create : unit -> t
+
+(** [wrap t mem] records every event flowing through [mem]. *)
+val wrap : t -> Interp.mem -> Interp.mem
+
+(** [events t] in program order. *)
+val events : t -> event list
+
+(** A free-running port (every load one cycle): traces functional access
+    order without a memory hierarchy. *)
+val free_mem : Interp.mem
+
+(** [coverage t ~range ~line_bytes] is (covered, total): over demand loads
+    whose address falls in [range), how many distinct lines were
+    software-prefetched before their first demand touch. *)
+val coverage : t -> range:int * int -> line_bytes:int -> int * int

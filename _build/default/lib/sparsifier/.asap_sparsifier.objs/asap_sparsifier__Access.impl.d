@@ -1,0 +1,1 @@
+lib/sparsifier/access.ml: Asap_ir Builder Ir

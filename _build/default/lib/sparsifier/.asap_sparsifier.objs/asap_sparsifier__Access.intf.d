@@ -1,0 +1,1 @@
+lib/sparsifier/access.mli: Asap_ir Builder Ir

@@ -1,0 +1,1 @@
+lib/sparsifier/emitter.ml: Access Array Asap_ir Asap_lang Asap_tensor Builder Ir Iteration_graph List Option Printf String

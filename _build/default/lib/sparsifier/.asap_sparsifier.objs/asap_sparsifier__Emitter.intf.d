@@ -1,0 +1,1 @@
+lib/sparsifier/emitter.mli: Access Asap_ir Asap_lang Ir

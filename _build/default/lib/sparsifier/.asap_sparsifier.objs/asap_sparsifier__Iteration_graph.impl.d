@@ -1,0 +1,1 @@
+lib/sparsifier/iteration_graph.ml: Array Asap_lang Asap_tensor Int List Printf String

@@ -1,0 +1,1 @@
+lib/sparsifier/iteration_graph.mli: Asap_lang

@@ -1,0 +1,1 @@
+lib/sparsifier/merge.ml: Array Asap_ir Asap_tensor Builder Ir List Printf Verify

@@ -1,0 +1,1 @@
+lib/sparsifier/merge.mli: Asap_ir Ir

@@ -1,0 +1,1 @@
+lib/sparsifier/sparsify.ml: Asap_ir Asap_lang Emitter Ir Printer Printf Verify

@@ -1,0 +1,1 @@
+lib/sparsifier/sparsify.mli: Access Asap_lang Emitter

@@ -1,0 +1,41 @@
+(* Indirect-access sites (paper §3.1).
+
+   Sparsification knows the exact moment an iterate-and-locate co-iteration
+   materialises an indirect access t[crd[p]]: when it emits the coordinate
+   load inside a position loop. A [site] is the full semantic context handed
+   to a prefetch hook at that moment — this is the information a post-hoc
+   pass like Ainsworth & Jones cannot see and must re-derive (incompletely)
+   from low-level IR. *)
+
+open Asap_ir
+
+(** One dense operand reached through the coordinate. The prefetch address
+    for a lookahead coordinate [j'] is [base + j' * scale]. *)
+type target = {
+  t_buf : Ir.buffer;            (* the indirectly indexed buffer (c, C, a) *)
+  t_scale : Ir.value option;    (* elements per coordinate step: [None] for
+                                   a trailing map position (scale 1),
+                                   [Some n] the row length otherwise *)
+  t_base : Ir.value option;     (* partial address over the operand's other
+                                   already-resolved dimensions, e.g. i*Nj
+                                   for a(i,j) at a j-resolving site *)
+  t_write : bool;               (* scatter target (e.g. CSC SpMV output) *)
+}
+
+type site = {
+  s_level : int;                (* storage level producing the coordinate *)
+  s_dim : int;                  (* iteration dimension resolved here *)
+  s_innermost : bool;           (* no further loops below the site loop *)
+  s_crd : Ir.buffer;            (* coordinate buffer of the level *)
+  s_iv : Ir.value;              (* the position iterator (jj) *)
+  s_lo : Ir.value;              (* position-loop lower bound *)
+  s_hi : Ir.value;              (* position-loop upper bound (segment end) *)
+  s_bound : Ir.value;           (* ASaP semantic bound: size(crd) - 1,
+                                   hoisted to the prologue (paper §3.2.2) *)
+  s_targets : target list;
+}
+
+(** A prefetch hook runs with the builder positioned just after the
+    coordinate load inside the position loop and may emit any prefetching
+    sequence. [None] disables injection (the baseline). *)
+type hook = Builder.t -> site -> unit

@@ -1,0 +1,82 @@
+(* Iteration graphs (paper §3.1, Fig. 4; Kjolstad's sparse iteration
+   theory).
+
+   Nodes are iteration-space dimensions; a directed edge d1 -> d2 records
+   that d1 must be iterated before d2. Sparse operands contribute the edges
+   of their coordinate hierarchy: level l must be visited before level l+1.
+   Dense operands add no hard constraints. The topological order prefers
+   the textual dimension order, which together with [sorted = true]
+   reproduces MLIR's behaviour of never reordering a sorted tensor. *)
+
+module Kernel = Asap_lang.Kernel
+module Affine = Asap_lang.Affine
+module Encoding = Asap_tensor.Encoding
+
+type t = {
+  n : int;
+  edges : (int * int) list;            (* (before, after) *)
+  order : int array;                   (* topological iteration order *)
+  sparse_dims : int array;             (* dims in sparse level order *)
+}
+
+exception Cycle of string
+
+(** [build k] constructs the iteration graph of kernel [k] and a
+    topological order. Raises [Cycle] if the constraints are unsatisfiable
+    (cannot happen with a single sparse operand, but the check keeps the
+    module honest for future multi-sparse kernels). *)
+let build (k : Kernel.t) : t =
+  let n = Kernel.n_dims k in
+  let enc = k.Kernel.k_encoding in
+  let map = k.Kernel.k_sparse.Kernel.o_map in
+  (* Dimension stored at level l: the map result at position dim_to_lvl.(l).
+     For the paper's operands the sparse map is the identity projection, so
+     the level order over tensor dimensions translates directly to
+     iteration dimensions. *)
+  let dim_of_level l = map.Affine.results.(enc.Encoding.dim_to_lvl.(l)) in
+  let r = Encoding.rank enc in
+  let sparse_dims = Array.init r dim_of_level in
+  let edges = ref [] in
+  for l = 0 to r - 2 do
+    edges := (sparse_dims.(l), sparse_dims.(l + 1)) :: !edges
+  done;
+  (* Kahn's algorithm preferring smaller dim index (textual order). *)
+  let indeg = Array.make n 0 in
+  List.iter (fun (_, b) -> indeg.(b) <- indeg.(b) + 1) !edges;
+  let order = Array.make n (-1) in
+  let placed = Array.make n false in
+  let next = ref 0 in
+  (try
+     for slot = 0 to n - 1 do
+       let d = ref (-1) in
+       for cand = n - 1 downto 0 do
+         if (not placed.(cand)) && indeg.(cand) = 0 then d := cand
+       done;
+       if !d < 0 then raise (Cycle "iteration graph has a cycle");
+       placed.(!d) <- true;
+       order.(slot) <- !d;
+       incr next;
+       List.iter
+         (fun (a, b) -> if a = !d then indeg.(b) <- indeg.(b) - 1)
+         !edges
+     done
+   with Cycle _ as e -> raise e);
+  { n; edges = !edges; order; sparse_dims }
+
+(** Dimensions that are not stored by the sparse operand: they become the
+    innermost dense loops (e.g. SpMM's k), in iteration order. *)
+let dense_only_dims (g : t) =
+  Array.to_list g.order
+  |> List.filter (fun d -> not (Array.exists (Int.equal d) g.sparse_dims))
+
+(** [to_string g] draws the graph in the Fig. 4 spirit. *)
+let to_string (g : t) =
+  let names = Affine.dim_names g.n in
+  Printf.sprintf "dims: %s\nedges: %s\norder: %s"
+    (String.concat ", " (Array.to_list names))
+    (String.concat ", "
+       (List.map
+          (fun (a, b) -> Printf.sprintf "%s->%s" names.(a) names.(b))
+          g.edges))
+    (String.concat " "
+       (Array.to_list (Array.map (fun d -> names.(d)) g.order)))

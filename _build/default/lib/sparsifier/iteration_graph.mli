@@ -1,0 +1,31 @@
+(** Iteration graphs (paper §3.1, Fig. 4; Kjolstad's sparse iteration
+    theory).
+
+    Nodes are iteration-space dimensions; an edge [d1 -> d2] records that
+    [d1] must be iterated before [d2]. Sparse operands contribute the
+    edges of their coordinate hierarchy; dense operands add no hard
+    constraints. *)
+
+module Kernel = Asap_lang.Kernel
+
+type t = {
+  n : int;                     (** iteration-space rank *)
+  edges : (int * int) list;    (** (before, after) *)
+  order : int array;           (** topological iteration order *)
+  sparse_dims : int array;     (** dims in sparse level order *)
+}
+
+exception Cycle of string
+
+(** [build k] constructs the graph and a topological order preferring the
+    textual dimension order (which, with [sorted = true], reproduces
+    MLIR's no-reorder behaviour).
+    @raise Cycle if the constraints are unsatisfiable. *)
+val build : Kernel.t -> t
+
+(** Dimensions not stored by the sparse operand: they become the innermost
+    dense loops (e.g. SpMM's k), in iteration order. *)
+val dense_only_dims : t -> int list
+
+(** [to_string g] draws the graph in the Fig. 4 spirit. *)
+val to_string : t -> string

@@ -1,0 +1,215 @@
+(* Merge-based co-iteration (paper §3.1).
+
+   When a dimension node of the iteration graph receives edges from two
+   *sparse* operands, iterate-and-locate does not apply (neither side
+   supports constant-time membership checks) and the compiler must merge
+   the two sorted coordinate streams. This module implements that second
+   co-iteration strategy for element-wise kernels over two compressed
+   operands:
+
+     out = B (+) C      union merge      (a[i] = B[i] + C[i])
+     out = B (x) C      intersection     (a[i] = B[i] * C[i])
+
+   in rank-1 form (two sparse vectors) and rank-2 row-wise form (two CSR
+   matrices merged row by row into a dense output).
+
+   The generated loop is the classic two-pointer merge: a while loop
+   carrying both positions, coordinate compares, conditional stores, and
+   select-based pointer advances; union adds two tail loops. Merge loops
+   contain no iterate-and-locate sites, so the prefetch hook does not
+   apply here (the scatter into the dense output is segment-ordered and
+   streams well). *)
+
+module Encoding = Asap_tensor.Encoding
+open Asap_ir
+
+type op = Union_add | Intersect_mul
+
+(* Which runtime datum each buffer parameter binds to. *)
+type binding =
+  | Mpos of [ `B | `C ] * int   (* positions buffer of a level *)
+  | Mcrd of [ `B | `C ] * int
+  | Mvals of [ `B | `C ]
+  | Mout
+
+type compiled = {
+  m_fn : Ir.func;
+  m_op : op;
+  m_rank : int;
+  m_buffers : (Ir.buffer * binding) list;
+  m_scalars : (Ir.value * int) list;  (* scalar param -> dimension extent *)
+}
+
+(* Emit the two-pointer merge over [blo, bhi) x [clo, chi), writing
+   results into [out] at [out_base + coord]. *)
+let emit_merge b ~op ~bcrd ~bvals ~ccrd ~cvals ~out ~out_base ~blo ~bhi ~clo
+    ~chi =
+  let c1 = Builder.index b 1 in
+  let out_at coord =
+    match out_base with
+    | None -> coord
+    | Some base -> Builder.iadd b base coord
+  in
+  let accumulate coord v =
+    let addr = out_at coord in
+    let cur = Builder.load b ~name:"outv" out addr in
+    Builder.store b out addr (Builder.fadd b cur v)
+  in
+  let results =
+    Builder.while_ b ~tag:"merge"
+      [ ("bi", Ir.Index, blo); ("ci", Ir.Index, clo) ]
+      (fun args ->
+        let bi = List.nth args 0 and ci = List.nth args 1 in
+        let inb = Builder.icmp b Ir.Ult bi bhi in
+        let inc = Builder.icmp b Ir.Ult ci chi in
+        Builder.ibin b Ir.Iand inb inc)
+      (fun args ->
+        let bi = List.nth args 0 and ci = List.nth args 1 in
+        let i = Builder.load b ~name:"i" bcrd bi in
+        let j = Builder.load b ~name:"j" ccrd ci in
+        let eq = Builder.icmp b Ir.Eq i j in
+        let lt = Builder.icmp b Ir.Ult i j in
+        (match op with
+         | Union_add ->
+           Builder.if_ b eq
+             (fun () ->
+               let x = Builder.load b ~name:"bv" bvals bi in
+               let y = Builder.load b ~name:"cv" cvals ci in
+               accumulate i (Builder.fadd b x y))
+             (fun () ->
+               Builder.if_ b lt
+                 (fun () ->
+                   let x = Builder.load b ~name:"bv" bvals bi in
+                   accumulate i x)
+                 (fun () ->
+                   let y = Builder.load b ~name:"cv" cvals ci in
+                   accumulate j y))
+         | Intersect_mul ->
+           Builder.if_ b eq
+             (fun () ->
+               let x = Builder.load b ~name:"bv" bvals bi in
+               let y = Builder.load b ~name:"cv" cvals ci in
+               accumulate i (Builder.fmul b x y))
+             (fun () -> ()));
+        (* Advance: bi when i <= j, ci when j <= i. *)
+        let le = Builder.ibin b Ir.Ior eq lt in
+        let bstep = Builder.select b le c1 (Builder.index b 0) in
+        let cstep =
+          Builder.select b lt (Builder.index b 0) c1
+        in
+        [ Builder.iadd b bi bstep; Builder.iadd b ci cstep ])
+  in
+  match op with
+  | Intersect_mul -> ()
+  | Union_add ->
+    (* Tails: whichever stream remains contributes alone. *)
+    let tail crd vals lo hi =
+      let (_ : Ir.value list) =
+        Builder.while_ b ~tag:"merge tail"
+          [ ("ti", Ir.Index, lo) ]
+          (fun args -> Builder.icmp b Ir.Ult (List.hd args) hi)
+          (fun args ->
+            let ti = List.hd args in
+            let i = Builder.load b ~name:"i" crd ti in
+            let x = Builder.load b ~name:"v" vals ti in
+            accumulate i x;
+            [ Builder.iadd b ti c1 ])
+      in
+      ()
+    in
+    (match results with
+     | [ bfin; cfin ] ->
+       tail bcrd bvals bfin bhi;
+       tail ccrd cvals cfin chi
+     | _ -> assert false)
+
+(* Shared parameter setup for one sparse operand under a given encoding
+   level set; only compressed levels are supported here. *)
+let sparse_params bld name side rank bindings =
+  let add nm elem bind =
+    let buffer = Builder.buf bld nm elem in
+    bindings := (buffer, bind) :: !bindings;
+    buffer
+  in
+  let pos =
+    Array.init rank (fun l ->
+        add (Printf.sprintf "%s%d_pos" name l) Ir.EIdx32 (Mpos (side, l)))
+  in
+  let crd =
+    Array.init rank (fun l ->
+        add (Printf.sprintf "%s%d_crd" name l) Ir.EIdx32 (Mcrd (side, l)))
+  in
+  let vals = add (name ^ "_vals") Ir.EF64 (Mvals side) in
+  (pos, crd, vals)
+
+(** [vector_ewise op] compiles out = B (+/x) C over two compressed sparse
+    vectors into a dense output vector. *)
+let vector_ewise (op : op) : compiled =
+  let bld = Builder.create () in
+  let bindings = ref [] in
+  let bpos, bcrd, bvals = sparse_params bld "B" `B 1 bindings in
+  let cpos, ccrd, cvals = sparse_params bld "C" `C 1 bindings in
+  let out = Builder.buf bld "a" Ir.EF64 in
+  bindings := (out, Mout) :: !bindings;
+  let n = Builder.scalar_param bld "d_i" Ir.Index in
+  let c0 = Builder.index bld 0 and c1 = Builder.index bld 1 in
+  let blo = Builder.load bld ~name:"blo" bpos.(0) c0 in
+  let bhi = Builder.load bld ~name:"bhi" bpos.(0) c1 in
+  let clo = Builder.load bld ~name:"clo" cpos.(0) c0 in
+  let chi = Builder.load bld ~name:"chi" cpos.(0) c1 in
+  emit_merge bld ~op ~bcrd:bcrd.(0) ~bvals ~ccrd:ccrd.(0) ~cvals ~out
+    ~out_base:None ~blo ~bhi ~clo ~chi;
+  let name =
+    match op with
+    | Union_add -> "spvec_add"
+    | Intersect_mul -> "spvec_mul"
+  in
+  let fn = Builder.finish bld name in
+  (match Verify.check_result fn with
+   | Ok () -> ()
+   | Error m -> invalid_arg ("merge vector_ewise: ill-formed IR: " ^ m));
+  { m_fn = fn; m_op = op; m_rank = 1; m_buffers = List.rev !bindings;
+    m_scalars = [ (n, 0) ] }
+
+(** [matrix_ewise op] compiles out = B (+/x) C over two CSR matrices into
+    a dense row-major output: a dense outer row loop and a merge of the
+    two row segments inside. *)
+let matrix_ewise (op : op) : compiled =
+  let bld = Builder.create () in
+  let bindings = ref [] in
+  (* CSR: level 0 dense (no buffers), level 1 compressed. *)
+  let add nm elem bind =
+    let buffer = Builder.buf bld nm elem in
+    bindings := (buffer, bind) :: !bindings;
+    buffer
+  in
+  let bpos = add "Bj_pos" Ir.EIdx32 (Mpos (`B, 1)) in
+  let bcrd = add "Bj_crd" Ir.EIdx32 (Mcrd (`B, 1)) in
+  let bvals = add "B_vals" Ir.EF64 (Mvals `B) in
+  let cpos = add "Cj_pos" Ir.EIdx32 (Mpos (`C, 1)) in
+  let ccrd = add "Cj_crd" Ir.EIdx32 (Mcrd (`C, 1)) in
+  let cvals = add "C_vals" Ir.EF64 (Mvals `C) in
+  let out = add "a" Ir.EF64 Mout in
+  let rows = Builder.scalar_param bld "d_i" Ir.Index in
+  let cols = Builder.scalar_param bld "d_j" Ir.Index in
+  let c0 = Builder.index bld 0 and c1 = Builder.index bld 1 in
+  Builder.for0 bld ~tag:"rows" "i" c0 rows (fun i ->
+      let i1 = Builder.iadd bld i c1 in
+      let blo = Builder.load bld ~name:"blo" bpos i in
+      let bhi = Builder.load bld ~name:"bhi" bpos i1 in
+      let clo = Builder.load bld ~name:"clo" cpos i in
+      let chi = Builder.load bld ~name:"chi" cpos i1 in
+      let base = Builder.imul bld i cols in
+      emit_merge bld ~op ~bcrd ~bvals ~ccrd ~cvals ~out ~out_base:(Some base)
+        ~blo ~bhi ~clo ~chi);
+  let name =
+    match op with
+    | Union_add -> "spmat_add"
+    | Intersect_mul -> "spmat_mul"
+  in
+  let fn = Builder.finish bld name in
+  (match Verify.check_result fn with
+   | Ok () -> ()
+   | Error m -> invalid_arg ("merge matrix_ewise: ill-formed IR: " ^ m));
+  { m_fn = fn; m_op = op; m_rank = 2; m_buffers = List.rev !bindings;
+    m_scalars = [ (rows, 0); (cols, 1) ] }

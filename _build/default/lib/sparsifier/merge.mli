@@ -1,0 +1,37 @@
+(** Merge-based co-iteration (paper §3.1).
+
+    When a dimension receives edges from two {e sparse} operands,
+    iterate-and-locate does not apply and the compiler merges the two
+    sorted coordinate streams: a two-pointer while loop with coordinate
+    compares, conditional stores, and select-based pointer advances;
+    union adds two tail loops. *)
+
+open Asap_ir
+
+type op =
+  | Union_add                   (** out = B + C, union of coordinates *)
+  | Intersect_mul               (** out = B * C, intersection *)
+
+(** Which runtime datum each buffer parameter binds to. *)
+type binding =
+  | Mpos of [ `B | `C ] * int
+  | Mcrd of [ `B | `C ] * int
+  | Mvals of [ `B | `C ]
+  | Mout
+
+type compiled = {
+  m_fn : Ir.func;
+  m_op : op;
+  m_rank : int;
+  m_buffers : (Ir.buffer * binding) list;
+  m_scalars : (Ir.value * int) list; (** scalar param -> dimension extent *)
+}
+
+(** [vector_ewise op] compiles out = B (+/x) C over two compressed sparse
+    vectors into a dense output vector. The result is verified. *)
+val vector_ewise : op -> compiled
+
+(** [matrix_ewise op] compiles out = B (+/x) C over two CSR matrices into
+    a dense row-major output: a dense outer row loop with a merge of the
+    two row segments inside. *)
+val matrix_ewise : op -> compiled

@@ -1,0 +1,1 @@
+lib/tensor/coo.ml: Array Fun List Printf

@@ -1,0 +1,1 @@
+lib/tensor/coord_tree.ml: Array Buffer Encoding List Printf Storage String

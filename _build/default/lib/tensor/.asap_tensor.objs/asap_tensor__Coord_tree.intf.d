@@ -1,0 +1,1 @@
+lib/tensor/coord_tree.mli: Storage

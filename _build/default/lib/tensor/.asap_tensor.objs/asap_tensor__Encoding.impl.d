@@ -1,0 +1,1 @@
+lib/tensor/encoding.ml: Array Fun List Printf String

@@ -1,0 +1,1 @@
+lib/tensor/encoding.mli:

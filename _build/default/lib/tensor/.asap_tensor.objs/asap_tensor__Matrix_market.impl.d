@@ -1,0 +1,1 @@
+lib/tensor/matrix_market.ml: Array Buffer Coo Fun In_channel List Printf Seq String

@@ -1,0 +1,1 @@
+lib/tensor/matrix_market.mli: Coo Seq

@@ -1,0 +1,1 @@
+lib/tensor/storage.ml: Array Coo Encoding List Printf String

@@ -1,0 +1,1 @@
+lib/tensor/storage.mli: Coo Encoding

@@ -1,0 +1,83 @@
+(* Coordinate hierarchy trees (paper §2.2, Fig. 2).
+
+   A viewable tree form of a packed tensor: levels correspond to storage
+   levels, nodes carry coordinate values, root-to-leaf paths enumerate the
+   stored elements. Used by examples/tests to check storage construction
+   against the paper's Fig. 2 drawings. *)
+
+type node = {
+  coord : int option;          (* None for the root *)
+  children : node list;
+  leaf_value : float option;   (* Some v at leaves *)
+}
+
+(** [of_storage t] rebuilds the coordinate hierarchy tree of [t]. *)
+let of_storage (t : Storage.t) : node =
+  let rank = Encoding.rank t.enc in
+  let rec level l node_idx coord =
+    if l = rank then
+      { coord; children = []; leaf_value = Some t.vals.(node_idx) }
+    else
+      let children =
+        match t.lvls.(l) with
+        | Storage.Ldense { lsize } ->
+          List.init lsize (fun v -> level (l + 1) ((node_idx * lsize) + v) (Some v))
+        | Storage.Lcompressed { pos; crd; _ } ->
+          List.init
+            (pos.(node_idx + 1) - pos.(node_idx))
+            (fun k ->
+              let p = pos.(node_idx) + k in
+              level (l + 1) p (Some crd.(p)))
+        | Storage.Lsingleton { crd } ->
+          [ level (l + 1) node_idx (Some crd.(node_idx)) ]
+      in
+      { coord; children; leaf_value = None }
+  in
+  (* The root wraps level-0 nodes: for a dense or compressed top level the
+     single "segment" of level-0 nodes becomes the root's children. *)
+  let top =
+    match t.lvls.(0) with
+    | Storage.Ldense { lsize } ->
+      List.init lsize (fun v -> level 1 v (Some v))
+      |> fun cs -> { coord = None; children = cs; leaf_value = None }
+    | Storage.Lcompressed { pos; crd; _ } ->
+      let cs =
+        List.init (pos.(1) - pos.(0)) (fun k ->
+            let p = pos.(0) + k in
+            level 1 p (Some crd.(p)))
+      in
+      { coord = None; children = cs; leaf_value = None }
+    | Storage.Lsingleton _ -> assert false  (* rejected by Encoding.validate *)
+  in
+  top
+
+let rec depth n =
+  match n.children with
+  | [] -> 0
+  | cs -> 1 + List.fold_left (fun d c -> max d (depth c)) 0 cs
+
+(* Count stored elements: nodes carrying a value. An empty CSR row is a
+   childless inner node, not a leaf. *)
+let rec leaf_count n =
+  match n.leaf_value with
+  | Some _ -> 1
+  | None -> List.fold_left (fun k c -> k + leaf_count c) 0 n.children
+
+(** [to_string tree] draws the tree with one node per line, indented by
+    level, leaves annotated with their value. *)
+let to_string (tree : node) =
+  let buf = Buffer.create 256 in
+  let rec go indent n =
+    (match n.coord with
+     | None -> Buffer.add_string buf "(root)\n"
+     | Some c ->
+       Buffer.add_string buf (String.make indent ' ');
+       Buffer.add_string buf (string_of_int c);
+       (match n.leaf_value with
+        | Some v -> Buffer.add_string buf (Printf.sprintf " = %g" v)
+        | None -> ());
+       Buffer.add_char buf '\n');
+    List.iter (go (indent + 2)) n.children
+  in
+  go 0 tree;
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Coordinate hierarchy trees (paper §2.2, Fig. 2).
+
+    A viewable tree form of packed storage: levels correspond to storage
+    levels, nodes carry coordinate values, root-to-leaf paths enumerate the
+    stored elements. *)
+
+type node = {
+  coord : int option;          (** [None] for the root *)
+  children : node list;
+  leaf_value : float option;   (** [Some v] at value leaves *)
+}
+
+(** [of_storage t] rebuilds the coordinate hierarchy tree of [t]. *)
+val of_storage : Storage.t -> node
+
+(** [depth n] is the number of levels below [n]. *)
+val depth : node -> int
+
+(** [leaf_count n] counts stored elements (childless inner nodes — e.g.
+    CSR's empty rows — are not leaves). *)
+val leaf_count : node -> int
+
+(** [to_string tree] draws the tree, one node per line, indented by level,
+    leaves annotated with their value. *)
+val to_string : node -> string

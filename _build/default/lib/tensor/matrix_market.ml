@@ -1,0 +1,114 @@
+(* Matrix Market (.mtx) coordinate-format reader/writer.
+
+   Supports the subset SuiteSparse distributes: object "matrix", format
+   "coordinate", fields real/integer/pattern, symmetries general/symmetric/
+   skew-symmetric. Pattern entries get value 1.0. Symmetric storage is
+   expanded to the full matrix on read. *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type field = Real | Integer | Pattern
+type symmetry = General | Symmetric | Skew_symmetric
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse_header line =
+  match split_ws (String.lowercase_ascii line) with
+  | bang :: "matrix" :: "coordinate" :: field :: sym :: _
+    when bang = "%%matrixmarket" ->
+    let field =
+      match field with
+      | "real" -> Real
+      | "integer" -> Integer
+      | "pattern" -> Pattern
+      | f -> fail "unsupported field %S" f
+    in
+    let sym =
+      match sym with
+      | "general" -> General
+      | "symmetric" -> Symmetric
+      | "skew-symmetric" -> Skew_symmetric
+      | s -> fail "unsupported symmetry %S" s
+    in
+    (field, sym)
+  | _ -> fail "bad MatrixMarket header: %S" line
+
+(** [of_lines lines] parses the line sequence of a .mtx file. *)
+let of_lines (lines : string Seq.t) : Coo.t =
+  let lines = Seq.filter (fun l -> String.trim l <> "") lines in
+  match lines () with
+  | Seq.Nil -> fail "empty file"
+  | Seq.Cons (header, rest) ->
+    let field, sym = parse_header header in
+    let rest = Seq.filter (fun l -> l.[0] <> '%') rest in
+    (match rest () with
+     | Seq.Nil -> fail "missing size line"
+     | Seq.Cons (size_line, entries) ->
+       let rows, cols, nnz =
+         match split_ws size_line with
+         | [ r; c; n ] ->
+           (try (int_of_string r, int_of_string c, int_of_string n)
+            with Failure _ -> fail "bad size line: %S" size_line)
+         | _ -> fail "bad size line: %S" size_line
+       in
+       let triples = ref [] and count = ref 0 in
+       Seq.iter
+         (fun line ->
+           let i, j, v =
+             match split_ws line, field with
+             | [ i; j ], Pattern -> (int_of_string i, int_of_string j, 1.0)
+             | [ i; j; v ], (Real | Integer) ->
+               (int_of_string i, int_of_string j, float_of_string v)
+             | [ i; j; v ], Pattern ->
+               (int_of_string i, int_of_string j, float_of_string v)
+             | _ -> fail "bad entry line: %S" line
+           in
+           let i = i - 1 and j = j - 1 in
+           if i < 0 || i >= rows || j < 0 || j >= cols then
+             fail "entry (%d, %d) out of %dx%d" (i + 1) (j + 1) rows cols;
+           triples := (i, j, v) :: !triples;
+           (match sym with
+            | General -> ()
+            | Symmetric -> if i <> j then triples := (j, i, v) :: !triples
+            | Skew_symmetric ->
+              if i <> j then triples := (j, i, -.v) :: !triples);
+           incr count)
+         entries;
+       if !count <> nnz then
+         fail "expected %d entries, found %d" nnz !count;
+       Coo.of_triples ~rows ~cols (List.rev !triples))
+
+let of_string s = of_lines (String.split_on_char '\n' s |> List.to_seq)
+
+let read path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lines = In_channel.input_lines ic in
+      of_lines (List.to_seq lines))
+
+(** [to_string coo] writes general real coordinate format. *)
+let to_string (coo : Coo.t) =
+  if Coo.rank coo <> 2 then invalid_arg "Matrix_market.to_string: not a matrix";
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "%%MatrixMarket matrix coordinate real general\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d %d\n" coo.dims.(0) coo.dims.(1) (Coo.nnz coo));
+  Array.iteri
+    (fun k c ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %.17g\n" (c.(0) + 1) (c.(1) + 1) coo.vals.(k)))
+    coo.coords;
+  Buffer.contents buf
+
+let write path coo =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string coo))

@@ -1,0 +1,25 @@
+(** Matrix Market (.mtx) coordinate-format reader/writer.
+
+    Supports the subset SuiteSparse distributes: object "matrix", format
+    "coordinate", fields real/integer/pattern, symmetries
+    general/symmetric/skew-symmetric. Pattern entries get value 1.0;
+    symmetric storage is expanded to the full matrix on read. *)
+
+exception Parse_error of string
+
+(** [of_lines lines] parses the line sequence of a .mtx file.
+    @raise Parse_error on malformed input. *)
+val of_lines : string Seq.t -> Coo.t
+
+(** [of_string s] parses in-memory .mtx text. *)
+val of_string : string -> Coo.t
+
+(** [read path] parses the file at [path]. *)
+val read : string -> Coo.t
+
+(** [to_string coo] renders general real coordinate format.
+    @raise Invalid_argument if [coo] is not rank 2. *)
+val to_string : Coo.t -> string
+
+(** [write path coo] writes [coo] to [path]. *)
+val write : string -> Coo.t -> unit

@@ -1,0 +1,198 @@
+(* Segmented buffer storage of coordinate hierarchy trees (paper §2.3).
+
+   [pack] serialises a COO tensor into per-level buffers according to an
+   encoding: dense levels store nothing, compressed levels a pos/crd pair,
+   singleton levels a crd buffer. Node identity at level l is the index of
+   the node among all level-l nodes, which makes the child relation purely
+   arithmetic: dense children are [node * size + v], compressed children are
+   the positions [pos[node], pos[node+1]), singleton children are [node]. *)
+
+type level_storage =
+  | Ldense of { lsize : int }
+  | Lcompressed of { pos : int array; crd : int array; unique : bool }
+  | Lsingleton of { crd : int array }
+
+type t = {
+  enc : Encoding.t;
+  dims : int array;
+  lvls : level_storage array;
+  vals : float array;
+}
+
+let nnz_of t = Array.length t.vals
+
+(** [pack enc coo] sorts, deduplicates and serialises [coo].
+
+    The construction sweeps levels top-down over the element range,
+    maintaining the current segmentation: one (start, end) run of elements
+    per node of the previous level. *)
+let pack (enc : Encoding.t) (coo : Coo.t) : t =
+  if Encoding.rank enc <> Coo.rank coo then
+    invalid_arg "Storage.pack: encoding rank does not match tensor rank";
+  let sorted = Coo.sorted_dedup ~perm:enc.dim_to_lvl coo in
+  let n = Coo.nnz sorted in
+  let rank = Encoding.rank enc in
+  let key l k = sorted.coords.(k).(enc.dim_to_lvl.(l)) in
+  let segs = ref [| (0, n) |] in
+  let lvls = Array.make rank (Ldense { lsize = 0 }) in
+  for l = 0 to rank - 1 do
+    let parents = !segs in
+    let np = Array.length parents in
+    (match enc.levels.(l) with
+     | Encoding.Dense ->
+       let lsize = coo.dims.(enc.dim_to_lvl.(l)) in
+       let out = Array.make (np * lsize) (0, 0) in
+       Array.iteri
+         (fun p (s, e) ->
+           let i = ref s in
+           for v = 0 to lsize - 1 do
+             let s' = !i in
+             while !i < e && key l !i = v do incr i done;
+             out.((p * lsize) + v) <- (s', !i)
+           done;
+           assert (!i = e))
+         parents;
+       lvls.(l) <- Ldense { lsize };
+       segs := out
+     | Encoding.Compressed { unique = true } ->
+       let pos = Array.make (np + 1) 0 in
+       let crd = ref [] and out = ref [] and count = ref 0 in
+       Array.iteri
+         (fun p (s, e) ->
+           let i = ref s in
+           while !i < e do
+             let v = key l !i in
+             let s' = !i in
+             while !i < e && key l !i = v do incr i done;
+             crd := v :: !crd;
+             out := (s', !i) :: !out;
+             incr count
+           done;
+           pos.(p + 1) <- !count)
+         parents;
+       lvls.(l) <-
+         Lcompressed
+           { pos; crd = Array.of_list (List.rev !crd); unique = true };
+       segs := Array.of_list (List.rev !out)
+     | Encoding.Compressed { unique = false } ->
+       (* One crd entry and one child per element: duplicate parent
+          coordinates are retained, as in COO's top level. *)
+       let pos = Array.make (np + 1) 0 in
+       let crd = Array.make n 0 in
+       let out = Array.make n (0, 0) in
+       Array.iteri
+         (fun p (s, e) ->
+           for i = s to e - 1 do
+             crd.(i) <- key l i;
+             out.(i) <- (i, i + 1)
+           done;
+           pos.(p + 1) <- e)
+         parents;
+       lvls.(l) <- Lcompressed { pos; crd; unique = false };
+       segs := out
+     | Encoding.Singleton ->
+       let crd = Array.make n 0 in
+       let out = Array.make n (0, 0) in
+       Array.iteri
+         (fun _ (s, e) ->
+           for i = s to e - 1 do
+             crd.(i) <- key l i;
+             out.(i) <- (i, i + 1)
+           done)
+         parents;
+       lvls.(l) <- Lsingleton { crd };
+       segs := out)
+  done;
+  (* Leaf values: one per leaf node; dense leaf levels imply explicit
+     zeros for absent coordinates. *)
+  let leaves = !segs in
+  let vals = Array.make (Array.length leaves) 0. in
+  Array.iteri
+    (fun node (s, e) ->
+      assert (e - s <= 1);
+      if e > s then vals.(node) <- sorted.vals.(s))
+    leaves;
+  { enc; dims = Array.copy coo.dims; lvls; vals }
+
+(** [iter f t] visits every stored leaf (including explicit zeros of dense
+    leaf levels) with its dimension-order coordinates. *)
+let iter f (t : t) =
+  let rank = Encoding.rank t.enc in
+  let coord = Array.make rank 0 in
+  let rec go l node =
+    if l = rank then f (Array.copy coord) t.vals.(node)
+    else
+      let dim = t.enc.dim_to_lvl.(l) in
+      match t.lvls.(l) with
+      | Ldense { lsize } ->
+        for v = 0 to lsize - 1 do
+          coord.(dim) <- v;
+          go (l + 1) ((node * lsize) + v)
+        done
+      | Lcompressed { pos; crd; _ } ->
+        for p = pos.(node) to pos.(node + 1) - 1 do
+          coord.(dim) <- crd.(p);
+          go (l + 1) p
+        done
+      | Lsingleton { crd } ->
+        coord.(dim) <- crd.(node);
+        go (l + 1) node
+  in
+  go 0 0
+
+(** [to_coo t] recovers the COO form, dropping explicit zeros. *)
+let to_coo (t : t) : Coo.t =
+  let cs = ref [] and vs = ref [] and n = ref 0 in
+  iter
+    (fun c v ->
+      if v <> 0. then begin
+        cs := c :: !cs;
+        vs := v :: !vs;
+        incr n
+      end)
+    t;
+  { Coo.dims = Array.copy t.dims;
+    coords = Array.of_list (List.rev !cs);
+    vals = Array.of_list (List.rev !vs) }
+
+(** [convert enc t] re-packs [t] under a different encoding. *)
+let convert enc t = pack enc (to_coo t)
+
+let pos_buf t l =
+  match t.lvls.(l) with
+  | Lcompressed { pos; _ } -> Some pos
+  | Ldense _ | Lsingleton _ -> None
+
+let crd_buf t l =
+  match t.lvls.(l) with
+  | Lcompressed { crd; _ } | Lsingleton { crd } -> Some crd
+  | Ldense _ -> None
+
+(** Total bytes of the serialised form (pos + crd at the encoding's index
+    width, values as f64), mirroring the paper's footprint accounting. *)
+let footprint_bytes t =
+  let ib = match t.enc.width with Encoding.W32 -> 4 | Encoding.W64 -> 8 in
+  let acc = ref (Array.length t.vals * 8) in
+  Array.iter
+    (function
+      | Ldense _ -> ()
+      | Lcompressed { pos; crd; _ } ->
+        acc := !acc + (ib * (Array.length pos + Array.length crd))
+      | Lsingleton { crd } -> acc := !acc + (ib * Array.length crd))
+    t.lvls;
+  !acc
+
+(** [describe t] is a one-line summary used by the CLI and examples. *)
+let describe t =
+  let lvl = function
+    | Ldense { lsize } -> Printf.sprintf "dense(%d)" lsize
+    | Lcompressed { pos; crd; unique } ->
+      Printf.sprintf "compressed%s(pos:%d, crd:%d)"
+        (if unique then "" else "-nu")
+        (Array.length pos) (Array.length crd)
+    | Lsingleton { crd } -> Printf.sprintf "singleton(crd:%d)" (Array.length crd)
+  in
+  Printf.sprintf "%s %s [%s] vals:%d" t.enc.name
+    (String.concat "x" (Array.to_list (Array.map string_of_int t.dims)))
+    (String.concat ", " (Array.to_list (Array.map lvl t.lvls)))
+    (Array.length t.vals)

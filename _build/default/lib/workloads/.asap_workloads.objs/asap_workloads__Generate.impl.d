@@ -1,0 +1,1 @@
+lib/workloads/generate.ml: Array Asap_tensor Float List Rng

@@ -1,0 +1,186 @@
+(* Synthetic sparse matrix generators.
+
+   Stand-ins for the SuiteSparse families the paper evaluates (§4.2): the
+   benchmark shapes only depend on structural statistics — row-degree
+   distribution, column locality (reuse distance of the dense operand), and
+   footprint relative to the caches — which these generators control
+   directly. All generation is deterministic in the seed. *)
+
+module Coo = Asap_tensor.Coo
+
+(* Dedup/sort once at the end; duplicate coordinates are summed by
+   [Coo.sorted_dedup] inside [Storage.pack], so generators may emit
+   collisions freely. *)
+let of_rowcols ~rows ~cols entries rng =
+  let n = List.length entries in
+  let coords = Array.make n [||] and vals = Array.make n 0. in
+  List.iteri
+    (fun k (i, j) ->
+      coords.(k) <- [| i; j |];
+      vals.(k) <- 0.5 +. Rng.float rng)
+    entries;
+  Coo.create ~dims:[| rows; cols |] ~coords ~vals
+
+(** Uniform random matrix: every non-zero position independent — the worst
+    case for locality (GAP-urand style). *)
+let uniform ~seed ~rows ~cols ~nnz () =
+  let rng = Rng.create seed in
+  let entries = ref [] in
+  for _ = 1 to nnz do
+    entries := (Rng.int rng rows, Rng.int rng cols) :: !entries
+  done;
+  of_rowcols ~rows ~cols !entries rng
+
+(** Power-law graph adjacency (SNAP/LAW/GAP style): row degrees follow a
+    bounded Pareto with exponent [alpha]; a fraction [locality] of the
+    columns are drawn near the diagonal (web-graph clustering), the rest
+    uniformly. Low [alpha] gives the heavy skew of twitter-like graphs. *)
+let power_law ~seed ~rows ~cols ~avg_deg ~alpha ?(locality = 0.0)
+    ?(max_deg_frac = 0.01) () =
+  let rng = Rng.create seed in
+  let x_max = max 4 (int_of_float (float_of_int cols *. max_deg_frac)) in
+  let entries = ref [] in
+  (* Scale sampled degrees so the expected average matches avg_deg. *)
+  let sample () = Rng.power_law rng ~alpha ~x_min:1 ~x_max in
+  let probe = Array.init 1024 (fun _ -> sample ()) in
+  let probe_mean =
+    float_of_int (Array.fold_left ( + ) 0 probe) /. 1024.
+  in
+  let scale = float_of_int avg_deg /. probe_mean in
+  for i = 0 to rows - 1 do
+    let d =
+      max 1 (int_of_float (Float.round (float_of_int (sample ()) *. scale)))
+    in
+    for _ = 1 to min d x_max do
+      let j =
+        if Rng.float rng < locality then begin
+          let w = max 16 (cols / 64) in
+          let base = i * cols / rows in
+          let off = Rng.int rng (2 * w) - w in
+          let j = base + off in
+          if j < 0 then j + cols else if j >= cols then j - cols else j
+        end
+        else Rng.int rng cols
+      in
+      entries := (i, j) :: !entries
+    done
+  done;
+  of_rowcols ~rows ~cols !entries rng
+
+(** Banded matrix: [band] diagonals around the main one — structured,
+    cache-friendly (the "Others" bucket). *)
+let banded ~seed ~n ~band () =
+  let rng = Rng.create seed in
+  let entries = ref [] in
+  for i = 0 to n - 1 do
+    for o = -band to band do
+      let j = i + o in
+      if j >= 0 && j < n then entries := (i, j) :: !entries
+    done
+  done;
+  of_rowcols ~rows:n ~cols:n !entries rng
+
+(** 5-point 2-D stencil on a [side] x [side] grid (PDE discretisation). *)
+let stencil_2d ~seed ~side () =
+  let rng = Rng.create seed in
+  let n = side * side in
+  let idx x y = (x * side) + y in
+  let entries = ref [] in
+  for x = 0 to side - 1 do
+    for y = 0 to side - 1 do
+      let i = idx x y in
+      entries := (i, i) :: !entries;
+      if x > 0 then entries := (i, idx (x - 1) y) :: !entries;
+      if x < side - 1 then entries := (i, idx (x + 1) y) :: !entries;
+      if y > 0 then entries := (i, idx x (y - 1)) :: !entries;
+      if y < side - 1 then entries := (i, idx x (y + 1)) :: !entries
+    done
+  done;
+  of_rowcols ~rows:n ~cols:n !entries rng
+
+(** 7-point 3-D stencil on a [side]^3 grid. *)
+let stencil_3d ~seed ~side () =
+  let rng = Rng.create seed in
+  let n = side * side * side in
+  let idx x y z = (((x * side) + y) * side) + z in
+  let entries = ref [] in
+  for x = 0 to side - 1 do
+    for y = 0 to side - 1 do
+      for z = 0 to side - 1 do
+        let i = idx x y z in
+        let push j = entries := (i, j) :: !entries in
+        push i;
+        if x > 0 then push (idx (x - 1) y z);
+        if x < side - 1 then push (idx (x + 1) y z);
+        if y > 0 then push (idx x (y - 1) z);
+        if y < side - 1 then push (idx x (y + 1) z);
+        if z > 0 then push (idx x y (z - 1));
+        if z < side - 1 then push (idx x y (z + 1))
+      done
+    done
+  done;
+  of_rowcols ~rows:n ~cols:n !entries rng
+
+(** FEM-like block-banded matrix: dense [blk] x [blk] element blocks along
+    a band (Janna-collection style: large rows, strong locality). *)
+let fem_blocks ~seed ~nblocks ~blk ~reach () =
+  let rng = Rng.create seed in
+  let n = nblocks * blk in
+  let entries = ref [] in
+  for b = 0 to nblocks - 1 do
+    for nb = max 0 (b - reach) to min (nblocks - 1) (b + reach) do
+      for r = 0 to blk - 1 do
+        for c = 0 to blk - 1 do
+          entries := ((b * blk) + r, (nb * blk) + c) :: !entries
+        done
+      done
+    done
+  done;
+  of_rowcols ~rows:n ~cols:n !entries rng
+
+(** Road-network-like graph: constant small degree, strongly local columns
+    with occasional long-range links (DIMACS10 street networks). *)
+let road ~seed ~n ~deg () =
+  let rng = Rng.create seed in
+  let entries = ref [] in
+  for i = 0 to n - 1 do
+    for _ = 1 to deg do
+      let j =
+        if Rng.float rng < 0.95 then begin
+          let off = Rng.int rng 64 - 32 in
+          let j = i + off in
+          if j < 0 then j + n else if j >= n then j - n else j
+        end
+        else Rng.int rng n
+      in
+      entries := (i, j) :: !entries
+    done
+  done;
+  of_rowcols ~rows:n ~cols:n !entries rng
+
+(** Uniform random rank-3 tensor (for CSF / tensor-times-vector runs). *)
+let tensor3 ~seed ~dims ~nnz () =
+  if Array.length dims <> 3 then invalid_arg "Generate.tensor3: need 3 dims";
+  let rng = Rng.create seed in
+  let coords = Array.make nnz [||] and vals = Array.make nnz 0. in
+  for k = 0 to nnz - 1 do
+    coords.(k) <-
+      [| Rng.int rng dims.(0); Rng.int rng dims.(1); Rng.int rng dims.(2) |];
+    vals.(k) <- 0.5 +. Rng.float rng
+  done;
+  Coo.create ~dims ~coords ~vals
+
+(** Heavy-tailed trace matrix (MAWI packet traces): a handful of huge rows
+    (backbone hosts) over a sea of tiny ones. *)
+let heavy_tail ~seed ~rows ~cols ~nnz ~hubs () =
+  let rng = Rng.create seed in
+  let entries = ref [] in
+  let hub_nnz = nnz / 2 in
+  for _ = 1 to hub_nnz do
+    let i = Rng.int rng hubs in
+    entries := (i, Rng.int rng cols) :: !entries
+  done;
+  for _ = 1 to nnz - hub_nnz do
+    entries := (hubs + Rng.int rng (rows - hubs), Rng.int rng cols) :: !entries
+  done;
+  of_rowcols ~rows ~cols !entries rng

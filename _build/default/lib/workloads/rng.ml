@@ -1,0 +1,43 @@
+(* SplitMix64: a small, fast, deterministic PRNG.
+
+   Benchmarks must be reproducible run-to-run, so all workload generation
+   derives from explicit seeds rather than global randomness. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [int t n] is uniform in [0, n). *)
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.logand (next_int64 t) Int64.max_int)
+                  (Int64.of_int n))
+
+(** [float t] is uniform in [0, 1). *)
+let float t =
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits /. 9007199254740992.0 (* 2^53 *)
+
+(** [power_law t ~alpha ~x_min ~x_max] samples a discrete bounded Pareto
+    value via inverse-transform — row degrees of social/web graphs. *)
+let power_law t ~alpha ~x_min ~x_max =
+  let a1 = 1.0 -. alpha in
+  let l = Float.pow (float_of_int x_min) a1 in
+  let h = Float.pow (float_of_int (x_max + 1)) a1 in
+  let u = float t in
+  let x = Float.pow (l +. (u *. (h -. l))) (1.0 /. a1) in
+  max x_min (min x_max (int_of_float x))
+
+(** [exponential t ~mean] samples a rounded exponential. *)
+let exponential t ~mean =
+  let u = Float.max 1e-12 (float t) in
+  int_of_float (Float.round (-.mean *. Float.log u))

@@ -1,0 +1,144 @@
+(* The synthetic evaluation collection.
+
+   Named matrices organised into the paper's matrix families (Fig. 7/10/11
+   group axis). The first six groups are the unstructured "Selected" set;
+   "Others" holds the structured matrices. Sizes are chosen for the scaled
+   evaluation machine (see Machine.gracemont_scaled): dense-operand
+   footprints range from cache-resident to several times the L3 capacity,
+   mirroring the paper's top-5% SuiteSparse selection relative to the real
+   caches. Generation is lazy (one matrix alive at a time) and
+   deterministic. *)
+
+module Coo = Asap_tensor.Coo
+
+type entry = {
+  name : string;
+  group : string;
+  binary : bool;                (* pattern matrix: i8 values, and/or body *)
+  spmm : bool;                  (* member of the SpMM (top-10%) subset *)
+  gen : unit -> Coo.t;
+}
+
+(** The unstructured groups aggregated as "Selected" in Figs. 7 and 11. *)
+let selected_groups =
+  [ "SNAP"; "DIMACS10"; "GAP"; "LAW"; "MAWI"; "GenBank" ]
+
+let entries : entry list =
+  [ (* SNAP: social networks, power-law degrees, no locality. *)
+    { name = "soc-pokec"; group = "SNAP"; binary = false; spmm = true;
+      gen = (fun () ->
+          Generate.power_law ~seed:101 ~rows:140_000 ~cols:140_000
+            ~avg_deg:8 ~alpha:2.1 ()) };
+    { name = "soc-livejournal"; group = "SNAP"; binary = false; spmm = true;
+      gen = (fun () ->
+          Generate.power_law ~seed:102 ~rows:180_000 ~cols:180_000
+            ~avg_deg:7 ~alpha:2.2 ()) };
+    { name = "com-orkut"; group = "SNAP"; binary = false; spmm = false;
+      gen = (fun () ->
+          Generate.power_law ~seed:103 ~rows:100_000 ~cols:100_000
+            ~avg_deg:13 ~alpha:2.0 ()) };
+    { name = "wiki-topcats"; group = "SNAP"; binary = false; spmm = false;
+      gen = (fun () ->
+          Generate.power_law ~seed:104 ~rows:160_000 ~cols:160_000
+            ~avg_deg:7 ~alpha:2.3 ()) };
+    (* Long-row unstructured matrix (hollywood-style collaboration
+       network): segments well beyond the prefetch distance, where the
+       prior art's segment-local bound costs nothing. *)
+    { name = "hollywood-2009"; group = "SNAP"; binary = false; spmm = false;
+      gen = (fun () ->
+          Generate.power_law ~seed:105 ~rows:30_000 ~cols:300_000
+            ~avg_deg:40 ~alpha:2.0 ~max_deg_frac:0.002 ()) };
+    (* DIMACS10: graph-partitioning instances — road meshes and synthetic
+       Kronecker graphs. *)
+    { name = "road-central"; group = "DIMACS10"; binary = false; spmm = true;
+      gen = (fun () -> Generate.road ~seed:201 ~n:280_000 ~deg:3 ()) };
+    { name = "road-usa"; group = "DIMACS10"; binary = false; spmm = false;
+      gen = (fun () -> Generate.road ~seed:202 ~n:380_000 ~deg:2 ()) };
+    { name = "kron-g500n19"; group = "DIMACS10"; binary = false; spmm = true;
+      gen = (fun () ->
+          Generate.power_law ~seed:203 ~rows:110_000 ~cols:110_000
+            ~avg_deg:11 ~alpha:1.9 ()) };
+    { name = "coPapersDBLP"; group = "DIMACS10"; binary = false; spmm = false;
+      gen = (fun () ->
+          Generate.power_law ~seed:204 ~rows:130_000 ~cols:130_000
+            ~avg_deg:10 ~alpha:2.4 ~locality:0.3 ()) };
+    (* GAP: the GAP benchmark graphs; twitter is the Fig. 12 subject. *)
+    { name = "GAP-twitter"; group = "GAP"; binary = false; spmm = true;
+      gen = (fun () ->
+          Generate.power_law ~seed:301 ~rows:200_000 ~cols:200_000
+            ~avg_deg:9 ~alpha:1.8 ()) };
+    { name = "GAP-urand"; group = "GAP"; binary = false; spmm = true;
+      gen = (fun () ->
+          Generate.uniform ~seed:302 ~rows:160_000 ~cols:160_000
+            ~nnz:1_200_000 ()) };
+    { name = "GAP-web"; group = "GAP"; binary = false; spmm = false;
+      gen = (fun () ->
+          Generate.power_law ~seed:303 ~rows:190_000 ~cols:190_000
+            ~avg_deg:9 ~alpha:1.9 ~locality:0.5 ()) };
+    { name = "GAP-road"; group = "GAP"; binary = false; spmm = false;
+      gen = (fun () -> Generate.road ~seed:304 ~n:320_000 ~deg:3 ()) };
+    { name = "GAP-kron"; group = "GAP"; binary = false; spmm = false;
+      gen = (fun () ->
+          Generate.power_law ~seed:305 ~rows:40_000 ~cols:250_000
+            ~avg_deg:30 ~alpha:1.9 ~max_deg_frac:0.003 ()) };
+    (* LAW: web crawls — power law with strong clustering. *)
+    { name = "uk-2002"; group = "LAW"; binary = false; spmm = true;
+      gen = (fun () ->
+          Generate.power_law ~seed:401 ~rows:180_000 ~cols:180_000
+            ~avg_deg:10 ~alpha:1.9 ~locality:0.6 ()) };
+    { name = "arabic-2005"; group = "LAW"; binary = false; spmm = false;
+      gen = (fun () ->
+          Generate.power_law ~seed:402 ~rows:150_000 ~cols:150_000
+            ~avg_deg:11 ~alpha:1.85 ~locality:0.55 ()) };
+    { name = "webbase-2001"; group = "LAW"; binary = false; spmm = false;
+      gen = (fun () ->
+          Generate.power_law ~seed:403 ~rows:220_000 ~cols:220_000
+            ~avg_deg:5 ~alpha:2.1 ~locality:0.5 ()) };
+    { name = "eu-2015"; group = "LAW"; binary = false; spmm = false;
+      gen = (fun () ->
+          Generate.power_law ~seed:404 ~rows:35_000 ~cols:280_000
+            ~avg_deg:35 ~alpha:2.0 ~locality:0.4 ~max_deg_frac:0.003 ()) };
+    (* MAWI: backbone packet traces — extreme degree skew. *)
+    { name = "mawi-201512012345"; group = "MAWI"; binary = false; spmm = true;
+      gen = (fun () ->
+          Generate.heavy_tail ~seed:501 ~rows:200_000 ~cols:200_000
+            ~nnz:1_000_000 ~hubs:64 ()) };
+    { name = "mawi-201512020000"; group = "MAWI"; binary = false; spmm = false;
+      gen = (fun () ->
+          Generate.heavy_tail ~seed:502 ~rows:240_000 ~cols:240_000
+            ~nnz:1_100_000 ~hubs:128 ()) };
+    (* GenBank: k-mer graphs — near-uniform small degree, pattern-only
+       (binary values, §4.2's boolean arithmetic). *)
+    { name = "kmer-V2a"; group = "GenBank"; binary = true; spmm = true;
+      gen = (fun () ->
+          Generate.power_law ~seed:601 ~rows:280_000 ~cols:280_000
+            ~avg_deg:4 ~alpha:3.0 ()) };
+    { name = "kmer-U1a"; group = "GenBank"; binary = true; spmm = false;
+      gen = (fun () ->
+          Generate.power_law ~seed:602 ~rows:230_000 ~cols:230_000
+            ~avg_deg:4 ~alpha:3.2 ()) };
+    (* Others: structured matrices (FEM, stencils, banded) — the paper's
+       regression cases with effective hardware prefetching. *)
+    { name = "Janna-Serena"; group = "Others"; binary = false; spmm = true;
+      gen = (fun () ->
+          Generate.fem_blocks ~seed:701 ~nblocks:9_000 ~blk:6 ~reach:1 ()) };
+    { name = "stencil2d-500"; group = "Others"; binary = false; spmm = true;
+      gen = (fun () -> Generate.stencil_2d ~seed:702 ~side:400 ()) };
+    { name = "stencil3d-60"; group = "Others"; binary = false; spmm = false;
+      gen = (fun () -> Generate.stencil_3d ~seed:703 ~side:48 ()) };
+    { name = "banded-300k"; group = "Others"; binary = false; spmm = false;
+      gen = (fun () -> Generate.banded ~seed:704 ~n:200_000 ~band:2 ()) };
+    { name = "tridiag-400k"; group = "Others"; binary = false; spmm = false;
+      gen = (fun () -> Generate.banded ~seed:705 ~n:260_000 ~band:1 ()) } ]
+
+let groups =
+  selected_groups @ [ "Others" ]
+
+let by_group g = List.filter (fun e -> e.group = g) entries
+
+let spmm_subset = List.filter (fun e -> e.spmm) entries
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) entries with
+  | Some e -> e
+  | None -> invalid_arg ("Suite.find: unknown matrix " ^ name)

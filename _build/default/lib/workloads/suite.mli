@@ -1,0 +1,31 @@
+(** The synthetic evaluation collection.
+
+    Named matrices organised into the paper's matrix families (the group
+    axis of Figs. 7/10/11). The first six groups are the unstructured
+    "Selected" set; "Others" holds the structured matrices. Generation is
+    lazy (one matrix alive at a time) and deterministic. *)
+
+module Coo = Asap_tensor.Coo
+
+type entry = {
+  name : string;
+  group : string;
+  binary : bool;               (** pattern matrix: i8 values, and/or body *)
+  spmm : bool;                 (** member of the SpMM (top-10%) subset *)
+  gen : unit -> Coo.t;
+}
+
+(** The unstructured groups aggregated as "Selected" in Figs. 7 and 11. *)
+val selected_groups : string list
+
+val entries : entry list
+
+(** All group names, "Others" last. *)
+val groups : string list
+
+val by_group : string -> entry list
+
+val spmm_subset : entry list
+
+(** [find name] looks an entry up. @raise Invalid_argument when unknown. *)
+val find : string -> entry

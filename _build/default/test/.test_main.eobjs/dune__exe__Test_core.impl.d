@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Asap_core Asap_ir Asap_lang Asap_metrics Asap_prefetch Asap_sim Asap_tensor Asap_workloads Astring_contains Float List Printf QCheck2 QCheck_alcotest

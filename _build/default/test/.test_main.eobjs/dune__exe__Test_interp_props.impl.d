@@ -1,0 +1,1 @@
+test/test_interp_props.ml: Alcotest Array Asap_ir Asap_sim Builder Bytes Fold Ir List QCheck2 QCheck_alcotest

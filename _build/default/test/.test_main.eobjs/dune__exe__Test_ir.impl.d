@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Asap_ir Astring_contains Builder Fold Ir Licm List Printer Rewrite Verify

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Asap_lang Asap_tensor Astring_contains List

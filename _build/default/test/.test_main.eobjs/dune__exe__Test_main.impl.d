@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_core Test_interp_props Test_ir Test_lang Test_merge Test_prefetch Test_sim Test_sparsifier Test_tensor Test_trace

@@ -1,0 +1,1 @@
+test/test_merge.ml: Alcotest Array Asap_core Asap_ir Asap_sim Asap_sparsifier Asap_tensor Ir List Option QCheck2 QCheck_alcotest Verify

@@ -1,0 +1,1 @@
+test/test_prefetch.ml: Alcotest Asap_ir Asap_lang Asap_prefetch Asap_sparsifier Asap_tensor Astring_contains Builder Ir List Printer Verify

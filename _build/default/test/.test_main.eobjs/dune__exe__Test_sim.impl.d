@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Asap_ir Asap_sim Astring_contains Builder Ir List

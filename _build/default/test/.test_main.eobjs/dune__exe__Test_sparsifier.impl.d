@@ -1,0 +1,1 @@
+test/test_sparsifier.ml: Alcotest Asap_ir Asap_lang Asap_sparsifier Asap_tensor Astring_contains Ir List Printf Verify

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Asap_tensor Astring_contains Coo Coord_tree Dense Encoding List Matrix_market QCheck2 QCheck_alcotest Storage

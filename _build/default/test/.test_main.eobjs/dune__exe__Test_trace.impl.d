@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Asap_core Asap_ir Asap_lang Asap_prefetch Asap_sim Asap_tensor Asap_workloads Ir List Printf

@@ -1,0 +1,224 @@
+(* Property tests for the interpreter's functional semantics: random
+   arithmetic expression trees are built as IR, interpreted, and compared
+   against direct evaluation; control-flow constructs are checked against
+   hand computations. *)
+
+module Runtime = Asap_sim.Runtime
+module Interp = Asap_sim.Interp
+open Asap_ir
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let free_mem =
+  { Interp.m_load = (fun ~pc:_ ~addr:_ ~at -> at + 1);
+    m_store = (fun ~pc:_ ~addr:_ ~at:_ -> ());
+    m_prefetch = (fun ~addr:_ ~locality:_ ~at:_ -> ()) }
+
+(* Random integer expression trees over a small positive domain (keeps
+   division and shift well-defined). *)
+type iexpr =
+  | Lit of int
+  | Bin of Ir.ibinop * iexpr * iexpr
+
+let rec eval_iexpr = function
+  | Lit i -> i
+  | Bin (op, a, b) ->
+    let x = eval_iexpr a and y = eval_iexpr b in
+    (match op with
+     | Ir.Iadd -> x + y
+     | Ir.Isub -> x - y
+     | Ir.Imul -> x * y
+     | Ir.Idiv -> x / y
+     | Ir.Irem -> x mod y
+     | Ir.Imin -> min x y
+     | Ir.Imax -> max x y
+     | Ir.Iand -> x land y
+     | Ir.Ior -> x lor y
+     | Ir.Ixor -> x lxor y
+     | Ir.Ishl -> x lsl min y 8)
+
+let rec build_iexpr b = function
+  | Lit i -> Builder.index b i
+  | Bin (op, x, y) ->
+    let vx = build_iexpr b x and vy = build_iexpr b y in
+    (match op with
+     | Ir.Ishl ->
+       (* Clamp the shift as the evaluator does. *)
+       let c8 = Builder.index b 8 in
+       Builder.ibin b Ir.Ishl vx (Builder.imin b vy c8)
+     | op -> Builder.ibin b op vx vy)
+
+let gen_iexpr =
+  QCheck2.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n = 0 then map (fun i -> Lit i) (int_range 1 64)
+           else
+             frequency
+               [ (1, map (fun i -> Lit i) (int_range 1 64));
+                 ( 3,
+                   let* op =
+                     oneofl
+                       [ Ir.Iadd; Ir.Isub; Ir.Imul; Ir.Idiv; Ir.Irem;
+                         Ir.Imin; Ir.Imax; Ir.Iand; Ir.Ior; Ir.Ixor;
+                         Ir.Ishl ]
+                   in
+                   let* a = self (n / 2) in
+                   let* b = self (n / 2) in
+                   pure (Bin (op, a, b)) ) ]))
+
+let qcheck_int_expr =
+  QCheck2.Test.make ~count:300 ~name:"interp evaluates integer expressions"
+    gen_iexpr (fun e ->
+      QCheck2.assume
+        (match eval_iexpr e with
+         | (_ : int) -> true
+         | exception Division_by_zero -> false);
+      let b = Builder.create () in
+      let dst = Builder.buf b "dst" Ir.EIdx64 in
+      let v = build_iexpr b e in
+      Builder.store b dst (Builder.index b 0) v;
+      let fn = Builder.finish b "expr" in
+      let out = Array.make 1 0 in
+      let bufs = Runtime.layout fn [ (dst, Runtime.RI out) ] in
+      let (_ : Interp.result) =
+        Interp.run fn ~bufs ~scalars:[] ~mem:free_mem
+      in
+      out.(0) = eval_iexpr e)
+
+(* Also run the folding pass over the same trees: results must agree. *)
+let qcheck_fold_preserves =
+  QCheck2.Test.make ~count:300 ~name:"fold preserves expression values"
+    gen_iexpr (fun e ->
+      QCheck2.assume
+        (match eval_iexpr e with
+         | (_ : int) -> true
+         | exception Division_by_zero -> false);
+      let b = Builder.create () in
+      let dst = Builder.buf b "dst" Ir.EIdx64 in
+      let v = build_iexpr b e in
+      Builder.store b dst (Builder.index b 0) v;
+      let fn = Builder.finish b "expr" in
+      let fn', _ = Fold.run fn in
+      let out = Array.make 1 0 in
+      let bufs = Runtime.layout fn' [ (dst, Runtime.RI out) ] in
+      let (_ : Interp.result) =
+        Interp.run fn' ~bufs ~scalars:[] ~mem:free_mem
+      in
+      out.(0) = eval_iexpr e)
+
+let test_while_gauss () =
+  (* sum 0..n-1 via a while loop with two carried values. *)
+  let b = Builder.create () in
+  let dst = Builder.buf b "dst" Ir.EIdx64 in
+  let n = Builder.scalar_param b "n" Ir.Index in
+  let c0 = Builder.index b 0 in
+  let c1 = Builder.index b 1 in
+  let results =
+    Builder.while_ b
+      [ ("i", Ir.Index, c0); ("sum", Ir.Index, c0) ]
+      (fun args -> Builder.icmp b Ir.Ult (List.nth args 0) n)
+      (fun args ->
+        let i = List.nth args 0 and sum = List.nth args 1 in
+        [ Builder.iadd b i c1; Builder.iadd b sum i ])
+  in
+  Builder.store b dst c0 (List.nth results 1);
+  let fn = Builder.finish b "gauss" in
+  let out = Array.make 1 0 in
+  let bufs = Runtime.layout fn [ (dst, Runtime.RI out) ] in
+  let (_ : Interp.result) =
+    Interp.run fn ~bufs ~scalars:[ 10 ] ~mem:free_mem
+  in
+  check_int "gauss" 45 out.(0)
+
+let test_if_branches () =
+  let b = Builder.create () in
+  let dst = Builder.buf b "dst" Ir.EIdx32 in
+  let n = Builder.scalar_param b "n" Ir.Index in
+  let c0 = Builder.index b 0 in
+  let c5 = Builder.index b 5 in
+  let cond = Builder.icmp b Ir.Ult n c5 in
+  Builder.if_ b cond
+    (fun () -> Builder.store b dst c0 (Builder.index b 111))
+    (fun () -> Builder.store b dst c0 (Builder.index b 222));
+  let fn = Builder.finish b "branch" in
+  let run n =
+    let out = Array.make 1 0 in
+    let bufs = Runtime.layout fn [ (dst, Runtime.RI out) ] in
+    let (_ : Interp.result) =
+      Interp.run fn ~bufs ~scalars:[ n ] ~mem:free_mem
+    in
+    out.(0)
+  in
+  check_int "then branch" 111 (run 3);
+  check_int "else branch" 222 (run 9)
+
+let test_nested_carried_loops () =
+  (* sum of i*j over a 2-D space using nested iter_args. *)
+  let b = Builder.create () in
+  let dst = Builder.buf b "dst" Ir.EIdx64 in
+  let n = Builder.scalar_param b "n" Ir.Index in
+  let c0 = Builder.index b 0 in
+  let outer =
+    Builder.for_ b ~carried:[ ("acc", Ir.Index, c0) ] "i" c0 n
+      (fun i args ->
+        let inner =
+          Builder.for_ b
+            ~carried:[ ("acc2", Ir.Index, List.hd args) ]
+            "j" c0 n
+            (fun j args' ->
+              [ Builder.iadd b (List.hd args') (Builder.imul b i j) ])
+        in
+        inner)
+  in
+  Builder.store b dst c0 (List.hd outer);
+  let fn = Builder.finish b "nest" in
+  let out = Array.make 1 0 in
+  let bufs = Runtime.layout fn [ (dst, Runtime.RI out) ] in
+  let (_ : Interp.result) = Interp.run fn ~bufs ~scalars:[ 4 ] ~mem:free_mem in
+  (* sum_{i<4} sum_{j<4} i*j = (0+1+2+3)^2 = 36 *)
+  check_int "nested sum" 36 out.(0)
+
+let test_dim_and_cast () =
+  let b = Builder.create () in
+  let src = Builder.buf b "src" Ir.EF64 in
+  let dst = Builder.buf b "dst" Ir.EF64 in
+  let c0 = Builder.index b 0 in
+  let d = Builder.dim b src in
+  let f = Builder.cast b Ir.F64 d in
+  Builder.store b dst c0 f;
+  let fn = Builder.finish b "dim" in
+  let out = Array.make 1 0. in
+  let bufs =
+    Runtime.layout fn
+      [ (src, Runtime.RF (Array.make 17 0.)); (dst, Runtime.RF out) ]
+  in
+  let (_ : Interp.result) = Interp.run fn ~bufs ~scalars:[] ~mem:free_mem in
+  check "dim->cast" true (out.(0) = 17.)
+
+let test_byte_buffer_ops () =
+  (* i8 loads/stores wrap at 8 bits, as bytes do. *)
+  let b = Builder.create () in
+  let buf = Builder.buf b "buf" Ir.EI8 in
+  let c0 = Builder.index b 0 in
+  let x = Builder.load b buf c0 in
+  let big = Builder.let_ b "big" Ir.I64 (Ir.Const (Ir.Ci64 300)) in
+  let y = Builder.ibin b Ir.Ior x big in
+  Builder.store b buf c0 y;
+  let fn = Builder.finish b "bytes" in
+  let data = Bytes.make 1 '\001' in
+  let bufs = Runtime.layout fn [ (buf, Runtime.RB data) ] in
+  let (_ : Interp.result) = Interp.run fn ~bufs ~scalars:[] ~mem:free_mem in
+  check_int "masked to 8 bits" ((300 lor 1) land 0xff)
+    (Bytes.get_uint8 data 0)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest qcheck_int_expr;
+    QCheck_alcotest.to_alcotest qcheck_fold_preserves;
+    Alcotest.test_case "while gauss" `Quick test_while_gauss;
+    Alcotest.test_case "if branches" `Quick test_if_branches;
+    Alcotest.test_case "nested carried loops" `Quick
+      test_nested_carried_loops;
+    Alcotest.test_case "dim and cast" `Quick test_dim_and_cast;
+    Alcotest.test_case "byte buffers" `Quick test_byte_buffer_ops ]

@@ -1,0 +1,323 @@
+(* Tests for the IR: builder, verifier, printer, rewrite utilities. *)
+
+open Asap_ir
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* A tiny valid function: out[i] = in[i] + 1.0 for i in 0..n. *)
+let sample_fn () =
+  let b = Builder.create () in
+  let src = Builder.buf b "src" Ir.EF64 in
+  let dst = Builder.buf b "dst" Ir.EF64 in
+  let n = Builder.scalar_param b "n" Ir.Index in
+  let c0 = Builder.index b 0 in
+  let one = Builder.f64 b 1.0 in
+  Builder.for0 b "i" c0 n (fun i ->
+      let x = Builder.load b src i in
+      let y = Builder.fadd b x one in
+      Builder.store b dst i y);
+  Builder.finish b "incr"
+
+let test_builder_basic () =
+  let fn = sample_fn () in
+  check_int "params" 3 (List.length fn.Ir.fn_params);
+  let c = Ir.counts fn in
+  check_int "fors" 1 c.Ir.n_fors;
+  check_int "stores" 1 c.Ir.n_stores;
+  check "verifies" true (Verify.check_result fn = Ok ())
+
+let test_builder_type_errors () =
+  let b = Builder.create () in
+  let src = Builder.buf b "src" Ir.EF64 in
+  let c0 = Builder.index b 0 in
+  let x = Builder.load b src c0 in
+  (* f64 + index must be rejected. *)
+  (try
+     let (_ : Ir.value) = Builder.iadd b x c0 in
+     Alcotest.fail "expected Type_error"
+   with Builder.Type_error _ -> ());
+  (* store of index into f64 buffer must be rejected. *)
+  (try
+     Builder.store b src c0 c0;
+     Alcotest.fail "expected Type_error"
+   with Builder.Type_error _ -> ())
+
+let test_builder_const_cache () =
+  let b = Builder.create () in
+  let c1 = Builder.index b 1 in
+  let c1' = Builder.index b 1 in
+  check "constants cached" true (c1 == c1');
+  let dst = Builder.buf b "dst" Ir.EIdx32 in
+  (* Constants requested inside regions still come from the entry block. *)
+  Builder.for0 b "i" (Builder.index b 0) c1 (fun i ->
+      let c1'' = Builder.index b 1 in
+      check "cached inside region" true (c1 == c1'');
+      Builder.store b dst i c1'');
+  let fn = Builder.finish b "c" in
+  check "verifies" true (Verify.check_result fn = Ok ())
+
+let test_for_carried () =
+  let b = Builder.create () in
+  let n = Builder.scalar_param b "n" Ir.Index in
+  let dst = Builder.buf b "dst" Ir.EF64 in
+  let c0 = Builder.index b 0 in
+  let z = Builder.f64 b 0. in
+  let results =
+    Builder.for_ b ~carried:[ ("acc", Ir.F64, z) ] "i" c0 n (fun _i args ->
+        [ Builder.fadd b (List.hd args) (Builder.f64 b 1.) ])
+  in
+  Builder.store b dst c0 (List.hd results);
+  let fn = Builder.finish b "sum" in
+  check "verifies" true (Verify.check_result fn = Ok ())
+
+let test_while_carried () =
+  let b = Builder.create () in
+  let n = Builder.scalar_param b "n" Ir.Index in
+  let c0 = Builder.index b 0 in
+  let c1 = Builder.index b 1 in
+  let results =
+    Builder.while_ b
+      [ ("i", Ir.Index, c0) ]
+      (fun args -> Builder.icmp b Ir.Ult (List.hd args) n)
+      (fun args -> [ Builder.iadd b (List.hd args) c1 ])
+  in
+  check_int "one result" 1 (List.length results);
+  let fn = Builder.finish b "count" in
+  check "verifies" true (Verify.check_result fn = Ok ())
+
+let test_verify_rejects_out_of_scope () =
+  (* Hand-build a function using a loop-local value after the loop. *)
+  let b = Builder.create () in
+  let n = Builder.scalar_param b "n" Ir.Index in
+  let dst = Builder.buf b "dst" Ir.EIdx32 in
+  let c0 = Builder.index b 0 in
+  let leaked = ref c0 in
+  Builder.for0 b "i" c0 n (fun i ->
+      leaked := Builder.iadd b i i;
+      Builder.store b dst c0 i);
+  Builder.store b dst c0 !leaked;
+  let fn = Builder.finish b "bad" in
+  match Verify.check_result fn with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "verifier accepted out-of-scope use"
+
+let test_verify_rejects_double_def () =
+  let v = { Ir.vid = 0; vname = "x"; vty = Ir.Index } in
+  let fn =
+    { Ir.fn_name = "dup"; fn_params = [];
+      fn_body =
+        [ Ir.Let (v, Ir.Const (Ir.Cidx 1)); Ir.Let (v, Ir.Const (Ir.Cidx 2)) ];
+      fn_nvalues = 1; fn_nbufs = 0 }
+  in
+  match Verify.check_result fn with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "verifier accepted double definition"
+
+let test_verify_rejects_bad_yield () =
+  let iv = { Ir.vid = 0; vname = "i"; vty = Ir.Index } in
+  let lo = { Ir.vid = 1; vname = "lo"; vty = Ir.Index } in
+  let arg = { Ir.vid = 2; vname = "a"; vty = Ir.F64 } in
+  let fn =
+    { Ir.fn_name = "badyield"; fn_params = [];
+      fn_body =
+        [ Ir.Let (lo, Ir.Const (Ir.Cidx 0));
+          Ir.For
+            { Ir.f_iv = iv; f_lo = lo; f_hi = lo; f_step = lo;
+              f_carried = [ (arg, lo) ];   (* f64 arg, index init: invalid *)
+              f_results = []; f_body = []; f_yield = [ arg ]; f_tag = "" } ];
+      fn_nvalues = 3; fn_nbufs = 0 }
+  in
+  match Verify.check_result fn with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "verifier accepted mistyped iter_arg"
+
+let test_printer_mentions_ops () =
+  let fn = sample_fn () in
+  let s = Printer.to_string fn in
+  List.iter
+    (fun frag ->
+      check ("printer contains " ^ frag) true
+        (Astring_contains.contains s frag))
+    [ "func.func @incr"; "scf.for"; "memref.load"; "memref.store";
+      "arith.addf" ]
+
+let test_printer_unique_names () =
+  (* Two sibling loops with identically-named locals must print uniquely. *)
+  let b = Builder.create () in
+  let n = Builder.scalar_param b "n" Ir.Index in
+  let dst = Builder.buf b "dst" Ir.EIdx32 in
+  let c0 = Builder.index b 0 in
+  let mk () =
+    Builder.for0 b "i" c0 n (fun i ->
+        let x = Builder.let_ b "x" Ir.Index (Ir.Ibin (Ir.Iadd, i, i)) in
+        Builder.store b dst i x)
+  in
+  mk ();
+  mk ();
+  let fn = Builder.finish b "two" in
+  let s = Printer.to_string fn in
+  (* The second loop's %x must have been renamed. *)
+  check "renamed duplicate" true (Astring_contains.contains s "%x_")
+
+let test_rewrite_def_table_and_loads () =
+  let fn = sample_fn () in
+  let loads = Rewrite.loads fn in
+  check_int "one load" 1 (List.length loads);
+  let t = Rewrite.def_table fn in
+  let v, buf, _ = List.hd loads in
+  (match t.(v.Ir.vid) with
+   | Some (Ir.Load (b', _)) -> check_str "load buffer" "src" b'.Ir.bname
+   | _ -> Alcotest.fail "def table missing load");
+  check "contains_for" true (Rewrite.contains_for fn.Ir.fn_body);
+  check "buffer name" true (buf.Ir.bname = "src")
+
+let test_map_fors_innermost () =
+  let b = Builder.create () in
+  let n = Builder.scalar_param b "n" Ir.Index in
+  let dst = Builder.buf b "dst" Ir.EIdx32 in
+  let c0 = Builder.index b 0 in
+  Builder.for0 b "i" c0 n (fun i ->
+      Builder.for0 b "j" c0 n (fun j ->
+          let s = Builder.iadd b i j in
+          Builder.store b dst j s));
+  let fn = Builder.finish b "nest" in
+  let seen = ref [] in
+  let (_ : Ir.func) =
+    Rewrite.map_fors
+      (fun ~innermost fl ->
+        seen := (fl.Ir.f_iv.Ir.vname, innermost) :: !seen;
+        fl)
+      fn
+  in
+  check "j innermost" true (List.assoc "j" !seen);
+  check "i not innermost" false (List.assoc "i" !seen)
+
+let test_counts () =
+  let fn = sample_fn () in
+  let c = Ir.counts fn in
+  (* consts c0 and 1.0, load, fadd inside the loop. *)
+  check_int "lets" 5 c.Ir.n_lets;
+  check_int "prefetches" 0 c.Ir.n_prefetches
+
+let test_licm_hoists_invariant () =
+  let b = Builder.create () in
+  let dst = Builder.buf b "dst" Ir.EIdx32 in
+  let n = Builder.scalar_param b "n" Ir.Index in
+  let m = Builder.scalar_param b "m" Ir.Index in
+  let c0 = Builder.index b 0 in
+  Builder.for0 b "i" c0 n (fun i ->
+      (* n * m is invariant; i + inv is not; the store pins the loop. *)
+      let inv = Builder.imul b n m in
+      let x = Builder.iadd b i inv in
+      Builder.store b dst i x);
+  let fn = Builder.finish b "f" in
+  let fn', st = Licm.run fn in
+  check_int "hoisted one" 1 st.Licm.hoisted;
+  (* The multiply now precedes the loop at the top level. *)
+  let top_muls =
+    List.length
+      (List.filter
+         (function Ir.Let (_, Ir.Ibin (Ir.Imul, _, _)) -> true | _ -> false)
+         fn'.Ir.fn_body)
+  in
+  check_int "mul at top" 1 top_muls;
+  check "still verifies" true (Verify.check_result fn' = Ok ())
+
+let test_licm_leaves_loads () =
+  let b = Builder.create () in
+  let src = Builder.buf b "src" Ir.EF64 in
+  let dst = Builder.buf b "dst" Ir.EF64 in
+  let n = Builder.scalar_param b "n" Ir.Index in
+  let c0 = Builder.index b 0 in
+  Builder.for0 b "i" c0 n (fun i ->
+      (* src[0] is loop-invariant but loads may alias the store. *)
+      let x = Builder.load b src c0 in
+      Builder.store b dst i x);
+  let fn = Builder.finish b "f" in
+  let _, st = Licm.run fn in
+  check_int "loads stay" 0 st.Licm.hoisted
+
+let test_licm_chain () =
+  (* A chain of invariants hoists together. *)
+  let b = Builder.create () in
+  let dst = Builder.buf b "dst" Ir.EIdx32 in
+  let n = Builder.scalar_param b "n" Ir.Index in
+  let c0 = Builder.index b 0 in
+  Builder.for0 b "i" c0 n (fun i ->
+      let a = Builder.iadd b n n in
+      let bb = Builder.imul b a n in
+      let x = Builder.iadd b i bb in
+      Builder.store b dst i x);
+  let fn = Builder.finish b "f" in
+  let _, st = Licm.run fn in
+  check_int "both hoisted" 2 st.Licm.hoisted
+
+let test_fold_arith () =
+  let b = Builder.create () in
+  let dst = Builder.buf b "dst" Ir.EIdx32 in
+  let c3 = Builder.index b 3 in
+  let c4 = Builder.index b 4 in
+  let s = Builder.iadd b c3 c4 in
+  let p = Builder.imul b s (Builder.index b 2) in
+  Builder.store b dst (Builder.index b 0) p;
+  let fn = Builder.finish b "f" in
+  let fn', st = Fold.run fn in
+  check "folded some" true (st.Fold.folded >= 2);
+  (* The product is now a constant 14. *)
+  let has_c14 =
+    List.exists
+      (function Ir.Let (_, Ir.Const (Ir.Cidx 14)) -> true | _ -> false)
+      fn'.Ir.fn_body
+  in
+  check "constant 14" true has_c14
+
+let test_fold_identities () =
+  let b = Builder.create () in
+  let dst = Builder.buf b "dst" Ir.EIdx32 in
+  let n = Builder.scalar_param b "n" Ir.Index in
+  let c0 = Builder.index b 0 in
+  let c1 = Builder.index b 1 in
+  let x1 = Builder.imul b n c1 in        (* n * 1 -> n *)
+  let x2 = Builder.iadd b x1 c0 in       (* x + 0 -> x *)
+  Builder.store b dst c0 x2;
+  let fn = Builder.finish b "f" in
+  let _, st = Fold.run fn in
+  check_int "two identities" 2 st.Fold.folded
+
+let test_fold_cmp_select () =
+  let b = Builder.create () in
+  let dst = Builder.buf b "dst" Ir.EIdx32 in
+  let n = Builder.scalar_param b "n" Ir.Index in
+  let c0 = Builder.index b 0 in
+  let t = Builder.icmp b Ir.Ule n n in   (* always true *)
+  let s = Builder.select b t n c0 in     (* select true -> n *)
+  Builder.store b dst c0 s;
+  let fn = Builder.finish b "f" in
+  let _, st = Fold.run fn in
+  check "cmp+select folded" true (st.Fold.folded >= 2)
+
+let suite =
+  [ Alcotest.test_case "builder basic" `Quick test_builder_basic;
+    Alcotest.test_case "licm hoists invariants" `Quick
+      test_licm_hoists_invariant;
+    Alcotest.test_case "licm keeps loads" `Quick test_licm_leaves_loads;
+    Alcotest.test_case "licm chains" `Quick test_licm_chain;
+    Alcotest.test_case "fold arith" `Quick test_fold_arith;
+    Alcotest.test_case "fold identities" `Quick test_fold_identities;
+    Alcotest.test_case "fold cmp/select" `Quick test_fold_cmp_select;
+    Alcotest.test_case "builder type errors" `Quick test_builder_type_errors;
+    Alcotest.test_case "const cache" `Quick test_builder_const_cache;
+    Alcotest.test_case "for iter_args" `Quick test_for_carried;
+    Alcotest.test_case "while carried" `Quick test_while_carried;
+    Alcotest.test_case "verify out-of-scope" `Quick
+      test_verify_rejects_out_of_scope;
+    Alcotest.test_case "verify double def" `Quick test_verify_rejects_double_def;
+    Alcotest.test_case "verify bad yield" `Quick test_verify_rejects_bad_yield;
+    Alcotest.test_case "printer ops" `Quick test_printer_mentions_ops;
+    Alcotest.test_case "printer unique names" `Quick test_printer_unique_names;
+    Alcotest.test_case "rewrite loads/defs" `Quick
+      test_rewrite_def_table_and_loads;
+    Alcotest.test_case "map_fors innermost" `Quick test_map_fors_innermost;
+    Alcotest.test_case "counts" `Quick test_counts ]

@@ -1,0 +1,73 @@
+(* Tests for kernel descriptions and affine maps. *)
+
+module Affine = Asap_lang.Affine
+module Kernel = Asap_lang.Kernel
+module Encoding = Asap_tensor.Encoding
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_affine () =
+  let m = Affine.make ~n_dims:3 [| 1; 2 |] in
+  check_int "rank" 2 (Affine.rank m);
+  check "uses j" true (Affine.uses m 1);
+  check "not i" false (Affine.uses m 0);
+  check "result_of_dim" true (Affine.result_of_dim m 2 = Some 1);
+  check "result_of_dim none" true (Affine.result_of_dim m 0 = None);
+  check "render" true
+    (Affine.to_string m = "affine_map<(i, j, k) -> (j, k)>");
+  (try
+     let (_ : Affine.t) = Affine.make ~n_dims:2 [| 2 |] in
+     Alcotest.fail "accepted out-of-range dim"
+   with Invalid_argument _ -> ())
+
+let test_spmv_shape () =
+  let k = Kernel.spmv () in
+  check_int "dims" 2 (Kernel.n_dims k);
+  check "j reduction" true (k.Kernel.k_iterators.(1) = Kernel.Reduction);
+  check "sparse is B" true (k.Kernel.k_sparse.Kernel.o_name = "B");
+  check "one dense in" true (List.length k.Kernel.k_dense_ins = 1)
+
+let test_spmm_shape () =
+  let k = Kernel.spmm () in
+  check_int "dims" 3 (Kernel.n_dims k);
+  check "k parallel" true (k.Kernel.k_iterators.(2) = Kernel.Parallel);
+  check "out is A(i,k)" true
+    (k.Kernel.k_out.Kernel.o_map.Affine.results = [| 0; 2 |])
+
+let test_validate_rejects () =
+  (* Output indexed by a reduction dimension must be rejected. *)
+  (try
+     let (_ : Kernel.t) =
+       Kernel.validate
+         { (Kernel.spmv ()) with
+           Kernel.k_out =
+             { Kernel.o_name = "a"; o_map = Affine.make ~n_dims:2 [| 1 |] } }
+     in
+     Alcotest.fail "accepted reduction-indexed output"
+   with Invalid_argument _ -> ());
+  (* Encoding rank must match the sparse operand. *)
+  (try
+     let (_ : Kernel.t) =
+       Kernel.validate
+         { (Kernel.spmv ()) with Kernel.k_encoding = Encoding.csf 3 }
+     in
+     Alcotest.fail "accepted rank mismatch"
+   with Invalid_argument _ -> ())
+
+let test_linalg_text () =
+  let s = Kernel.to_linalg_string (Kernel.spmv ()) in
+  List.iter
+    (fun frag ->
+      check ("contains " ^ frag) true (Astring_contains.contains s frag))
+    [ "linalg.generic"; "iterator_types"; "\"reduction\""; "arith.mulf";
+      "sorted = true" ];
+  let sb = Kernel.to_linalg_string (Kernel.spmv ~body:Kernel.And_or ()) in
+  check "binary body" true (Astring_contains.contains sb "arith.andi")
+
+let suite =
+  [ Alcotest.test_case "affine maps" `Quick test_affine;
+    Alcotest.test_case "spmv kernel" `Quick test_spmv_shape;
+    Alcotest.test_case "spmm kernel" `Quick test_spmm_shape;
+    Alcotest.test_case "kernel validation" `Quick test_validate_rejects;
+    Alcotest.test_case "linalg rendering" `Quick test_linalg_text ]

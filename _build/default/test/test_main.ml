@@ -1,0 +1,14 @@
+(* Test entry point: one Alcotest run over all library suites. *)
+
+let () =
+  Alcotest.run "asap"
+    [ ("ir", Test_ir.suite);
+      ("tensor", Test_tensor.suite);
+      ("lang", Test_lang.suite);
+      ("sparsifier", Test_sparsifier.suite);
+      ("prefetch", Test_prefetch.suite);
+      ("merge", Test_merge.suite);
+      ("trace", Test_trace.suite);
+      ("sim", Test_sim.suite);
+      ("interp-props", Test_interp_props.suite);
+      ("core", Test_core.suite) ]

@@ -1,0 +1,169 @@
+(* Tests for the prefetch passes: ASaP injection (Fig. 5) and the
+   Ainsworth & Jones baseline, including the behavioural differences the
+   paper's evaluation turns on. *)
+
+module Kernel = Asap_lang.Kernel
+module Encoding = Asap_tensor.Encoding
+module Sparsify = Asap_sparsifier.Sparsify
+module Emitter = Asap_sparsifier.Emitter
+module Asap = Asap_prefetch.Asap
+module Aj = Asap_prefetch.Ainsworth_jones
+open Asap_ir
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let compile_asap ?(cfg = Asap.default) kernel =
+  Sparsify.run ~hook:(Asap.hook cfg) kernel
+
+let test_asap_csr_shape () =
+  let c = compile_asap (Kernel.spmv ~enc:(Encoding.csr ()) ()) in
+  let k = Ir.counts c.Emitter.fn in
+  (* Step 1 (crd) + step 3 (c) prefetches. *)
+  check_int "two prefetches" 2 k.Ir.n_prefetches;
+  check_int "one site" 1 c.Emitter.n_sites;
+  let s = Printer.to_string c.Emitter.fn in
+  (* The Fig. 5 sequence: bound from the pos chain, min, bounded load. *)
+  check "bound chain load" true
+    (Astring_contains.contains s "%Bj_pos_end = memref.load %Bj_pos[%d_i]");
+  check "min clamp" true (Astring_contains.contains s "arith.minui");
+  check "lookahead load" true (Astring_contains.contains s "%j_ahead");
+  check "prefetch c" true
+    (Astring_contains.contains s "memref.prefetch %c[")
+
+let test_asap_step1_ablation () =
+  let kernel = Kernel.spmv ~enc:(Encoding.csr ()) () in
+  let with1 = compile_asap kernel in
+  let without1 =
+    compile_asap ~cfg:{ Asap.default with Asap.step1 = false } kernel
+  in
+  let k1 = Ir.counts with1.Emitter.fn in
+  let k0 = Ir.counts without1.Emitter.fn in
+  check_int "step1 removes one prefetch" (k1.Ir.n_prefetches - 1)
+    k0.Ir.n_prefetches
+
+let test_asap_strategy_filter () =
+  (* Innermost-only must skip SpMM's middle-loop site; outer-only must
+     take it. *)
+  let spmm = Kernel.spmm () in
+  let inner =
+    compile_asap ~cfg:{ Asap.default with Asap.strategy = Asap.Innermost_only }
+      spmm
+  in
+  let outer =
+    compile_asap ~cfg:{ Asap.default with Asap.strategy = Asap.Outer_only }
+      spmm
+  in
+  check_int "innermost-only: nothing" 0 (Ir.counts inner.Emitter.fn).Ir.n_prefetches;
+  check_int "outer-only: both steps" 2 (Ir.counts outer.Emitter.fn).Ir.n_prefetches
+
+let test_asap_dcsr_two_sites () =
+  let c = compile_asap (Kernel.spmv ~enc:(Encoding.dcsr ()) ()) in
+  check_int "two sites" 2 c.Emitter.n_sites;
+  (* Each site: step-1 prefetch + one target prefetch. *)
+  check_int "four prefetches" 4 (Ir.counts c.Emitter.fn).Ir.n_prefetches
+
+let test_asap_csc_write_prefetch () =
+  let c = compile_asap (Kernel.spmv ~enc:(Encoding.csc ()) ()) in
+  let s = Printer.to_string c.Emitter.fn in
+  check "write prefetch for scatter" true
+    (Astring_contains.contains s "memref.prefetch %a[")
+  ;
+  check "write kind" true (Astring_contains.contains s ", write, locality")
+
+let test_asap_spmm_scaled_address () =
+  let c =
+    compile_asap ~cfg:{ Asap.default with Asap.strategy = Asap.Outer_only }
+      (Kernel.spmm ())
+  in
+  let s = Printer.to_string c.Emitter.fn in
+  (* Row prefetch of C needs the j_ahead * N scaling. *)
+  check "scaled prefetch address" true
+    (Astring_contains.contains s "arith.muli %j_ahead, %d_k")
+
+let test_asap_distance_plumbed () =
+  let c =
+    compile_asap ~cfg:{ Asap.default with Asap.distance = 7 }
+      (Kernel.spmv ~enc:(Encoding.csr ()) ())
+  in
+  let s = Printer.to_string c.Emitter.fn in
+  check "distance constant" true (Astring_contains.contains s "constant 7 :");
+  check "doubled distance" true (Astring_contains.contains s "constant 14 :")
+
+let test_asap_verifies () =
+  List.iter
+    (fun enc ->
+      let c = compile_asap (Kernel.spmv ~enc ()) in
+      check ("verified " ^ enc.Encoding.name) true
+        (Verify.check_result c.Emitter.fn = Ok ()))
+    [ Encoding.coo (); Encoding.csr (); Encoding.csc (); Encoding.dcsr () ]
+
+(* --- Ainsworth & Jones --------------------------------------------- *)
+
+let test_aj_matches_spmv () =
+  let base = Sparsify.run (Kernel.spmv ~enc:(Encoding.csr ()) ()) in
+  let fn, st = Aj.run base.Emitter.fn in
+  check_int "one site" 1 st.Aj.matched_sites;
+  check_int "two prefetches" 2 (Ir.counts fn).Ir.n_prefetches;
+  let s = Printer.to_string fn in
+  (* The bound is derived from the loop's upper limit (segment-local). *)
+  check "segment bound" true
+    (Astring_contains.contains s "%aj_bound = arith.subi %hi");
+  check "hoisted before loop" true (Astring_contains.contains s "aj_c2d")
+
+let test_aj_spmm_no_prefetches () =
+  let base = Sparsify.run (Kernel.spmm ()) in
+  let fn, st = Aj.run base.Emitter.fn in
+  (* The paper: the A&J artifact generates no prefetches for SpMM (§5.3). *)
+  check_int "no sites" 0 st.Aj.matched_sites;
+  check_int "no prefetches" 0 (Ir.counts fn).Ir.n_prefetches
+
+let test_aj_coo_matches_inner_loop () =
+  let base = Sparsify.run (Kernel.spmv ~enc:(Encoding.coo ()) ()) in
+  let fn, st = Aj.run base.Emitter.fn in
+  check_int "matches the element loop" 1 st.Aj.matched_sites;
+  check "verifies" true (Verify.check_result fn = Ok ())
+
+let test_aj_dcsr_inner_only () =
+  let base = Sparsify.run (Kernel.spmv ~enc:(Encoding.dcsr ()) ()) in
+  let (_ : Ir.func), st = Aj.run base.Emitter.fn in
+  (* Unlike ASaP's two sites, the low-level pass only sees the innermost
+     loop's indirection. *)
+  check_int "one site" 1 st.Aj.matched_sites
+
+let test_aj_baseline_unchanged () =
+  (* A function with no indirection pattern is returned unmodified. *)
+  let b = Builder.create () in
+  let src = Builder.buf b "src" Ir.EF64 in
+  let dst = Builder.buf b "dst" Ir.EF64 in
+  let n = Builder.scalar_param b "n" Ir.Index in
+  let c0 = Builder.index b 0 in
+  Builder.for0 b "i" c0 n (fun i ->
+      let x = Builder.load b src i in
+      Builder.store b dst i x);
+  let fn = Builder.finish b "copy" in
+  let fn', st = Aj.run fn in
+  check_int "no sites" 0 st.Aj.matched_sites;
+  check_int "loops scanned" 1 st.Aj.loops_scanned;
+  check_int "same op count"
+    (Ir.counts fn).Ir.n_lets (Ir.counts fn').Ir.n_lets
+
+let suite =
+  [ Alcotest.test_case "asap csr fig5 shape" `Quick test_asap_csr_shape;
+    Alcotest.test_case "asap step1 ablation" `Quick test_asap_step1_ablation;
+    Alcotest.test_case "asap strategy filter" `Quick test_asap_strategy_filter;
+    Alcotest.test_case "asap dcsr two sites" `Quick test_asap_dcsr_two_sites;
+    Alcotest.test_case "asap csc write prefetch" `Quick
+      test_asap_csc_write_prefetch;
+    Alcotest.test_case "asap spmm scaled addr" `Quick
+      test_asap_spmm_scaled_address;
+    Alcotest.test_case "asap distance plumbed" `Quick
+      test_asap_distance_plumbed;
+    Alcotest.test_case "asap verifies" `Quick test_asap_verifies;
+    Alcotest.test_case "aj matches spmv" `Quick test_aj_matches_spmv;
+    Alcotest.test_case "aj spmm no prefetches" `Quick
+      test_aj_spmm_no_prefetches;
+    Alcotest.test_case "aj coo inner loop" `Quick test_aj_coo_matches_inner_loop;
+    Alcotest.test_case "aj dcsr inner only" `Quick test_aj_dcsr_inner_only;
+    Alcotest.test_case "aj no-op on clean code" `Quick
+      test_aj_baseline_unchanged ]

@@ -1,0 +1,174 @@
+(* Tests for sparsification: iteration graphs, emitted loop structure per
+   format (Fig. 3 shapes), indirect-access site detection (§3.1). *)
+
+module Kernel = Asap_lang.Kernel
+module Encoding = Asap_tensor.Encoding
+module Ig = Asap_sparsifier.Iteration_graph
+module Sparsify = Asap_sparsifier.Sparsify
+module Emitter = Asap_sparsifier.Emitter
+module Access = Asap_sparsifier.Access
+open Asap_ir
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_iteration_graph_spmv_csr () =
+  let g = Ig.build (Kernel.spmv ()) in
+  Alcotest.(check (array int)) "order i then j" [| 0; 1 |] g.Ig.order;
+  Alcotest.(check (array int)) "sparse dims" [| 0; 1 |] g.Ig.sparse_dims;
+  check "edge i->j" true (List.mem (0, 1) g.Ig.edges);
+  check_int "no dense-only dims" 0 (List.length (Ig.dense_only_dims g))
+
+let test_iteration_graph_spmv_csc () =
+  let g = Ig.build (Kernel.spmv ~enc:(Encoding.csc ()) ()) in
+  (* CSC stores columns first: iteration must follow the hierarchy j, i. *)
+  Alcotest.(check (array int)) "order j then i" [| 1; 0 |] g.Ig.order;
+  check "edge j->i" true (List.mem (1, 0) g.Ig.edges)
+
+let test_iteration_graph_spmm () =
+  let g = Ig.build (Kernel.spmm ()) in
+  Alcotest.(check (array int)) "order i j k" [| 0; 1; 2 |] g.Ig.order;
+  Alcotest.(check (list int)) "k dense-only" [ 2 ] (Ig.dense_only_dims g);
+  check "drawing" true (Astring_contains.contains (Ig.to_string g) "i->j")
+
+let counts_of fn = Ir.counts fn
+
+(* Fig. 3b: CSR SpMV is a perfect 2-deep for nest, no whiles. *)
+let test_csr_structure () =
+  let c = Sparsify.run (Kernel.spmv ~enc:(Encoding.csr ()) ()) in
+  let k = counts_of c.Emitter.fn in
+  check_int "fors" 2 k.Ir.n_fors;
+  check_int "whiles" 0 k.Ir.n_whiles;
+  (* Baseline run has no hook, so no sites are recorded and no prefetches
+     are emitted. *)
+  check_int "no sites" 0 c.Emitter.n_sites;
+  check_int "no prefetches" 0 k.Ir.n_prefetches
+
+(* Fig. 3a: COO SpMV has the segment while + dedup while + element for. *)
+let test_coo_structure () =
+  let c = Sparsify.run (Kernel.spmv ~enc:(Encoding.coo ()) ()) in
+  let k = counts_of c.Emitter.fn in
+  check_int "whiles" 2 k.Ir.n_whiles;
+  check_int "fors" 1 k.Ir.n_fors
+
+(* Fig. 3c: DCSR SpMV is a perfect 2-deep for nest over compressed levels. *)
+let test_dcsr_structure () =
+  let c = Sparsify.run (Kernel.spmv ~enc:(Encoding.dcsr ()) ()) in
+  let k = counts_of c.Emitter.fn in
+  check_int "fors" 2 k.Ir.n_fors;
+  check_int "whiles" 0 k.Ir.n_whiles
+
+(* Fig. 9: SpMM adds the innermost dense k loop. *)
+let test_spmm_structure () =
+  let c = Sparsify.run (Kernel.spmm ()) in
+  let k = counts_of c.Emitter.fn in
+  check_int "fors" 3 k.Ir.n_fors
+
+let collect_sites kernel =
+  let sites = ref [] in
+  let hook _b (s : Access.site) = sites := s :: !sites in
+  let (_ : Emitter.compiled) = Sparsify.run ~hook kernel in
+  List.rev !sites
+
+let test_sites_spmv_csr () =
+  let sites = collect_sites (Kernel.spmv ~enc:(Encoding.csr ()) ()) in
+  check_int "one site" 1 (List.length sites);
+  let s = List.hd sites in
+  check "innermost" true s.Access.s_innermost;
+  check_int "level" 1 s.Access.s_level;
+  check_int "dim j" 1 s.Access.s_dim;
+  check_int "one target (c)" 1 (List.length s.Access.s_targets);
+  let t = List.hd s.Access.s_targets in
+  check "target is c" true (t.Access.t_buf.Ir.bname = "c");
+  check "read target" true (not t.Access.t_write);
+  check "vector scale" true (t.Access.t_scale = None)
+
+let test_sites_spmv_csc () =
+  let sites = collect_sites (Kernel.spmv ~enc:(Encoding.csc ()) ()) in
+  (* CSC: the inner compressed level resolves i, which scatters into a. *)
+  check_int "one site" 1 (List.length sites);
+  let s = List.hd sites in
+  check_int "dim i" 0 s.Access.s_dim;
+  let t = List.hd s.Access.s_targets in
+  check "target is out a" true (t.Access.t_buf.Ir.bname = "a");
+  check "write target" true t.Access.t_write
+
+let test_sites_spmv_dcsr () =
+  let sites = collect_sites (Kernel.spmv ~enc:(Encoding.dcsr ()) ()) in
+  (* Level 0 resolves i feeding a (outer site), level 1 resolves j feeding
+     c (innermost site). *)
+  check_int "two sites" 2 (List.length sites);
+  let outer = List.nth sites 0 and inner = List.nth sites 1 in
+  check "outer not innermost" false outer.Access.s_innermost;
+  check "inner innermost" true inner.Access.s_innermost
+
+let test_sites_spmm_csr () =
+  let sites = collect_sites (Kernel.spmm ()) in
+  check_int "one site" 1 (List.length sites);
+  let s = List.hd sites in
+  (* The position loop is a middle loop: outer-loop prefetching (§5.2). *)
+  check "not innermost" false s.Access.s_innermost;
+  let t = List.hd s.Access.s_targets in
+  check "target is C" true (t.Access.t_buf.Ir.bname = "C");
+  check "row scale present" true (t.Access.t_scale <> None)
+
+let test_sites_spmv_coo () =
+  let sites = collect_sites (Kernel.spmv ~enc:(Encoding.coo ()) ()) in
+  (* Only the element loop over the singleton level fires (the while-based
+     segment loop does not host prefetch sites). *)
+  check_int "one site" 1 (List.length sites);
+  check_int "level 1" 1 (List.hd sites).Access.s_level
+
+let test_all_verify () =
+  List.iter
+    (fun enc ->
+      List.iter
+        (fun kernel ->
+          let c = Sparsify.run kernel in
+          check
+            (Printf.sprintf "verified %s/%s" c.Emitter.fn.Ir.fn_name
+               enc.Encoding.name)
+            true
+            (Verify.check_result c.Emitter.fn = Ok ()))
+        [ Kernel.spmv ~enc (); Kernel.spmv ~enc ~body:Kernel.And_or () ])
+    [ Encoding.coo (); Encoding.csr (); Encoding.csc (); Encoding.dcsr () ]
+
+let test_scalar_params_are_extents () =
+  let c = Sparsify.run (Kernel.spmm ()) in
+  check_int "three extents" 3 (List.length c.Emitter.scalars);
+  List.iteri
+    (fun i ((_ : Ir.value), d) -> check_int "extent order" i d)
+    c.Emitter.scalars
+
+let test_unsupported_singleton_chain () =
+  (* Non-unique compressed not followed by singleton is rejected. *)
+  let enc =
+    Encoding.make "weird"
+      [| Encoding.Compressed { unique = false };
+         Encoding.Compressed { unique = true } |]
+      [| 0; 1 |]
+  in
+  (try
+     let (_ : Emitter.compiled) = Sparsify.run (Kernel.spmv ~enc ()) in
+     Alcotest.fail "accepted unsupported level chain"
+   with Emitter.Unsupported _ -> ())
+
+let suite =
+  [ Alcotest.test_case "iteration graph csr" `Quick
+      test_iteration_graph_spmv_csr;
+    Alcotest.test_case "iteration graph csc" `Quick
+      test_iteration_graph_spmv_csc;
+    Alcotest.test_case "iteration graph spmm" `Quick test_iteration_graph_spmm;
+    Alcotest.test_case "csr loop structure" `Quick test_csr_structure;
+    Alcotest.test_case "coo loop structure" `Quick test_coo_structure;
+    Alcotest.test_case "dcsr loop structure" `Quick test_dcsr_structure;
+    Alcotest.test_case "spmm loop structure" `Quick test_spmm_structure;
+    Alcotest.test_case "sites spmv csr" `Quick test_sites_spmv_csr;
+    Alcotest.test_case "sites spmv csc" `Quick test_sites_spmv_csc;
+    Alcotest.test_case "sites spmv dcsr" `Quick test_sites_spmv_dcsr;
+    Alcotest.test_case "sites spmm csr" `Quick test_sites_spmm_csr;
+    Alcotest.test_case "sites spmv coo" `Quick test_sites_spmv_coo;
+    Alcotest.test_case "all formats verify" `Quick test_all_verify;
+    Alcotest.test_case "scalar params" `Quick test_scalar_params_are_extents;
+    Alcotest.test_case "unsupported chain" `Quick
+      test_unsupported_singleton_chain ]

@@ -1,0 +1,1 @@
+tools/calibrate_breakdown.mli:

@@ -1,0 +1,1 @@
+tools/calibrate_hw.ml: Array Asap_core Asap_sim Asap_tensor Asap_workloads List Printf String Sys

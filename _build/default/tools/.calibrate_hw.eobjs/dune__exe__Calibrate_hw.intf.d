@@ -1,0 +1,1 @@
+tools/calibrate_hw.mli:

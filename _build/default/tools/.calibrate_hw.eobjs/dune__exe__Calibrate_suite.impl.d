@@ -1,0 +1,1 @@
+tools/calibrate_suite.ml: Asap_core Asap_prefetch Asap_sim Asap_tensor Asap_workloads List Printf

@@ -1,0 +1,1 @@
+tools/calibrate_ttv.ml: Asap_core Asap_lang Asap_prefetch Asap_sim Asap_workloads List Printf

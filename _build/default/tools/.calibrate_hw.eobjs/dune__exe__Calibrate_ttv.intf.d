@@ -1,0 +1,1 @@
+tools/calibrate_ttv.mli:

@@ -1,0 +1,30 @@
+module Encoding = Asap_tensor.Encoding
+module Machine = Asap_sim.Machine
+module Pipeline = Asap_core.Pipeline
+module Driver = Asap_core.Driver
+module Asap = Asap_prefetch.Asap
+module Aj = Asap_prefetch.Ainsworth_jones
+module Suite = Asap_workloads.Suite
+
+let d = 16
+let () =
+  let enc = Encoding.csr () in
+  List.iter (fun name ->
+    let coo = (Suite.find name).Suite.gen () in
+    let m = Machine.gracemont_scaled ~hw:Machine.hw_optimized () in
+    let md = Machine.gracemont_scaled ~hw:Machine.hw_default () in
+    let base = Driver.spmv m Pipeline.Baseline enc coo in
+    let tpb = Driver.throughput base in
+    let asap = Driver.spmv m (Pipeline.Asap { Asap.default with Asap.distance = d }) enc coo in
+    let asapd = Driver.spmv md (Pipeline.Asap { Asap.default with Asap.distance = d }) enc coo in
+    let aj = Driver.spmv m (Pipeline.Ainsworth_jones { Aj.default with Aj.distance = d }) enc coo in
+    let mspmm = Machine.gracemont_scaled ~hw:Machine.hw_optimized_spmm () in
+    let bm = Driver.spmm mspmm Pipeline.Baseline enc coo in
+    let am = Driver.spmm mspmm (Pipeline.Asap { Asap.default with Asap.strategy = Asap.Outer_only; distance = d }) enc coo in
+    Printf.printf "%-18s spmv: base-mpki %6.1f asap %4.2fx asap-defhw %4.2fx aj %4.2fx | spmm: mpki %5.1f asap %4.2fx\n%!"
+      name (Driver.mpki base) (Driver.throughput asap /. tpb)
+      (Driver.throughput asapd /. tpb)
+      (Driver.throughput aj /. tpb)
+      (Driver.mpki bm)
+      (Driver.throughput am /. Driver.throughput bm))
+    [ "GAP-twitter"; "hollywood-2009"; "road-central"; "Janna-Serena"; "soc-pokec" ]
