@@ -7,11 +7,13 @@
 
 module Coo = Asap_tensor.Coo
 module Encoding = Asap_tensor.Encoding
+module Storage = Asap_tensor.Storage
 module Machine = Asap_sim.Machine
 module Exec = Asap_sim.Exec
 module Hierarchy = Asap_sim.Hierarchy
 module Pipeline = Asap_core.Pipeline
 module Driver = Asap_core.Driver
+module Par = Asap_core.Par
 module Asap = Asap_prefetch.Asap
 module Aj = Asap_prefetch.Ainsworth_jones
 module Suite = Asap_workloads.Suite
@@ -64,8 +66,17 @@ type measurement = {
   m_report : Exec.report;
 }
 
-(* Generated matrices and run results are cached per process. *)
+(* Execution knobs, set by the CLI before any cell runs. [engine] selects
+   the simulator's execution engine for every cell; [jobs] > 1 lets
+   [prewarm] farm cells to that many host domains. *)
+let engine = ref Exec.default_engine
+let jobs = ref 1
+
+(* Generated matrices, their packed storages, and run results are cached
+   per process. All caches live on (and are only touched by) the calling
+   domain. *)
 let matrix_cache : (string, Coo.t) Hashtbl.t = Hashtbl.create 32
+let pack_cache : (string, Storage.t) Hashtbl.t = Hashtbl.create 32
 let run_cache : (string, measurement) Hashtbl.t = Hashtbl.create 256
 
 let matrix (e : Suite.entry) =
@@ -76,44 +87,149 @@ let matrix (e : Suite.entry) =
     Hashtbl.add matrix_cache e.Suite.name m;
     m
 
+(* Every grid cell packs under CSR, so one packing per matrix serves all
+   its cells (SpMV and SpMM alike). *)
+let packed (e : Suite.entry) coo =
+  match Hashtbl.find_opt pack_cache e.Suite.name with
+  | Some st -> st
+  | None ->
+    let st = Storage.pack (Encoding.csr ()) coo in
+    Hashtbl.add pack_cache e.Suite.name st;
+    st
+
 (* Matrices are large; once a matrix's runs are done the cache can be
    dropped to bound memory. *)
-let drop_matrix name = Hashtbl.remove matrix_cache name
+let drop_matrix name =
+  Hashtbl.remove matrix_cache name;
+  Hashtbl.remove pack_cache name
 
 let verbose = ref true
 
 let log fmt =
   Printf.ksprintf (fun s -> if !verbose then Printf.eprintf "%s\n%!" s) fmt
 
+(* --- The measurement grid ------------------------------------------- *)
+
+type kernel = [ `Spmv | `Spmm ]
+
+(** One cell of the (matrix x variant x prefetcher config) grid. *)
+type cell = {
+  c_kernel : kernel;
+  c_entry : Suite.entry;
+  c_vkind : vkind;
+  c_hw : hw;
+  c_threads : int;
+}
+
+let cell ?(threads = 1) kernel entry vkind hw =
+  { c_kernel = kernel; c_entry = entry; c_vkind = vkind; c_hw = hw;
+    c_threads = threads }
+
+let cell_key (c : cell) =
+  Printf.sprintf "%s/%s/%s/%s/%d"
+    (match c.c_kernel with `Spmv -> "spmv" | `Spmm -> "spmm")
+    c.c_entry.Suite.name (vkind_name c.c_vkind) (hw_name c.c_hw) c.c_threads
+
+(* Run one cell against an already-generated and packed matrix. Pure
+   apart from the simulation itself: safe to call from worker domains
+   (it must not touch the caches above). *)
+let compute_cell ~engine (c : cell) coo st : measurement =
+  let e = c.c_entry and kernel = c.c_kernel and threads = c.c_threads in
+  let machine = machine_of ~kernel ~threads c.c_hw in
+  let variant = variant_of ~kernel c.c_vkind in
+  let enc = Encoding.csr () in
+  let r =
+    match kernel with
+    | `Spmv ->
+      Driver.spmv ~engine ~threads ~binary:e.Suite.binary ~st machine variant
+        enc coo
+    | `Spmm ->
+      Driver.spmm ~engine ~threads ~binary:e.Suite.binary ~st machine variant
+        enc coo
+  in
+  { m_name = e.Suite.name; m_group = e.Suite.group; m_nnz = r.Driver.nnz;
+    m_throughput = Driver.throughput r; m_mpki = Driver.mpki r;
+    m_report = r.Driver.report }
+
 (** [measure kernel entry vkind hw] runs one cell of the grid (memoised). *)
 let measure ?(threads = 1) kernel (e : Suite.entry) vkind hw : measurement =
-  let key =
-    Printf.sprintf "%s/%s/%s/%s/%d"
-      (match kernel with `Spmv -> "spmv" | `Spmm -> "spmm")
-      e.Suite.name (vkind_name vkind) (hw_name hw) threads
-  in
+  let c = cell ~threads kernel e vkind hw in
+  let key = cell_key c in
   match Hashtbl.find_opt run_cache key with
   | Some m -> m
   | None ->
     let coo = matrix e in
-    let machine = machine_of ~kernel ~threads hw in
-    let variant = variant_of ~kernel vkind in
-    let enc = Encoding.csr () in
+    let st = packed e coo in
     log "  running %s ..." key;
-    let r =
-      match kernel with
-      | `Spmv ->
-        Driver.spmv ~threads ~binary:e.Suite.binary machine variant enc coo
-      | `Spmm ->
-        Driver.spmm ~threads ~binary:e.Suite.binary machine variant enc coo
-    in
-    let m =
-      { m_name = e.Suite.name; m_group = e.Suite.group; m_nnz = r.Driver.nnz;
-        m_throughput = Driver.throughput r; m_mpki = Driver.mpki r;
-        m_report = r.Driver.report }
-    in
+    let m = compute_cell ~engine:!engine c coo st in
     Hashtbl.add run_cache key m;
     m
+
+(** [prewarm cells] fills [run_cache] for every not-yet-measured cell,
+    farming whole matrices (generate + pack + all their cells) to [!jobs]
+    worker domains. Results are merged into the cache in input order on
+    the calling domain, so subsequent [measure] calls — and therefore the
+    printed tables — are byte-identical to a sequential run. A no-op when
+    [!jobs <= 1]: the sequential path keeps its incremental logging. *)
+let prewarm (cells : cell list) =
+  if !jobs > 1 then begin
+    let todo =
+      List.filter (fun c -> not (Hashtbl.mem run_cache (cell_key c))) cells
+    in
+    (* One task per matrix: generate and pack once, then run that
+       matrix's cells. Grouping preserves first-appearance order. *)
+    let order : string list ref = ref [] in
+    let by_entry : (string, cell list ref) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun c ->
+        let name = c.c_entry.Suite.name in
+        match Hashtbl.find_opt by_entry name with
+        | Some l -> l := c :: !l
+        | None ->
+          Hashtbl.add by_entry name (ref [ c ]);
+          order := name :: !order)
+      todo;
+    let tasks =
+      List.rev_map
+        (fun name ->
+          let cs = List.rev !(Hashtbl.find by_entry name) in
+          (* Reuse main-domain caches read-only: resolved here, before
+             any worker starts. *)
+          let pre_coo =
+            Hashtbl.find_opt matrix_cache
+              (List.hd cs).c_entry.Suite.name
+          in
+          let pre_st = Hashtbl.find_opt pack_cache name in
+          (cs, pre_coo, pre_st))
+        !order
+      |> List.rev
+    in
+    if tasks <> [] then begin
+      let eng = !engine in
+      log "  prewarming %d cells over %d matrices with %d domains ..."
+        (List.length todo) (List.length tasks) !jobs;
+      let results =
+        Par.map ~jobs:!jobs
+          (fun (cs, pre_coo, pre_st) ->
+            let e = (List.hd cs).c_entry in
+            let coo =
+              match pre_coo with Some m -> m | None -> e.Suite.gen ()
+            in
+            let st =
+              match pre_st with
+              | Some st -> st
+              | None -> Storage.pack (Encoding.csr ()) coo
+            in
+            List.map (fun c -> (cell_key c, compute_cell ~engine:eng c coo st))
+              cs)
+          (Array.of_list tasks)
+      in
+      Array.iter
+        (List.iter (fun (key, m) ->
+             if not (Hashtbl.mem run_cache key) then Hashtbl.add run_cache key m))
+        results
+    end
+  end
 
 (* --- Matrix selections --------------------------------------------- *)
 

@@ -6,6 +6,13 @@
      dune exec bench/main.exe -- fig6 fig11      # selected sections
      dune exec bench/main.exe -- --quick all     # reduced matrix set
      dune exec bench/main.exe -- --list          # section list
+     dune exec bench/main.exe -- --engine interp # interpreter engine
+     dune exec bench/main.exe -- --jobs 4 fig6   # parallel grid prewarm
+                                                 # (clamped to host cores)
+
+   All cells are deterministic, so --engine and --jobs never change a
+   table: the engines are cycle-exact replicas of each other, and the
+   parallel prewarm merges results on the main domain in input order.
 
    Absolute numbers come from the simulated, capacity-scaled Gracemont
    machine; the claims under test are the *shapes*: who wins, by what
@@ -93,8 +100,14 @@ let fig9 () =
 (* Fig. 6: SpMV speedup vs L2 MPKI                                     *)
 (* ------------------------------------------------------------------ *)
 
+let fig6_cells () =
+  List.concat_map
+    (fun e -> [ cell `Spmv e Base Optimized; cell `Spmv e A Optimized ])
+    (spmv_entries ())
+
 let fig6 () =
   header "Fig. 6: SpMV speedup (ASaP vs baseline) versus baseline L2 MPKI";
+  prewarm (fig6_cells ());
   Printf.printf "%-22s %-10s %9s %9s %9s\n" "matrix" "group" "nnz(k)"
     "L2 MPKI" "speedup";
   let points = ref [] in
@@ -141,6 +154,10 @@ let fig6 () =
 (* ------------------------------------------------------------------ *)
 
 let spmv_group_rows series =
+  prewarm
+    (List.concat_map
+       (fun e -> List.map (fun (_, vk, hw) -> cell `Spmv e vk hw) series)
+       (spmv_entries ()));
   List.map
     (fun e ->
       let tps =
@@ -172,8 +189,14 @@ let fig7 () =
 (* Fig. 8: SpMM speedup vs L2 MPKI                                      *)
 (* ------------------------------------------------------------------ *)
 
+let fig8_cells () =
+  List.concat_map
+    (fun e -> [ cell `Spmm e Base Optimized; cell `Spmm e A Optimized ])
+    (spmm_entries ())
+
 let fig8 () =
   header "Fig. 8: SpMM speedup (ASaP vs baseline) versus baseline L2 MPKI";
+  prewarm (fig8_cells ());
   Printf.printf "%-22s %-10s %9s %9s %9s\n" "matrix" "group" "nnz(k)"
     "L2 MPKI" "speedup";
   let points = ref [] in
@@ -201,6 +224,7 @@ let fig10 () =
   print_endline
     "(paper: 1.28x on unstructured groups, 1.02x on the rest; prefetcher\n\
      configuration gains are negligible for SpMM)\n";
+  prewarm (fig8_cells ());
   let rows =
     List.map
       (fun e ->
@@ -276,6 +300,12 @@ let fig12 () =
   header "Fig. 12: roofline — SpMV on GAP-twitter, 1-8 threads";
   let e = Suite.find "GAP-twitter" in
   let threads = if !quick then [ 1; 2; 4 ] else [ 1; 2; 3; 4; 6; 8 ] in
+  prewarm
+    (List.concat_map
+       (fun t ->
+         [ cell ~threads:t `Spmv e Base Optimized;
+           cell ~threads:t `Spmv e A Optimized ])
+       threads);
   Printf.printf "%-8s %14s %14s %9s %11s %11s\n" "threads" "base nnz/ms"
     "asap nnz/ms" "gain" "AI(f/B)" "GFLOP/s";
   List.iter
@@ -471,24 +501,47 @@ let sections : (string * (unit -> unit)) list =
     ("fig10", fig10); ("fig11", fig11); ("fig12", fig12);
     ("ablation", ablation); ("micro", micro) ]
 
+let usage () =
+  prerr_endline
+    "usage: main.exe [--quick] [--no-log] [--list] [--engine \
+     interp|compiled] [--jobs N] [sections...]";
+  exit 1
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        match a with
-        | "--quick" ->
-          quick := true;
-          false
-        | "--no-log" ->
-          verbose := false;
-          false
-        | "--list" ->
-          List.iter (fun (n, _) -> print_endline n) sections;
-          exit 0
-        | _ -> true)
-      args
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+      quick := true;
+      parse acc rest
+    | "--no-log" :: rest ->
+      verbose := false;
+      parse acc rest
+    | "--list" :: _ ->
+      List.iter (fun (n, _) -> print_endline n) sections;
+      exit 0
+    | "--engine" :: v :: rest ->
+      (match Exec.engine_of_string v with
+       | Some e -> engine := e
+       | None ->
+         Printf.eprintf "unknown engine %s (interp|compiled)\n" v;
+         exit 1);
+      parse acc rest
+    | ("--jobs" | "-j") :: v :: rest ->
+      (match int_of_string_opt v with
+       | Some n when n >= 1 ->
+         (* Oversubscribing domains buys nothing — every extra domain
+            joins OCaml's stop-the-world minor-GC barrier — so clamp to
+            the host's parallelism. Tables are identical either way. *)
+         jobs := min n (max 1 (Domain.recommended_domain_count ()))
+       | _ ->
+         Printf.eprintf "bad job count %s\n" v;
+         exit 1);
+      parse acc rest
+    | ("--engine" | "--jobs" | "-j") :: [] -> usage ()
+    | a :: _ when String.length a > 0 && a.[0] = '-' -> usage ()
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let chosen =
     match args with
     | [] | [ "all" ] -> List.map fst sections
@@ -502,4 +555,17 @@ let () =
         picks;
       picks
   in
-  List.iter (fun name -> (List.assoc name sections) ()) chosen
+  List.iter (fun name -> (List.assoc name sections) ()) chosen;
+  let cells = Hashtbl.length run_cache in
+  if cells > 0 then begin
+    let minstr =
+      Hashtbl.fold
+        (fun _ m acc -> acc + m.m_report.Exec.rp_instructions)
+        run_cache 0
+      / 1_000_000
+    in
+    log "grid: %d cells, %d Minstr simulated (engine %s, %d jobs)" cells
+      minstr
+      (Exec.engine_to_string !engine)
+      !jobs
+  end

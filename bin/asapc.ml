@@ -71,6 +71,21 @@ let variant_arg =
        & info [ "v"; "variant" ] ~docv:"VARIANT"
            ~doc:"Prefetching variant: baseline, asap or aj.")
 
+let engine_conv =
+  let parse s =
+    match Exec.engine_of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+  in
+  Arg.conv
+    (parse, fun fmt e -> Format.pp_print_string fmt (Exec.engine_to_string e))
+
+let engine_arg =
+  Arg.(value & opt engine_conv Exec.default_engine
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution engine: compiled (staged closures, default) or \
+                 interp (tree-walking reference). Both are cycle-exact.")
+
 let variant_of v ~distance ~strategy ~bound =
   match v with
   | `Baseline -> Pipeline.Baseline
@@ -159,7 +174,7 @@ let run_cmd =
   let check_arg =
     Arg.(value & flag & info [ "check" ] ~doc:"Verify against the reference.")
   in
-  let run coo kernel enc v distance strategy bound threads hw checkit =
+  let run coo kernel enc v distance strategy bound threads hw checkit engine =
     let hw = match (hw, kernel) with
       | `D, _ -> Machine.hw_default
       | `O, `Spmv -> Machine.hw_optimized
@@ -168,8 +183,8 @@ let run_cmd =
     let machine = Machine.gracemont_scaled ~hw ~cores:(max 1 threads) () in
     let variant = variant_of v ~distance ~strategy ~bound in
     let r = match kernel with
-      | `Spmv -> Driver.spmv ~threads machine variant enc coo
-      | `Spmm -> Driver.spmm ~threads machine variant enc coo
+      | `Spmv -> Driver.spmv ~engine ~threads machine variant enc coo
+      | `Spmm -> Driver.spmm ~engine ~threads machine variant enc coo
     in
     if checkit then begin
       let err = match kernel with
@@ -186,7 +201,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a kernel on the simulated machine")
     Term.(const run $ matrix_args $ kernel_arg $ format_arg $ variant_arg
           $ distance_arg $ strategy_arg $ bound_arg $ threads_arg $ hw_arg
-          $ check_arg)
+          $ check_arg $ engine_arg)
 
 (* --- inspect --------------------------------------------------------- *)
 

@@ -31,9 +31,9 @@ let dense_b n =
   done;
   b
 
-let run_compiled (c : Pipeline.compiled) ~machine ~threads ~outer_extent
-    ~bufs ~scalars =
-  if threads <= 1 then Exec.run machine c.Pipeline.fn ~bufs ~scalars
+let run_compiled ~engine (c : Pipeline.compiled) ~machine ~threads
+    ~outer_extent ~bufs ~scalars =
+  if threads <= 1 then Exec.run ~engine machine c.Pipeline.fn ~bufs ~scalars
   else begin
     (match c.Pipeline.cc.Emitter.kernel.Kernel.k_encoding.Encoding.levels.(0)
      with
@@ -41,19 +41,22 @@ let run_compiled (c : Pipeline.compiled) ~machine ~threads ~outer_extent
      | Encoding.Compressed _ | Encoding.Singleton ->
        invalid_arg
          "Driver: dense-outer-loop parallelisation needs a dense top level");
-    Exec.run_parallel machine ~threads ~outer_extent c.Pipeline.fn ~bufs
-      ~scalars
+    Exec.run_parallel ~engine machine ~threads ~outer_extent c.Pipeline.fn
+      ~bufs ~scalars
   end
 
-(** [spmv ?threads ?binary machine variant enc coo] packs [coo] under
-    [enc], compiles SpMV with [variant], and runs it. *)
-let spmv ?(threads = 1) ?(binary = false) (machine : Machine.t)
+(** [spmv ?engine ?threads ?binary ?st machine variant enc coo] packs
+    [coo] under [enc], compiles SpMV with [variant], and runs it. [st], if
+    given, must be [Storage.pack enc coo] — callers running several
+    variants over one matrix pass it to share the packing work. *)
+let spmv ?(engine = Exec.default_engine) ?(threads = 1) ?(binary = false) ?st
+    (machine : Machine.t)
     (variant : Pipeline.variant) (enc : Encoding.t) (coo : Coo.t) : result =
   let rows = coo.Coo.dims.(0) and cols = coo.Coo.dims.(1) in
   let body = if binary then Kernel.And_or else Kernel.Mul_add in
   let kernel = Kernel.spmv ~enc ~body () in
   let compiled = Pipeline.compile kernel variant in
-  let st = Storage.pack enc coo in
+  let st = match st with Some st -> st | None -> Storage.pack enc coo in
   let out_f = if binary then None else Some (Array.make rows 0.) in
   let out_b = if binary then Some (Bytes.make rows '\000') else None in
   let dense =
@@ -69,22 +72,24 @@ let spmv ?(threads = 1) ?(binary = false) (machine : Machine.t)
     Bindings.scalar_args compiled.Pipeline.cc ~extents:[| rows; cols |]
   in
   let report =
-    run_compiled compiled ~machine ~threads ~outer_extent:rows ~bufs ~scalars
+    run_compiled ~engine compiled ~machine ~threads ~outer_extent:rows ~bufs
+      ~scalars
   in
   { report; nnz = Coo.nnz coo; out_f; out_b }
 
-(** [spmm ?threads ?binary ?n machine variant enc coo] runs SpMM. The
+(** [spmm ?engine ?threads ?binary ?n machine variant enc coo] runs SpMM. The
     dense operand has [n] columns — by default sized so one row fills one
     cache line: 8 f64 columns, or 64 i8 columns for binary matrices
     (paper §5.2). *)
-let spmm ?(threads = 1) ?(binary = false) ?n (machine : Machine.t)
+let spmm ?(engine = Exec.default_engine) ?(threads = 1) ?(binary = false) ?n
+    ?st (machine : Machine.t)
     (variant : Pipeline.variant) (enc : Encoding.t) (coo : Coo.t) : result =
   let rows = coo.Coo.dims.(0) and cols = coo.Coo.dims.(1) in
   let n = match n with Some n -> n | None -> if binary then 64 else 8 in
   let body = if binary then Kernel.And_or else Kernel.Mul_add in
   let kernel = Kernel.spmm ~enc ~body () in
   let compiled = Pipeline.compile kernel variant in
-  let st = Storage.pack enc coo in
+  let st = match st with Some st -> st | None -> Storage.pack enc coo in
   let out_f = if binary then None else Some (Array.make (rows * n) 0.) in
   let out_b = if binary then Some (Bytes.make (rows * n) '\000') else None in
   let dense =
@@ -100,7 +105,8 @@ let spmm ?(threads = 1) ?(binary = false) ?n (machine : Machine.t)
     Bindings.scalar_args compiled.Pipeline.cc ~extents:[| rows; cols; n |]
   in
   let report =
-    run_compiled compiled ~machine ~threads ~outer_extent:rows ~bufs ~scalars
+    run_compiled ~engine compiled ~machine ~threads ~outer_extent:rows ~bufs
+      ~scalars
   in
   { report; nnz = Coo.nnz coo; out_f; out_b }
 
@@ -127,8 +133,8 @@ let merge_bufs (m : Merge.compiled) (stb : Storage.t) (stc : Storage.t) out =
 (** [vector_ewise machine op b c] merges two sparse vectors element-wise
     (union add or intersection multiply) into a dense output — the
     merge-based co-iteration strategy of §3.1. *)
-let vector_ewise (machine : Machine.t) (op : Merge.op) (b : Coo.t)
-    (c : Coo.t) : result =
+let vector_ewise ?(engine = Exec.default_engine) (machine : Machine.t)
+    (op : Merge.op) (b : Coo.t) (c : Coo.t) : result =
   if Coo.rank b <> 1 || Coo.rank c <> 1 || b.Coo.dims.(0) <> c.Coo.dims.(0)
   then invalid_arg "Driver.vector_ewise: need equal-length sparse vectors";
   let n = b.Coo.dims.(0) in
@@ -138,13 +144,13 @@ let vector_ewise (machine : Machine.t) (op : Merge.op) (b : Coo.t)
   let out = Array.make n 0. in
   let bufs = merge_bufs m stb stc out in
   let scalars = List.map (fun (_, d) -> [| n |].(d)) m.Merge.m_scalars in
-  let report = Exec.run machine m.Merge.m_fn ~bufs ~scalars in
+  let report = Exec.run ~engine machine m.Merge.m_fn ~bufs ~scalars in
   { report; nnz = Coo.nnz b + Coo.nnz c; out_f = Some out; out_b = None }
 
 (** [matrix_ewise machine op b c] merges two CSR matrices row by row into
     a dense row-major output. *)
-let matrix_ewise (machine : Machine.t) (op : Merge.op) (b : Coo.t)
-    (c : Coo.t) : result =
+let matrix_ewise ?(engine = Exec.default_engine) (machine : Machine.t)
+    (op : Merge.op) (b : Coo.t) (c : Coo.t) : result =
   if Coo.rank b <> 2 || b.Coo.dims <> c.Coo.dims then
     invalid_arg "Driver.matrix_ewise: need same-shape matrices";
   let rows = b.Coo.dims.(0) and cols = b.Coo.dims.(1) in
@@ -156,14 +162,14 @@ let matrix_ewise (machine : Machine.t) (op : Merge.op) (b : Coo.t)
   let scalars =
     List.map (fun (_, d) -> [| rows; cols |].(d)) m.Merge.m_scalars
   in
-  let report = Exec.run machine m.Merge.m_fn ~bufs ~scalars in
+  let report = Exec.run ~engine machine m.Merge.m_fn ~bufs ~scalars in
   { report; nnz = Coo.nnz b + Coo.nnz c; out_f = Some out; out_b = None }
 
 (** [ttv machine variant enc coo] runs the rank-3 tensor-times-vector
     contraction a(i,j) = B(i,j,k) c(k); [enc] defaults to rank-3 CSF, where
     the step-2 bound needs the full position-chain recursion (§3.2.2). *)
-let ttv ?enc (machine : Machine.t) (variant : Pipeline.variant) (coo : Coo.t)
-  : result =
+let ttv ?(engine = Exec.default_engine) ?enc (machine : Machine.t)
+    (variant : Pipeline.variant) (coo : Coo.t) : result =
   let enc = match enc with Some e -> e | None -> Encoding.csf 3 in
   let di = coo.Coo.dims.(0) and dj = coo.Coo.dims.(1) and dk = coo.Coo.dims.(2) in
   let kernel = Kernel.ttv ~enc () in
@@ -178,7 +184,8 @@ let ttv ?enc (machine : Machine.t) (variant : Pipeline.variant) (coo : Coo.t)
     Bindings.scalar_args compiled.Pipeline.cc ~extents:[| di; dj; dk |]
   in
   let report =
-    run_compiled compiled ~machine ~threads:1 ~outer_extent:di ~bufs ~scalars
+    run_compiled ~engine compiled ~machine ~threads:1 ~outer_extent:di ~bufs
+      ~scalars
   in
   { report; nnz = Coo.nnz coo; out_f = Some out; out_b = None }
 

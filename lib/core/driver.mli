@@ -21,36 +21,45 @@ val throughput : result -> float
 (** [mpki r] is L2 misses per kilo-instruction. *)
 val mpki : result -> float
 
-(** [spmv ?threads ?binary machine variant enc coo] packs [coo] under
-    [enc], compiles SpMV with [variant] and runs it. [threads > 1] uses the
-    dense-outer-loop parallelisation (requires a dense top level). *)
+(** [spmv ?engine ?threads ?binary ?st machine variant enc coo] packs
+    [coo] under [enc], compiles SpMV with [variant] and runs it. [engine]
+    selects the simulator's execution engine (default
+    {!Exec.default_engine}); [threads > 1] uses the dense-outer-loop
+    parallelisation (requires a dense top level). [st], if given, must be
+    [Storage.pack enc coo] — callers running several variants over one
+    matrix pass it to share the packing work. *)
 val spmv :
-  ?threads:int -> ?binary:bool -> Machine.t -> Pipeline.variant ->
-  Encoding.t -> Coo.t -> result
+  ?engine:Exec.engine -> ?threads:int -> ?binary:bool ->
+  ?st:Asap_tensor.Storage.t -> Machine.t ->
+  Pipeline.variant -> Encoding.t -> Coo.t -> result
 
-(** [spmm ?threads ?binary ?n machine variant enc coo] runs SpMM; [n]
+(** [spmm ?threads ?binary ?n ?st machine variant enc coo] runs SpMM; [n]
     defaults to one cache line per dense row — 8 f64 columns, or 64 i8
-    columns for binary matrices (paper §5.2). *)
+    columns for binary matrices (paper §5.2). [st] as for {!spmv}. *)
 val spmm :
-  ?threads:int -> ?binary:bool -> ?n:int -> Machine.t -> Pipeline.variant ->
-  Encoding.t -> Coo.t -> result
+  ?engine:Exec.engine -> ?threads:int -> ?binary:bool -> ?n:int ->
+  ?st:Asap_tensor.Storage.t -> Machine.t ->
+  Pipeline.variant -> Encoding.t -> Coo.t -> result
 
 module Merge = Asap_sparsifier.Merge
 
 (** [vector_ewise machine op b c] merges two sparse vectors element-wise
     (union add or intersection multiply) into a dense output — the
     merge-based co-iteration strategy of §3.1. *)
-val vector_ewise : Machine.t -> Merge.op -> Coo.t -> Coo.t -> result
+val vector_ewise :
+  ?engine:Exec.engine -> Machine.t -> Merge.op -> Coo.t -> Coo.t -> result
 
 (** [matrix_ewise machine op b c] merges two same-shape CSR matrices row
     by row into a dense row-major output. *)
-val matrix_ewise : Machine.t -> Merge.op -> Coo.t -> Coo.t -> result
+val matrix_ewise :
+  ?engine:Exec.engine -> Machine.t -> Merge.op -> Coo.t -> Coo.t -> result
 
 (** [ttv ?enc machine variant coo] runs the rank-3 tensor-times-vector
     contraction a(i,j) = B(i,j,k) c(k); [enc] defaults to rank-3 CSF,
     exercising the full §3.2.2 position-chain bound recursion. *)
 val ttv :
-  ?enc:Encoding.t -> Machine.t -> Pipeline.variant -> Coo.t -> result
+  ?engine:Exec.engine -> ?enc:Encoding.t -> Machine.t -> Pipeline.variant ->
+  Coo.t -> result
 
 (** [check_ttv coo r] is the max absolute error of a TTV run. *)
 val check_ttv : Coo.t -> result -> float

@@ -1,0 +1,48 @@
+(* Host-parallel map over OCaml 5 domains.
+
+   The simulator is deterministic and every grid cell builds its own
+   Hierarchy, so independent cells are embarrassingly parallel on the
+   host. Work is handed out through an atomic counter (dynamic
+   load-balancing: cell costs vary by orders of magnitude with matrix
+   size) and results land in a preallocated slot array, so the output
+   order — and anything printed from it — is identical to a sequential
+   run regardless of worker interleaving.
+
+   Caveat for callers: worker functions must not touch domain-unsafe
+   shared state (e.g. a Hashtbl cache); do any memoisation on the calling
+   domain after [map] returns. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(** [map ~jobs f xs] is [Array.map f xs] computed by [jobs] domains (the
+    caller's included). Results are slotted by index, so output order is
+    deterministic. The first exception raised by any [f] is re-raised on
+    the calling domain after all workers join. *)
+let map ~jobs (f : 'a -> 'b) (xs : 'a array) : 'b array =
+  let n = Array.length xs in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 || n <= 1 then Array.map f xs
+  else begin
+    let results : 'b option array = Array.make n None in
+    let first_error = Atomic.make None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match f xs.(i) with
+         | v -> results.(i) <- Some v
+         | exception e ->
+           let bt = Printexc.get_raw_backtrace () in
+           (* Keep the first failure; drain remaining work quickly. *)
+           ignore (Atomic.compare_and_set first_error None (Some (e, bt)));
+           Atomic.set next n);
+        worker ()
+      end
+    in
+    let others = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join others;
+    match Atomic.get first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> Array.map Option.get results
+  end

@@ -1,0 +1,21 @@
+(** Host-parallel map over OCaml 5 domains.
+
+    Independent simulation cells (each with its own {!Asap_sim.Hierarchy})
+    are embarrassingly parallel on the host; this helper farms them to a
+    small domain pool with dynamic load-balancing and index-slotted
+    results, so output order is deterministic and anything printed from it
+    stays byte-identical to a sequential run.
+
+    Worker functions must not touch domain-unsafe shared state (e.g. a
+    [Hashtbl] cache) — memoise on the calling domain after [map]
+    returns. *)
+
+(** A sensible default worker count: the host's recommended domain count
+    minus one (keeping the calling domain responsive), at least 1. *)
+val default_jobs : unit -> int
+
+(** [map ~jobs f xs] is [Array.map f xs] computed by [jobs] domains (the
+    caller's included; [jobs <= 1] runs sequentially). The first exception
+    raised by any [f] is re-raised on the calling domain after all workers
+    join. *)
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array

@@ -36,7 +36,7 @@ type decision = {
 let default_candidates = [ 4; 8; 16; 32; 64 ]
 
 (* One sliced profiling run of SpMV under [variant]. *)
-let profile_run machine enc coo ~slice variant =
+let profile_run ?engine machine enc coo ~slice variant =
   let rows = coo.Coo.dims.(0) and cols = coo.Coo.dims.(1) in
   let kernel = Kernel.spmv ~enc () in
   let compiled = Pipeline.compile kernel variant in
@@ -49,10 +49,11 @@ let profile_run machine enc coo ~slice variant =
   let scalars =
     Bindings.scalar_args compiled.Pipeline.cc ~extents:[| rows; cols |]
   in
-  Exec.run ~slice machine compiled.Pipeline.fn ~bufs ~scalars
+  Exec.run ?engine ~slice machine compiled.Pipeline.fn ~bufs ~scalars
 
-(** [tune ?candidates ?mpki_threshold ?profile_fraction machine enc coo]
-    profiles SpMV over [coo] on a leading slice of rows and decides:
+(** [tune ?engine ?jobs ?candidates ?mpki_threshold ?profile_fraction
+    machine enc coo] profiles SpMV over [coo] on a leading slice of rows
+    and decides:
 
     - if the baseline slice shows less memory pressure than
       [mpki_threshold] (default 2.0 L2 MPKI), prefetching is rolled back
@@ -60,10 +61,13 @@ let profile_run machine enc coo ~slice variant =
     - otherwise ASaP is chosen with the candidate distance that minimised
       profiled cycles (the APT-GET idea).
 
-    The top storage level must support slicing (dense outer loop). *)
-let tune ?(candidates = default_candidates) ?(mpki_threshold = 2.0)
-    ?(profile_fraction = 0.05) (machine : Machine.t) (enc : Encoding.t)
-    (coo : Coo.t) : decision =
+    Candidate profiling runs are independent simulations, so [jobs > 1]
+    farms them to a {!Par} domain pool; the decision is deterministic
+    either way. The top storage level must support slicing (dense outer
+    loop). *)
+let tune ?engine ?(jobs = 1) ?(candidates = default_candidates)
+    ?(mpki_threshold = 2.0) ?(profile_fraction = 0.05) (machine : Machine.t)
+    (enc : Encoding.t) (coo : Coo.t) : decision =
   (match enc.Encoding.levels.(0) with
    | Encoding.Dense -> ()
    | Encoding.Compressed _ | Encoding.Singleton ->
@@ -71,7 +75,7 @@ let tune ?(candidates = default_candidates) ?(mpki_threshold = 2.0)
   let rows = coo.Coo.dims.(0) in
   let prof_rows = max 1 (int_of_float (float_of_int rows *. profile_fraction)) in
   let slice = (0, prof_rows) in
-  let base = profile_run machine enc coo ~slice Pipeline.Baseline in
+  let base = profile_run ?engine machine enc coo ~slice Pipeline.Baseline in
   let base_entry =
     { pe_label = "baseline"; pe_distance = None;
       pe_cycles = base.Exec.rp_cycles; pe_mpki = Exec.l2_mpki base }
@@ -81,15 +85,16 @@ let tune ?(candidates = default_candidates) ?(mpki_threshold = 2.0)
       profile_rows = prof_rows }
   else begin
     let entries =
-      List.map
+      Par.map ~jobs
         (fun d ->
           let r =
-            profile_run machine enc coo ~slice
+            profile_run ?engine machine enc coo ~slice
               (Pipeline.Asap { Asap.default with Asap.distance = d })
           in
           { pe_label = Printf.sprintf "asap-d%d" d; pe_distance = Some d;
             pe_cycles = r.Exec.rp_cycles; pe_mpki = Exec.l2_mpki r })
-        candidates
+        (Array.of_list candidates)
+      |> Array.to_list
     in
     let best =
       List.fold_left

@@ -26,11 +26,15 @@ type decision = {
 
 val default_candidates : int list
 
-(** [tune ?candidates ?mpki_threshold ?profile_fraction machine enc coo]
-    profiles and decides. The encoding's top level must be dense (the
-    profiling slice is a row range).
+(** [tune ?engine ?jobs ?candidates ?mpki_threshold ?profile_fraction
+    machine enc coo] profiles and decides. The encoding's top level must
+    be dense (the profiling slice is a row range). [engine] selects the
+    simulator's execution engine; candidate profiling runs are independent
+    simulations, so [jobs > 1] farms them to a {!Par} domain pool — the
+    decision is deterministic either way.
     @raise Invalid_argument otherwise. *)
 val tune :
+  ?engine:Asap_sim.Exec.engine -> ?jobs:int ->
   ?candidates:int list -> ?mpki_threshold:float -> ?profile_fraction:float ->
   Machine.t -> Encoding.t -> Coo.t -> decision
 

@@ -21,14 +21,25 @@ type t = {
 
 let demand_prov = -1
 
+(* Returned by [lookup] on a miss; distinct from every provenance value
+   (demand_prov = -1, prefetcher ids >= 0). *)
+let no_hit = -2
+
+(** [line_shift ~line_bytes] is the integer log2 of the line size — the
+    shift that turns a byte address into a line address.
+    @raise Invalid_argument unless [line_bytes] is a power of two. *)
+let line_shift ~line_bytes =
+  if line_bytes <= 0 || line_bytes land (line_bytes - 1) <> 0 then
+    invalid_arg "Cache.line_shift: line_bytes not a power of two";
+  let rec go b n = if n <= 1 then b else go (b + 1) (n lsr 1) in
+  go 0 line_bytes
+
 let create ~name ~size_bytes ~ways ~line_bytes =
+  let line_bits = line_shift ~line_bytes in
   let lines = size_bytes / line_bytes in
   if lines mod ways <> 0 then invalid_arg "Cache.create: geometry";
   let sets = lines / ways in
   if sets land (sets - 1) <> 0 then invalid_arg "Cache.create: sets not 2^k";
-  let line_bits =
-    int_of_float (Float.round (Float.log2 (float_of_int line_bytes)))
-  in
   { name; sets; ways; line_bits;
     tags = Array.make (sets * ways) (-1);
     last_use = Array.make (sets * ways) 0;
@@ -37,19 +48,31 @@ let create ~name ~size_bytes ~ways ~line_bytes =
 
 let set_of t line = (line land (t.sets - 1)) * t.ways
 
+(* The scan loops below are top-level functions taking all their state as
+   arguments: a local [let rec] capturing variables would allocate a
+   closure on every call, and these run on every simulated access. *)
+
+let rec scan_ways (tags : int array) base (line : int) w ways =
+  if w = ways then -1
+  else if tags.(base + w) = line then base + w
+  else scan_ways tags base line (w + 1) ways
+
+let rec pick_lru (last_use : int array) base w best ways =
+  if w = ways then best
+  else
+    pick_lru last_use base (w + 1)
+      (if last_use.(base + w) < last_use.(best) then base + w else best)
+      ways
+
 (* Way index of [line] or -1. *)
 let find t line =
   let base = set_of t line in
-  let rec go w =
-    if w = t.ways then -1
-    else if t.tags.(base + w) = line then base + w
-    else go (w + 1)
-  in
-  go 0
+  scan_ways t.tags base line 0 t.ways
 
 (** [lookup t line] checks for [line], updating LRU and hit/miss counters.
-    Returns the provenance of the line on a hit. *)
-let lookup t line : int option =
+    Returns the provenance of the line on a hit, [no_hit] on a miss. This
+    runs on every simulated access, hence the int (not option) result. *)
+let lookup t line : int =
   t.stamp <- t.stamp + 1;
   let i = find t line in
   if i >= 0 then begin
@@ -61,11 +84,11 @@ let lookup t line : int option =
       (* After the first demand use the line counts as demand-resident. *)
       t.prov.(i) <- demand_prov
     end;
-    Some p
+    p
   end
   else begin
     t.misses <- t.misses + 1;
-    None
+    no_hit
   end
 
 (** [probe t line] tests presence without touching LRU or counters. *)
@@ -79,13 +102,10 @@ let insert t line ~prov =
   if i >= 0 then t.last_use.(i) <- t.stamp
   else begin
     let base = set_of t line in
-    let victim = ref base in
-    for w = 1 to t.ways - 1 do
-      if t.last_use.(base + w) < t.last_use.(!victim) then victim := base + w
-    done;
-    t.tags.(!victim) <- line;
-    t.last_use.(!victim) <- t.stamp;
-    t.prov.(!victim) <- prov
+    let victim = pick_lru t.last_use base 1 base t.ways in
+    t.tags.(victim) <- line;
+    t.last_use.(victim) <- t.stamp;
+    t.prov.(victim) <- prov
   end
 
 let reset_stats t =

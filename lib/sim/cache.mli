@@ -22,13 +22,22 @@ type t = {
 (** Provenance value of demand-fetched lines. *)
 val demand_prov : int
 
+(** Returned by [lookup] on a miss; distinct from every provenance. *)
+val no_hit : int
+
+(** [line_shift ~line_bytes] is the integer log2 of the line size — the
+    shift that turns a byte address into a line address.
+    @raise Invalid_argument unless [line_bytes] is a power of two. *)
+val line_shift : line_bytes:int -> int
+
 (** [create ~name ~size_bytes ~ways ~line_bytes] builds a tag store.
     @raise Invalid_argument unless sets are a power of two. *)
 val create : name:string -> size_bytes:int -> ways:int -> line_bytes:int -> t
 
 (** [lookup t line] checks for [line], updating LRU and counters; returns
-    the line's provenance on a hit (cleared to demand after first use). *)
-val lookup : t -> int -> int option
+    the line's provenance on a hit (cleared to demand after first use),
+    [no_hit] on a miss. *)
+val lookup : t -> int -> int
 
 (** [probe t line] tests presence without touching LRU or counters. *)
 val probe : t -> int -> bool

@@ -1,0 +1,532 @@
+(* Closure-compiled execution engine (staged interpretation).
+
+   {!Interp.run} is a tree-walking interpreter: every simulated iteration
+   re-pattern-matches each IR statement, re-resolves buffers and element
+   widths, and walks carried-value lists with [List.iter2]. This module
+   performs that work {e once}, translating an [Ir.func] bound to its
+   runtime buffers into a tree of OCaml closures:
+
+   - statement and rvalue dispatch happens at compile time — the simulated
+     loop executes an array of direct closure calls;
+   - [Load]/[Store]/[Prefetch] bind their {!Runtime.bound} buffer, base
+     address, element size and backing array at compile time, so the hot
+     paths are plain unboxed array accesses;
+   - carried values become preallocated vid arrays copied with a counted
+     loop instead of per-iteration list walks;
+   - the timing core keeps the ROB slot and the issue-rate quotient
+     incrementally, so the per-instruction path allocates nothing (the
+     interpreter allocates an [issue] tuple per instruction).
+
+   The engine is a drop-in for {!Interp.run}: same memory port, same
+   result type, same traps and faults, and — by construction, checked by
+   the differential tests — cycle-exact and value-exact agreement. *)
+
+open Asap_ir
+
+let int_lat = 1
+let fp_lat = 3
+let st_lat = 1
+
+(* Per-run mutable state threaded through every compiled closure. *)
+type state = {
+  ienv : int array;
+  fenv : float array;
+  ready : int array;
+  rob : int array;               (* ring of retire times *)
+  rob_n : int;
+  width : int;
+  branch_miss : int;
+  mem : Interp.mem;
+  mutable icount : int;
+  mutable slot : int;            (* icount mod rob_n, kept incrementally *)
+  mutable qbase : int;           (* icount / width, kept incrementally *)
+  mutable qrem : int;            (* icount mod width *)
+  mutable last_retire : int;
+  mutable bubble : int;
+  mutable flops : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable pfs : int;
+  mutable slice : (int * int) option;  (* pending top-level loop slice *)
+}
+
+type code = state -> unit
+
+let[@inline] imax (a : int) (b : int) = if a >= b then a else b
+
+(* Issue time of the next instruction: max(icount/width + bubble, operand
+   ready times, retire time of instruction icount - rob_n). Identical to
+   Interp's [issue], with the division and modulo replaced by the
+   incrementally-maintained [qbase]/[slot]. *)
+let[@inline] issue_at st ops_ready =
+  imax (st.qbase + st.bubble)
+    (imax ops_ready (Array.unsafe_get st.rob st.slot))
+
+let[@inline] retire st completion =
+  let r =
+    if completion >= st.last_retire then completion else st.last_retire
+  in
+  Array.unsafe_set st.rob st.slot r;
+  st.last_retire <- r;
+  st.icount <- st.icount + 1;
+  let s = st.slot + 1 in
+  st.slot <- (if s = st.rob_n then 0 else s);
+  let q = st.qrem + 1 in
+  if q = st.width then begin
+    st.qrem <- 0;
+    st.qbase <- st.qbase + 1
+  end
+  else st.qrem <- q
+
+let[@inline] simple st lat ops_ready =
+  let t = issue_at st ops_ready + lat in
+  retire st t;
+  t
+
+(* Carried-value plumbing, staged: vids of destinations and sources plus
+   per-slot float-ness, copied with a counted loop. *)
+type carry = {
+  car_dst : int array;
+  car_src : int array;
+  car_isf : bool array;
+}
+
+let carry_of (pairs : (Ir.value * Ir.value) list) : carry =
+  let a = Array.of_list pairs in
+  { car_dst = Array.map (fun ((d : Ir.value), _) -> d.Ir.vid) a;
+    car_src = Array.map (fun (_, (s : Ir.value)) -> s.Ir.vid) a;
+    car_isf = Array.map (fun ((d : Ir.value), _) -> d.Ir.vty = Ir.F64) a }
+
+let[@inline] copy_carry st (c : carry) =
+  for k = 0 to Array.length c.car_dst - 1 do
+    let s = Array.unsafe_get c.car_src k in
+    let d = Array.unsafe_get c.car_dst k in
+    if Array.unsafe_get c.car_isf k then
+      Array.unsafe_set st.fenv d (Array.unsafe_get st.fenv s)
+    else Array.unsafe_set st.ienv d (Array.unsafe_get st.ienv s);
+    Array.unsafe_set st.ready d (Array.unsafe_get st.ready s)
+  done
+
+let seq (cs : code list) : code =
+  match cs with
+  | [] -> fun _ -> ()
+  | [ c0 ] -> c0
+  | [ c0; c1 ] -> fun st -> c0 st; c1 st
+  | [ c0; c1; c2 ] -> fun st -> c0 st; c1 st; c2 st
+  | [ c0; c1; c2; c3 ] -> fun st -> c0 st; c1 st; c2 st; c3 st
+  | _ ->
+    let a = Array.of_list cs in
+    let n = Array.length a in
+    fun st ->
+      for i = 0 to n - 1 do
+        (Array.unsafe_get a i) st
+      done
+
+let compile_let (bufs : Runtime.bound array) (v : Ir.value) (rv : Ir.rvalue)
+  : code =
+  let d = v.Ir.vid in
+  match rv with
+  | Ir.Const c ->
+    (match c with
+     | Ir.Cidx x | Ir.Ci64 x ->
+       fun st ->
+         let t = simple st int_lat 0 in
+         st.ienv.(d) <- x;
+         st.ready.(d) <- t
+     | Ir.Cf64 x ->
+       fun st ->
+         let t = simple st int_lat 0 in
+         st.fenv.(d) <- x;
+         st.ready.(d) <- t
+     | Ir.Cbool b ->
+       let x = if b then 1 else 0 in
+       fun st ->
+         let t = simple st int_lat 0 in
+         st.ienv.(d) <- x;
+         st.ready.(d) <- t)
+  | Ir.Ibin (op, a, b) ->
+    let ai = a.Ir.vid and bi = b.Ir.vid in
+    let bin (f : int -> int -> int) : code =
+      fun st ->
+        let t = simple st int_lat (imax st.ready.(ai) st.ready.(bi)) in
+        st.ienv.(d) <- f st.ienv.(ai) st.ienv.(bi);
+        st.ready.(d) <- t
+    in
+    (match op with
+     | Ir.Iadd ->
+       fun st ->
+         let t = simple st int_lat (imax st.ready.(ai) st.ready.(bi)) in
+         st.ienv.(d) <- st.ienv.(ai) + st.ienv.(bi);
+         st.ready.(d) <- t
+     | Ir.Isub ->
+       fun st ->
+         let t = simple st int_lat (imax st.ready.(ai) st.ready.(bi)) in
+         st.ienv.(d) <- st.ienv.(ai) - st.ienv.(bi);
+         st.ready.(d) <- t
+     | Ir.Imul ->
+       fun st ->
+         let t = simple st int_lat (imax st.ready.(ai) st.ready.(bi)) in
+         st.ienv.(d) <- st.ienv.(ai) * st.ienv.(bi);
+         st.ready.(d) <- t
+     | Ir.Idiv ->
+       bin (fun a b ->
+           if b = 0 then raise (Interp.Trap "division by zero") else a / b)
+     | Ir.Irem ->
+       bin (fun a b ->
+           if b = 0 then raise (Interp.Trap "rem by zero") else a mod b)
+     | Ir.Imin -> bin (fun a b -> if a <= b then a else b)
+     | Ir.Imax -> bin (fun a b -> if a >= b then a else b)
+     | Ir.Iand -> bin ( land )
+     | Ir.Ior -> bin ( lor )
+     | Ir.Ixor -> bin ( lxor )
+     | Ir.Ishl -> bin ( lsl ))
+  | Ir.Fbin (op, a, b) ->
+    let ai = a.Ir.vid and bi = b.Ir.vid in
+    (* Each operator gets its own closure so the float path stays unboxed
+       (a shared [float -> float -> float] callee would box). *)
+    (match op with
+     | Ir.Fadd ->
+       fun st ->
+         st.flops <- st.flops + 1;
+         let t = simple st fp_lat (imax st.ready.(ai) st.ready.(bi)) in
+         st.fenv.(d) <- st.fenv.(ai) +. st.fenv.(bi);
+         st.ready.(d) <- t
+     | Ir.Fsub ->
+       fun st ->
+         st.flops <- st.flops + 1;
+         let t = simple st fp_lat (imax st.ready.(ai) st.ready.(bi)) in
+         st.fenv.(d) <- st.fenv.(ai) -. st.fenv.(bi);
+         st.ready.(d) <- t
+     | Ir.Fmul ->
+       fun st ->
+         st.flops <- st.flops + 1;
+         let t = simple st fp_lat (imax st.ready.(ai) st.ready.(bi)) in
+         st.fenv.(d) <- st.fenv.(ai) *. st.fenv.(bi);
+         st.ready.(d) <- t
+     | Ir.Fdiv ->
+       fun st ->
+         st.flops <- st.flops + 1;
+         let t = simple st fp_lat (imax st.ready.(ai) st.ready.(bi)) in
+         st.fenv.(d) <- st.fenv.(ai) /. st.fenv.(bi);
+         st.ready.(d) <- t
+     | Ir.Fmin ->
+       fun st ->
+         st.flops <- st.flops + 1;
+         let t = simple st fp_lat (imax st.ready.(ai) st.ready.(bi)) in
+         st.fenv.(d) <- Float.min st.fenv.(ai) st.fenv.(bi);
+         st.ready.(d) <- t
+     | Ir.Fmax ->
+       fun st ->
+         st.flops <- st.flops + 1;
+         let t = simple st fp_lat (imax st.ready.(ai) st.ready.(bi)) in
+         st.fenv.(d) <- Float.max st.fenv.(ai) st.fenv.(bi);
+         st.ready.(d) <- t)
+  | Ir.Icmp (pred, a, b) ->
+    let ai = a.Ir.vid and bi = b.Ir.vid in
+    let cmp (f : int -> int -> bool) : code =
+      fun st ->
+        let t = simple st int_lat (imax st.ready.(ai) st.ready.(bi)) in
+        st.ienv.(d) <- (if f st.ienv.(ai) st.ienv.(bi) then 1 else 0);
+        st.ready.(d) <- t
+    in
+    (* Indices and sizes are non-negative throughout, so signed and
+       unsigned orders coincide (as in Interp). *)
+    (match pred with
+     | Ir.Eq -> cmp (fun a b -> a = b)
+     | Ir.Ne -> cmp (fun a b -> a <> b)
+     | Ir.Ult | Ir.Slt -> cmp (fun a b -> a < b)
+     | Ir.Ule | Ir.Sle -> cmp (fun a b -> a <= b)
+     | Ir.Ugt | Ir.Sgt -> cmp (fun a b -> a > b)
+     | Ir.Uge | Ir.Sge -> cmp (fun a b -> a >= b))
+  | Ir.Select (c, a, b) ->
+    let ci = c.Ir.vid and ai = a.Ir.vid and bi = b.Ir.vid in
+    if v.Ir.vty = Ir.F64 then
+      fun st ->
+        let t =
+          simple st int_lat
+            (imax st.ready.(ci) (imax st.ready.(ai) st.ready.(bi)))
+        in
+        st.fenv.(d) <- (if st.ienv.(ci) <> 0 then st.fenv.(ai) else st.fenv.(bi));
+        st.ready.(d) <- t
+    else
+      fun st ->
+        let t =
+          simple st int_lat
+            (imax st.ready.(ci) (imax st.ready.(ai) st.ready.(bi)))
+        in
+        st.ienv.(d) <- (if st.ienv.(ci) <> 0 then st.ienv.(ai) else st.ienv.(bi));
+        st.ready.(d) <- t
+  | Ir.Load (buf, idx) ->
+    let b = bufs.(buf.Ir.bid) in
+    let base = b.Runtime.base and eb = b.Runtime.ebytes in
+    let ix = idx.Ir.vid and bname = buf.Ir.bname in
+    (* The memory port observes the (possibly out-of-bounds) address
+       before the bounds check faults, exactly as in Interp. *)
+    (match b.Runtime.data with
+     | Runtime.RI a ->
+       let n = Array.length a in
+       fun st ->
+         st.loads <- st.loads + 1;
+         let i = st.ienv.(ix) in
+         let t = issue_at st st.ready.(ix) in
+         let done_at =
+           st.mem.Interp.m_load ~pc:d ~addr:(base + (i * eb)) ~at:t
+         in
+         retire st done_at;
+         if i < 0 || i >= n then
+           Runtime.fault "load %s[%d] out of bounds [0, %d)" bname i n;
+         st.ienv.(d) <- Array.unsafe_get a i;
+         st.ready.(d) <- done_at
+     | Runtime.RF a ->
+       let n = Array.length a in
+       fun st ->
+         st.loads <- st.loads + 1;
+         let i = st.ienv.(ix) in
+         let t = issue_at st st.ready.(ix) in
+         let done_at =
+           st.mem.Interp.m_load ~pc:d ~addr:(base + (i * eb)) ~at:t
+         in
+         retire st done_at;
+         if i < 0 || i >= n then
+           Runtime.fault "load %s[%d] out of bounds [0, %d)" bname i n;
+         st.fenv.(d) <- Array.unsafe_get a i;
+         st.ready.(d) <- done_at
+     | Runtime.RB s ->
+       let n = Bytes.length s in
+       fun st ->
+         st.loads <- st.loads + 1;
+         let i = st.ienv.(ix) in
+         let t = issue_at st st.ready.(ix) in
+         let done_at =
+           st.mem.Interp.m_load ~pc:d ~addr:(base + (i * eb)) ~at:t
+         in
+         retire st done_at;
+         if i < 0 || i >= n then
+           Runtime.fault "load %s[%d] out of bounds [0, %d)" bname i n;
+         st.ienv.(d) <- Bytes.get_uint8 s i;
+         st.ready.(d) <- done_at)
+  | Ir.Dim buf ->
+    let n = Runtime.length_of bufs.(buf.Ir.bid).Runtime.data in
+    fun st ->
+      let t = simple st int_lat 0 in
+      st.ienv.(d) <- n;
+      st.ready.(d) <- t
+  | Ir.Cast (ty, x) ->
+    let xi = x.Ir.vid in
+    (match (ty, x.Ir.vty) with
+     | Ir.F64, (Ir.Index | Ir.I64 | Ir.I1) ->
+       fun st ->
+         let t = simple st int_lat st.ready.(xi) in
+         st.fenv.(d) <- float_of_int st.ienv.(xi);
+         st.ready.(d) <- t
+     | (Ir.Index | Ir.I64 | Ir.I1), Ir.F64 ->
+       fun st ->
+         let t = simple st int_lat st.ready.(xi) in
+         st.ienv.(d) <- int_of_float st.fenv.(xi);
+         st.ready.(d) <- t
+     | _, _ ->
+       if v.Ir.vty = Ir.F64 then
+         fun st ->
+           let t = simple st int_lat st.ready.(xi) in
+           st.fenv.(d) <- st.fenv.(xi);
+           st.ready.(d) <- t
+       else
+         fun st ->
+           let t = simple st int_lat st.ready.(xi) in
+           st.ienv.(d) <- st.ienv.(xi);
+           st.ready.(d) <- t)
+
+let rec compile_stmt (bufs : Runtime.bound array) ~top (s : Ir.stmt) : code =
+  match s with
+  | Ir.Let (v, rv) -> compile_let bufs v rv
+  | Ir.Store (buf, idx, v) ->
+    let b = bufs.(buf.Ir.bid) in
+    let pc = buf.Ir.bid lor 0x10000 in
+    let base = b.Runtime.base and eb = b.Runtime.ebytes in
+    let ix = idx.Ir.vid and sv = v.Ir.vid in
+    let bname = buf.Ir.bname in
+    (match (b.Runtime.data, v.Ir.vty = Ir.F64) with
+     | Runtime.RF a, true ->
+       let n = Array.length a in
+       fun st ->
+         st.stores <- st.stores + 1;
+         let i = st.ienv.(ix) in
+         let t = issue_at st (imax st.ready.(ix) st.ready.(sv)) in
+         st.mem.Interp.m_store ~pc ~addr:(base + (i * eb)) ~at:t;
+         retire st (t + st_lat);
+         if i < 0 || i >= n then
+           Runtime.fault "store %s[%d] out of bounds [0, %d)" bname i n;
+         Array.unsafe_set a i st.fenv.(sv)
+     | Runtime.RI a, false ->
+       let n = Array.length a in
+       fun st ->
+         st.stores <- st.stores + 1;
+         let i = st.ienv.(ix) in
+         let t = issue_at st (imax st.ready.(ix) st.ready.(sv)) in
+         st.mem.Interp.m_store ~pc ~addr:(base + (i * eb)) ~at:t;
+         retire st (t + st_lat);
+         if i < 0 || i >= n then
+           Runtime.fault "store %s[%d] out of bounds [0, %d)" bname i n;
+         Array.unsafe_set a i st.ienv.(sv)
+     | Runtime.RB s, false ->
+       let n = Bytes.length s in
+       fun st ->
+         st.stores <- st.stores + 1;
+         let i = st.ienv.(ix) in
+         let t = issue_at st (imax st.ready.(ix) st.ready.(sv)) in
+         st.mem.Interp.m_store ~pc ~addr:(base + (i * eb)) ~at:t;
+         retire st (t + st_lat);
+         if i < 0 || i >= n then
+           Runtime.fault "store %s[%d] out of bounds [0, %d)" bname i n;
+         Bytes.set_uint8 s i (st.ienv.(sv) land 0xff)
+     | (Runtime.RF _ | Runtime.RI _ | Runtime.RB _), isf ->
+       (* Kind mismatch: defer to Runtime.write for the same fault. *)
+       fun st ->
+         st.stores <- st.stores + 1;
+         let i = st.ienv.(ix) in
+         let t = issue_at st (imax st.ready.(ix) st.ready.(sv)) in
+         st.mem.Interp.m_store ~pc ~addr:(base + (i * eb)) ~at:t;
+         retire st (t + st_lat);
+         Runtime.write b i
+           (if isf then `F st.fenv.(sv) else `I st.ienv.(sv)))
+  | Ir.Prefetch p ->
+    let b = bufs.(p.Ir.pbuf.Ir.bid) in
+    let base = b.Runtime.base and eb = b.Runtime.ebytes in
+    let ix = p.Ir.pidx.Ir.vid and loc = p.Ir.plocality in
+    fun st ->
+      st.pfs <- st.pfs + 1;
+      let i = st.ienv.(ix) in
+      let t = issue_at st st.ready.(ix) in
+      st.mem.Interp.m_prefetch ~addr:(base + (i * eb)) ~locality:loc ~at:t;
+      retire st (t + 1)
+  | Ir.For f ->
+    let body = compile_block bufs ~top:false f.Ir.f_body in
+    let ivd = f.Ir.f_iv.Ir.vid in
+    let lo = f.Ir.f_lo.Ir.vid and hi = f.Ir.f_hi.Ir.vid in
+    let stp = f.Ir.f_step.Ir.vid in
+    let init_c = carry_of f.Ir.f_carried in
+    let yield_c =
+      carry_of
+        (List.map2 (fun (arg, _) y -> (arg, y)) f.Ir.f_carried f.Ir.f_yield)
+    in
+    let res_c =
+      carry_of
+        (List.map2 (fun r (arg, _) -> (r, arg)) f.Ir.f_results f.Ir.f_carried)
+    in
+    fun st ->
+      let lo0 = st.ienv.(lo) and hi0 = st.ienv.(hi) in
+      let step = st.ienv.(stp) in
+      if step <= 0 then raise (Interp.Trap "non-positive loop step");
+      let lov, hiv =
+        if top then (
+          match st.slice with
+          | Some (slo, shi) ->
+            st.slice <- None;
+            (imax lo0 slo, (if hi0 <= shi then hi0 else shi))
+          | None -> (lo0, hi0))
+        else (lo0, hi0)
+      in
+      copy_carry st init_c;
+      let riv = ref (imax st.ready.(lo) st.ready.(hi)) in
+      let i = ref lov in
+      while !i < hiv do
+        st.ienv.(ivd) <- !i;
+        st.ready.(ivd) <- !riv;
+        (* Loop overhead: induction update + compare-and-branch. *)
+        let (_ : int) = simple st int_lat !riv in
+        let (_ : int) = simple st int_lat !riv in
+        body st;
+        copy_carry st yield_c;
+        riv := !riv + 1;
+        i := !i + step
+      done;
+      st.bubble <- st.bubble + st.branch_miss;
+      copy_carry st res_c
+  | Ir.While w ->
+    let cond = compile_block bufs ~top:false w.Ir.w_cond in
+    let body = compile_block bufs ~top:false w.Ir.w_body in
+    let cv = w.Ir.w_cond_v.Ir.vid in
+    let init_c = carry_of w.Ir.w_carried in
+    let yield_c =
+      carry_of
+        (List.map2 (fun (arg, _) y -> (arg, y)) w.Ir.w_carried w.Ir.w_yield)
+    in
+    let res_c =
+      carry_of
+        (List.map2 (fun r (arg, _) -> (r, arg)) w.Ir.w_results w.Ir.w_carried)
+    in
+    fun st ->
+      copy_carry st init_c;
+      let continue_ = ref true in
+      while !continue_ do
+        cond st;
+        let (_ : int) = simple st int_lat st.ready.(cv) in
+        if st.ienv.(cv) <> 0 then begin
+          body st;
+          copy_carry st yield_c
+        end
+        else continue_ := false
+      done;
+      st.bubble <- st.bubble + st.branch_miss;
+      copy_carry st res_c
+  | Ir.If (c, then_, else_) ->
+    let tc = compile_block bufs ~top:false then_ in
+    let ec = compile_block bufs ~top:false else_ in
+    let cv = c.Ir.vid in
+    fun st ->
+      let (_ : int) = simple st int_lat st.ready.(cv) in
+      if st.ienv.(cv) <> 0 then tc st else ec st
+
+and compile_block bufs ~top (blk : Ir.block) : code =
+  seq (List.map (compile_stmt bufs ~top) blk)
+
+type compiled = {
+  c_fn : Ir.func;
+  c_entry : code;
+}
+
+(** [compile fn ~bufs] stages [fn] over the bound buffer array (as
+    produced by {!Runtime.layout}) into a closure tree. The result is
+    reusable across runs — slices, scalars and the memory port bind at
+    {!run} time. *)
+let compile (fn : Ir.func) ~(bufs : Runtime.bound array) : compiled =
+  { c_fn = fn; c_entry = compile_block bufs ~top:true fn.Ir.fn_body }
+
+(* Scalar-parameter binding, identical traps to Interp. *)
+let rec bind_scalars ienv params values =
+  match (params, values) with
+  | [], [] -> ()
+  | Ir.Pbuf _ :: ps, vs -> bind_scalars ienv ps vs
+  | Ir.Pscalar (v : Ir.value) :: ps, x :: vs ->
+    ienv.(v.Ir.vid) <- x;
+    bind_scalars ienv ps vs
+  | Ir.Pscalar v :: _, [] ->
+    raise (Interp.Trap ("missing scalar argument for " ^ v.Ir.vname))
+  | [], _ :: _ -> raise (Interp.Trap "too many scalar arguments")
+
+let run ?slice ?(width = 3) ?(rob_size = 64) ?(branch_miss = 6)
+    (c : compiled) ~(scalars : int list) ~(mem : Interp.mem)
+  : Interp.result =
+  let n = c.c_fn.Ir.fn_nvalues in
+  let st =
+    { ienv = Array.make n 0;
+      fenv = Array.make n 0.;
+      ready = Array.make n 0;
+      rob = Array.make rob_size 0;
+      rob_n = rob_size;
+      width;
+      branch_miss;
+      mem;
+      icount = 0; slot = 0; qbase = 0; qrem = 0;
+      last_retire = 0; bubble = 0;
+      flops = 0; loads = 0; stores = 0; pfs = 0;
+      slice }
+  in
+  bind_scalars st.ienv c.c_fn.Ir.fn_params scalars;
+  c.c_entry st;
+  { Interp.r_cycles = st.last_retire;
+    r_instructions = st.icount;
+    r_flops = st.flops;
+    r_loads = st.loads;
+    r_stores = st.stores;
+    r_prefetches = st.pfs }

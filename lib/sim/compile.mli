@@ -1,0 +1,28 @@
+(** Closure-compiled execution engine (staged interpretation).
+
+    Translates an [Ir.func] bound to its runtime buffers {e once} into a
+    tree of OCaml closures, hoisting statement dispatch, buffer/type
+    resolution, operand indexing and carried-value plumbing out of the
+    simulated loop. A drop-in for {!Interp.run}: same memory port, same
+    result type, same timing model, same traps and faults — the engines
+    agree cycle-exactly and value-exactly (enforced by the differential
+    tests in [test/test_engine.ml]). *)
+
+open Asap_ir
+
+(** A staged function: reusable across runs over the same buffer binding.
+    Slices, scalars and the memory port bind at {!run} time. *)
+type compiled
+
+(** [compile fn ~bufs] stages [fn] over the bound buffer array (as
+    produced by {!Runtime.layout}). *)
+val compile : Ir.func -> bufs:Runtime.bound array -> compiled
+
+(** [run ?slice ?width ?rob_size ?branch_miss c ~scalars ~mem] executes a
+    staged function. Parameters and defaults are identical to
+    {!Interp.run}.
+    @raise Runtime.Fault on out-of-bounds demand accesses.
+    @raise Interp.Trap on dynamic errors. *)
+val run :
+  ?slice:int * int -> ?width:int -> ?rob_size:int -> ?branch_miss:int ->
+  compiled -> scalars:int list -> mem:Interp.mem -> Interp.result

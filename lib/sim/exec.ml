@@ -27,9 +27,24 @@ let aggregate machine threads (rs : Interp.result array) mem =
     rp_prefetch_instrs = sum (fun r -> r.Interp.r_prefetches);
     rp_mem = mem }
 
+(** The execution engine: the tree-walking interpreter ({!Interp}) or the
+    staged closure compiler ({!Compile}). The two are cycle-exact and
+    value-exact drop-ins for each other (differential-tested), so the
+    choice is purely a host-speed trade-off. *)
+type engine = [ `Interp | `Compiled ]
+
+let default_engine : engine = `Compiled
+
+let engine_of_string = function
+  | "interp" | "interpreter" -> Some `Interp
+  | "compiled" | "compile" | "closure" -> Some `Compiled
+  | _ -> None
+
+let engine_to_string = function `Interp -> "interp" | `Compiled -> "compiled"
+
 (** [run ?slice machine fn ~bufs ~scalars] executes [fn] on one core;
     [slice] restricts the outermost loop's range (used by profiling). *)
-let run ?slice (machine : Machine.t) (fn : Ir.func)
+let run ?(engine = default_engine) ?slice (machine : Machine.t) (fn : Ir.func)
     ~(bufs : (Ir.buffer * Runtime.rbuf) list) ~(scalars : int list) : report =
   let bound = Runtime.layout fn bufs in
   let hier = Hierarchy.create machine in
@@ -40,10 +55,17 @@ let run ?slice (machine : Machine.t) (fn : Ir.func)
         (fun ~addr ~locality ~at ->
           Hierarchy.prefetch hier ~core:0 ~addr ~locality ~at) }
   in
+  let width = machine.Machine.width in
+  let rob_size = machine.Machine.rob in
+  let branch_miss = machine.Machine.branch_miss in
   let r =
-    Interp.run ?slice ~width:machine.Machine.width
-      ~rob_size:machine.Machine.rob ~branch_miss:machine.Machine.branch_miss
-      fn ~bufs:bound ~scalars ~mem
+    match engine with
+    | `Interp ->
+      Interp.run ?slice ~width ~rob_size ~branch_miss fn ~bufs:bound ~scalars
+        ~mem
+    | `Compiled ->
+      Compile.run ?slice ~width ~rob_size ~branch_miss
+        (Compile.compile fn ~bufs:bound) ~scalars ~mem
   in
   aggregate machine 1 [| r |] (Hierarchy.stats hier)
 
@@ -51,8 +73,9 @@ let run ?slice (machine : Machine.t) (fn : Ir.func)
     the dense-outer-loop parallelisation strategy: the outermost loop range
     [0, outer_extent) is split into [threads] contiguous slices, one per
     core, on a shared memory hierarchy. *)
-let run_parallel (machine : Machine.t) ~threads ~outer_extent (fn : Ir.func)
-    ~(bufs : (Ir.buffer * Runtime.rbuf) list) ~(scalars : int list) : report =
+let run_parallel ?(engine = default_engine) (machine : Machine.t) ~threads
+    ~outer_extent (fn : Ir.func) ~(bufs : (Ir.buffer * Runtime.rbuf) list)
+    ~(scalars : int list) : report =
   if threads < 1 || threads > machine.Machine.cores then
     invalid_arg "Exec.run_parallel: bad thread count";
   let bound = Runtime.layout fn bufs in
@@ -62,7 +85,7 @@ let run_parallel (machine : Machine.t) ~threads ~outer_extent (fn : Ir.func)
     Array.init threads (fun t ->
         (t * chunk, min outer_extent ((t + 1) * chunk)))
   in
-  let rs = Multicore.run machine hier fn ~bufs:bound ~scalars ~slices in
+  let rs = Multicore.run ~engine machine hier fn ~bufs:bound ~scalars ~slices in
   aggregate machine threads rs (Hierarchy.stats hier)
 
 (* Derived metrics (paper §5). *)

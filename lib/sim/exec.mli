@@ -14,19 +14,34 @@ type report = {
   rp_mem : Hierarchy.stats;
 }
 
-(** [run ?slice machine fn ~bufs ~scalars] executes [fn] on one core of a
-    fresh memory hierarchy; [slice] restricts the outermost loop's
-    iteration range (used by profile-guided tuning). *)
+(** The execution engine: the tree-walking interpreter ({!Interp}) or the
+    staged closure compiler ({!Compile}). The two are cycle-exact and
+    value-exact drop-ins for each other (differential-tested), so the
+    choice is purely a host-speed trade-off. *)
+type engine = [ `Interp | `Compiled ]
+
+(** [`Compiled] — the faster engine is the default everywhere. *)
+val default_engine : engine
+
+(** Parses ["interp"] / ["compiled"] (and close synonyms); [None]
+    otherwise. *)
+val engine_of_string : string -> engine option
+
+val engine_to_string : engine -> string
+
+(** [run ?engine ?slice machine fn ~bufs ~scalars] executes [fn] on one
+    core of a fresh memory hierarchy; [slice] restricts the outermost
+    loop's iteration range (used by profile-guided tuning). *)
 val run :
-  ?slice:int * int -> Machine.t -> Ir.func ->
+  ?engine:engine -> ?slice:int * int -> Machine.t -> Ir.func ->
   bufs:(Ir.buffer * Runtime.rbuf) list -> scalars:int list -> report
 
-(** [run_parallel machine ~threads ~outer_extent fn ~bufs ~scalars]
-    executes [fn] with the dense-outer-loop strategy: the outermost loop
-    range [0, outer_extent) is split into [threads] contiguous slices, one
-    per core, on a shared hierarchy. *)
+(** [run_parallel ?engine machine ~threads ~outer_extent fn ~bufs
+    ~scalars] executes [fn] with the dense-outer-loop strategy: the
+    outermost loop range [0, outer_extent) is split into [threads]
+    contiguous slices, one per core, on a shared hierarchy. *)
 val run_parallel :
-  Machine.t -> threads:int -> outer_extent:int -> Ir.func ->
+  ?engine:engine -> Machine.t -> threads:int -> outer_extent:int -> Ir.func ->
   bufs:(Ir.buffer * Runtime.rbuf) list -> scalars:int list -> report
 
 (** [l2_mpki r] is demand L2 misses per kilo-instruction. *)

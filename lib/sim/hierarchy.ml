@@ -21,6 +21,7 @@ type cluster = {
 
 type t = {
   cfg : Machine.t;
+  line_shift : int;              (* log2 of the line size, from Machine *)
   l1s : Cache.t array;           (* per core *)
   l1_pfs : Hp.t list array;      (* per core *)
   clusters : cluster array;
@@ -64,6 +65,7 @@ let create (cfg : Machine.t) : t =
             (if cfg.Machine.hw.Machine.l2_amp then [ Hp.l2_amp () ] else []) ] }
   in
   { cfg;
+    line_shift = Cache.line_shift ~line_bytes:line;
     l1s = Array.init cfg.Machine.cores mk_l1;
     l1_pfs = Array.init cfg.Machine.cores mk_l1_pfs;
     clusters = Array.init (Machine.clusters cfg) mk_cluster;
@@ -114,26 +116,15 @@ let rec fetch_line t ~core ~prov ~level ~at line =
     | Hp.L2 -> Cache.probe cl.l2 line
     | Hp.L3 -> Cache.probe t.l3 line
   in
-  if present || Mshr.find cl.mshr line <> None then false
+  if present || Mshr.find cl.mshr line >= 0 then false
   else begin
     let in_l2 = Cache.probe cl.l2 line in
     (match level with
      | Hp.L1 ->
-       let ev =
-         { Hp.pc = prov lor 0x40000; addr = line lsl 6; line; hit = in_l2 }
-       in
-       List.iter
-         (fun (pf : Hp.t) ->
-           List.iter
-             (fun (r : Hp.request) ->
-               if r.Hp.r_line >= 0 then begin
-                 if fetch_line t ~core ~prov:r.Hp.r_src ~level:r.Hp.r_level
-                      ~at r.Hp.r_line
-                 then
-                   t.pf_issued.(r.Hp.r_src) <- t.pf_issued.(r.Hp.r_src) + 1
-               end)
-             (pf.Hp.pf_observe ev))
-         cl.l2_pfs
+       if cl.l2_pfs <> [] then
+         fire_pfs t ~core ~at cl.l2_pfs
+           { Hp.pc = prov lor 0x40000; addr = line lsl t.line_shift; line;
+             hit = in_l2 }
      | Hp.L2 | Hp.L3 -> ());
     if in_l2 || Cache.probe t.l3 line then begin
       (* Move inward from L2/L3: cheap, no MSHR needed in this model. *)
@@ -152,101 +143,126 @@ let rec fetch_line t ~core ~prov ~level ~at line =
     end
   end
 
+(* Push a prefetcher's fill requests through the shared paths. A plain
+   recursive walk (not List.iter) keeps the per-access path closure-free —
+   these run on every demand access. *)
+and issue_requests t ~core ~at = function
+  | [] -> ()
+  | (r : Hp.request) :: rest ->
+    if r.Hp.r_line >= 0 then begin
+      if fetch_line t ~core ~prov:r.Hp.r_src ~level:r.Hp.r_level ~at
+           r.Hp.r_line
+      then t.pf_issued.(r.Hp.r_src) <- t.pf_issued.(r.Hp.r_src) + 1
+    end;
+    issue_requests t ~core ~at rest
+
+and fire_pfs t ~core ~at pfs ev =
+  match pfs with
+  | [] -> ()
+  | (pf : Hp.t) :: rest ->
+    issue_requests t ~core ~at (pf.Hp.pf_observe ev);
+    fire_pfs t ~core ~at rest ev
+
+(* [fire_level] builds the observation event and walks the prefetchers.
+   A plain function (not a closure over the access) so the per-load path
+   allocates only when a level actually has prefetchers attached. *)
+let fire_level t ~core ~at pfs ~pc ~addr ~line hit =
+  if pfs <> [] then fire_pfs t ~core ~at pfs { Hp.pc; addr; line; hit }
+
 (** [load t ~core ~pc ~addr ~at] performs a demand load issued at cycle
     [at]; returns the cycle the data is ready. *)
 let load t ~core ~pc ~addr ~at =
   t.demand_loads <- t.demand_loads + 1;
-  let line = addr asr 6 in
+  let line = addr asr t.line_shift in
   let l1 = t.l1s.(core) in
   let cl = cluster_of t core in
   Mshr.expire cl.mshr ~now:at;
   let lat1 = at + t.cfg.Machine.lat_l1 in
-  let fire pfs hit =
-    let ev = { Hp.pc; addr; line; hit } in
-    List.iter
-      (fun (pf : Hp.t) ->
-        List.iter
-          (fun (r : Hp.request) ->
-            if r.Hp.r_line >= 0 then begin
-              if fetch_line t ~core ~prov:r.Hp.r_src ~level:r.Hp.r_level ~at
-                   r.Hp.r_line
-              then t.pf_issued.(r.Hp.r_src) <- t.pf_issued.(r.Hp.r_src) + 1
-            end)
-          (pf.Hp.pf_observe ev))
-      pfs
-  in
-  match Cache.lookup l1 line with
-  | Some prov ->
-    note_useful t prov;
-    fire t.l1_pfs.(core) true;
-    (* The tag may be present while the fill is still in flight. *)
-    (match Mshr.find cl.mshr line with
-     | Some d -> max d lat1
-     | None -> lat1)
-  | None ->
+  let p1 = Cache.lookup l1 line in
+  if p1 <> Cache.no_hit then begin
+    note_useful t p1;
+    fire_level t ~core ~at t.l1_pfs.(core) ~pc ~addr ~line true;
+    (* The tag may be present while the fill is still in flight; find
+       returns -1 when nothing is in flight, so max yields lat1 then. *)
+    let d = Mshr.find cl.mshr line in
+    if d > lat1 then d else lat1
+  end
+  else begin
     t.l1_demand_misses <- t.l1_demand_misses + 1;
-    fire t.l1_pfs.(core) false;
-    (match Mshr.find cl.mshr line with
-     | Some d ->
-       Cache.insert l1 line ~prov:Cache.demand_prov;
-       max d lat1
-     | None ->
-       (match Cache.lookup cl.l2 line with
-        | Some prov ->
-          note_useful t prov;
-          fire cl.l2_pfs true;
-          Cache.insert l1 line ~prov:Cache.demand_prov;
-          at + t.cfg.Machine.lat_l2
-        | None ->
-          fire cl.l2_pfs false;
-          t.l2_demand_misses <- t.l2_demand_misses + 1;
-          (match Cache.lookup t.l3 line with
-           | Some prov ->
-             note_useful t prov;
-             fire t.l3_pfs true;
-             install t ~core ~prov:Cache.demand_prov ~level:Hp.L1 line;
-             at + t.cfg.Machine.lat_l3
-           | None ->
-             fire t.l3_pfs false;
-             t.l3_demand_misses <- t.l3_demand_misses + 1;
-             (* Wait for an MSHR if the pool is exhausted. *)
-             let at' =
-               if Mshr.full cl.mshr then begin
-                 let e = Option.value (Mshr.earliest cl.mshr) ~default:at in
-                 let now = max at e in
-                 Mshr.expire cl.mshr ~now;
-                 now
-               end
-               else at
-             in
-             let done_at = Dram.fill t.dram ~at:at' in
-             Mshr.add cl.mshr line done_at;
-             install t ~core ~prov:Cache.demand_prov ~level:Hp.L1 line;
-             done_at)))
+    fire_level t ~core ~at t.l1_pfs.(core) ~pc ~addr ~line false;
+    let d = Mshr.find cl.mshr line in
+    if d >= 0 then begin
+      Cache.insert l1 line ~prov:Cache.demand_prov;
+      if d > lat1 then d else lat1
+    end
+    else begin
+      let p2 = Cache.lookup cl.l2 line in
+      if p2 <> Cache.no_hit then begin
+        note_useful t p2;
+        fire_level t ~core ~at cl.l2_pfs ~pc ~addr ~line true;
+        Cache.insert l1 line ~prov:Cache.demand_prov;
+        at + t.cfg.Machine.lat_l2
+      end
+      else begin
+        fire_level t ~core ~at cl.l2_pfs ~pc ~addr ~line false;
+        t.l2_demand_misses <- t.l2_demand_misses + 1;
+        let p3 = Cache.lookup t.l3 line in
+        if p3 <> Cache.no_hit then begin
+          note_useful t p3;
+          fire_level t ~core ~at t.l3_pfs ~pc ~addr ~line true;
+          install t ~core ~prov:Cache.demand_prov ~level:Hp.L1 line;
+          at + t.cfg.Machine.lat_l3
+        end
+        else begin
+          fire_level t ~core ~at t.l3_pfs ~pc ~addr ~line false;
+          t.l3_demand_misses <- t.l3_demand_misses + 1;
+          (* Wait for an MSHR if the pool is exhausted. *)
+          let at' =
+            if Mshr.full cl.mshr then begin
+              (* earliest is -1 only on an empty pool, impossible here. *)
+              let now = max at (Mshr.earliest cl.mshr) in
+              Mshr.expire cl.mshr ~now;
+              now
+            end
+            else at
+          in
+          let done_at = Dram.fill t.dram ~at:at' in
+          Mshr.add cl.mshr line done_at;
+          install t ~core ~prov:Cache.demand_prov ~level:Hp.L1 line;
+          done_at
+        end
+      end
+    end
+  end
 
 (** [store t ~core ~pc ~addr ~at] performs a write-allocate store; it never
     stalls the core (completion is hidden by the store buffer), but misses
     consume fill bandwidth. *)
 let store t ~core ~pc:_ ~addr ~at =
   t.demand_stores <- t.demand_stores + 1;
-  let line = addr asr 6 in
+  let line = addr asr t.line_shift in
   let l1 = t.l1s.(core) in
-  match Cache.lookup l1 line with
-  | Some prov -> note_useful t prov
-  | None ->
+  let p = Cache.lookup l1 line in
+  if p <> Cache.no_hit then note_useful t p
+  else begin
     t.l1_demand_misses <- t.l1_demand_misses + 1;
     let cl = cluster_of t core in
-    if not (Cache.probe cl.l2 line) && not (Cache.probe t.l3 line) then
+    if not (Cache.probe cl.l2 line) && not (Cache.probe t.l3 line) then begin
+      (* Absent everywhere: the write-allocate fill comes from DRAM, so it
+         misses both L2 and L3. *)
       t.l2_demand_misses <- t.l2_demand_misses + 1;
+      t.l3_demand_misses <- t.l3_demand_misses + 1
+    end;
     let (_ : bool) =
       fetch_line t ~core ~prov:Cache.demand_prov ~level:Hp.L1 ~at line
     in
     Cache.insert l1 line ~prov:Cache.demand_prov
+  end
 
 (** [prefetch t ~core ~addr ~locality ~at] performs a software prefetch.
     Locality maps to the fill level: 3-2 into L1, 1 into L2, 0 into L3. *)
 let prefetch t ~core ~addr ~locality ~at =
-  let line = addr asr 6 in
+  let line = addr asr t.line_shift in
   let level =
     if locality >= 2 then Hp.L1 else if locality = 1 then Hp.L2 else Hp.L3
   in

@@ -77,23 +77,32 @@ let l1_ipp ?(streams = 2) ?(lookahead = 16) () =
     Array.init streams (fun _ ->
         { s_pc = -1; s_last = 0; s_stride = 0; s_conf = 0; s_used = 0 })
   in
-  let stamp = ref 0 in
+  (* Hot path: runs on every L1 access, so the searches below are plain
+     index loops — no closures, options or refs. *)
+  let n = Array.length table in
+  let find_pc pc =
+    let rec go i =
+      if i = n then -1 else if table.(i).s_pc = pc then i else go (i + 1)
+    in
+    go 0
+  in
+  (* Defined here (not inside observe) so the closure is built once. *)
+  let rec pick_victim i best =
+    if i = n then best
+    else
+      pick_victim (i + 1)
+        (if table.(i).s_conf < table.(best).s_conf then i else best)
+  in
   { pf_id = id_l1_ipp; pf_level = L1;
     pf_observe =
       (fun e ->
-        incr stamp;
-        let entry = ref None in
-        Array.iter (fun s -> if s.s_pc = e.pc then entry := Some s) table;
-        match !entry with
-        | None ->
+        let idx = find_pc e.pc in
+        if idx < 0 then begin
           (* Replacement with hysteresis: steal only a zero-confidence
              slot, otherwise decay the weakest stream. Plain LRU would
              thrash under the round-robin PC pattern of a loop body and
              the unit would never lock onto any stream. *)
-          let victim = ref table.(0) in
-          Array.iter (fun s -> if s.s_conf < !victim.s_conf then victim := s)
-            table;
-          let v = !victim in
+          let v = table.(pick_victim 1 0) in
           if v.s_conf = 0 then begin
             v.s_pc <- e.pc;
             v.s_last <- e.addr;
@@ -111,7 +120,9 @@ let l1_ipp ?(streams = 2) ?(lookahead = 16) () =
             if v.s_used mod 8 = 0 then v.s_conf <- v.s_conf - 1
           end;
           []
-        | Some s ->
+        end
+        else begin
+          let s = table.(idx) in
           s.s_used <- 0;
           let d = e.addr - s.s_last in
           if d = s.s_stride && d <> 0 then s.s_conf <- min 4 (s.s_conf + 1)
@@ -126,7 +137,8 @@ let l1_ipp ?(streams = 2) ?(lookahead = 16) () =
               [ { r_line = target asr 6; r_src = id_l1_ipp; r_level = L1 } ]
             else []
           end
-          else []) }
+          else []
+        end) }
 
 type stream_entry = {
   mutable t_page : int;
@@ -147,25 +159,48 @@ let streamer ~pf_id ~level ?(entries = 16) ?(degree = 4) () =
         { t_page = -1; t_last = -1; t_conf = 0; t_used = 0 })
   in
   let stamp = ref 0 in
+  (* Hot path: runs on every access at its level, so the table searches
+     are plain index loops and the request list is built directly with
+     only in-page lines (same lines, same order as the old init+filter). *)
+  let n = Array.length table in
+  let find_page page =
+    let rec go i =
+      if i = n then -1 else if table.(i).t_page = page then i else go (i + 1)
+    in
+    go 0
+  in
+  let rec pick_victim i best =
+    if i = n then best
+    else
+      pick_victim (i + 1)
+        (if table.(i).t_used < table.(best).t_used then i else best)
+  in
+  let rec requests ~page ~from k =
+    if k = 0 then []
+    else begin
+      let line = from + 1 in
+      if line asr 6 = page then
+        { r_line = line; r_src = pf_id; r_level = level }
+        :: requests ~page ~from:line (k - 1)
+      else []
+    end
+  in
   { pf_id; pf_level = level;
     pf_observe =
       (fun e ->
         incr stamp;
         let page = e.line asr 6 in
-        let entry = ref None in
-        Array.iter (fun s -> if s.t_page = page then entry := Some s) table;
-        match !entry with
-        | None ->
-          let victim = ref table.(0) in
-          Array.iter (fun s -> if s.t_used < !victim.t_used then victim := s)
-            table;
-          let v = !victim in
+        let idx = find_page page in
+        if idx < 0 then begin
+          let v = table.(pick_victim 1 0) in
           v.t_page <- page;
           v.t_last <- e.line;
           v.t_conf <- 0;
           v.t_used <- !stamp;
           []
-        | Some s ->
+        end
+        else begin
+          let s = table.(idx) in
           s.t_used <- !stamp;
           let delta = e.line - s.t_last in
           if delta > 0 && delta <= 4 then begin
@@ -179,10 +214,9 @@ let streamer ~pf_id ~level ?(entries = 16) ?(degree = 4) () =
           (* Small backward jitter (delta in [-4, 0]) leaves the
              high-water mark and confidence untouched. *)
           if s.t_conf >= 1 && delta > 0 then
-            List.init degree (fun k ->
-                { r_line = s.t_last + k + 1; r_src = pf_id; r_level = level })
-            |> List.filter (fun r -> r.r_line asr 6 = page)
-          else []) }
+            requests ~page ~from:s.t_last degree
+          else []
+        end) }
 
 let mlc_streamer () = streamer ~pf_id:id_mlc ~level:L2 ()
 let llc_streamer () = streamer ~pf_id:id_llc ~level:L3 ~degree:4 ()

@@ -3,64 +3,73 @@
    A demand miss to an in-flight line merges with it. When the pool is
    full, demand misses wait for the earliest completion, while prefetches
    are dropped — matching the hardware behaviour the paper's resource
-   argument (§4.1) relies on. *)
+   argument (§4.1) relies on.
 
-type entry = { mutable line : int; mutable done_at : int }
+   The pool is consulted on every simulated memory access, so entries live
+   in two parallel int arrays (no pointer chasing) and [expire] keeps the
+   exact minimum completion time so the common nothing-to-retire case is a
+   single comparison. Completion times must be positive; [find] and
+   [earliest] return -1 for "absent" so callers stay allocation-free. *)
 
 type t = {
   cap : int;
-  entries : entry array;
+  lines : int array;           (* line addresses of in-flight fills *)
+  dones : int array;           (* their completion cycles (always > 0) *)
   mutable used : int;
+  mutable min_done : int;      (* exact min of dones.(0..used-1); max_int when empty *)
   mutable drops : int;         (* prefetches dropped on a full pool *)
 }
 
 let create cap =
-  { cap; entries = Array.init cap (fun _ -> { line = -1; done_at = 0 });
-    used = 0; drops = 0 }
+  { cap; lines = Array.make cap 0; dones = Array.make cap 0;
+    used = 0; min_done = max_int; drops = 0 }
+
+(* Top-level loops (a local [let rec] capturing state would allocate a
+   closure per call; these run on every simulated access). *)
+
+let rec compact t ~now r w m =
+  if r = t.used then begin
+    t.used <- w;
+    t.min_done <- m
+  end
+  else begin
+    let d = t.dones.(r) in
+    if d > now then begin
+      if r <> w then begin
+        t.lines.(w) <- t.lines.(r);
+        t.dones.(w) <- d
+      end;
+      compact t ~now (r + 1) (w + 1) (if d < m then d else m)
+    end
+    else compact t ~now (r + 1) w m
+  end
+
+let rec scan_lines (lines : int array) (dones : int array) (line : int) i used =
+  if i = used then -1
+  else if lines.(i) = line then dones.(i)
+  else scan_lines lines dones line (i + 1) used
 
 (** [expire t ~now] retires entries whose fill has completed. *)
-let expire t ~now =
-  let w = ref 0 in
-  for r = 0 to t.used - 1 do
-    let e = t.entries.(r) in
-    if e.done_at > now then begin
-      let d = t.entries.(!w) in
-      d.line <- e.line;
-      d.done_at <- e.done_at;
-      incr w
-    end
-  done;
-  t.used <- !w
+let expire t ~now = if t.min_done <= now then compact t ~now 0 0 max_int
 
-(** [find t line] is the completion time of an in-flight fill of [line]. *)
-let find t line =
-  let rec go i =
-    if i = t.used then None
-    else if t.entries.(i).line = line then Some t.entries.(i).done_at
-    else go (i + 1)
-  in
-  go 0
+(** [find t line] is the completion time of an in-flight fill of [line],
+    or -1 if none is in flight. *)
+let find t line = scan_lines t.lines t.dones line 0 t.used
 
 let full t = t.used >= t.cap
 
-(** [earliest t] is the soonest completion among in-flight fills. *)
-let earliest t =
-  if t.used = 0 then None
-  else begin
-    let m = ref t.entries.(0).done_at in
-    for i = 1 to t.used - 1 do
-      if t.entries.(i).done_at < !m then m := t.entries.(i).done_at
-    done;
-    Some !m
-  end
+(** [earliest t] is the soonest completion among in-flight fills, or -1
+    when the pool is empty. *)
+let earliest t = if t.used = 0 then -1 else t.min_done
 
 let add t line done_at =
-  assert (t.used < t.cap);
-  let e = t.entries.(t.used) in
-  e.line <- line;
-  e.done_at <- done_at;
-  t.used <- t.used + 1
+  assert (t.used < t.cap && done_at > 0);
+  t.lines.(t.used) <- line;
+  t.dones.(t.used) <- done_at;
+  t.used <- t.used + 1;
+  if done_at < t.min_done then t.min_done <- done_at
 
 let reset t =
   t.used <- 0;
+  t.min_done <- max_int;
   t.drops <- 0

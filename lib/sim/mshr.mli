@@ -3,31 +3,39 @@
     A demand miss to an in-flight line merges with it. When the pool is
     full, demand misses wait for the earliest completion while prefetches
     are dropped — the resource behaviour the paper's §4.1 argument relies
-    on. *)
+    on.
+
+    The pool is consulted on every simulated memory access, so the API is
+    allocation-free: [find] and [earliest] return completion cycles
+    directly, with -1 meaning "absent". Completion times must be
+    positive. *)
 
 type t = {
   cap : int;
-  entries : entry array;
+  lines : int array;           (** line addresses of in-flight fills *)
+  dones : int array;           (** their completion cycles (always > 0) *)
   mutable used : int;
+  mutable min_done : int;      (** exact min of live [dones]; [max_int] when empty *)
   mutable drops : int;
 }
-
-and entry = { mutable line : int; mutable done_at : int }
 
 val create : int -> t
 
 (** [expire t ~now] retires entries whose fill completed by [now]. *)
 val expire : t -> now:int -> unit
 
-(** [find t line] is the completion time of an in-flight fill of [line]. *)
-val find : t -> int -> int option
+(** [find t line] is the completion time of an in-flight fill of [line],
+    or -1 if none is in flight. *)
+val find : t -> int -> int
 
 val full : t -> bool
 
-(** [earliest t] is the soonest completion among in-flight fills. *)
-val earliest : t -> int option
+(** [earliest t] is the soonest completion among in-flight fills, or -1
+    when the pool is empty. *)
+val earliest : t -> int
 
-(** [add t line done_at] registers a fill; the pool must not be full. *)
+(** [add t line done_at] registers a fill; the pool must not be full and
+    [done_at] must be positive. *)
 val add : t -> int -> int -> unit
 
 val reset : t -> unit

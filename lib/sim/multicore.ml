@@ -57,22 +57,34 @@ let handler : (Interp.result, step) handler =
                   k ))
         | _ -> None) }
 
-(** [run machine hier fn ~bufs ~scalars ~slices] interprets one copy of
-    [fn] per slice (static row partitioning), interleaving their memory
-    events on the shared hierarchy. Returns per-core results. *)
-let run (machine : Machine.t) (hier : Hierarchy.t) (fn : Asap_ir.Ir.func)
-    ~(bufs : Runtime.bound array) ~(scalars : int list)
-    ~(slices : (int * int) array) : Interp.result array =
+(** [run ?engine machine hier fn ~bufs ~scalars ~slices] executes one
+    copy of [fn] per slice (static row partitioning), interleaving their
+    memory events on the shared hierarchy. Returns per-core results. With
+    [`Compiled] (the default) the function is staged once and the closure
+    tree is shared by all fibers. *)
+let run ?(engine : [ `Interp | `Compiled ] = `Compiled) (machine : Machine.t)
+    (hier : Hierarchy.t) (fn : Asap_ir.Ir.func) ~(bufs : Runtime.bound array)
+    ~(scalars : int list) ~(slices : (int * int) array)
+  : Interp.result array =
   let n = Array.length slices in
+  let core_run : slice:int * int -> Interp.result =
+    let width = machine.Machine.width in
+    let rob_size = machine.Machine.rob in
+    let branch_miss = machine.Machine.branch_miss in
+    match engine with
+    | `Interp ->
+      fun ~slice ->
+        Interp.run ~slice ~width ~rob_size ~branch_miss fn ~bufs ~scalars
+          ~mem:effect_mem
+    | `Compiled ->
+      let c = Compile.compile fn ~bufs in
+      fun ~slice ->
+        Compile.run ~slice ~width ~rob_size ~branch_miss c ~scalars
+          ~mem:effect_mem
+  in
   let steps =
     Array.init n (fun c ->
-        match_with
-          (fun () ->
-            Interp.run ~slice:slices.(c) ~width:machine.Machine.width
-              ~rob_size:machine.Machine.rob
-              ~branch_miss:machine.Machine.branch_miss fn ~bufs ~scalars
-              ~mem:effect_mem)
-          () handler)
+        match_with (fun () -> core_run ~slice:slices.(c)) () handler)
   in
   let results = Array.make n None in
   let finished = ref 0 in

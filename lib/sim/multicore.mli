@@ -6,9 +6,14 @@
     deterministically on the shared L2/L3/DRAM resources. This replaces the
     paper's OpenMP dense-outer-loop execution (§4.3). *)
 
-(** [run machine hier fn ~bufs ~scalars ~slices] interprets one copy of
-    [fn] per slice (static row partitioning), interleaving their memory
-    events on the shared hierarchy [hier]. Returns per-core results. *)
+(** [run ?engine machine hier fn ~bufs ~scalars ~slices] executes one
+    copy of [fn] per slice (static row partitioning), interleaving their
+    memory events on the shared hierarchy [hier]. Returns per-core
+    results. [engine] selects the tree-walking interpreter or the staged
+    closure compiler (default [`Compiled]; the two agree cycle-exactly —
+    with [`Compiled] the function is staged once and shared by all
+    fibers). *)
 val run :
+  ?engine:[ `Interp | `Compiled ] ->
   Machine.t -> Hierarchy.t -> Asap_ir.Ir.func -> bufs:Runtime.bound array ->
   scalars:int list -> slices:(int * int) array -> Interp.result array

@@ -52,6 +52,25 @@ let compare_perm perm a b =
   in
   go 0
 
+(* Number of bits needed to address [n] distinct indices. *)
+let index_bits n =
+  let rec go b = if 1 lsl b >= n then b else go (b + 1) in
+  go 0
+
+(* Whether every (permuted lexicographic key, element index) pair fits in
+   one tagged int: the key range is the product of the permuted extents,
+   shifted left by the index width. Returns the key range, or -1 on
+   overflow. *)
+let packed_key_range dims perm ~idx_bits =
+  let limit = max_int asr idx_bits in
+  let rec go l range =
+    if l = Array.length perm then range
+    else
+      let d = dims.(perm.(l)) in
+      if d > 0 && range > limit / d then -1 else go (l + 1) (range * d)
+  in
+  go 0 1
+
 (** [sorted_dedup ?perm t] returns a copy of [t] sorted lexicographically by
     the (optionally permuted) dimension order, with duplicate coordinates
     summed — the canonical form sparsification's [sorted = true] expects. *)
@@ -60,27 +79,68 @@ let sorted_dedup ?perm t =
     match perm with Some p -> p | None -> Array.init (rank t) Fun.id
   in
   let n = nnz t in
-  let order = Array.init n Fun.id in
-  Array.sort
-    (fun a b ->
-      let c = compare_perm perm t.coords.(a) t.coords.(b) in
-      if c <> 0 then c else compare a b)
-    order;
-  let out_c = ref [] and out_v = ref [] in
-  let k = ref 0 in
-  while !k < n do
-    let c = t.coords.(order.(!k)) in
-    let v = ref 0. in
-    while !k < n && compare_perm perm t.coords.(order.(!k)) c = 0 do
-      v := !v +. t.vals.(order.(!k));
-      incr k
+  let r = Array.length perm in
+  let idx_bits = index_bits n in
+  if packed_key_range t.dims perm ~idx_bits >= 0 then begin
+    (* Fast path: encode each element as key * 2^idx_bits + index and sort
+       plain ints. Sorting these is exactly the reference order below —
+       key-major, original-index-minor — so the output (including the
+       float summation order over duplicates) is bit-identical. *)
+    let keys = Array.make n 0 in
+    for k = 0 to n - 1 do
+      let c = t.coords.(k) in
+      let key = ref 0 in
+      for l = 0 to r - 1 do
+        key := (!key * t.dims.(perm.(l))) + c.(perm.(l))
+      done;
+      keys.(k) <- (!key lsl idx_bits) lor k
     done;
-    out_c := c :: !out_c;
-    out_v := !v :: !out_v
-  done;
-  { dims = Array.copy t.dims;
-    coords = Array.of_list (List.rev !out_c);
-    vals = Array.of_list (List.rev !out_v) }
+    Array.sort (fun (a : int) b -> compare a b) keys;
+    let mask = (1 lsl idx_bits) - 1 in
+    let out_c = Array.make n [||] and out_v = Array.make n 0. in
+    let m = ref 0 and k = ref 0 in
+    while !k < n do
+      let key = keys.(!k) asr idx_bits in
+      let first = keys.(!k) land mask in
+      let v = ref 0. in
+      while !k < n && keys.(!k) asr idx_bits = key do
+        v := !v +. t.vals.(keys.(!k) land mask);
+        incr k
+      done;
+      out_c.(!m) <- t.coords.(first);
+      out_v.(!m) <- !v;
+      incr m
+    done;
+    { dims = Array.copy t.dims;
+      coords = Array.sub out_c 0 !m;
+      vals = Array.sub out_v 0 !m }
+  end
+  else begin
+    (* Reference path: comparator over the coordinate tuples, index as the
+       tie-break so duplicate groups keep insertion order. *)
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun a b ->
+        let c = compare_perm perm t.coords.(a) t.coords.(b) in
+        if c <> 0 then c else compare a b)
+      order;
+    let out_c = ref [] and out_v = ref [] in
+    let m = ref 0 and k = ref 0 in
+    while !k < n do
+      let c = t.coords.(order.(!k)) in
+      let v = ref 0. in
+      while !k < n && compare_perm perm t.coords.(order.(!k)) c = 0 do
+        v := !v +. t.vals.(order.(!k));
+        incr k
+      done;
+      out_c := c :: !out_c;
+      out_v := !v :: !out_v;
+      incr m
+    done;
+    { dims = Array.copy t.dims;
+      coords = Array.of_list (List.rev !out_c);
+      vals = Array.of_list (List.rev !out_v) }
+  end
 
 (** [to_dense t] materialises a row-major dense array. *)
 let to_dense t =

@@ -55,8 +55,12 @@ let pack (enc : Encoding.t) (coo : Coo.t) : t =
        lvls.(l) <- Ldense { lsize };
        segs := out
      | Encoding.Compressed { unique = true } ->
+       (* At most one node per element: build into n-sized scratch arrays
+          and trim, rather than consing per node. *)
        let pos = Array.make (np + 1) 0 in
-       let crd = ref [] and out = ref [] and count = ref 0 in
+       let crd = Array.make n 0 in
+       let out = Array.make n (0, 0) in
+       let count = ref 0 in
        Array.iteri
          (fun p (s, e) ->
            let i = ref s in
@@ -64,16 +68,15 @@ let pack (enc : Encoding.t) (coo : Coo.t) : t =
              let v = key l !i in
              let s' = !i in
              while !i < e && key l !i = v do incr i done;
-             crd := v :: !crd;
-             out := (s', !i) :: !out;
+             crd.(!count) <- v;
+             out.(!count) <- (s', !i);
              incr count
            done;
            pos.(p + 1) <- !count)
          parents;
        lvls.(l) <-
-         Lcompressed
-           { pos; crd = Array.of_list (List.rev !crd); unique = true };
-       segs := Array.of_list (List.rev !out)
+         Lcompressed { pos; crd = Array.sub crd 0 !count; unique = true };
+       segs := Array.sub out 0 !count
      | Encoding.Compressed { unique = false } ->
        (* One crd entry and one child per element: duplicate parent
           coordinates are retained, as in COO's top level. *)

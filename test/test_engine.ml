@@ -1,0 +1,189 @@
+(* Differential tests for the staged closure compiler (Compile) against
+   the tree-walking interpreter (Interp): the two engines must agree
+   cycle-exactly and value-exactly on every kernel, format and prefetch
+   variant, single- and multi-core. Also checks that the benchmark grid's
+   domain-parallel prewarm reproduces sequential measurements bit for
+   bit. *)
+
+module Coo = Asap_tensor.Coo
+module Encoding = Asap_tensor.Encoding
+module Machine = Asap_sim.Machine
+module Pipeline = Asap_core.Pipeline
+module Driver = Asap_core.Driver
+module Asap = Asap_prefetch.Asap
+module Aj = Asap_prefetch.Ainsworth_jones
+module Generate = Asap_workloads.Generate
+module Suite = Asap_workloads.Suite
+
+let check = Alcotest.(check bool)
+
+let machine = Machine.gracemont_scaled ()
+
+let small_matrix seed =
+  Generate.power_law ~seed ~rows:300 ~cols:300 ~avg_deg:6 ~alpha:2.0 ()
+
+let variants =
+  [ ("baseline", Pipeline.Baseline);
+    ("asap", Pipeline.Asap { Asap.default with Asap.distance = 8 });
+    ("aj", Pipeline.Ainsworth_jones { Aj.default with Aj.distance = 8 }) ]
+
+let encodings () =
+  [ Encoding.coo (); Encoding.csr (); Encoding.dcsr () ]
+
+(* Reports and outputs are plain data, so structural equality is the
+   whole cycle-exactness and value-exactness contract at once: cycles,
+   instruction mix, every cache/MSHR/prefetcher counter, and the kernel
+   output down to float summation order. *)
+let same_result name (a : Driver.result) (b : Driver.result) =
+  check (name ^ ": report") true (a.Driver.report = b.Driver.report);
+  check (name ^ ": nnz") true (a.Driver.nnz = b.Driver.nnz);
+  check (name ^ ": out_f") true (a.Driver.out_f = b.Driver.out_f);
+  check (name ^ ": out_b") true (a.Driver.out_b = b.Driver.out_b)
+
+let test_differential_spmv () =
+  let coo = small_matrix 21 in
+  List.iter
+    (fun enc ->
+      List.iter
+        (fun (vn, v) ->
+          let r_i = Driver.spmv ~engine:`Interp machine v enc coo in
+          let r_c = Driver.spmv ~engine:`Compiled machine v enc coo in
+          same_result (Printf.sprintf "spmv %s/%s" enc.Encoding.name vn) r_i
+            r_c)
+        variants)
+    (encodings ())
+
+let test_differential_spmm () =
+  let coo = small_matrix 22 in
+  List.iter
+    (fun enc ->
+      List.iter
+        (fun (vn, v) ->
+          let r_i = Driver.spmm ~engine:`Interp ~n:4 machine v enc coo in
+          let r_c = Driver.spmm ~engine:`Compiled ~n:4 machine v enc coo in
+          same_result (Printf.sprintf "spmm %s/%s" enc.Encoding.name vn) r_i
+            r_c)
+        variants)
+    (encodings ())
+
+let test_differential_binary () =
+  let coo = small_matrix 23 in
+  List.iter
+    (fun (vn, v) ->
+      let r_i = Driver.spmv ~engine:`Interp ~binary:true machine v
+          (Encoding.csr ()) coo
+      in
+      let r_c = Driver.spmv ~engine:`Compiled ~binary:true machine v
+          (Encoding.csr ()) coo
+      in
+      same_result ("binary spmv " ^ vn) r_i r_c)
+    variants
+
+let test_differential_ttv () =
+  let coo =
+    Generate.tensor3 ~seed:24 ~dims:[| 20; 30; 40 |] ~nnz:500 ()
+  in
+  List.iter
+    (fun (vn, v) ->
+      let r_i = Driver.ttv ~engine:`Interp machine v coo in
+      let r_c = Driver.ttv ~engine:`Compiled machine v coo in
+      same_result ("ttv " ^ vn) r_i r_c)
+    variants
+
+let test_differential_multicore () =
+  (* Four slices on a shared hierarchy: the effect-handler scheduler must
+     interleave identically whichever engine drives the fibers. *)
+  let coo = small_matrix 25 in
+  let machine4 = Machine.gracemont_scaled ~cores:4 () in
+  List.iter
+    (fun (vn, v) ->
+      let r_i =
+        Driver.spmv ~engine:`Interp ~threads:4 machine4 v (Encoding.csr ())
+          coo
+      in
+      let r_c =
+        Driver.spmv ~engine:`Compiled ~threads:4 machine4 v (Encoding.csr ())
+          coo
+      in
+      same_result ("multicore spmv " ^ vn) r_i r_c;
+      check ("multicore " ^ vn ^ ": 4 threads") true
+        (r_c.Driver.report.Asap_sim.Exec.rp_threads = 4))
+    variants
+
+let test_multicore_deterministic () =
+  (* Two invocations of the same 4-slice run must agree exactly — the
+     scheduler has no hidden host-order dependence. *)
+  let coo = small_matrix 26 in
+  let machine4 = Machine.gracemont_scaled ~cores:4 () in
+  let v = Pipeline.Asap { Asap.default with Asap.distance = 8 } in
+  let run () =
+    Driver.spmv ~threads:4 machine4 v (Encoding.csr ()) coo
+  in
+  same_result "multicore repeat" (run ()) (run ())
+
+(* --- Parallel benchmark grid ----------------------------------------- *)
+
+let grid_entry name seed =
+  { Suite.name; group = "engine-test"; binary = false; spmm = false;
+    gen =
+      (fun () ->
+        Generate.power_law ~seed ~rows:400 ~cols:400 ~avg_deg:6 ~alpha:2.0
+          ()) }
+
+let test_grid_parallel_matches_sequential () =
+  (* The domain-parallel prewarm must leave the run cache in exactly the
+     state a sequential sweep produces: same keys, same measurements. *)
+  let e1 = grid_entry "engine-diff-m1" 41
+  and e2 = grid_entry "engine-diff-m2" 42 in
+  let cells =
+    List.concat_map
+      (fun e ->
+        [ Harness.cell `Spmv e Harness.Base Harness.Optimized;
+          Harness.cell `Spmv e Harness.A Harness.Optimized;
+          Harness.cell `Spmm e Harness.Jones Harness.Optimized ])
+      [ e1; e2 ]
+  in
+  let was_verbose = !Harness.verbose in
+  Harness.verbose := false;
+  let run_one (c : Harness.cell) =
+    Harness.measure ~threads:c.Harness.c_threads c.Harness.c_kernel
+      c.Harness.c_entry c.Harness.c_vkind c.Harness.c_hw
+  in
+  let clear () =
+    List.iter
+      (fun (c : Harness.cell) ->
+        Hashtbl.remove Harness.run_cache (Harness.cell_key c);
+        Harness.drop_matrix c.Harness.c_entry.Suite.name)
+      cells
+  in
+  clear ();
+  let seq = List.map run_one cells in
+  clear ();
+  Harness.jobs := 4;
+  Harness.prewarm cells;
+  Harness.jobs := 1;
+  List.iter
+    (fun (c : Harness.cell) ->
+      check ("prewarmed " ^ Harness.cell_key c) true
+        (Hashtbl.mem Harness.run_cache (Harness.cell_key c)))
+    cells;
+  let par = List.map run_one cells in
+  clear ();
+  Harness.verbose := was_verbose;
+  List.iter2
+    (fun (a : Harness.measurement) (b : Harness.measurement) ->
+      check ("grid " ^ a.Harness.m_name) true (a = b))
+    seq par
+
+let suite =
+  [ Alcotest.test_case "spmv differential" `Quick test_differential_spmv;
+    Alcotest.test_case "spmm differential" `Quick test_differential_spmm;
+    Alcotest.test_case "binary spmv differential" `Quick
+      test_differential_binary;
+    Alcotest.test_case "ttv differential" `Quick test_differential_ttv;
+    Alcotest.test_case "multicore differential" `Quick
+      test_differential_multicore;
+    Alcotest.test_case "multicore deterministic" `Quick
+      test_multicore_deterministic;
+    Alcotest.test_case "parallel grid = sequential" `Quick
+      test_grid_parallel_matches_sequential ]

@@ -11,4 +11,5 @@ let () =
       ("trace", Test_trace.suite);
       ("sim", Test_sim.suite);
       ("interp-props", Test_interp_props.suite);
-      ("core", Test_core.suite) ]
+      ("core", Test_core.suite);
+      ("engine", Test_engine.suite) ]

@@ -19,9 +19,9 @@ let check_int = Alcotest.(check int)
 
 let test_cache_hit_miss () =
   let c = Cache.create ~name:"t" ~size_bytes:(4 * 64) ~ways:2 ~line_bytes:64 in
-  check "cold miss" true (Cache.lookup c 0 = None);
+  check "cold miss" true (Cache.lookup c 0 = Cache.no_hit);
   Cache.insert c 0 ~prov:Cache.demand_prov;
-  check "hit" true (Cache.lookup c 0 = Some Cache.demand_prov);
+  check "hit" true (Cache.lookup c 0 = Cache.demand_prov);
   check_int "hits" 1 c.Cache.hits;
   check_int "misses" 1 c.Cache.misses
 
@@ -30,7 +30,7 @@ let test_cache_lru_eviction () =
   let c = Cache.create ~name:"t" ~size_bytes:(4 * 64) ~ways:2 ~line_bytes:64 in
   Cache.insert c 0 ~prov:Cache.demand_prov;
   Cache.insert c 2 ~prov:Cache.demand_prov;
-  let (_ : int option) = Cache.lookup c 0 in     (* refresh line 0 *)
+  let (_ : int) = Cache.lookup c 0 in            (* refresh line 0 *)
   Cache.insert c 4 ~prov:Cache.demand_prov;      (* evicts LRU = line 2 *)
   check "line 0 kept" true (Cache.probe c 0);
   check "line 2 evicted" false (Cache.probe c 2);
@@ -39,12 +39,10 @@ let test_cache_lru_eviction () =
 let test_cache_prefetch_provenance () =
   let c = Cache.create ~name:"t" ~size_bytes:(4 * 64) ~ways:2 ~line_bytes:64 in
   Cache.insert c 7 ~prov:3;
-  (match Cache.lookup c 7 with
-   | Some 3 -> ()
-   | _ -> Alcotest.fail "expected prefetch provenance");
+  check_int "prefetch provenance" 3 (Cache.lookup c 7);
   check_int "pf hit counted" 1 c.Cache.pf_hits;
   (* Second touch: now demand-resident. *)
-  check "prov cleared" true (Cache.lookup c 7 = Some Cache.demand_prov)
+  check "prov cleared" true (Cache.lookup c 7 = Cache.demand_prov)
 
 let test_cache_geometry_validation () =
   (try
@@ -76,12 +74,13 @@ let test_mshr () =
   Mshr.add m 10 50;
   Mshr.add m 11 60;
   check "full" true (Mshr.full m);
-  check "find" true (Mshr.find m 10 = Some 50);
-  check "earliest" true (Mshr.earliest m = Some 50);
+  check_int "find" 50 (Mshr.find m 10);
+  check_int "earliest" 50 (Mshr.earliest m);
   Mshr.expire m ~now:55;
   check "expired one" false (Mshr.full m);
-  check "gone" true (Mshr.find m 10 = None);
-  check "other kept" true (Mshr.find m 11 = Some 60)
+  check_int "gone" (-1) (Mshr.find m 10);
+  check_int "other kept" 60 (Mshr.find m 11);
+  check_int "earliest after expire" 60 (Mshr.earliest m)
 
 (* --- Hardware prefetchers ------------------------------------------ *)
 

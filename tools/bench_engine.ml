@@ -1,0 +1,72 @@
+(* Engine microbenchmark: host wall-clock and simulated-instruction
+   throughput of the two execution engines on identical cells.
+
+   The matrix is generated and packed once; each engine then runs the same
+   kernel/variant cells on fresh hierarchies, so the comparison isolates
+   engine cost from workload setup. Results go to stdout as JSON (the
+   format tracked in BENCH_engine.json by tools/bench_smoke.sh).
+
+   Usage: bench_engine.exe [rows] [avg_deg] [reps] *)
+
+module Coo = Asap_tensor.Coo
+module Encoding = Asap_tensor.Encoding
+module Machine = Asap_sim.Machine
+module Exec = Asap_sim.Exec
+module Pipeline = Asap_core.Pipeline
+module Driver = Asap_core.Driver
+module Asap = Asap_prefetch.Asap
+module Aj = Asap_prefetch.Ainsworth_jones
+module Generate = Asap_workloads.Generate
+
+let () =
+  let arg i default =
+    if Array.length Sys.argv > i then int_of_string Sys.argv.(i) else default
+  in
+  let rows = arg 1 100_000 in
+  let deg = arg 2 8 in
+  let reps = arg 3 3 in
+  let coo =
+    Generate.power_law ~seed:1 ~rows ~cols:rows ~avg_deg:deg ~alpha:2.0 ()
+  in
+  let enc = Encoding.csr () in
+  let st = Asap_tensor.Storage.pack enc coo in
+  let machine = Machine.gracemont_scaled ~hw:Machine.hw_optimized () in
+  let variants =
+    [ ("baseline", Pipeline.Baseline);
+      ("asap", Pipeline.Asap Asap.default);
+      ("aj", Pipeline.Ainsworth_jones Aj.default) ]
+  in
+  let measure engine =
+    (* Warm up allocators and fault in the matrix once, untimed. The
+       matrix is packed once above and shared via [~st], so the timed
+       region is engine cost, not setup. *)
+    ignore (Driver.spmv ~engine ~st machine Pipeline.Baseline enc coo);
+    let instrs = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      List.iter
+        (fun (_, v) ->
+          let r = Driver.spmv ~engine ~st machine v enc coo in
+          instrs := !instrs + r.Driver.report.Exec.rp_instructions)
+        variants
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, !instrs)
+  in
+  let ti, ii = measure `Interp in
+  let tc, ic = measure `Compiled in
+  assert (ii = ic);
+  Printf.printf
+    "{\n\
+    \  \"grid\": \"spmv csr x {baseline,asap,aj} x %d reps\",\n\
+    \  \"matrix\": \"powerlaw rows=%d avg_deg=%d nnz=%d\",\n\
+    \  \"simulated_instructions\": %d,\n\
+    \  \"interp\": { \"wall_s\": %.3f, \"minstr_per_s\": %.2f },\n\
+    \  \"compiled\": { \"wall_s\": %.3f, \"minstr_per_s\": %.2f },\n\
+    \  \"speedup\": %.2f\n\
+     }\n"
+    reps rows deg (Coo.nnz coo) ii ti
+    (float_of_int ii /. ti /. 1e6)
+    tc
+    (float_of_int ic /. tc /. 1e6)
+    (ti /. tc)

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Engine smoke benchmark: wall-clock the --quick fig6 grid under both
+# execution engines, check the printed tables are byte-identical, and run
+# the engine microbenchmark (tools/bench_engine.ml) for per-engine
+# simulated-instruction throughput. Emits BENCH_engine.json.
+#
+# Run directly from the repo root after `dune build`, or via the dune
+# alias: `dune build @bench-smoke` (kept out of the default test alias —
+# the grid takes about a minute).
+#
+# The seed baseline is the measured wall-clock of this grid on the seed
+# commit (sequential tree-walking interpreter, same host); override with
+# SEED_WALL_S if re-measured.
+set -euo pipefail
+
+OUT=${1:-BENCH_engine.json}
+MAIN=${MAIN:-_build/default/bench/main.exe}
+MICRO=${MICRO:-_build/default/tools/bench_engine.exe}
+# Dune expands same-directory deps to bare names; qualify them so execvp
+# does not go looking in PATH.
+case $MAIN in */*) ;; *) MAIN=./$MAIN ;; esac
+case $MICRO in */*) ;; *) MICRO=./$MICRO ;; esac
+TIMEOUT_S=${TIMEOUT_S:-900}
+SEED_WALL_S=${SEED_WALL_S:-80.6}
+
+now_ms() { date +%s%3N; }
+
+run_grid() { # engine jobs stdout_file stderr_file -> prints wall seconds
+  local t0 t1
+  t0=$(now_ms)
+  timeout "$TIMEOUT_S" "$MAIN" --quick --engine "$1" --jobs "$2" fig6 \
+    >"$3" 2>"$4"
+  t1=$(now_ms)
+  awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", (b - a) / 1000 }'
+}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+interp_wall=$(run_grid interp 1 "$tmp/interp.txt" "$tmp/interp.log")
+compiled_wall=$(run_grid compiled 4 "$tmp/compiled.txt" "$tmp/compiled.log")
+
+if cmp -s "$tmp/interp.txt" "$tmp/compiled.txt"; then
+  identical=true
+else
+  identical=false
+fi
+
+# stderr tail: "grid: 14 cells, 123 Minstr simulated (engine compiled, 4 jobs)"
+cells=$(grep -o 'grid: [0-9]* cells' "$tmp/compiled.log" | grep -o '[0-9]*')
+minstr=$(grep -o '[0-9]* Minstr' "$tmp/compiled.log" | grep -o '[0-9]*')
+
+micro=$(timeout "$TIMEOUT_S" "$MICRO" 60000 8 2)
+
+{
+  printf '{\n'
+  printf '  "grid": "fig6 --quick (%s cells)",\n' "$cells"
+  printf '  "host_cpus": %s,\n' "$(nproc)"
+  printf '  "simulated_minstr": %s,\n' "$minstr"
+  printf '  "seed_interp_wall_s": %s,\n' "$SEED_WALL_S"
+  printf '  "interp_wall_s": %s,\n' "$interp_wall"
+  printf '  "compiled_jobs4_wall_s": %s,\n' "$compiled_wall"
+  awk -v s="$SEED_WALL_S" -v i="$interp_wall" -v c="$compiled_wall" \
+    -v m="$minstr" 'BEGIN {
+      printf "  \"interp_minstr_per_s\": %.2f,\n", m / i;
+      printf "  \"compiled_minstr_per_s\": %.2f,\n", m / c;
+      printf "  \"speedup_vs_seed\": %.2f,\n", s / c;
+      printf "  \"speedup_vs_interp\": %.2f,\n", i / c }'
+  printf '  "tables_identical": %s,\n' "$identical"
+  printf '  "microbench":\n'
+  printf '%s\n' "$micro" | sed 's/^/  /'
+  printf '}\n'
+} >"$OUT"
+
+echo "wrote $OUT (interp ${interp_wall}s, compiled+4jobs ${compiled_wall}s," \
+  "tables_identical=$identical)"
