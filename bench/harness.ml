@@ -72,6 +72,26 @@ type measurement = {
 let engine = ref Exec.default_engine
 let jobs = ref 1
 
+(* Optional JSONL run-record sink (--records FILE): one record per grid
+   cell, written when the cell's measurement first lands in the cache —
+   always on the calling domain, so records are ordered and the worker
+   domains stay write-free. *)
+let records : Asap_obs.Run_record.t option ref = ref None
+
+let emit_record key (m : measurement) =
+  match !records with
+  | None -> ()
+  | Some rr ->
+    Asap_obs.Run_record.emit rr
+      [ ("cell", Asap_obs.Jsonu.Str key);
+        ("name", Asap_obs.Jsonu.Str m.m_name);
+        ("group", Asap_obs.Jsonu.Str m.m_group);
+        ("engine", Asap_obs.Jsonu.Str (Exec.engine_to_string !engine));
+        ("nnz", Asap_obs.Jsonu.Int m.m_nnz);
+        ("throughput_nnz_per_ms", Asap_obs.Jsonu.Float m.m_throughput);
+        ("l2_mpki", Asap_obs.Jsonu.Float m.m_mpki);
+        Asap_obs.Run_record.counters_field (Exec.Report.registry m.m_report) ]
+
 (* Generated matrices, their packed storages, and run results are cached
    per process. All caches live on (and are only touched by) the calling
    domain. *)
@@ -163,6 +183,7 @@ let measure ?(threads = 1) kernel (e : Suite.entry) vkind hw : measurement =
     log "  running %s ..." key;
     let m = compute_cell ~engine:!engine c coo st in
     Hashtbl.add run_cache key m;
+    emit_record key m;
     m
 
 (** [prewarm cells] fills [run_cache] for every not-yet-measured cell,
@@ -226,7 +247,10 @@ let prewarm (cells : cell list) =
       in
       Array.iter
         (List.iter (fun (key, m) ->
-             if not (Hashtbl.mem run_cache key) then Hashtbl.add run_cache key m))
+             if not (Hashtbl.mem run_cache key) then begin
+               Hashtbl.add run_cache key m;
+               emit_record key m
+             end))
         results
     end
   end

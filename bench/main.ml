@@ -504,7 +504,7 @@ let sections : (string * (unit -> unit)) list =
 let usage () =
   prerr_endline
     "usage: main.exe [--quick] [--no-log] [--list] [--engine \
-     interp|compiled] [--jobs N] [sections...]";
+     interp|compiled] [--jobs N] [--records FILE] [sections...]";
   exit 1
 
 let () =
@@ -537,7 +537,10 @@ let () =
          Printf.eprintf "bad job count %s\n" v;
          exit 1);
       parse acc rest
-    | ("--engine" | "--jobs" | "-j") :: [] -> usage ()
+    | "--records" :: path :: rest ->
+      records := Some (Asap_obs.Run_record.open_path path);
+      parse acc rest
+    | ("--engine" | "--jobs" | "-j" | "--records") :: [] -> usage ()
     | a :: _ when String.length a > 0 && a.[0] = '-' -> usage ()
     | a :: rest -> parse (a :: acc) rest
   in
@@ -560,7 +563,7 @@ let () =
   if cells > 0 then begin
     let minstr =
       Hashtbl.fold
-        (fun _ m acc -> acc + m.m_report.Exec.rp_instructions)
+        (fun _ m acc -> acc + Exec.Report.instructions m.m_report)
         run_cache 0
       / 1_000_000
     in
@@ -568,4 +571,10 @@ let () =
       minstr
       (Exec.engine_to_string !engine)
       !jobs
-  end
+  end;
+  (match !records with
+   | Some rr ->
+     log "records: wrote %d JSONL run records" (Asap_obs.Run_record.count rr);
+     Asap_obs.Run_record.close rr;
+     records := None
+   | None -> ())

@@ -174,7 +174,19 @@ let run_cmd =
   let check_arg =
     Arg.(value & flag & info [ "check" ] ~doc:"Verify against the reference.")
   in
-  let run coo kernel enc v distance strategy bound threads hw checkit engine =
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace_event JSON of the run to $(docv) \
+                   (load it at chrome://tracing or ui.perfetto.dev).")
+  in
+  let counters_arg =
+    Arg.(value & flag
+         & info [ "counters" ]
+             ~doc:"Dump the full named-counter registry after the run.")
+  in
+  let run coo kernel enc v distance strategy bound threads hw checkit engine
+      trace counters =
     let hw = match (hw, kernel) with
       | `D, _ -> Machine.hw_default
       | `O, `Spmv -> Machine.hw_optimized
@@ -182,10 +194,19 @@ let run_cmd =
     in
     let machine = Machine.gracemont_scaled ~hw ~cores:(max 1 threads) () in
     let variant = variant_of v ~distance ~strategy ~bound in
-    let r = match kernel with
-      | `Spmv -> Driver.spmv ~engine ~threads machine variant enc coo
-      | `Spmm -> Driver.spmm ~engine ~threads machine variant enc coo
+    let chrome = Option.map (fun _ -> Asap_obs.Chrome.create ()) trace in
+    let obs =
+      match chrome with
+      | None -> Asap_obs.Sink.null
+      | Some c ->
+        Asap_obs.Chrome.sink ~pf_name:Asap_sim.Hw_prefetcher.slug_of_id c
     in
+    let cfg = Driver.Cfg.make ~engine ~threads ~obs ~machine ~variant () in
+    let spec = match kernel with
+      | `Spmv -> Driver.Spmv enc
+      | `Spmm -> Driver.Spmm enc
+    in
+    let r = Driver.run cfg spec coo in
     if checkit then begin
       let err = match kernel with
         | `Spmv -> Driver.check_spmv coo r
@@ -196,12 +217,20 @@ let run_cmd =
     end;
     Printf.printf "%s\n" (Exec.summary r.Driver.report);
     Printf.printf "throughput: %.0f nnz/ms  (nnz = %d, threads = %d)\n"
-      (Driver.throughput r) r.Driver.nnz threads
+      (Driver.throughput r) r.Driver.nnz threads;
+    (match (trace, chrome) with
+     | Some path, Some c ->
+       Asap_obs.Chrome.write c path;
+       Printf.printf "trace: wrote %d events to %s\n"
+         (Asap_obs.Chrome.n_events c) path
+     | _ -> ());
+    if counters then
+      Format.printf "%a@?" Exec.Report.pp r.Driver.report
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a kernel on the simulated machine")
     Term.(const run $ matrix_args $ kernel_arg $ format_arg $ variant_arg
           $ distance_arg $ strategy_arg $ bound_arg $ threads_arg $ hw_arg
-          $ check_arg $ engine_arg)
+          $ check_arg $ engine_arg $ trace_arg $ counters_arg)
 
 (* --- inspect --------------------------------------------------------- *)
 

@@ -42,15 +42,16 @@ let () =
       let machine = Machine.gracemont_scaled ~hw () in
       List.iter
         (fun (vname, variant) ->
-          let r = Driver.spmv machine variant enc coo in
+          let cfg = Driver.Cfg.make ~machine ~variant () in
+          let r = Driver.run cfg (Driver.Spmv enc) coo in
           let err = Driver.check_spmv coo r in
           if err > 1e-6 then failwith "result mismatch";
           let tp = Driver.throughput r in
           if vname = "baseline" && hw_name = "default-hw" then base_tp := tp;
           Printf.printf "%-16s %-13s %12.0f %8.2f %10d %10d   (%.2fx)\n%!"
             vname hw_name tp (Driver.mpki r)
-            r.Driver.report.Exec.rp_mem.Hierarchy.st_sw_issued
-            r.Driver.report.Exec.rp_mem.Hierarchy.st_sw_useful
+            (Exec.Report.sw_issued r.Driver.report)
+            (Exec.Report.sw_useful r.Driver.report)
             (tp /. !base_tp))
         variants)
     hw_configs

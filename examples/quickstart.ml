@@ -53,20 +53,34 @@ let () =
 
   section "Running SpMV on the simulated machine";
   let machine = Machine.gracemont_scaled () in
+  let module Report = Asap_sim.Exec.Report in
   List.iter
     (fun enc ->
       List.iter
         (fun (vname, variant) ->
-          let r = Driver.spmv machine variant enc b in
+          (* One Cfg names the whole execution context; Driver.run takes
+             the kernel spec. Counters ride along on the result. *)
+          let cfg = Driver.Cfg.make ~machine ~variant () in
+          let r = Driver.run cfg (Driver.Spmv enc) b in
           let err = Driver.check_spmv b r in
           Printf.printf "%-5s %-16s cycles=%-6d instrs=%-5d err=%g\n"
-            enc.Encoding.name vname r.Driver.report.Asap_sim.Exec.rp_cycles
-            r.Driver.report.Asap_sim.Exec.rp_instructions err;
+            enc.Encoding.name vname
+            (Report.cycles r.Driver.report)
+            (Report.instructions r.Driver.report) err;
           if err > 1e-9 then failwith "result mismatch!")
         [ ("baseline", Pipeline.Baseline);
           ("asap", asap);
           ("ainsworth-jones",
            Pipeline.Ainsworth_jones Asap_prefetch.Ainsworth_jones.default) ])
     formats;
+
+  section "Named counters (ASaP, CSR)";
+  let cfg = Driver.Cfg.make ~machine ~variant:asap () in
+  let r = Driver.run cfg (Driver.Spmv (Encoding.csr ())) b in
+  List.iter
+    (fun (name, v) ->
+      if v > 0 && (String.length name < 3 || String.sub name 0 3 <> "op.")
+      then Printf.printf "  %-22s %d\n" name v)
+    r.Driver.counters;
   print_endline "\nAll results match the dense reference.";
   print_endline "Next: see examples/graph_spmv.ml and examples/ml_spmm.ml."

@@ -13,13 +13,46 @@ module Exec = Asap_sim.Exec
 
 type result = {
   report : Exec.report;
+  counters : (string * int) list;  (* Exec.Report.to_assoc of the report *)
   nnz : int;
   out_f : float array option;   (* numeric kernels *)
   out_b : Bytes.t option;       (* binary kernels *)
 }
 
+let mk_result report nnz out_f out_b =
+  { report; counters = Exec.Report.to_assoc report; nnz; out_f; out_b }
+
 let throughput r = Exec.throughput_nnz_per_ms r.report ~nnz:r.nnz
 let mpki r = Exec.l2_mpki r.report
+
+(** Run configuration: everything about {e how} to execute a kernel —
+    machine, code variant, engine, parallelism, operand flavour and
+    observability sink — leaving {!run} to say {e what} to execute.
+    Build with {!Cfg.make}; the optional-argument kernel entry points
+    ({!spmv} etc.) are thin wrappers over this. *)
+module Cfg = struct
+  type t = {
+    machine : Machine.t;
+    variant : Pipeline.variant;
+    engine : Exec.engine;
+    threads : int;                       (* dense-outer-loop slices *)
+    binary : bool;                       (* i8 and/or kernels *)
+    n : int option;                      (* SpMM dense columns *)
+    st : Storage.t option;               (* shared pre-packed storage *)
+    obs : Asap_obs.Sink.t;               (* event sink (default: off) *)
+  }
+
+  let make ?(engine = Exec.default_engine) ?(threads = 1) ?(binary = false)
+      ?n ?st ?(obs = Asap_obs.Sink.null) ~machine ~variant () =
+    { machine; variant; engine; threads; binary; n; st; obs }
+end
+
+(** What to execute: the kernel family and the sparse encoding of its
+    tensor operand ([Ttv None] defaults to rank-3 CSF). *)
+type kernel_spec =
+  | Spmv of Encoding.t
+  | Spmm of Encoding.t
+  | Ttv of Encoding.t option
 
 (* Deterministic dense operand contents (values are irrelevant to timing
    but must be varied enough for correctness checks). *)
@@ -31,9 +64,10 @@ let dense_b n =
   done;
   b
 
-let run_compiled ~engine (c : Pipeline.compiled) ~machine ~threads
+let run_compiled ~engine ~obs (c : Pipeline.compiled) ~machine ~threads
     ~outer_extent ~bufs ~scalars =
-  if threads <= 1 then Exec.run ~engine machine c.Pipeline.fn ~bufs ~scalars
+  if threads <= 1 then
+    Exec.run ~engine ~obs machine c.Pipeline.fn ~bufs ~scalars
   else begin
     (match c.Pipeline.cc.Emitter.kernel.Kernel.k_encoding.Encoding.levels.(0)
      with
@@ -41,22 +75,19 @@ let run_compiled ~engine (c : Pipeline.compiled) ~machine ~threads
      | Encoding.Compressed _ | Encoding.Singleton ->
        invalid_arg
          "Driver: dense-outer-loop parallelisation needs a dense top level");
-    Exec.run_parallel ~engine machine ~threads ~outer_extent c.Pipeline.fn
-      ~bufs ~scalars
+    Exec.run_parallel ~engine ~obs machine ~threads ~outer_extent
+      c.Pipeline.fn ~bufs ~scalars
   end
 
-(** [spmv ?engine ?threads ?binary ?st machine variant enc coo] packs
-    [coo] under [enc], compiles SpMV with [variant], and runs it. [st], if
-    given, must be [Storage.pack enc coo] — callers running several
-    variants over one matrix pass it to share the packing work. *)
-let spmv ?(engine = Exec.default_engine) ?(threads = 1) ?(binary = false) ?st
-    (machine : Machine.t)
-    (variant : Pipeline.variant) (enc : Encoding.t) (coo : Coo.t) : result =
+let run_spmv (cfg : Cfg.t) (enc : Encoding.t) (coo : Coo.t) : result =
+  let binary = cfg.Cfg.binary in
   let rows = coo.Coo.dims.(0) and cols = coo.Coo.dims.(1) in
   let body = if binary then Kernel.And_or else Kernel.Mul_add in
   let kernel = Kernel.spmv ~enc ~body () in
-  let compiled = Pipeline.compile kernel variant in
-  let st = match st with Some st -> st | None -> Storage.pack enc coo in
+  let compiled = Pipeline.compile kernel cfg.Cfg.variant in
+  let st =
+    match cfg.Cfg.st with Some st -> st | None -> Storage.pack enc coo
+  in
   let out_f = if binary then None else Some (Array.make rows 0.) in
   let out_b = if binary then Some (Bytes.make rows '\000') else None in
   let dense =
@@ -72,24 +103,24 @@ let spmv ?(engine = Exec.default_engine) ?(threads = 1) ?(binary = false) ?st
     Bindings.scalar_args compiled.Pipeline.cc ~extents:[| rows; cols |]
   in
   let report =
-    run_compiled ~engine compiled ~machine ~threads ~outer_extent:rows ~bufs
-      ~scalars
+    run_compiled ~engine:cfg.Cfg.engine ~obs:cfg.Cfg.obs compiled
+      ~machine:cfg.Cfg.machine ~threads:cfg.Cfg.threads ~outer_extent:rows
+      ~bufs ~scalars
   in
-  { report; nnz = Coo.nnz coo; out_f; out_b }
+  mk_result report (Coo.nnz coo) out_f out_b
 
-(** [spmm ?engine ?threads ?binary ?n machine variant enc coo] runs SpMM. The
-    dense operand has [n] columns — by default sized so one row fills one
-    cache line: 8 f64 columns, or 64 i8 columns for binary matrices
-    (paper §5.2). *)
-let spmm ?(engine = Exec.default_engine) ?(threads = 1) ?(binary = false) ?n
-    ?st (machine : Machine.t)
-    (variant : Pipeline.variant) (enc : Encoding.t) (coo : Coo.t) : result =
+let run_spmm (cfg : Cfg.t) (enc : Encoding.t) (coo : Coo.t) : result =
+  let binary = cfg.Cfg.binary in
   let rows = coo.Coo.dims.(0) and cols = coo.Coo.dims.(1) in
-  let n = match n with Some n -> n | None -> if binary then 64 else 8 in
+  let n =
+    match cfg.Cfg.n with Some n -> n | None -> if binary then 64 else 8
+  in
   let body = if binary then Kernel.And_or else Kernel.Mul_add in
   let kernel = Kernel.spmm ~enc ~body () in
-  let compiled = Pipeline.compile kernel variant in
-  let st = match st with Some st -> st | None -> Storage.pack enc coo in
+  let compiled = Pipeline.compile kernel cfg.Cfg.variant in
+  let st =
+    match cfg.Cfg.st with Some st -> st | None -> Storage.pack enc coo
+  in
   let out_f = if binary then None else Some (Array.make (rows * n) 0.) in
   let out_b = if binary then Some (Bytes.make (rows * n) '\000') else None in
   let dense =
@@ -105,10 +136,28 @@ let spmm ?(engine = Exec.default_engine) ?(threads = 1) ?(binary = false) ?n
     Bindings.scalar_args compiled.Pipeline.cc ~extents:[| rows; cols; n |]
   in
   let report =
-    run_compiled ~engine compiled ~machine ~threads ~outer_extent:rows ~bufs
-      ~scalars
+    run_compiled ~engine:cfg.Cfg.engine ~obs:cfg.Cfg.obs compiled
+      ~machine:cfg.Cfg.machine ~threads:cfg.Cfg.threads ~outer_extent:rows
+      ~bufs ~scalars
   in
-  { report; nnz = Coo.nnz coo; out_f; out_b }
+  mk_result report (Coo.nnz coo) out_f out_b
+
+(** [spmv ?engine ?threads ?binary ?st machine variant enc coo] packs
+    [coo] under [enc], compiles SpMV with [variant], and runs it. [st], if
+    given, must be [Storage.pack enc coo] — callers running several
+    variants over one matrix pass it to share the packing work. *)
+let spmv ?engine ?threads ?binary ?st (machine : Machine.t)
+    (variant : Pipeline.variant) (enc : Encoding.t) (coo : Coo.t) : result =
+  run_spmv (Cfg.make ?engine ?threads ?binary ?st ~machine ~variant ()) enc coo
+
+(** [spmm ?engine ?threads ?binary ?n machine variant enc coo] runs SpMM. The
+    dense operand has [n] columns — by default sized so one row fills one
+    cache line: 8 f64 columns, or 64 i8 columns for binary matrices
+    (paper §5.2). *)
+let spmm ?engine ?threads ?binary ?n ?st (machine : Machine.t)
+    (variant : Pipeline.variant) (enc : Encoding.t) (coo : Coo.t) : result =
+  run_spmm (Cfg.make ?engine ?threads ?binary ?n ?st ~machine ~variant ())
+    enc coo
 
 module Merge = Asap_sparsifier.Merge
 
@@ -145,7 +194,7 @@ let vector_ewise ?(engine = Exec.default_engine) (machine : Machine.t)
   let bufs = merge_bufs m stb stc out in
   let scalars = List.map (fun (_, d) -> [| n |].(d)) m.Merge.m_scalars in
   let report = Exec.run ~engine machine m.Merge.m_fn ~bufs ~scalars in
-  { report; nnz = Coo.nnz b + Coo.nnz c; out_f = Some out; out_b = None }
+  mk_result report (Coo.nnz b + Coo.nnz c) (Some out) None
 
 (** [matrix_ewise machine op b c] merges two CSR matrices row by row into
     a dense row-major output. *)
@@ -163,18 +212,16 @@ let matrix_ewise ?(engine = Exec.default_engine) (machine : Machine.t)
     List.map (fun (_, d) -> [| rows; cols |].(d)) m.Merge.m_scalars
   in
   let report = Exec.run ~engine machine m.Merge.m_fn ~bufs ~scalars in
-  { report; nnz = Coo.nnz b + Coo.nnz c; out_f = Some out; out_b = None }
+  mk_result report (Coo.nnz b + Coo.nnz c) (Some out) None
 
-(** [ttv machine variant enc coo] runs the rank-3 tensor-times-vector
-    contraction a(i,j) = B(i,j,k) c(k); [enc] defaults to rank-3 CSF, where
-    the step-2 bound needs the full position-chain recursion (§3.2.2). *)
-let ttv ?(engine = Exec.default_engine) ?enc (machine : Machine.t)
-    (variant : Pipeline.variant) (coo : Coo.t) : result =
+let run_ttv (cfg : Cfg.t) (enc : Encoding.t option) (coo : Coo.t) : result =
   let enc = match enc with Some e -> e | None -> Encoding.csf 3 in
   let di = coo.Coo.dims.(0) and dj = coo.Coo.dims.(1) and dk = coo.Coo.dims.(2) in
   let kernel = Kernel.ttv ~enc () in
-  let compiled = Pipeline.compile kernel variant in
-  let st = Storage.pack enc coo in
+  let compiled = Pipeline.compile kernel cfg.Cfg.variant in
+  let st =
+    match cfg.Cfg.st with Some st -> st | None -> Storage.pack enc coo
+  in
   let out = Array.make (di * dj) 0. in
   let dense =
     [ ("c", Runtime.RF (dense_f dk)); ("a", Runtime.RF out) ]
@@ -184,10 +231,26 @@ let ttv ?(engine = Exec.default_engine) ?enc (machine : Machine.t)
     Bindings.scalar_args compiled.Pipeline.cc ~extents:[| di; dj; dk |]
   in
   let report =
-    run_compiled ~engine compiled ~machine ~threads:1 ~outer_extent:di ~bufs
-      ~scalars
+    run_compiled ~engine:cfg.Cfg.engine ~obs:cfg.Cfg.obs compiled
+      ~machine:cfg.Cfg.machine ~threads:1 ~outer_extent:di ~bufs ~scalars
   in
-  { report; nnz = Coo.nnz coo; out_f = Some out; out_b = None }
+  mk_result report (Coo.nnz coo) (Some out) None
+
+(** [ttv machine variant enc coo] runs the rank-3 tensor-times-vector
+    contraction a(i,j) = B(i,j,k) c(k); [enc] defaults to rank-3 CSF, where
+    the step-2 bound needs the full position-chain recursion (§3.2.2). *)
+let ttv ?engine ?enc (machine : Machine.t) (variant : Pipeline.variant)
+    (coo : Coo.t) : result =
+  run_ttv (Cfg.make ?engine ~machine ~variant ()) enc coo
+
+(** [run cfg spec coo] is the unified entry point: execute the kernel
+    named by [spec] on [coo] under configuration [cfg]. The per-kernel
+    entry points ({!spmv}, {!spmm}, {!ttv}) are thin wrappers over this. *)
+let run (cfg : Cfg.t) (spec : kernel_spec) (coo : Coo.t) : result =
+  match spec with
+  | Spmv enc -> run_spmv cfg enc coo
+  | Spmm enc -> run_spmm cfg enc coo
+  | Ttv enc -> run_ttv cfg enc coo
 
 (** [check_ttv coo r] is the max absolute error of a TTV run against the
     reference. *)

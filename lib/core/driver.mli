@@ -9,6 +9,9 @@ module Exec = Asap_sim.Exec
 
 type result = {
   report : Exec.report;
+  counters : (string * int) list;
+    (** the report's counter registry, sorted by name
+        ({!Exec.Report.to_assoc}) *)
   nnz : int;
   out_f : float array option;  (** output of numeric kernels *)
   out_b : Bytes.t option;      (** output of binary kernels *)
@@ -20,6 +23,42 @@ val throughput : result -> float
 
 (** [mpki r] is L2 misses per kilo-instruction. *)
 val mpki : result -> float
+
+(** Run configuration: everything about {e how} to execute a kernel —
+    machine, code variant, engine, parallelism, operand flavour and
+    observability sink — leaving {!run} to say {e what} to execute. *)
+module Cfg : sig
+  type t = {
+    machine : Machine.t;
+    variant : Pipeline.variant;
+    engine : Exec.engine;
+    threads : int;                       (** dense-outer-loop slices *)
+    binary : bool;                       (** i8 and/or kernels *)
+    n : int option;                      (** SpMM dense columns *)
+    st : Asap_tensor.Storage.t option;   (** shared pre-packed storage *)
+    obs : Asap_obs.Sink.t;               (** event sink (default: off) *)
+  }
+
+  (** [make ~machine ~variant ()] with defaults: [Exec.default_engine],
+      one thread, numeric kernels, kernel-specific [n], fresh packing, no
+      observability. *)
+  val make :
+    ?engine:Exec.engine -> ?threads:int -> ?binary:bool -> ?n:int ->
+    ?st:Asap_tensor.Storage.t -> ?obs:Asap_obs.Sink.t ->
+    machine:Machine.t -> variant:Pipeline.variant -> unit -> t
+end
+
+(** What to execute: the kernel family and the sparse encoding of its
+    tensor operand ([Ttv None] defaults to rank-3 CSF). *)
+type kernel_spec =
+  | Spmv of Encoding.t
+  | Spmm of Encoding.t
+  | Ttv of Encoding.t option
+
+(** [run cfg spec coo] is the unified entry point: execute the kernel
+    named by [spec] on [coo] under configuration [cfg]. The per-kernel
+    entry points below are thin wrappers over this. *)
+val run : Cfg.t -> kernel_spec -> Coo.t -> result
 
 (** [spmv ?engine ?threads ?binary ?st machine variant enc coo] packs
     [coo] under [enc], compiles SpMV with [variant] and runs it. [engine]

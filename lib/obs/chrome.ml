@@ -1,0 +1,178 @@
+(* Chrome trace_event exporter.
+
+   Consumes {!Sink} events and renders the catapult / Perfetto JSON
+   format (load it at chrome://tracing or https://ui.perfetto.dev). The
+   mapping:
+
+   - one track per core ("core0", "core1", ...): every demand load is a
+     complete ("X") event spanning issue -> data-ready, named by the
+     level that serviced it; stores and software prefetches are instant
+     events;
+   - one track per cache level ("L1", "L2", "L3", "DRAM", "MSHR"):
+     demand misses serviced there, hardware-prefetch issues (named by
+     prefetcher) and dropped fills appear as instant events;
+   - per track, one "run" duration event (matched "B"/"E" pair) spanning
+     the whole simulation, so track extents are visible at a glance.
+
+   Timestamps are simulated cycles reported in the trace's microsecond
+   field — the viewer's absolute unit is meaningless for a simulator, so
+   1 us = 1 cycle. Events are buffered and sorted by timestamp at write
+   time (viewers require non-decreasing ts within a stream). *)
+
+type phase = B | E | X | I
+
+type tev = {
+  e_ph : phase;
+  e_name : string;
+  e_cat : string;
+  e_ts : int;
+  e_dur : int;                       (* X only *)
+  e_tid : int;
+  e_args : (string * Jsonu.t) list;
+}
+
+type t = {
+  mutable events : tev list;         (* body events, reverse order *)
+  mutable n : int;
+  tracks : (string, int) Hashtbl.t;  (* track name -> tid *)
+  mutable track_rev : string list;   (* registration order, reversed *)
+  mutable next_tid : int;
+}
+
+let create () =
+  { events = []; n = 0; tracks = Hashtbl.create 16; track_rev = [];
+    next_tid = 1 }
+
+let n_events t = t.n
+
+let tid t track =
+  match Hashtbl.find_opt t.tracks track with
+  | Some id -> id
+  | None ->
+    let id = t.next_tid in
+    t.next_tid <- id + 1;
+    Hashtbl.add t.tracks track id;
+    t.track_rev <- track :: t.track_rev;
+    id
+
+let push t ev =
+  t.events <- ev :: t.events;
+  t.n <- t.n + 1
+
+let complete t ~track ~name ~cat ~ts ~dur args =
+  push t
+    { e_ph = X; e_name = name; e_cat = cat; e_ts = ts;
+      e_dur = (if dur > 0 then dur else 0); e_tid = tid t track;
+      e_args = args }
+
+let instant t ~track ~name ~cat ~ts args =
+  push t
+    { e_ph = I; e_name = name; e_cat = cat; e_ts = ts; e_dur = 0;
+      e_tid = tid t track; e_args = args }
+
+let core_track core = "core" ^ string_of_int core
+
+(** [sink ?pf_name t] adapts [t] to the event-hook interface; [pf_name]
+    names hardware-prefetcher provenance ids (default ["pf<i>"]). *)
+let sink ?(pf_name = fun i -> "pf" ^ string_of_int i) t : Sink.t =
+  Sink.make (fun (e : Sink.ev) ->
+      match e with
+      | Sink.Load { core; pc; addr; at; ready; level } ->
+        complete t ~track:(core_track core)
+          ~name:("load " ^ Sink.level_name level) ~cat:"mem" ~ts:at
+          ~dur:(ready - at)
+          [ ("pc", Jsonu.Int pc); ("addr", Jsonu.Int addr) ];
+        if level >= 2 then
+          instant t ~track:(Sink.level_name level) ~name:"demand"
+            ~cat:"mem" ~ts:at
+            [ ("core", Jsonu.Int core); ("addr", Jsonu.Int addr) ]
+      | Sink.Store { core; pc; addr; at } ->
+        instant t ~track:(core_track core) ~name:"store" ~cat:"mem" ~ts:at
+          [ ("pc", Jsonu.Int pc); ("addr", Jsonu.Int addr) ]
+      | Sink.Sw_prefetch { core; addr; locality; at; issued } ->
+        instant t ~track:(core_track core)
+          ~name:(if issued then "sw-pf" else "sw-pf drop")
+          ~cat:"pf" ~ts:at
+          [ ("addr", Jsonu.Int addr); ("locality", Jsonu.Int locality) ]
+      | Sink.Hw_prefetch { core; src; line; at; level } ->
+        instant t ~track:(Sink.level_name level) ~name:(pf_name src)
+          ~cat:"pf" ~ts:at
+          [ ("core", Jsonu.Int core); ("line", Jsonu.Int line) ]
+      | Sink.Drop { core; prov; line; at; level; reason } ->
+        instant t ~track:(Sink.level_name level)
+          ~name:
+            (match reason with
+             | Sink.Mshr_full -> "drop:no-mshr"
+             | Sink.Present -> "drop:present")
+          ~cat:"pf" ~ts:at
+          [ ("core", Jsonu.Int core); ("prov", Jsonu.Int prov);
+            ("line", Jsonu.Int line) ])
+
+let pid = 1
+
+let json_of_tev (e : tev) =
+  let base =
+    [ ("name", Jsonu.Str e.e_name);
+      ("cat", Jsonu.Str e.e_cat);
+      ("ph",
+       Jsonu.Str
+         (match e.e_ph with B -> "B" | E -> "E" | X -> "X" | I -> "i"));
+      ("ts", Jsonu.Int e.e_ts);
+      ("pid", Jsonu.Int pid);
+      ("tid", Jsonu.Int e.e_tid) ]
+  in
+  let dur = match e.e_ph with X -> [ ("dur", Jsonu.Int e.e_dur) ] | _ -> [] in
+  let scope = match e.e_ph with I -> [ ("s", Jsonu.Str "t") ] | _ -> [] in
+  let args =
+    match e.e_args with [] -> [] | a -> [ ("args", Jsonu.Obj a) ]
+  in
+  Jsonu.Obj (base @ dur @ scope @ args)
+
+(** [to_json t] assembles the full trace: process/thread metadata, one
+    "run" B/E pair per track, and all body events in non-decreasing
+    timestamp order. *)
+let to_json t =
+  let body =
+    List.stable_sort
+      (fun a b -> compare a.e_ts b.e_ts)
+      (List.rev t.events)
+  in
+  let ts_min = match body with [] -> 0 | e :: _ -> e.e_ts in
+  let ts_max = List.fold_left (fun m e -> max m (e.e_ts + e.e_dur)) ts_min body in
+  let tracks = List.rev t.track_rev in
+  let meta =
+    Jsonu.Obj
+      [ ("name", Jsonu.Str "process_name"); ("ph", Jsonu.Str "M");
+        ("ts", Jsonu.Int 0); ("pid", Jsonu.Int pid); ("tid", Jsonu.Int 0);
+        ("args", Jsonu.Obj [ ("name", Jsonu.Str "asap-sim") ]) ]
+    :: List.map
+         (fun track ->
+           Jsonu.Obj
+             [ ("name", Jsonu.Str "thread_name"); ("ph", Jsonu.Str "M");
+               ("ts", Jsonu.Int 0); ("pid", Jsonu.Int pid);
+               ("tid", Jsonu.Int (Hashtbl.find t.tracks track));
+               ("args", Jsonu.Obj [ ("name", Jsonu.Str track) ]) ])
+         tracks
+  in
+  let spans ph ts =
+    List.map
+      (fun track ->
+        json_of_tev
+          { e_ph = ph; e_name = "run"; e_cat = "run"; e_ts = ts; e_dur = 0;
+            e_tid = Hashtbl.find t.tracks track; e_args = [] })
+      tracks
+  in
+  Jsonu.Obj
+    [ ("traceEvents",
+       Jsonu.List
+         (meta @ spans B ts_min @ List.map json_of_tev body @ spans E ts_max));
+      ("displayTimeUnit", Jsonu.Str "ms") ]
+
+let to_string t = Jsonu.to_string (to_json t)
+
+(** [write t path] writes the trace JSON to [path]. *)
+let write t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))

@@ -1,0 +1,25 @@
+(** Chrome trace_event exporter: consumes {!Sink} events and renders the
+    catapult / Perfetto JSON format — one track per core (demand loads as
+    duration events, stores and software prefetches as instants), one per
+    cache level (demand misses, hardware-prefetch issues, dropped fills),
+    and a matched "B"/"E" run span per track. Timestamps are simulated
+    cycles, sorted non-decreasing at write time. *)
+
+type t
+
+val create : unit -> t
+
+(** [sink ?pf_name t] adapts [t] to the event-hook interface; [pf_name]
+    names hardware-prefetcher provenance ids (default ["pf<i>"]). *)
+val sink : ?pf_name:(int -> string) -> t -> Sink.t
+
+(** [n_events t] is the number of body events recorded so far. *)
+val n_events : t -> int
+
+(** [to_json t] is the assembled trace document. *)
+val to_json : t -> Jsonu.t
+
+val to_string : t -> string
+
+(** [write t path] writes the trace JSON to [path]. *)
+val write : t -> string -> unit

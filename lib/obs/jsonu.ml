@@ -1,0 +1,79 @@
+(* Minimal JSON emission. The observability exporters (counter registry,
+   Chrome traces, JSONL run records) only ever *write* JSON, and the
+   container has no JSON package, so this is a small purpose-built
+   printer: correct string escaping, locale-independent numbers, and
+   deterministic field order (callers pass fields in the order they want
+   them serialised). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let buf_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* %.17g round-trips every float; strip to the shortest representation
+   the printf family offers that is still exact. Infinities and NaN are
+   not valid JSON — clamp them to null. *)
+let float_repr x =
+  if Float.is_nan x || Float.is_integer (x /. 0.) then None
+  else
+    let s = Printf.sprintf "%.12g" x in
+    if float_of_string s = x then Some s else Some (Printf.sprintf "%.17g" x)
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float x ->
+    (match float_repr x with
+     | None -> Buffer.add_string b "null"
+     | Some s -> Buffer.add_string b s)
+  | Str s ->
+    Buffer.add_char b '"';
+    buf_escape b s;
+    Buffer.add_char b '"'
+  | List xs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ',';
+        emit b x)
+      xs;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        buf_escape b k;
+        Buffer.add_string b "\":";
+        emit b v)
+      fields;
+    Buffer.add_char b '}'
+
+(** [to_string j] is the compact (single-line) serialisation of [j]. *)
+let to_string j =
+  let b = Buffer.create 256 in
+  emit b j;
+  Buffer.contents b
+
+(** [to_buffer b j] appends the serialisation of [j] to [b]. *)
+let to_buffer = emit

@@ -1,0 +1,18 @@
+(** Minimal JSON emission for the observability exporters (the container
+    has no JSON package; we only ever write JSON). Field order is the
+    order callers pass. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float     (** NaN / infinities serialise as [null] *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [to_string j] is the compact (single-line) serialisation of [j]. *)
+val to_string : t -> string
+
+(** [to_buffer b j] appends the serialisation of [j] to [b]. *)
+val to_buffer : Buffer.t -> t -> unit

@@ -1,0 +1,34 @@
+(* JSONL run records.
+
+   One JSON object per line, appended as runs complete — the benchmark
+   grid's machine-readable output. Each record is a flat object the
+   caller assembles (cell identity, throughput, and the counter registry
+   nested under "counters"); this module only owns the framing: append
+   mode, one line per record, flush per record so partial grids are
+   still readable. *)
+
+type t = { oc : out_channel; mutable n : int }
+
+(** [open_path p] opens [p] for appending (creating it if needed). *)
+let open_path path =
+  { oc = open_out_gen [ Open_append; Open_creat ] 0o644 path; n = 0 }
+
+let of_channel oc = { oc; n = 0 }
+
+(** [emit t fields] appends one record line and flushes. *)
+let emit t fields =
+  output_string t.oc (Jsonu.to_string (Jsonu.Obj fields));
+  output_char t.oc '\n';
+  flush t.oc;
+  t.n <- t.n + 1
+
+(** [counters_field reg] is the standard ["counters"] field: the whole
+    registry as a sorted JSON object. *)
+let counters_field reg =
+  ( "counters",
+    Jsonu.Obj
+      (List.map (fun (k, v) -> (k, Jsonu.Int v)) (Registry.to_assoc reg)) )
+
+let count t = t.n
+
+let close t = close_out t.oc

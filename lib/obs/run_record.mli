@@ -1,0 +1,21 @@
+(** JSONL run records: one JSON object per line, appended and flushed as
+    runs complete — the benchmark grid's machine-readable output. *)
+
+type t
+
+(** [open_path p] opens [p] for appending (creating it if needed). *)
+val open_path : string -> t
+
+val of_channel : out_channel -> t
+
+(** [emit t fields] appends one record line and flushes. *)
+val emit : t -> (string * Jsonu.t) list -> unit
+
+(** [counters_field reg] is the standard ["counters"] field: the whole
+    registry as a sorted JSON object. *)
+val counters_field : Registry.t -> string * Jsonu.t
+
+(** [count t] is the number of records emitted so far. *)
+val count : t -> int
+
+val close : t -> unit

@@ -94,19 +94,31 @@ let lookup t line : int =
 (** [probe t line] tests presence without touching LRU or counters. *)
 let probe t line = find t line >= 0
 
-(** [insert t line ~prov] installs [line], evicting the LRU way. No-op if
-    already present (refreshes LRU). *)
-let insert t line ~prov =
+(** [insert_evict t line ~prov] installs [line], evicting the LRU way,
+    and returns the evicted line's provenance: a prefetcher id when the
+    victim was a never-demanded prefetch (its provenance survived because
+    [lookup] clears provenance on first demand use), [demand_prov]
+    otherwise (demand victim, invalid way, or [line] already present). *)
+let insert_evict t line ~prov =
   t.stamp <- t.stamp + 1;
   let i = find t line in
-  if i >= 0 then t.last_use.(i) <- t.stamp
+  if i >= 0 then begin
+    t.last_use.(i) <- t.stamp;
+    demand_prov
+  end
   else begin
     let base = set_of t line in
     let victim = pick_lru t.last_use base 1 base t.ways in
+    let victim_prov = if t.tags.(victim) < 0 then demand_prov else t.prov.(victim) in
     t.tags.(victim) <- line;
     t.last_use.(victim) <- t.stamp;
-    t.prov.(victim) <- prov
+    t.prov.(victim) <- prov;
+    victim_prov
   end
+
+(** [insert t line ~prov] installs [line], evicting the LRU way. No-op if
+    already present (refreshes LRU). *)
+let insert t line ~prov = ignore (insert_evict t line ~prov)
 
 let reset_stats t =
   t.hits <- 0;

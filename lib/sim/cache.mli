@@ -46,5 +46,10 @@ val probe : t -> int -> bool
     LRU if already present. *)
 val insert : t -> int -> prov:int -> unit
 
+(** [insert_evict t line ~prov] is [insert] but returns the evicted
+    line's provenance: a prefetcher id when the victim was a prefetched
+    line that was never demanded, [demand_prov] otherwise. *)
+val insert_evict : t -> int -> prov:int -> int
+
 val reset_stats : t -> unit
 val accesses : t -> int

@@ -2,6 +2,18 @@
 
 open Asap_ir
 
+(** One load site of the executed function, resolved from its pc (the
+    load's Ir vid) to the buffer it reads and the source loop nest it sits
+    in, with the misses attributed to it. *)
+type op_miss = {
+  om_pc : int;                 (** the load's Ir vid *)
+  om_buf : string;             (** buffer read by the load *)
+  om_loop : string;            (** loop-tag path, e.g. "rows/cols"; "top" *)
+  om_depth : int;              (** loop nesting depth of the site *)
+  om_l1_miss : int;
+  om_l2_miss : int;
+}
+
 type report = {
   rp_machine : Machine.t;
   rp_threads : int;
@@ -12,6 +24,7 @@ type report = {
   rp_stores : int;
   rp_prefetch_instrs : int;
   rp_mem : Hierarchy.stats;
+  rp_op_misses : op_miss list; (** pc-ascending, zero-miss sites omitted *)
 }
 
 (** The execution engine: the tree-walking interpreter ({!Interp}) or the
@@ -29,19 +42,21 @@ val engine_of_string : string -> engine option
 
 val engine_to_string : engine -> string
 
-(** [run ?engine ?slice machine fn ~bufs ~scalars] executes [fn] on one
-    core of a fresh memory hierarchy; [slice] restricts the outermost
-    loop's iteration range (used by profile-guided tuning). *)
+(** [run ?engine ?obs ?slice machine fn ~bufs ~scalars] executes [fn] on
+    one core of a fresh memory hierarchy; [obs] receives the hierarchy's
+    event stream (default: disabled, zero cost); [slice] restricts the
+    outermost loop's iteration range (used by profile-guided tuning). *)
 val run :
-  ?engine:engine -> ?slice:int * int -> Machine.t -> Ir.func ->
-  bufs:(Ir.buffer * Runtime.rbuf) list -> scalars:int list -> report
+  ?engine:engine -> ?obs:Asap_obs.Sink.t -> ?slice:int * int -> Machine.t ->
+  Ir.func -> bufs:(Ir.buffer * Runtime.rbuf) list -> scalars:int list -> report
 
-(** [run_parallel ?engine machine ~threads ~outer_extent fn ~bufs
+(** [run_parallel ?engine ?obs machine ~threads ~outer_extent fn ~bufs
     ~scalars] executes [fn] with the dense-outer-loop strategy: the
     outermost loop range [0, outer_extent) is split into [threads]
     contiguous slices, one per core, on a shared hierarchy. *)
 val run_parallel :
-  ?engine:engine -> Machine.t -> threads:int -> outer_extent:int -> Ir.func ->
+  ?engine:engine -> ?obs:Asap_obs.Sink.t -> Machine.t -> threads:int ->
+  outer_extent:int -> Ir.func ->
   bufs:(Ir.buffer * Runtime.rbuf) list -> scalars:int list -> report
 
 (** [l2_mpki r] is demand L2 misses per kilo-instruction. *)
@@ -55,6 +70,45 @@ val gflops : report -> float
 
 (** [arithmetic_intensity r] is flops per DRAM byte moved (roofline x). *)
 val arithmetic_intensity : report -> float
+
+(** Stable accessors over {!report} plus the named-counter registry.
+    Consumers should read reports through these rather than record fields:
+    the functions are the compatibility surface, the record layout is not.
+    The counter-name catalogue is documented in DESIGN.md §3c. *)
+module Report : sig
+  type t = report
+
+  val machine : t -> Machine.t
+  val threads : t -> int
+  val cycles : t -> int
+  val instructions : t -> int
+  val flops : t -> int
+  val loads : t -> int
+  val stores : t -> int
+  val prefetch_instrs : t -> int
+  val mem : t -> Hierarchy.stats
+  val op_misses : t -> op_miss list
+  val demand_loads : t -> int
+  val demand_stores : t -> int
+  val l1_misses : t -> int
+  val l2_misses : t -> int
+  val l3_misses : t -> int
+  val dram_lines : t -> int
+  val sw_issued : t -> int
+  val sw_dropped : t -> int
+  val sw_useful : t -> int
+
+  (** [registry r] is every counter of the report under its stable dotted
+      name (the DESIGN.md §3c catalogue: [core.*], [mem.*],
+      [l1./l2./l3./dram.*], [pf.<slug>.*], [op.<buf>@<loop>.*]). *)
+  val registry : t -> Asap_obs.Registry.t
+
+  (** [to_assoc r] is the canonical export: counters sorted by name. *)
+  val to_assoc : t -> (string * int) list
+
+  (** [pp ppf r] prints the registry, one [name value] line per counter. *)
+  val pp : Format.formatter -> t -> unit
+end
 
 (** [summary r] is a one-line textual digest. *)
 val summary : report -> string

@@ -9,9 +9,16 @@
    dropped instead. *)
 
 module Hp = Hw_prefetcher
+module Sink = Asap_obs.Sink
 
 let sw_prov = Hp.n_ids           (* provenance id of software prefetches *)
 let n_prov = Hp.n_ids + 1
+
+(* Stable dotted-counter-name component per provenance id. *)
+let slug_of_prov i = if i = sw_prov then "sw" else Hp.slug_of_id i
+
+(* Sink levels are plain ints (1 = L1 .. 4 = DRAM, 0 = MSHR merge). *)
+let level_int = function Hp.L1 -> 1 | Hp.L2 -> 2 | Hp.L3 -> 3
 
 type cluster = {
   l2 : Cache.t;
@@ -28,18 +35,31 @@ type t = {
   l3 : Cache.t;
   l3_pfs : Hp.t list;
   dram : Dram.t;
+  (* Observability: hierarchy code tests [obs_on] (a plain bool) before
+     building any event, so a null sink costs one branch per access. *)
+  obs : Sink.t;
+  obs_on : bool;
   (* Statistics *)
   pf_issued : int array;         (* per provenance id *)
   pf_useful : int array;
+  pf_drop_mshr : int array;      (* dropped: no MSHR free *)
+  pf_drop_present : int array;   (* dropped: line present or in flight *)
+  pf_late : int array;           (* demand arrived while fill in flight *)
+  pf_evicted : int array;        (* evicted before any demand use *)
   mutable sw_dropped : int;
   mutable demand_loads : int;
   mutable demand_stores : int;
   mutable l1_demand_misses : int;
   mutable l2_demand_misses : int;  (* went past L2: L3 hit or DRAM *)
   mutable l3_demand_misses : int;
+  (* Per-PC load-miss attribution (pc = Ir vid of the load; stores and
+     prefetcher-observation pcs carry tag bits >= 0x10000 and are
+     excluded). Arrays grow on demand — vids are small and dense. *)
+  mutable pc_l1_miss : int array;
+  mutable pc_l2_miss : int array;
 }
 
-let create (cfg : Machine.t) : t =
+let create ?(obs = Sink.null) (cfg : Machine.t) : t =
   let line = cfg.Machine.line_bytes in
   let mk_l1 c =
     Cache.create ~name:(Printf.sprintf "L1-%d" c)
@@ -77,29 +97,62 @@ let create (cfg : Machine.t) : t =
        else []);
     dram = Dram.create ~latency:cfg.Machine.dram_latency
         ~gap:cfg.Machine.dram_gap;
+    obs; obs_on = obs.Sink.enabled;
     pf_issued = Array.make n_prov 0;
     pf_useful = Array.make n_prov 0;
+    pf_drop_mshr = Array.make n_prov 0;
+    pf_drop_present = Array.make n_prov 0;
+    pf_late = Array.make n_prov 0;
+    pf_evicted = Array.make n_prov 0;
     sw_dropped = 0; demand_loads = 0; demand_stores = 0;
-    l1_demand_misses = 0; l2_demand_misses = 0; l3_demand_misses = 0 }
+    l1_demand_misses = 0; l2_demand_misses = 0; l3_demand_misses = 0;
+    pc_l1_miss = Array.make 64 0; pc_l2_miss = Array.make 64 0 }
 
 let cluster_of t core = t.clusters.(core / t.cfg.Machine.cores_per_cluster)
 
 let note_useful t prov = if prov >= 0 then t.pf_useful.(prov) <- t.pf_useful.(prov) + 1
 
+(* A prefetched line evicted before its first demand use: [lookup] clears
+   provenance on first use, so a surviving prefetch provenance on the
+   victim means the prefetch never paid off. *)
+let note_evict t vp = if vp >= 0 then t.pf_evicted.(vp) <- t.pf_evicted.(vp) + 1
+
+(* Demand arrived while the prefetched fill was still in flight: the
+   prefetch was issued but not early enough (it still hid part of the
+   latency, but the core stalled). Attributed at most once per fill via
+   [Mshr.take_prov]. *)
+let note_late t prov = if prov >= 0 then t.pf_late.(prov) <- t.pf_late.(prov) + 1
+
+(* Per-PC load-miss attribution; arrays grow on demand. *)
+let bump_pc t which pc =
+  let a = if which = 1 then t.pc_l1_miss else t.pc_l2_miss in
+  if pc >= Array.length a then begin
+    let a' = Array.make (max (2 * Array.length a) (pc + 1)) 0 in
+    Array.blit a 0 a' 0 (Array.length a);
+    if which = 1 then t.pc_l1_miss <- a' else t.pc_l2_miss <- a';
+    a'.(pc) <- 1
+  end
+  else a.(pc) <- a.(pc) + 1
+
+(* Loads carry their Ir vid as pc; stores and prefetcher observations are
+   tagged with bits >= 0x10000 (see Interp/Compile) and are excluded. *)
+let attributable pc = pc >= 0 && pc < 0x10000
+
 (* Install a line at [level] and the levels outward of it (inclusive L3).
    The provenance tag is set only at the innermost level installed so that
-   a prefetched line counts as useful at most once. *)
+   a prefetched line counts as useful at most once; each eviction of a
+   still-tagged (never-used) prefetched victim is counted. *)
 let install t ~core ~prov ~level line =
   let cl = cluster_of t core in
   (match level with
    | Hp.L1 ->
-     Cache.insert t.l1s.(core) line ~prov;
-     Cache.insert cl.l2 line ~prov:Cache.demand_prov;
-     Cache.insert t.l3 line ~prov:Cache.demand_prov
+     note_evict t (Cache.insert_evict t.l1s.(core) line ~prov);
+     note_evict t (Cache.insert_evict cl.l2 line ~prov:Cache.demand_prov);
+     note_evict t (Cache.insert_evict t.l3 line ~prov:Cache.demand_prov)
    | Hp.L2 ->
-     Cache.insert cl.l2 line ~prov;
-     Cache.insert t.l3 line ~prov:Cache.demand_prov
-   | Hp.L3 -> Cache.insert t.l3 line ~prov)
+     note_evict t (Cache.insert_evict cl.l2 line ~prov);
+     note_evict t (Cache.insert_evict t.l3 line ~prov:Cache.demand_prov)
+   | Hp.L3 -> note_evict t (Cache.insert_evict t.l3 line ~prov))
 
 (* Bring [line] in from wherever it is, without waiting (prefetch / store
    fill). Returns true if a request was actually issued somewhere.
@@ -116,7 +169,16 @@ let rec fetch_line t ~core ~prov ~level ~at line =
     | Hp.L2 -> Cache.probe cl.l2 line
     | Hp.L3 -> Cache.probe t.l3 line
   in
-  if present || Mshr.find cl.mshr line >= 0 then false
+  if present || Mshr.find cl.mshr line >= 0 then begin
+    if prov >= 0 then begin
+      t.pf_drop_present.(prov) <- t.pf_drop_present.(prov) + 1;
+      if t.obs_on then
+        t.obs.Sink.emit
+          (Sink.Drop { core; prov; line; at; level = level_int level;
+                       reason = Sink.Present })
+    end;
+    false
+  end
   else begin
     let in_l2 = Cache.probe cl.l2 line in
     (match level with
@@ -133,11 +195,18 @@ let rec fetch_line t ~core ~prov ~level ~at line =
     end
     else if Mshr.full cl.mshr then begin
       if prov = sw_prov then t.sw_dropped <- t.sw_dropped + 1;
+      if prov >= 0 then begin
+        t.pf_drop_mshr.(prov) <- t.pf_drop_mshr.(prov) + 1;
+        if t.obs_on then
+          t.obs.Sink.emit
+            (Sink.Drop { core; prov; line; at; level = level_int level;
+                         reason = Sink.Mshr_full })
+      end;
       false
     end
     else begin
       let done_at = Dram.fill t.dram ~at in
-      Mshr.add cl.mshr line done_at;
+      Mshr.add ~prov cl.mshr line done_at;
       install t ~core ~prov ~level line;
       true
     end
@@ -152,7 +221,14 @@ and issue_requests t ~core ~at = function
     if r.Hp.r_line >= 0 then begin
       if fetch_line t ~core ~prov:r.Hp.r_src ~level:r.Hp.r_level ~at
            r.Hp.r_line
-      then t.pf_issued.(r.Hp.r_src) <- t.pf_issued.(r.Hp.r_src) + 1
+      then begin
+        t.pf_issued.(r.Hp.r_src) <- t.pf_issued.(r.Hp.r_src) + 1;
+        if t.obs_on then
+          t.obs.Sink.emit
+            (Sink.Hw_prefetch
+               { core; src = r.Hp.r_src; line = r.Hp.r_line; at;
+                 level = level_int r.Hp.r_level })
+      end
     end;
     issue_requests t ~core ~at rest
 
@@ -168,6 +244,11 @@ and fire_pfs t ~core ~at pfs ev =
    allocates only when a level actually has prefetchers attached. *)
 let fire_level t ~core ~at pfs ~pc ~addr ~line hit =
   if pfs <> [] then fire_pfs t ~core ~at pfs { Hp.pc; addr; line; hit }
+
+(* Trace emission for a serviced demand load, factored out so [load]'s
+   return points stay expressions. *)
+let emit_load t ~core ~pc ~addr ~at ~ready ~level =
+  t.obs.Sink.emit (Sink.Load { core; pc; addr; at; ready; level })
 
 (** [load t ~core ~pc ~addr ~at] performs a demand load issued at cycle
     [at]; returns the cycle the data is ready. *)
@@ -185,33 +266,58 @@ let load t ~core ~pc ~addr ~at =
     (* The tag may be present while the fill is still in flight; find
        returns -1 when nothing is in flight, so max yields lat1 then. *)
     let d = Mshr.find cl.mshr line in
-    if d > lat1 then d else lat1
+    if d > lat1 then begin
+      (* The prefetched fill is still in flight: issued, but too late to
+         fully hide the latency. *)
+      let mp = Mshr.take_prov cl.mshr line in
+      note_late t (if p1 >= 0 then p1 else mp);
+      if t.obs_on then emit_load t ~core ~pc ~addr ~at ~ready:d ~level:0;
+      d
+    end
+    else begin
+      if t.obs_on then emit_load t ~core ~pc ~addr ~at ~ready:lat1 ~level:1;
+      lat1
+    end
   end
   else begin
     t.l1_demand_misses <- t.l1_demand_misses + 1;
+    if attributable pc then bump_pc t 1 pc;
     fire_level t ~core ~at t.l1_pfs.(core) ~pc ~addr ~line false;
     let d = Mshr.find cl.mshr line in
     if d >= 0 then begin
-      Cache.insert l1 line ~prov:Cache.demand_prov;
-      if d > lat1 then d else lat1
+      note_evict t (Cache.insert_evict l1 line ~prov:Cache.demand_prov);
+      if d > lat1 then begin
+        note_late t (Mshr.take_prov cl.mshr line);
+        if t.obs_on then emit_load t ~core ~pc ~addr ~at ~ready:d ~level:0;
+        d
+      end
+      else begin
+        if t.obs_on then emit_load t ~core ~pc ~addr ~at ~ready:lat1 ~level:0;
+        lat1
+      end
     end
     else begin
       let p2 = Cache.lookup cl.l2 line in
       if p2 <> Cache.no_hit then begin
         note_useful t p2;
         fire_level t ~core ~at cl.l2_pfs ~pc ~addr ~line true;
-        Cache.insert l1 line ~prov:Cache.demand_prov;
-        at + t.cfg.Machine.lat_l2
+        note_evict t (Cache.insert_evict l1 line ~prov:Cache.demand_prov);
+        let ready = at + t.cfg.Machine.lat_l2 in
+        if t.obs_on then emit_load t ~core ~pc ~addr ~at ~ready ~level:2;
+        ready
       end
       else begin
         fire_level t ~core ~at cl.l2_pfs ~pc ~addr ~line false;
         t.l2_demand_misses <- t.l2_demand_misses + 1;
+        if attributable pc then bump_pc t 2 pc;
         let p3 = Cache.lookup t.l3 line in
         if p3 <> Cache.no_hit then begin
           note_useful t p3;
           fire_level t ~core ~at t.l3_pfs ~pc ~addr ~line true;
           install t ~core ~prov:Cache.demand_prov ~level:Hp.L1 line;
-          at + t.cfg.Machine.lat_l3
+          let ready = at + t.cfg.Machine.lat_l3 in
+          if t.obs_on then emit_load t ~core ~pc ~addr ~at ~ready ~level:3;
+          ready
         end
         else begin
           fire_level t ~core ~at t.l3_pfs ~pc ~addr ~line false;
@@ -229,6 +335,8 @@ let load t ~core ~pc ~addr ~at =
           let done_at = Dram.fill t.dram ~at:at' in
           Mshr.add cl.mshr line done_at;
           install t ~core ~prov:Cache.demand_prov ~level:Hp.L1 line;
+          if t.obs_on then
+            emit_load t ~core ~pc ~addr ~at ~ready:done_at ~level:4;
           done_at
         end
       end
@@ -238,26 +346,27 @@ let load t ~core ~pc ~addr ~at =
 (** [store t ~core ~pc ~addr ~at] performs a write-allocate store; it never
     stalls the core (completion is hidden by the store buffer), but misses
     consume fill bandwidth. *)
-let store t ~core ~pc:_ ~addr ~at =
+let store t ~core ~pc ~addr ~at =
   t.demand_stores <- t.demand_stores + 1;
   let line = addr asr t.line_shift in
   let l1 = t.l1s.(core) in
   let p = Cache.lookup l1 line in
-  if p <> Cache.no_hit then note_useful t p
-  else begin
-    t.l1_demand_misses <- t.l1_demand_misses + 1;
-    let cl = cluster_of t core in
-    if not (Cache.probe cl.l2 line) && not (Cache.probe t.l3 line) then begin
-      (* Absent everywhere: the write-allocate fill comes from DRAM, so it
-         misses both L2 and L3. *)
-      t.l2_demand_misses <- t.l2_demand_misses + 1;
-      t.l3_demand_misses <- t.l3_demand_misses + 1
-    end;
-    let (_ : bool) =
-      fetch_line t ~core ~prov:Cache.demand_prov ~level:Hp.L1 ~at line
-    in
-    Cache.insert l1 line ~prov:Cache.demand_prov
-  end
+  (if p <> Cache.no_hit then note_useful t p
+   else begin
+     t.l1_demand_misses <- t.l1_demand_misses + 1;
+     let cl = cluster_of t core in
+     if not (Cache.probe cl.l2 line) && not (Cache.probe t.l3 line) then begin
+       (* Absent everywhere: the write-allocate fill comes from DRAM, so it
+          misses both L2 and L3. *)
+       t.l2_demand_misses <- t.l2_demand_misses + 1;
+       t.l3_demand_misses <- t.l3_demand_misses + 1
+     end;
+     let (_ : bool) =
+       fetch_line t ~core ~prov:Cache.demand_prov ~level:Hp.L1 ~at line
+     in
+     note_evict t (Cache.insert_evict l1 line ~prov:Cache.demand_prov)
+   end);
+  if t.obs_on then t.obs.Sink.emit (Sink.Store { core; pc; addr; at })
 
 (** [prefetch t ~core ~addr ~locality ~at] performs a software prefetch.
     Locality maps to the fill level: 3-2 into L1, 1 into L2, 0 into L3. *)
@@ -266,8 +375,23 @@ let prefetch t ~core ~addr ~locality ~at =
   let level =
     if locality >= 2 then Hp.L1 else if locality = 1 then Hp.L2 else Hp.L3
   in
-  if fetch_line t ~core ~prov:sw_prov ~level ~at line then
-    t.pf_issued.(sw_prov) <- t.pf_issued.(sw_prov) + 1
+  let issued = fetch_line t ~core ~prov:sw_prov ~level ~at line in
+  if issued then t.pf_issued.(sw_prov) <- t.pf_issued.(sw_prov) + 1;
+  if t.obs_on then
+    t.obs.Sink.emit (Sink.Sw_prefetch { core; addr; locality; at; issued })
+
+(** Per-prefetcher lifecycle breakdown (one per provenance id, software
+    included). Issued counts fills actually requested; the drop counters
+    classify requests that never became fills; late and evicted classify
+    issued fills that missed their window. *)
+type pf_stat = {
+  p_issued : int;
+  p_useful : int;
+  p_late : int;            (** demand arrived while the fill was in flight *)
+  p_drop_mshr : int;       (** dropped: no MSHR free *)
+  p_drop_present : int;    (** dropped: line already present or in flight *)
+  p_evicted : int;         (** evicted before any demand use *)
+}
 
 (** Statistics snapshot for the PMU-style report (paper §4.4). *)
 type stats = {
@@ -282,7 +406,19 @@ type stats = {
   st_sw_useful : int;
   st_hw_issued : (string * int) list;
   st_hw_useful : (string * int) list;
+  st_pf : (string * pf_stat) list;
+    (** keyed by counter-name slug ("sw", "l1_ipp", ...), provenance order *)
+  st_pc_l1_miss : (int * int) list;
+    (** load-miss counts by Ir vid (pc ascending, zero counts omitted) *)
+  st_pc_l2_miss : (int * int) list;
 }
+
+let pc_assoc (a : int array) =
+  let acc = ref [] in
+  for pc = Array.length a - 1 downto 0 do
+    if a.(pc) > 0 then acc := (pc, a.(pc)) :: !acc
+  done;
+  !acc
 
 let stats t =
   { st_demand_loads = t.demand_loads;
@@ -297,4 +433,15 @@ let stats t =
     st_hw_issued =
       List.init Hp.n_ids (fun i -> (Hp.name_of_id i, t.pf_issued.(i)));
     st_hw_useful =
-      List.init Hp.n_ids (fun i -> (Hp.name_of_id i, t.pf_useful.(i))) }
+      List.init Hp.n_ids (fun i -> (Hp.name_of_id i, t.pf_useful.(i)));
+    st_pf =
+      List.init n_prov (fun i ->
+          ( slug_of_prov i,
+            { p_issued = t.pf_issued.(i);
+              p_useful = t.pf_useful.(i);
+              p_late = t.pf_late.(i);
+              p_drop_mshr = t.pf_drop_mshr.(i);
+              p_drop_present = t.pf_drop_present.(i);
+              p_evicted = t.pf_evicted.(i) } ));
+    st_pc_l1_miss = pc_assoc t.pc_l1_miss;
+    st_pc_l2_miss = pc_assoc t.pc_l2_miss }

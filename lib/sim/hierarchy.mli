@@ -9,9 +9,12 @@
 
 type t
 
-(** [create machine] builds a fresh hierarchy (cores and clusters per the
-    machine's topology). *)
-val create : Machine.t -> t
+(** [create ?obs machine] builds a fresh hierarchy (cores and clusters per
+    the machine's topology). [obs] (default {!Asap_obs.Sink.null}) receives
+    every observable memory-system event; the hierarchy tests its
+    [enabled] flag before constructing any event, so a disabled sink costs
+    one branch per access. *)
+val create : ?obs:Asap_obs.Sink.t -> Machine.t -> t
 
 (** The provenance id of software prefetches in the accuracy counters. *)
 val sw_prov : int
@@ -28,6 +31,17 @@ val store : t -> core:int -> pc:int -> addr:int -> at:int -> unit
     locality maps to the fill level (3-2 into L1, 1 into L2, 0 into L3). *)
 val prefetch : t -> core:int -> addr:int -> locality:int -> at:int -> unit
 
+(** Per-prefetcher lifecycle breakdown (one per provenance id, software
+    included). *)
+type pf_stat = {
+  p_issued : int;
+  p_useful : int;
+  p_late : int;            (** demand arrived while the fill was in flight *)
+  p_drop_mshr : int;       (** dropped: no MSHR free *)
+  p_drop_present : int;    (** dropped: line already present or in flight *)
+  p_evicted : int;         (** evicted before any demand use *)
+}
+
 (** Statistics snapshot for the PMU-style report (paper §4.4). *)
 type stats = {
   st_demand_loads : int;
@@ -41,6 +55,11 @@ type stats = {
   st_sw_useful : int;
   st_hw_issued : (string * int) list;
   st_hw_useful : (string * int) list;
+  st_pf : (string * pf_stat) list;
+    (** keyed by counter-name slug ("sw", "l1_ipp", ...), provenance order *)
+  st_pc_l1_miss : (int * int) list;
+    (** load-miss counts by Ir vid (pc ascending, zero counts omitted) *)
+  st_pc_l2_miss : (int * int) list;
 }
 
 val stats : t -> stats

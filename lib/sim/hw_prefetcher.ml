@@ -40,6 +40,12 @@ let name_of_id = function
   | 3 -> "MLC Streamer" | 4 -> "L2 AMP" | 5 -> "LLC Streamer"
   | _ -> "?"
 
+(* Stable dotted-counter-name components ("pf.<slug>.issued", ...). *)
+let slug_of_id = function
+  | 0 -> "l1_nlp" | 1 -> "l1_ipp" | 2 -> "l2_nlp"
+  | 3 -> "mlc_streamer" | 4 -> "l2_amp" | 5 -> "llc_streamer"
+  | _ -> "unknown"
+
 type t = {
   pf_id : int;
   pf_level : level;            (* where it observes and fills *)

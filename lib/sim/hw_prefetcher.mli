@@ -27,6 +27,10 @@ val id_llc : int
 val n_ids : int
 val name_of_id : int -> string
 
+(** [slug_of_id i] is the stable dotted-counter-name component for
+    prefetcher [i] (e.g. ["mlc_streamer"] in ["pf.mlc_streamer.issued"]). *)
+val slug_of_id : int -> string
+
 type t = {
   pf_id : int;
   pf_level : level;            (** where it observes and fills *)

@@ -15,6 +15,7 @@ type t = {
   cap : int;
   lines : int array;           (* line addresses of in-flight fills *)
   dones : int array;           (* their completion cycles (always > 0) *)
+  provs : int array;           (* provenance of each fill; -1 = demand *)
   mutable used : int;
   mutable min_done : int;      (* exact min of dones.(0..used-1); max_int when empty *)
   mutable drops : int;         (* prefetches dropped on a full pool *)
@@ -22,6 +23,7 @@ type t = {
 
 let create cap =
   { cap; lines = Array.make cap 0; dones = Array.make cap 0;
+    provs = Array.make cap (-1);
     used = 0; min_done = max_int; drops = 0 }
 
 (* Top-level loops (a local [let rec] capturing state would allocate a
@@ -37,7 +39,8 @@ let rec compact t ~now r w m =
     if d > now then begin
       if r <> w then begin
         t.lines.(w) <- t.lines.(r);
-        t.dones.(w) <- d
+        t.dones.(w) <- d;
+        t.provs.(w) <- t.provs.(r)
       end;
       compact t ~now (r + 1) (w + 1) (if d < m then d else m)
     end
@@ -62,10 +65,30 @@ let full t = t.used >= t.cap
     when the pool is empty. *)
 let earliest t = if t.used = 0 then -1 else t.min_done
 
-let add t line done_at =
+(* Index of [line]'s entry, or -1. Same shape as [scan_lines] — a plain
+   loop over the live prefix, no closure. *)
+let rec scan_index (lines : int array) (line : int) i used =
+  if i = used then -1
+  else if lines.(i) = line then i
+  else scan_index lines line (i + 1) used
+
+(** [take_prov t line] is the provenance of the in-flight fill of [line]
+    (-1 for demand fills or when nothing is in flight); clears it so the
+    same fill is attributed at most once. *)
+let take_prov t line =
+  let i = scan_index t.lines line 0 t.used in
+  if i < 0 then -1
+  else begin
+    let p = t.provs.(i) in
+    t.provs.(i) <- -1;
+    p
+  end
+
+let add ?(prov = -1) t line done_at =
   assert (t.used < t.cap && done_at > 0);
   t.lines.(t.used) <- line;
   t.dones.(t.used) <- done_at;
+  t.provs.(t.used) <- prov;
   t.used <- t.used + 1;
   if done_at < t.min_done then t.min_done <- done_at
 

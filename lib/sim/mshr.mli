@@ -14,6 +14,7 @@ type t = {
   cap : int;
   lines : int array;           (** line addresses of in-flight fills *)
   dones : int array;           (** their completion cycles (always > 0) *)
+  provs : int array;           (** provenance of each fill; -1 = demand *)
   mutable used : int;
   mutable min_done : int;      (** exact min of live [dones]; [max_int] when empty *)
   mutable drops : int;
@@ -34,8 +35,14 @@ val full : t -> bool
     when the pool is empty. *)
 val earliest : t -> int
 
-(** [add t line done_at] registers a fill; the pool must not be full and
-    [done_at] must be positive. *)
-val add : t -> int -> int -> unit
+(** [take_prov t line] is the provenance of the in-flight fill of [line]
+    (-1 for demand fills or when nothing is in flight); clears it so the
+    same fill is attributed at most once. *)
+val take_prov : t -> int -> int
+
+(** [add ?prov t line done_at] registers a fill ([prov] defaults to
+    demand, -1); the pool must not be full and [done_at] must be
+    positive. *)
+val add : ?prov:int -> t -> int -> int -> unit
 
 val reset : t -> unit

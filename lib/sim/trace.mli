@@ -19,11 +19,18 @@ val wrap : t -> Interp.mem -> Interp.mem
 (** [events t] in program order. *)
 val events : t -> event list
 
+(** [sink t] records the hierarchy's event stream into [t]: demand loads,
+    stores and software prefetches land in the same program-order list
+    {!wrap} produces (hardware-prefetch and drop events are skipped). *)
+val sink : t -> Asap_obs.Sink.t
+
 (** A free-running port (every load one cycle): traces functional access
     order without a memory hierarchy. *)
 val free_mem : Interp.mem
 
-(** [coverage t ~range ~line_bytes] is (covered, total): over demand loads
-    whose address falls in [range), how many distinct lines were
-    software-prefetched before their first demand touch. *)
-val coverage : t -> range:int * int -> line_bytes:int -> int * int
+(** [coverage ?late t ~range ~line_bytes] is (covered, total): over demand
+    loads whose address falls in [range), how many distinct lines were
+    software-prefetched before their first demand touch. With [~late:n] a
+    prefetch only counts when it ran at least [n] time units before that
+    touch (default 0). *)
+val coverage : ?late:int -> t -> range:int * int -> line_bytes:int -> int * int

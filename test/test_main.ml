@@ -12,4 +12,5 @@ let () =
       ("sim", Test_sim.suite);
       ("interp-props", Test_interp_props.suite);
       ("core", Test_core.suite);
-      ("engine", Test_engine.suite) ]
+      ("engine", Test_engine.suite);
+      ("obs", Test_obs.suite) ]

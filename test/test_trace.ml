@@ -123,10 +123,75 @@ let test_trace_event_order () =
   (* Two sites executed (one nnz per row): 2 prefetches each. *)
   check "four prefetches traced" true (List.length prefetches = 4)
 
+let test_late_cutoff () =
+  (* coverage ~late:n only credits prefetches issued at least n time
+     units ahead of the first demand touch: monotone non-increasing in n,
+     unchanged at 0, and empty once the cutoff exceeds every lead. *)
+  let coo = short_row_matrix () in
+  let variant = Pipeline.Asap { Asap.default with Asap.distance = 8 } in
+  let enc = Encoding.csr () in
+  let rows = coo.Coo.dims.(0) and cols = coo.Coo.dims.(1) in
+  let compiled = Pipeline.compile (Kernel.spmv ~enc ()) variant in
+  let st = Storage.pack enc coo in
+  let dense =
+    [ ("c", Runtime.RF (Array.init cols float_of_int));
+      ("a", Runtime.RF (Array.make rows 0.)) ]
+  in
+  let bufs = Bindings.storage_bufs compiled.Pipeline.cc st ~binary:false ~dense in
+  let bound = Runtime.layout compiled.Pipeline.fn bufs in
+  let c_bound =
+    List.find (fun (b : Runtime.bound) -> b.Runtime.buf.Ir.bname = "c")
+      (Array.to_list bound)
+  in
+  let t = Trace.create () in
+  let (_ : Interp.result) =
+    Interp.run compiled.Pipeline.fn ~bufs:bound
+      ~scalars:
+        (Bindings.scalar_args compiled.Pipeline.cc ~extents:[| rows; cols |])
+      ~mem:(Trace.wrap t Trace.free_mem)
+  in
+  let lo = c_bound.Runtime.base in
+  let hi = lo + (Runtime.length_of c_bound.Runtime.data * 8) in
+  let range = (lo, hi) in
+  let cov late = fst (Trace.coverage ~late t ~range ~line_bytes:64) in
+  let c0 = fst (Trace.coverage t ~range ~line_bytes:64) in
+  check "late:0 = default" true (cov 0 = c0);
+  check "covered at all" true (c0 > 0);
+  check "cutoff monotone" true (cov 10 <= c0 && cov 100 <= cov 10);
+  check "huge cutoff empties coverage" true (cov max_int = 0)
+
+let test_trace_sink () =
+  (* Trace as a first-class sink on the timing hierarchy: the same
+     program-order event list, fed by Exec instead of a wrapped port. *)
+  let coo = Coo.of_triples ~rows:2 ~cols:2 [ (0, 0, 1.); (1, 1, 2.) ] in
+  let enc = Encoding.csr () in
+  let machine = Asap_sim.Machine.gracemont_scaled () in
+  let t = Trace.create () in
+  let cfg =
+    Asap_core.Driver.Cfg.make ~machine
+      ~variant:(Pipeline.Asap { Asap.default with Asap.distance = 2 })
+      ~obs:(Trace.sink t) ()
+  in
+  let r = Asap_core.Driver.run cfg (Asap_core.Driver.Spmv enc) coo in
+  let events = Trace.events t in
+  let count p = List.length (List.filter p events) in
+  let module Exec = Asap_sim.Exec in
+  check "sink saw every demand load" true
+    (count (function Trace.Load _ -> true | _ -> false)
+     = Exec.Report.demand_loads r.Asap_core.Driver.report);
+  check "sink saw every store" true
+    (count (function Trace.Store _ -> true | _ -> false)
+     = Exec.Report.demand_stores r.Asap_core.Driver.report);
+  check "sink saw every sw prefetch" true
+    (count (function Trace.Prefetch _ -> true | _ -> false)
+     = Exec.Report.prefetch_instrs r.Asap_core.Driver.report)
+
 let suite =
   [ Alcotest.test_case "semantic bound coverage" `Quick
       test_semantic_bound_covers;
     Alcotest.test_case "segment bound undercovers" `Quick
       test_segment_bound_undercovers;
     Alcotest.test_case "baseline clean" `Quick test_baseline_no_prefetches;
-    Alcotest.test_case "trace order" `Quick test_trace_event_order ]
+    Alcotest.test_case "trace order" `Quick test_trace_event_order;
+    Alcotest.test_case "late cutoff" `Quick test_late_cutoff;
+    Alcotest.test_case "trace as hierarchy sink" `Quick test_trace_sink ]

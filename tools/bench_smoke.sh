@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Engine smoke benchmark: wall-clock the --quick fig6 grid under both
-# execution engines, check the printed tables are byte-identical, and run
-# the engine microbenchmark (tools/bench_engine.ml) for per-engine
-# simulated-instruction throughput. Emits BENCH_engine.json.
+# execution engines, check the printed tables are byte-identical, emit one
+# JSONL run record per grid cell, and run the engine microbenchmark
+# (tools/bench_engine.ml) for per-engine simulated-instruction throughput.
+# Emits BENCH_engine.json (plus BENCH_records.jsonl).
 #
 # Run directly from the repo root after `dune build`, or via the dune
 # alias: `dune build @bench-smoke` (kept out of the default test alias —
@@ -10,10 +11,15 @@
 #
 # The seed baseline is the measured wall-clock of this grid on the seed
 # commit (sequential tree-walking interpreter, same host); override with
-# SEED_WALL_S if re-measured.
+# SEED_WALL_S if re-measured. If a previous $OUT exists, the tracing-off
+# compiled wall-clock must stay within MAX_REGRESS (default 1.10, i.e.
+# +10%) of its compiled_jobs4_wall_s or the script fails — the
+# observability hooks must stay free when off.
 set -euo pipefail
 
 OUT=${1:-BENCH_engine.json}
+RECORDS=${RECORDS:-BENCH_records.jsonl}
+MAX_REGRESS=${MAX_REGRESS:-1.10}
 MAIN=${MAIN:-_build/default/bench/main.exe}
 MICRO=${MICRO:-_build/default/tools/bench_engine.exe}
 # Dune expands same-directory deps to bare names; qualify them so execvp
@@ -37,8 +43,27 @@ run_grid() { # engine jobs stdout_file stderr_file -> prints wall seconds
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
+# Wall-clock regression gate: compare against the previous run's recorded
+# compiled wall-clock before overwriting $OUT.
+prev_compiled_wall=
+if [ -f "$OUT" ]; then
+  prev_compiled_wall=$(grep -o '"compiled_jobs4_wall_s": [0-9.]*' "$OUT" \
+    | grep -o '[0-9.]*$' || true)
+fi
+
 interp_wall=$(run_grid interp 1 "$tmp/interp.txt" "$tmp/interp.log")
 compiled_wall=$(run_grid compiled 4 "$tmp/compiled.txt" "$tmp/compiled.log")
+
+# Re-run one compiled cell set with --records to exercise the JSONL sink
+# (cheap: records ride along with the grid's own measurement pass).
+rm -f "$RECORDS"
+timeout "$TIMEOUT_S" "$MAIN" --quick --engine compiled --jobs 1 \
+  --records "$RECORDS" fig6 >/dev/null 2>"$tmp/records.log"
+record_count=$(wc -l <"$RECORDS")
+if [ "$record_count" -eq 0 ]; then
+  echo "bench_smoke: FAIL — no JSONL run records written to $RECORDS" >&2
+  exit 1
+fi
 
 if cmp -s "$tmp/interp.txt" "$tmp/compiled.txt"; then
   identical=true
@@ -67,10 +92,22 @@ micro=$(timeout "$TIMEOUT_S" "$MICRO" 60000 8 2)
       printf "  \"speedup_vs_seed\": %.2f,\n", s / c;
       printf "  \"speedup_vs_interp\": %.2f,\n", i / c }'
   printf '  "tables_identical": %s,\n' "$identical"
+  printf '  "run_records": %s,\n' "$record_count"
   printf '  "microbench":\n'
   printf '%s\n' "$micro" | sed 's/^/  /'
   printf '}\n'
 } >"$OUT"
 
 echo "wrote $OUT (interp ${interp_wall}s, compiled+4jobs ${compiled_wall}s," \
-  "tables_identical=$identical)"
+  "tables_identical=$identical, records=$record_count)"
+
+if [ -n "$prev_compiled_wall" ]; then
+  if awk -v now="$compiled_wall" -v prev="$prev_compiled_wall" \
+       -v lim="$MAX_REGRESS" 'BEGIN { exit !(now > prev * lim) }'; then
+    echo "bench_smoke: FAIL — tracing-off compiled wall ${compiled_wall}s" \
+      "exceeds ${MAX_REGRESS}x previous ${prev_compiled_wall}s" >&2
+    exit 1
+  fi
+  echo "regression gate: compiled ${compiled_wall}s vs previous" \
+    "${prev_compiled_wall}s (limit ${MAX_REGRESS}x) — ok"
+fi
