@@ -1,0 +1,73 @@
+(* Serving benchmark: replay a synthetic hot/cold Zipf mix through the
+   scheduler with the compile/tune cache on and off, and report host
+   wall-clock throughput plus the cached replay's hit rate.
+
+   The cache's claim is host work avoided: with it, each distinct
+   fingerprint sparsifies/compiles/tunes once; without it, every request
+   rebuilds. The mix is Zipf-skewed, so the cached replay must be at
+   least MIN_SPEEDUP times faster end to end (exit 1 otherwise). Virtual
+   scheduling quantities (hit rate, latency percentiles) are identical
+   either run to run — only the wall times vary with the host.
+
+   Results go to stdout as JSON (tracked in BENCH_serve.json by
+   tools/bench_smoke.sh @serve-smoke).
+
+   Usage: serve.exe [n] [seed] [jobs] [min_speedup; 0 disables] *)
+
+module Mix = Asap_serve.Mix
+module Scheduler = Asap_serve.Scheduler
+module Slo = Asap_serve.Slo
+
+let () =
+  let argi i default =
+    if Array.length Sys.argv > i then int_of_string Sys.argv.(i) else default
+  in
+  let argf i default =
+    if Array.length Sys.argv > i then float_of_string Sys.argv.(i) else default
+  in
+  let n = argi 1 300 in
+  let seed = argi 2 11 in
+  let jobs = argi 3 4 in
+  let min_speedup = argf 4 2.0 in
+  let reqs = Mix.hot_cold ~seed ~n (Mix.default_profiles ()) in
+  let replay ~cache_capacity =
+    let cfg = { Scheduler.default_cfg with Scheduler.cache_capacity; jobs } in
+    (* One warm-up pass faults in code and allocators, untimed. *)
+    if cache_capacity > 0 then
+      ignore (Scheduler.replay cfg (Mix.hot_cold ~seed ~n:8 (Mix.default_profiles ())));
+    let t0 = Unix.gettimeofday () in
+    let rp = Scheduler.replay cfg reqs in
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, rp)
+  in
+  let cached_wall, cached = replay ~cache_capacity:Scheduler.default_cfg.Scheduler.cache_capacity in
+  let uncached_wall, uncached = replay ~cache_capacity:0 in
+  let cs = cached.Scheduler.rp_summary and us = uncached.Scheduler.rp_summary in
+  let speedup = uncached_wall /. cached_wall in
+  Printf.printf
+    "{\n\
+    \  \"mix\": \"hot_cold zipf n=%d seed=%d (10 profiles)\",\n\
+    \  \"host_cpus\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"cached\": { \"wall_s\": %.3f, \"req_per_s\": %.1f, \"builds\": %d,\n\
+    \               \"hit_rate\": %.3f, \"p95_virtual_ms\": %.3f },\n\
+    \  \"uncached\": { \"wall_s\": %.3f, \"req_per_s\": %.1f, \"builds\": %d },\n\
+    \  \"serve_req_per_s\": %.1f,\n\
+    \  \"cache_speedup\": %.2f\n\
+     }\n"
+    n seed
+    (Domain.recommended_domain_count ())
+    jobs cached_wall
+    (float_of_int n /. cached_wall)
+    cs.Slo.s_builds (Slo.hit_rate cs) cs.Slo.s_p95_ms uncached_wall
+    (float_of_int n /. uncached_wall)
+    us.Slo.s_builds
+    (float_of_int n /. cached_wall)
+    speedup;
+  if min_speedup > 0. && speedup < min_speedup then begin
+    Printf.eprintf
+      "bench/serve: FAIL — cached replay only %.2fx faster than uncached \
+       (need %.1fx)\n"
+      speedup min_speedup;
+    exit 1
+  end

@@ -5,7 +5,9 @@
      run       execute a kernel over a Matrix Market file (or a synthetic
                matrix) on the simulated machine and report PMU metrics
      inspect   show a matrix's storage buffers and coordinate tree
-     gen       write a synthetic matrix to a Matrix Market file *)
+     gen       write a synthetic matrix to a Matrix Market file
+     serve     replay a JSONL request file through the serving scheduler
+     genreqs   write a synthetic hot/cold request mix as JSONL *)
 
 module Coo = Asap_tensor.Coo
 module Encoding = Asap_tensor.Encoding
@@ -109,34 +111,9 @@ let matrix_args =
     match (mtx, gen) with
     | Some path, None -> Ok (Matrix_market.read path)
     | None, Some spec ->
-      (match String.split_on_char ':' spec with
-       | [ "powerlaw"; rest ] ->
-         (match String.split_on_char ',' rest with
-          | [ n; d ] ->
-            let n = int_of_string n and d = int_of_string d in
-            Ok (Generate.power_law ~seed:1 ~rows:n ~cols:n ~avg_deg:d
-                  ~alpha:2.0 ())
-          | _ -> Error (`Msg "powerlaw:<n>,<deg>"))
-       | [ "uniform"; rest ] ->
-         (match String.split_on_char ',' rest with
-          | [ n; nnz ] ->
-            let n = int_of_string n in
-            Ok (Generate.uniform ~seed:1 ~rows:n ~cols:n
-                  ~nnz:(int_of_string nnz) ())
-          | _ -> Error (`Msg "uniform:<n>,<nnz>"))
-       | [ "banded"; rest ] ->
-         (match String.split_on_char ',' rest with
-          | [ n; band ] ->
-            Ok (Generate.banded ~seed:1 ~n:(int_of_string n)
-                  ~band:(int_of_string band) ())
-          | _ -> Error (`Msg "banded:<n>,<band>"))
-       | [ "road"; rest ] ->
-         (match String.split_on_char ',' rest with
-          | [ n; deg ] ->
-            Ok (Generate.road ~seed:1 ~n:(int_of_string n)
-                  ~deg:(int_of_string deg) ())
-          | _ -> Error (`Msg "road:<n>,<deg>"))
-       | _ -> Error (`Msg ("unknown generator spec: " ^ spec)))
+      (match Generate.of_spec spec with
+       | Ok coo -> Ok coo
+       | Error e -> Error (`Msg e))
     | None, None ->
       (* Default demo matrix: the Fig. 2 example. *)
       Ok (Coo.of_triples ~rows:3 ~cols:3 [ (0, 0, 1.); (0, 2, 2.); (2, 2, 3.) ])
@@ -284,6 +261,163 @@ let gen_cmd =
   Cmd.v (Cmd.info "gen" ~doc:"Write a synthetic matrix to Matrix Market")
     Term.(const run $ matrix_args $ out_arg)
 
+(* --- serve ----------------------------------------------------------- *)
+
+let serve_cmd =
+  let module Scheduler = Asap_serve.Scheduler in
+  let module Request = Asap_serve.Request in
+  let requests_arg =
+    Arg.(required & opt (some string) None
+         & info [ "requests" ] ~docv:"FILE"
+             ~doc:"JSONL request file (one request object per line; blank \
+                   and # lines skipped).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write per-request records as JSONL to $(docv). Records \
+                   carry only virtual-time quantities, so output is \
+                   byte-deterministic at any --jobs.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Host domains for the build pass (scheduling itself is \
+                   a sequential virtual-time simulation).")
+  in
+  let servers_arg =
+    Arg.(value & opt int Scheduler.default_cfg.Scheduler.servers
+         & info [ "servers" ] ~docv:"N" ~doc:"Virtual servers.")
+  in
+  let queue_arg =
+    Arg.(value & opt int Scheduler.default_cfg.Scheduler.queue_limit
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Queue depth limit; arrivals past it are shed.")
+  in
+  let cache_arg =
+    Arg.(value & opt int Scheduler.default_cfg.Scheduler.cache_capacity
+         & info [ "cache" ] ~docv:"N" ~doc:"Compile/tune LRU capacity.")
+  in
+  let no_cache_arg =
+    Arg.(value & flag
+         & info [ "no-cache" ]
+             ~doc:"Disable the cache (and memoised builds and batching): \
+                   the honest rebuild-everything baseline.")
+  in
+  let no_batch_arg =
+    Arg.(value & flag
+         & info [ "no-batch" ]
+             ~doc:"Disable same-fingerprint batching.")
+  in
+  let summary_arg =
+    Arg.(value & flag
+         & info [ "summary" ] ~doc:"Print the SLO summary (human form).")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace_event JSON of the replay: one \
+                   track per virtual server, shed instants on the \
+                   admission track.")
+  in
+  let counters_arg =
+    Arg.(value & flag
+         & info [ "counters" ] ~doc:"Dump the serve.* counter registry.")
+  in
+  let run requests out jobs servers queue cache no_cache no_batch summary
+      trace counters =
+    match Request.load requests with
+    | Error e -> prerr_endline ("asapc serve: " ^ e); exit 1
+    | Ok reqs ->
+      let cfg =
+        { Scheduler.servers; queue_limit = queue;
+          cache_capacity = (if no_cache then 0 else cache);
+          compile_ms = Scheduler.default_cfg.Scheduler.compile_ms;
+          batching = not no_batch; jobs }
+      in
+      let chrome = Option.map (fun _ -> Asap_obs.Chrome.create ()) trace in
+      let rp = Scheduler.replay ?trace:chrome cfg reqs in
+      (match out with
+       | None -> ()
+       | Some path ->
+         let oc = open_out path in
+         Array.iter
+           (fun r -> output_string oc (Scheduler.record_to_line r ^ "\n"))
+           rp.Scheduler.rp_records;
+         close_out oc;
+         Printf.printf "records: wrote %d to %s\n"
+           (Array.length rp.Scheduler.rp_records) path);
+      (match (trace, chrome) with
+       | Some path, Some c ->
+         Asap_obs.Chrome.write c path;
+         Printf.printf "trace: wrote %d events to %s\n"
+           (Asap_obs.Chrome.n_events c) path
+       | _ -> ());
+      if summary then
+        Format.printf "%a@." Asap_serve.Slo.pp rp.Scheduler.rp_summary;
+      if counters then
+        Format.printf "%a@?" Asap_obs.Registry.pp rp.Scheduler.rp_registry;
+      if not (summary || counters) then
+        let s = rp.Scheduler.rp_summary in
+        Printf.printf
+          "served %d (%d degraded, %d shed); hit rate %.2f; p95 %.3f ms\n"
+          (s.Asap_serve.Slo.s_ok + s.Asap_serve.Slo.s_degraded)
+          s.Asap_serve.Slo.s_degraded s.Asap_serve.Slo.s_shed
+          (Asap_serve.Slo.hit_rate s) s.Asap_serve.Slo.s_p95_ms
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Replay a JSONL request file through the serving scheduler")
+    Term.(const run $ requests_arg $ out_arg $ jobs_arg $ servers_arg
+          $ queue_arg $ cache_arg $ no_cache_arg $ no_batch_arg $ summary_arg
+          $ trace_arg $ counters_arg)
+
+(* --- genreqs --------------------------------------------------------- *)
+
+let genreqs_cmd =
+  let module Mix = Asap_serve.Mix in
+  let module Request = Asap_serve.Request in
+  let out_arg =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output JSONL path.")
+  in
+  let n_arg =
+    Arg.(value & opt int 200
+         & info [ "n" ] ~docv:"N" ~doc:"Number of requests.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"RNG seed.")
+  in
+  let alpha_arg =
+    Arg.(value & opt float 1.2
+         & info [ "alpha" ] ~docv:"A" ~doc:"Zipf exponent (hot/cold skew).")
+  in
+  let gap_arg =
+    Arg.(value & opt float 0.05
+         & info [ "gap" ] ~docv:"MS"
+             ~doc:"Mean exponential inter-arrival gap, virtual ms.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"MS"
+             ~doc:"Attach this relative latency budget to every request.")
+  in
+  let run out n seed alpha gap deadline =
+    let reqs =
+      Mix.hot_cold ~alpha ~mean_gap_ms:gap ?deadline_ms:deadline ~seed ~n
+        (Mix.default_profiles ())
+    in
+    let oc = open_out out in
+    List.iter (fun r -> output_string oc (Request.to_line r ^ "\n")) reqs;
+    close_out oc;
+    Printf.printf "wrote %d requests to %s\n" n out
+  in
+  Cmd.v
+    (Cmd.info "genreqs"
+       ~doc:"Write a synthetic hot/cold request mix as JSONL")
+    Term.(const run $ out_arg $ n_arg $ seed_arg $ alpha_arg $ gap_arg
+          $ deadline_arg)
+
 let () =
   let info =
     Cmd.info "asapc" ~version:"1.0.0"
@@ -292,4 +426,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; run_cmd; inspect_cmd; gen_cmd; tune_cmd ]))
+          [ compile_cmd; run_cmd; inspect_cmd; gen_cmd; tune_cmd; serve_cmd;
+            genreqs_cmd ]))

@@ -60,6 +60,29 @@ type kernel_spec =
     entry points below are thin wrappers over this. *)
 val run : Cfg.t -> kernel_spec -> Coo.t -> result
 
+(** A prepared kernel execution: sparsification, prefetch injection,
+    storage packing, buffer layout and (compiled engine) closure staging
+    all done once by {!Prep.make}; {!Prep.exec} then re-runs the kernel
+    on a fresh memory hierarchy per call, returning results equal to
+    {!run} in every field. This is the unit the serve subsystem's
+    compile cache stores. *)
+module Prep : sig
+  type t
+
+  val make : Cfg.t -> kernel_spec -> Coo.t -> t
+  val cfg : t -> Cfg.t
+  val spec : t -> kernel_spec
+  val compiled : t -> Pipeline.compiled
+  val nnz : t -> int
+
+  (** [exec ?obs p] re-runs the prepared kernel; [obs] overrides the
+      configuration's sink for this run only. The result's
+      [out_f]/[out_b] alias [p]'s output buffers (zeroed before each
+      run), so a result is only valid until the next [exec] on the same
+      [p]. *)
+  val exec : ?obs:Asap_obs.Sink.t -> t -> result
+end
+
 (** [spmv ?engine ?threads ?binary ?st machine variant enc coo] packs
     [coo] under [enc], compiles SpMV with [variant] and runs it. [engine]
     selects the simulator's execution engine (default

@@ -1,10 +1,10 @@
-(** Host-parallel map over OCaml 5 domains.
+(** Deterministic host-parallel map over a persistent domain pool.
 
     Independent simulation cells (each with its own {!Asap_sim.Hierarchy})
     are embarrassingly parallel on the host; this helper farms them to a
-    small domain pool with dynamic load-balancing and index-slotted
-    results, so output order is deterministic and anything printed from it
-    stays byte-identical to a sequential run.
+    domain pool with dynamic load-balancing and index-slotted results, so
+    output order is deterministic and anything printed from it stays
+    byte-identical to a sequential run.
 
     Worker functions must not touch domain-unsafe shared state (e.g. a
     [Hashtbl] cache) — memoise on the calling domain after [map]
@@ -15,7 +15,37 @@
 val default_jobs : unit -> int
 
 (** [map ~jobs f xs] is [Array.map f xs] computed by [jobs] domains (the
-    caller's included; [jobs <= 1] runs sequentially). The first exception
-    raised by any [f] is re-raised on the calling domain after all workers
-    join. *)
+    caller's included; [jobs <= 1] runs sequentially). Helper domains come
+    from a lazily-created process-global {!pool} that persists across
+    calls, grows on demand, and is shut down at process exit — repeated
+    maps pay the domain-spawn cost once. The first exception raised by any
+    [f] is re-raised on the calling domain after all workers join. *)
 val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** {1 Explicit pools}
+
+    Long-lived components (the serve scheduler) that want control over
+    worker lifetime can own a pool instead of sharing the global one. *)
+
+(** A set of parked worker domains, created once and reused by every
+    {!map_pool} call on it. *)
+type pool
+
+(** [pool ~workers] spawns [workers] helper domains that park between
+    jobs. [workers = 0] is valid: maps on such a pool run sequentially. *)
+val pool : workers:int -> pool
+
+(** Number of live helper domains ([0] after {!shutdown}). *)
+val pool_size : pool -> int
+
+(** [map_pool p ~jobs f xs] is {!map} computed by the calling domain plus
+    at most [min (jobs - 1) (pool_size p)] pool workers. Concurrent
+    callers serialise on the pool. A worker domain calling back into its
+    own pool degrades to [Array.map] (no deadlock). Raises
+    [Invalid_argument] if [p] has been {!shutdown} and parallelism was
+    requested (degenerate calls still run sequentially). *)
+val map_pool : pool -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** Joins every worker domain, waiting for an in-flight map to finish
+    first. Idempotent. After shutdown the pool is empty and sequential. *)
+val shutdown : pool -> unit

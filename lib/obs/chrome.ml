@@ -59,13 +59,18 @@ let push t ev =
   t.events <- ev :: t.events;
   t.n <- t.n + 1
 
-let complete t ~track ~name ~cat ~ts ~dur args =
+(** [add_complete t ~track ~name ~cat ~ts ~dur args] records a complete
+    ("X") span on [track]; negative durations clamp to 0. Used directly
+    by non-{!Sink} producers (the serve scheduler's per-request spans). *)
+let add_complete t ~track ~name ~cat ~ts ~dur args =
   push t
     { e_ph = X; e_name = name; e_cat = cat; e_ts = ts;
       e_dur = (if dur > 0 then dur else 0); e_tid = tid t track;
       e_args = args }
 
-let instant t ~track ~name ~cat ~ts args =
+(** [add_instant t ~track ~name ~cat ~ts args] records an instant ("i")
+    event on [track]. *)
+let add_instant t ~track ~name ~cat ~ts args =
   push t
     { e_ph = I; e_name = name; e_cat = cat; e_ts = ts; e_dur = 0;
       e_tid = tid t track; e_args = args }
@@ -78,28 +83,28 @@ let sink ?(pf_name = fun i -> "pf" ^ string_of_int i) t : Sink.t =
   Sink.make (fun (e : Sink.ev) ->
       match e with
       | Sink.Load { core; pc; addr; at; ready; level } ->
-        complete t ~track:(core_track core)
+        add_complete t ~track:(core_track core)
           ~name:("load " ^ Sink.level_name level) ~cat:"mem" ~ts:at
           ~dur:(ready - at)
           [ ("pc", Jsonu.Int pc); ("addr", Jsonu.Int addr) ];
         if level >= 2 then
-          instant t ~track:(Sink.level_name level) ~name:"demand"
+          add_instant t ~track:(Sink.level_name level) ~name:"demand"
             ~cat:"mem" ~ts:at
             [ ("core", Jsonu.Int core); ("addr", Jsonu.Int addr) ]
       | Sink.Store { core; pc; addr; at } ->
-        instant t ~track:(core_track core) ~name:"store" ~cat:"mem" ~ts:at
+        add_instant t ~track:(core_track core) ~name:"store" ~cat:"mem" ~ts:at
           [ ("pc", Jsonu.Int pc); ("addr", Jsonu.Int addr) ]
       | Sink.Sw_prefetch { core; addr; locality; at; issued } ->
-        instant t ~track:(core_track core)
+        add_instant t ~track:(core_track core)
           ~name:(if issued then "sw-pf" else "sw-pf drop")
           ~cat:"pf" ~ts:at
           [ ("addr", Jsonu.Int addr); ("locality", Jsonu.Int locality) ]
       | Sink.Hw_prefetch { core; src; line; at; level } ->
-        instant t ~track:(Sink.level_name level) ~name:(pf_name src)
+        add_instant t ~track:(Sink.level_name level) ~name:(pf_name src)
           ~cat:"pf" ~ts:at
           [ ("core", Jsonu.Int core); ("line", Jsonu.Int line) ]
       | Sink.Drop { core; prov; line; at; level; reason } ->
-        instant t ~track:(Sink.level_name level)
+        add_instant t ~track:(Sink.level_name level)
           ~name:
             (match reason with
              | Sink.Mshr_full -> "drop:no-mshr"

@@ -16,6 +16,23 @@ val sink : ?pf_name:(int -> string) -> t -> Sink.t
 (** [n_events t] is the number of body events recorded so far. *)
 val n_events : t -> int
 
+(** {1 Direct producers}
+
+    For components that are not behind a {!Sink} — the serve scheduler
+    records one complete span per request this way. Tracks are created
+    on first use; [args] ride in the event's ["args"] object. *)
+
+(** [add_complete t ~track ~name ~cat ~ts ~dur args] records a complete
+    ("X") span; negative [dur] clamps to 0. *)
+val add_complete :
+  t -> track:string -> name:string -> cat:string -> ts:int -> dur:int ->
+  (string * Jsonu.t) list -> unit
+
+(** [add_instant t ~track ~name ~cat ~ts args] records an instant event. *)
+val add_instant :
+  t -> track:string -> name:string -> cat:string -> ts:int ->
+  (string * Jsonu.t) list -> unit
+
 (** [to_json t] is the assembled trace document. *)
 val to_json : t -> Jsonu.t
 

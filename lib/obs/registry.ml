@@ -51,6 +51,23 @@ let of_assoc items =
   List.iter (fun (k, v) -> set t k v) items;
   t
 
+(** [snapshot t] is an immutable copy of [t]'s current counters. *)
+let snapshot t = { tbl = Hashtbl.copy t.tbl }
+
+(** [diff ~before ~after] is the per-counter change [after - before],
+    name-sorted, dropping counters whose value did not change. Counters
+    absent on one side read as 0, so newly-registered counters appear
+    with their full value and deleted ones as a negative delta. *)
+let diff ~before ~after =
+  let names =
+    List.sort_uniq String.compare (names before @ names after)
+  in
+  List.filter_map
+    (fun name ->
+      let d = find after name - find before name in
+      if d = 0 then None else Some (name, d))
+    names
+
 (** [to_json t] is a single JSON object, keys in sorted order. *)
 let to_json t =
   Jsonu.to_string (Jsonu.Obj (List.map (fun (k, v) -> (k, Jsonu.Int v)) (to_assoc t)))

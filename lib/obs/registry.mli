@@ -29,6 +29,15 @@ val names : t -> string list
 
 val of_assoc : (string * int) list -> t
 
+(** [snapshot t] is an immutable copy of [t]'s current counters —
+    subsequent mutation of [t] does not affect it. *)
+val snapshot : t -> t
+
+(** [diff ~before ~after] is the per-counter change [after - before],
+    name-sorted, dropping unchanged counters. Counters absent on one
+    side read as 0. *)
+val diff : before:t -> after:t -> (string * int) list
+
 (** [to_json t] is one JSON object, keys sorted. *)
 val to_json : t -> string
 

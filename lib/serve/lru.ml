@@ -1,0 +1,74 @@
+(* A small LRU map for the compile/tune cache.
+
+   Recency is a monotonic tick stamped on every find/add; eviction scans
+   for the minimum stamp. The scan is O(capacity), which is fine at the
+   cache sizes that make sense here (tens to hundreds of compiled
+   kernels) and keeps the structure trivially deterministic: stamps are
+   unique, so the victim is always uniquely determined by the operation
+   sequence. [capacity = 0] is a valid degenerate cache that stores
+   nothing — the cache-disabled baseline. *)
+
+type ('k, 'v) t = {
+  capacity : int;
+  tbl : ('k, 'v * int ref) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  { capacity; tbl = Hashtbl.create (max 16 capacity); tick = 0;
+    hits = 0; misses = 0; evictions = 0 }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.tbl
+
+(** [find t k] is the cached value, refreshing its recency; counts a hit
+    or a miss. *)
+let find t k =
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.tbl k with
+  | Some (v, stamp) ->
+    stamp := t.tick;
+    t.hits <- t.hits + 1;
+    Some v
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+(** [add t k v] inserts (or refreshes) [k]; returns the evicted key, if
+    the insert pushed one out. A no-op at capacity 0. *)
+let add t k v =
+  if t.capacity = 0 then None
+  else begin
+    t.tick <- t.tick + 1;
+    if Hashtbl.mem t.tbl k then begin
+      Hashtbl.replace t.tbl k (v, ref t.tick);
+      None
+    end
+    else begin
+      let victim =
+        if Hashtbl.length t.tbl < t.capacity then None
+        else
+          Hashtbl.fold
+            (fun k' (_, stamp) acc ->
+              match acc with
+              | Some (_, s) when s <= !stamp -> acc
+              | _ -> Some (k', !stamp))
+            t.tbl None
+      in
+      (match victim with
+       | Some (k', _) ->
+         Hashtbl.remove t.tbl k';
+         t.evictions <- t.evictions + 1
+       | None -> ());
+      Hashtbl.replace t.tbl k (v, ref t.tick);
+      Option.map fst victim
+    end
+  end
+
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions

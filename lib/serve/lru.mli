@@ -1,0 +1,23 @@
+(** A small deterministic LRU map (the compile/tune cache): recency by
+    monotonic tick, O(capacity) scan eviction, built-in hit/miss/evict
+    counters. [capacity = 0] is the valid cache-disabled degenerate. *)
+
+type ('k, 'v) t
+
+(** @raise Invalid_argument on negative capacity. *)
+val create : capacity:int -> ('k, 'v) t
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+(** [find t k] is the cached value, refreshing recency; counts a hit or
+    miss. Always misses at capacity 0. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+(** [add t k v] inserts (or refreshes) [k]; returns the evicted key if
+    the insert pushed one out. No-op at capacity 0. *)
+val add : ('k, 'v) t -> 'k -> 'v -> 'k option
+
+val hits : ('k, 'v) t -> int
+val misses : ('k, 'v) t -> int
+val evictions : ('k, 'v) t -> int

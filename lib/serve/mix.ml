@@ -1,0 +1,77 @@
+(* Synthetic serving traffic.
+
+   Real serving load is skewed: a few hot kernel configurations take
+   most of the traffic while a long tail of cold ones churns the cache.
+   [hot_cold] models that with a Zipf distribution over a profile list —
+   profile [i] drawn with weight 1/(i+1)^alpha — and exponential
+   inter-arrival gaps, all from an explicit {!Asap_workloads.Rng} seed
+   so a (seed, n, profiles) triple always yields the same request list. *)
+
+module Exec = Asap_sim.Exec
+module Rng = Asap_workloads.Rng
+
+type profile = {
+  p_kernel : Request.kernel;
+  p_format : string;
+  p_matrix : string;
+  p_variant : Request.variant;
+  p_engine : Exec.engine;
+  p_machine : string;
+}
+
+let profile ?(kernel = `Spmv) ?(format = "csr") ?(variant = `Asap)
+    ?(engine = Exec.default_engine) ?(machine = "optimized") matrix =
+  { p_kernel = kernel; p_format = format; p_matrix = matrix;
+    p_variant = variant; p_engine = engine; p_machine = machine }
+
+(* A small spread over the workload suite: hot head on the irregular
+   matrices prefetching helps most, cold tail over formats, variants and
+   kernels. Order matters — Zipf weight falls with position. *)
+let default_profiles () : profile list =
+  [ profile "powerlaw:3000,6";
+    profile ~variant:`Tuned "powerlaw:3000,6";
+    profile ~format:"dcsr" "heavytail:2500,10000,10";
+    profile "uniform:2500,12000";
+    profile ~variant:`Baseline "powerlaw:3000,6";
+    profile ~kernel:`Spmm "road:2000,3";
+    profile ~format:"csc" "uniform:2500,12000";
+    profile "banded:2500,8";
+    profile ~kernel:`Ttv ~format:"csf" "tensor3:40,40,40,8000";
+    profile ~variant:`Aj "stencil2d:50";
+  ]
+
+(* Inverse-CDF Zipf over profile positions. *)
+let zipf_pick rng ~alpha (nprof : int) : int =
+  let w = Array.init nprof (fun i -> 1. /. Float.pow (float_of_int (i + 1)) alpha) in
+  let total = Array.fold_left ( +. ) 0. w in
+  let u = Rng.float rng *. total in
+  let acc = ref 0. and pick = ref (nprof - 1) in
+  (try
+     Array.iteri
+       (fun i wi ->
+         acc := !acc +. wi;
+         if u < !acc then begin
+           pick := i;
+           raise Exit
+         end)
+       w
+   with Exit -> ());
+  !pick
+
+let hot_cold ?(alpha = 1.2) ?(mean_gap_ms = 0.05) ?deadline_ms ~seed ~n
+    (profiles : profile list) : Request.t list =
+  if n < 0 then invalid_arg "Mix.hot_cold: n < 0";
+  let profs = Array.of_list profiles in
+  let nprof = Array.length profs in
+  if nprof = 0 then invalid_arg "Mix.hot_cold: no profiles";
+  let rng = Rng.create seed in
+  let t = ref 0. in
+  List.init n (fun i ->
+      let p = profs.(zipf_pick rng ~alpha nprof) in
+      let gap = -.mean_gap_ms *. log (1. -. Rng.float rng) in
+      t := !t +. gap;
+      { Request.id = Printf.sprintf "r%05d" i;
+        kernel = p.p_kernel; format = p.p_format; matrix = p.p_matrix;
+        variant = p.p_variant; engine = p.p_engine; machine = p.p_machine;
+        arrival_ms = !t;
+        deadline = Option.map (fun ms -> Request.Ms ms) deadline_ms })

@@ -1,0 +1,33 @@
+(** Synthetic serving traffic: Zipf hot/cold profile selection with
+    exponential inter-arrival gaps, fully determined by an explicit
+    seed. *)
+
+module Exec = Asap_sim.Exec
+
+type profile = {
+  p_kernel : Request.kernel;
+  p_format : string;
+  p_matrix : string;          (** {!Asap_workloads.Generate.of_spec} *)
+  p_variant : Request.variant;
+  p_engine : Exec.engine;
+  p_machine : string;
+}
+
+(** [profile matrix] with defaults: SpMV, csr, ASaP variant, default
+    engine, "optimized" machine. *)
+val profile :
+  ?kernel:Request.kernel -> ?format:string -> ?variant:Request.variant ->
+  ?engine:Exec.engine -> ?machine:string -> string -> profile
+
+(** A 10-profile spread over the workload suite, hot head first (Zipf
+    weight falls with list position). *)
+val default_profiles : unit -> profile list
+
+(** [hot_cold ~seed ~n profiles] draws [n] requests: profile [i] with
+    Zipf weight [1/(i+1)^alpha] (default 1.2), arrivals spaced by
+    exponential gaps of mean [mean_gap_ms] (default 0.05 virtual ms),
+    ids ["r%05d"]. [deadline_ms], if given, attaches that relative
+    budget to every request. *)
+val hot_cold :
+  ?alpha:float -> ?mean_gap_ms:float -> ?deadline_ms:float -> seed:int ->
+  n:int -> profile list -> Request.t list

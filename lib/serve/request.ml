@@ -1,0 +1,244 @@
+(* The serving request model.
+
+   A request names everything needed to reproduce one kernel execution:
+   the kernel family, the sparse format, the matrix (by deterministic
+   generator spec, so requests are self-contained values rather than
+   paths), the code variant, the engine and the machine preset — plus
+   scheduling metadata: a stable id, a virtual arrival time and an
+   optional latency budget. Requests travel as JSONL (one object per
+   line), parsed with the in-repo {!Asap_obs.Jsonu} parser. *)
+
+module Coo = Asap_tensor.Coo
+module Encoding = Asap_tensor.Encoding
+module Machine = Asap_sim.Machine
+module Exec = Asap_sim.Exec
+module Driver = Asap_core.Driver
+module Pipeline = Asap_core.Pipeline
+module Asap = Asap_prefetch.Asap
+module Aj = Asap_prefetch.Ainsworth_jones
+module Jsonu = Asap_obs.Jsonu
+
+type kernel = [ `Spmv | `Spmm | `Ttv ]
+
+(** [`Tuned] defers the variant choice to profile-guided {!Tuning.tune}
+    at build time; the others name a fixed variant with its default
+    configuration. *)
+type variant = [ `Baseline | `Asap | `Aj | `Tuned ]
+
+(** A latency budget relative to the request's arrival, in virtual
+    (simulated) time: milliseconds directly, or simulated cycles of the
+    request's machine. *)
+type deadline = Ms of float | Cycles of int
+
+type t = {
+  id : string;
+  kernel : kernel;
+  format : string;          (* coo/csr/csc/dcsr; csf for ttv *)
+  matrix : string;          (* Generate.of_spec string *)
+  variant : variant;
+  engine : Exec.engine;
+  machine : string;         (* preset name, see machine_of *)
+  arrival_ms : float;       (* virtual arrival time *)
+  deadline : deadline option;
+}
+
+let kernel_to_string = function
+  | `Spmv -> "spmv"
+  | `Spmm -> "spmm"
+  | `Ttv -> "ttv"
+
+let kernel_of_string = function
+  | "spmv" -> Some `Spmv
+  | "spmm" -> Some `Spmm
+  | "ttv" -> Some `Ttv
+  | _ -> None
+
+let variant_to_string = function
+  | `Baseline -> "baseline"
+  | `Asap -> "asap"
+  | `Aj -> "aj"
+  | `Tuned -> "tuned"
+
+let variant_of_string = function
+  | "baseline" -> Some `Baseline
+  | "asap" -> Some `Asap
+  | "aj" -> Some `Aj
+  | "tuned" -> Some `Tuned
+  | _ -> None
+
+let encoding_of_format (k : kernel) (format : string) : Encoding.t option =
+  match (k, format) with
+  | (`Spmv | `Spmm), "coo" -> Some (Encoding.coo ())
+  | (`Spmv | `Spmm), "csr" -> Some (Encoding.csr ())
+  | (`Spmv | `Spmm), "csc" -> Some (Encoding.csc ())
+  | (`Spmv | `Spmm), "dcsr" -> Some (Encoding.dcsr ())
+  | `Ttv, "csf" -> Some (Encoding.csf 3)
+  | _ -> None
+
+(** [spec r] is the {!Driver.kernel_spec} the request names.
+    @raise Invalid_argument on a kernel/format mismatch. *)
+let spec (r : t) : Driver.kernel_spec =
+  match (r.kernel, encoding_of_format r.kernel r.format) with
+  | _, None ->
+    invalid_arg
+      (Printf.sprintf "Request %s: format %S does not fit kernel %s" r.id
+         r.format (kernel_to_string r.kernel))
+  | `Spmv, Some enc -> Driver.Spmv enc
+  | `Spmm, Some enc -> Driver.Spmm enc
+  | `Ttv, Some enc -> Driver.Ttv (Some enc)
+
+(** [fixed_variant v] is the pipeline variant for the non-[`Tuned]
+    cases (default configurations). *)
+let fixed_variant : variant -> Pipeline.variant option = function
+  | `Baseline -> Some Pipeline.Baseline
+  | `Asap -> Some (Pipeline.Asap Asap.default)
+  | `Aj -> Some (Pipeline.Ainsworth_jones Aj.default)
+  | `Tuned -> None
+
+let machine_presets = [ "default"; "optimized"; "optimized-spmm" ]
+
+(** [machine_of r] resolves the request's machine preset. The presets
+    mirror the CLI's [--hw] choices over the scaled evaluation machine.
+    @raise Invalid_argument on an unknown preset. *)
+let machine_of (r : t) : Machine.t =
+  match r.machine with
+  | "default" -> Machine.gracemont_scaled ~hw:Machine.hw_default ()
+  | "optimized" -> Machine.gracemont_scaled ~hw:Machine.hw_optimized ()
+  | "optimized-spmm" ->
+    Machine.gracemont_scaled ~hw:Machine.hw_optimized_spmm ()
+  | m ->
+    invalid_arg
+      (Printf.sprintf "Request %s: unknown machine preset %S (expected %s)"
+         r.id m (String.concat "/" machine_presets))
+
+(** [deadline_ms r machine] is the absolute virtual-time deadline, if
+    any: arrival plus the budget (cycle budgets convert at the machine's
+    frequency). *)
+let deadline_ms (r : t) (machine : Machine.t) : float option =
+  match r.deadline with
+  | None -> None
+  | Some (Ms b) -> Some (r.arrival_ms +. b)
+  | Some (Cycles c) -> Some (r.arrival_ms +. Machine.cycles_to_ms machine c)
+
+(** [fingerprint r] is the canonical cache key: every field that affects
+    the built artefact (sparsified IR, compiled closure, tuning
+    decision) and nothing that doesn't (id, arrival, deadline). Equal
+    fingerprints are servable by one cache entry. *)
+let fingerprint (r : t) : string =
+  String.concat "|"
+    [ kernel_to_string r.kernel; r.format; r.matrix; r.machine;
+      variant_to_string r.variant; Exec.engine_to_string r.engine ]
+
+(** [fallback r] is the degraded form a timed-out request is served as:
+    the untuned, prefetch-free baseline of the same kernel on the same
+    matrix and machine. *)
+let fallback (r : t) : t = { r with variant = `Baseline }
+
+(* --- JSONL ----------------------------------------------------------- *)
+
+let to_json (r : t) : Jsonu.t =
+  let base =
+    [ ("id", Jsonu.Str r.id);
+      ("kernel", Jsonu.Str (kernel_to_string r.kernel));
+      ("format", Jsonu.Str r.format);
+      ("matrix", Jsonu.Str r.matrix);
+      ("variant", Jsonu.Str (variant_to_string r.variant));
+      ("engine", Jsonu.Str (Exec.engine_to_string r.engine));
+      ("machine", Jsonu.Str r.machine);
+      ("arrival_ms", Jsonu.Float r.arrival_ms) ]
+  in
+  let deadline =
+    match r.deadline with
+    | None -> []
+    | Some (Ms b) -> [ ("deadline_ms", Jsonu.Float b) ]
+    | Some (Cycles c) -> [ ("deadline_cycles", Jsonu.Int c) ]
+  in
+  Jsonu.Obj (base @ deadline)
+
+let to_line r = Jsonu.to_string (to_json r)
+
+(** [of_json j] parses one request object. Required fields: [id],
+    [kernel], [matrix]. Defaults: format [csr] ([csf] for ttv), variant
+    [asap], the default engine, machine [optimized], arrival 0, no
+    deadline. *)
+let of_json (j : Jsonu.t) : (t, string) result =
+  let str k = Option.bind (Jsonu.member k j) Jsonu.to_str_opt in
+  let num k = Option.bind (Jsonu.member k j) Jsonu.to_float_opt in
+  let intf k = Option.bind (Jsonu.member k j) Jsonu.to_int_opt in
+  match (str "id", str "kernel", str "matrix") with
+  | None, _, _ -> Error "request missing \"id\""
+  | _, None, _ -> Error "request missing \"kernel\""
+  | _, _, None -> Error "request missing \"matrix\""
+  | Some id, Some kernel, Some matrix ->
+    (match kernel_of_string kernel with
+     | None -> Error (Printf.sprintf "request %s: unknown kernel %S" id kernel)
+     | Some kernel ->
+       let format =
+         match str "format" with
+         | Some f -> f
+         | None -> (match kernel with `Ttv -> "csf" | _ -> "csr")
+       in
+       let format_r =
+         if encoding_of_format kernel format = None then
+           Error
+             (Printf.sprintf "request %s: format %S does not fit kernel %s" id
+                format (kernel_to_string kernel))
+         else Ok format
+       in
+       let variant_r =
+         match str "variant" with
+         | None -> Ok `Asap
+         | Some v ->
+           (match variant_of_string v with
+            | Some v -> Ok v
+            | None ->
+              Error (Printf.sprintf "request %s: unknown variant %S" id v))
+       in
+       let engine_r =
+         match str "engine" with
+         | None -> Ok Exec.default_engine
+         | Some e ->
+           (match Exec.engine_of_string e with
+            | Some e -> Ok e
+            | None ->
+              Error (Printf.sprintf "request %s: unknown engine %S" id e))
+       in
+       let deadline =
+         match (num "deadline_ms", intf "deadline_cycles") with
+         | Some b, _ -> Some (Ms b)
+         | None, Some c -> Some (Cycles c)
+         | None, None -> None
+       in
+       (match (format_r, variant_r, engine_r) with
+        | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+        | Ok format, Ok variant, Ok engine ->
+          Ok
+            { id; kernel; format; matrix; variant; engine;
+              machine = Option.value (str "machine") ~default:"optimized";
+              arrival_ms = Option.value (num "arrival_ms") ~default:0.;
+              deadline }))
+
+let of_line (line : string) : (t, string) result =
+  match Jsonu.of_string line with
+  | Error e -> Error ("bad request JSON: " ^ e)
+  | Ok j -> of_json j
+
+(** [load path] reads a JSONL request file; blank lines and [#]-comment
+    lines are skipped. Errors carry the 1-based line number. *)
+let load (path : string) : (t list, string) result =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lines = In_channel.input_lines ic in
+      let rec go n acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest ->
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then go (n + 1) acc rest
+          else
+            (match of_line line with
+             | Ok r -> go (n + 1) (r :: acc) rest
+             | Error e -> Error (Printf.sprintf "%s:%d: %s" path n e))
+      in
+      go 1 [] lines)

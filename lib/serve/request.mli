@@ -1,0 +1,81 @@
+(** The serving request model: one value naming everything needed to
+    reproduce a kernel execution (kernel, format, matrix-by-spec,
+    variant, engine, machine preset) plus scheduling metadata (id,
+    virtual arrival time, optional latency budget). Travels as JSONL. *)
+
+module Encoding = Asap_tensor.Encoding
+module Machine = Asap_sim.Machine
+module Exec = Asap_sim.Exec
+module Driver = Asap_core.Driver
+module Pipeline = Asap_core.Pipeline
+module Jsonu = Asap_obs.Jsonu
+
+type kernel = [ `Spmv | `Spmm | `Ttv ]
+
+(** [`Tuned] defers the variant choice to profile-guided tuning at build
+    time; the others name a fixed variant (default configurations). *)
+type variant = [ `Baseline | `Asap | `Aj | `Tuned ]
+
+(** A latency budget relative to arrival, in virtual time: milliseconds,
+    or simulated cycles of the request's machine. *)
+type deadline = Ms of float | Cycles of int
+
+type t = {
+  id : string;
+  kernel : kernel;
+  format : string;          (** coo/csr/csc/dcsr; csf for ttv *)
+  matrix : string;          (** {!Asap_workloads.Generate.of_spec} string *)
+  variant : variant;
+  engine : Exec.engine;
+  machine : string;         (** preset name, see {!machine_of} *)
+  arrival_ms : float;       (** virtual arrival time *)
+  deadline : deadline option;
+}
+
+val kernel_to_string : kernel -> string
+val kernel_of_string : string -> kernel option
+val variant_to_string : variant -> string
+val variant_of_string : string -> variant option
+
+(** [encoding_of_format k fmt] is the encoding named by [fmt] if it fits
+    kernel [k]. *)
+val encoding_of_format : kernel -> string -> Encoding.t option
+
+(** [spec r] is the {!Driver.kernel_spec} the request names.
+    @raise Invalid_argument on a kernel/format mismatch. *)
+val spec : t -> Driver.kernel_spec
+
+(** [fixed_variant v] is the pipeline variant for non-[`Tuned] cases. *)
+val fixed_variant : variant -> Pipeline.variant option
+
+val machine_presets : string list
+
+(** [machine_of r] resolves the machine preset ([default] / [optimized]
+    / [optimized-spmm] over the scaled evaluation machine).
+    @raise Invalid_argument on an unknown preset. *)
+val machine_of : t -> Machine.t
+
+(** [deadline_ms r machine] is the absolute virtual-time deadline
+    (arrival + budget), if the request carries one. *)
+val deadline_ms : t -> Machine.t -> float option
+
+(** [fingerprint r] is the canonical cache key: every field affecting
+    the built artefact and nothing that doesn't (id, arrival, deadline
+    excluded). *)
+val fingerprint : t -> string
+
+(** [fallback r] is the degraded form a timed-out request is served as:
+    the untuned, prefetch-free baseline. *)
+val fallback : t -> t
+
+val to_json : t -> Jsonu.t
+
+(** [to_line r] is the one-line JSONL form. *)
+val to_line : t -> string
+
+val of_json : Jsonu.t -> (t, string) result
+val of_line : string -> (t, string) result
+
+(** [load path] reads a JSONL request file; blank and [#] lines are
+    skipped; errors carry the 1-based line number. *)
+val load : string -> (t list, string) result

@@ -1,0 +1,397 @@
+(* The deterministic request scheduler.
+
+   Serving must produce the same results whatever the host parallelism,
+   so the replay is split into two passes:
+
+   Pass 1 (host time, parallel): the set of distinct fingerprints is
+   collected in sorted order and each entry is built once on a {!Par}
+   domain pool — sparsify, prefetch-inject, pack, lay out, stage the
+   closure, tune if asked, and run once cold. Results land in
+   index-slotted arrays, so this pass is deterministic for any [jobs].
+   Repeat fingerprints never rebuild: this is the host-side half of the
+   compile/tune cache. With the cache disabled ([cache_capacity = 0])
+   the memoisation is disabled too — every request builds its own entry,
+   which is the honest baseline the serve bench compares against.
+
+   Pass 2 (virtual time, sequential): a discrete-event simulation of the
+   serving fleet — [servers] identical virtual servers drain a bounded
+   FIFO queue. Admission control sheds arrivals past [queue_limit]; the
+   LRU cache charges misses a virtual compile+tune penalty; same-
+   fingerprint waiters are served as one batch; a request whose deadline
+   has expired by dispatch time degrades to its prefetch-free baseline
+   entry instead of failing. All times are virtual milliseconds derived
+   from simulated cycles, so the pass is a pure function of the request
+   list — byte-identical records at any [jobs]. *)
+
+module Coo = Asap_tensor.Coo
+module Driver = Asap_core.Driver
+module Par = Asap_core.Par
+module Generate = Asap_workloads.Generate
+module Registry = Asap_obs.Registry
+module Chrome = Asap_obs.Chrome
+module Jsonu = Asap_obs.Jsonu
+
+type cfg = {
+  servers : int;          (* virtual servers draining the queue *)
+  queue_limit : int;      (* bounded FIFO depth; arrivals past it shed *)
+  cache_capacity : int;   (* LRU entries; 0 disables cache AND memoised
+                             builds AND batching (the uncached baseline) *)
+  compile_ms : float;     (* virtual sparsify+compile penalty per miss *)
+  batching : bool;        (* serve same-fingerprint waiters together *)
+  jobs : int;             (* host domains for the build pass *)
+}
+
+let default_cfg =
+  { servers = 2; queue_limit = 64; cache_capacity = 128; compile_ms = 0.05;
+    batching = true; jobs = 1 }
+
+type outcome = Served | Degraded | Shed
+
+let outcome_to_string = function
+  | Served -> "ok"
+  | Degraded -> "degraded"
+  | Shed -> "shed"
+
+type record = {
+  r_index : int;                   (* position in the input list *)
+  r_req : Request.t;
+  r_outcome : outcome;
+  r_fp : string;                   (* fingerprint actually served *)
+  r_hit : bool;                    (* cache hit at dispatch *)
+  r_batch : int;                   (* size of its dispatch batch; 0 = shed *)
+  r_queue_ms : float;              (* admission wait: dispatch - arrival *)
+  r_service_ms : float;            (* own run + (miss) build penalty *)
+  r_finish_ms : float;             (* virtual completion; arrival if shed *)
+  r_result : Driver.result option; (* None for shed *)
+}
+
+type replayed = {
+  rp_records : record array;       (* input order *)
+  rp_summary : Slo.summary;
+  rp_registry : Registry.t;
+}
+
+(* Matrices are named by spec string; resolve each distinct spec once,
+   in parallel (generation is deterministic, results index-slotted). *)
+let build_matrices ~jobs (reqs : Request.t array) :
+    (string, Coo.t) Hashtbl.t =
+  let specs =
+    Array.to_list reqs
+    |> List.map (fun r -> r.Request.matrix)
+    |> List.sort_uniq String.compare
+    |> Array.of_list
+  in
+  let coos =
+    Par.map ~jobs
+      (fun spec ->
+        match Generate.of_spec spec with
+        | Ok coo -> coo
+        | Error e -> invalid_arg ("Scheduler: " ^ e))
+      specs
+  in
+  let tbl = Hashtbl.create (Array.length specs) in
+  Array.iteri (fun i spec -> Hashtbl.add tbl spec coos.(i)) specs;
+  tbl
+
+let us_of_ms ms = int_of_float (Float.round (ms *. 1000.))
+
+let replay ?(trace : Chrome.t option) (cfg : cfg)
+    (requests : Request.t list) : replayed =
+  if cfg.servers < 1 then invalid_arg "Scheduler.replay: servers < 1";
+  if cfg.queue_limit < 1 then invalid_arg "Scheduler.replay: queue_limit < 1";
+  let reqs = Array.of_list requests in
+  let n = Array.length reqs in
+  let caching = cfg.cache_capacity > 0 in
+
+  (* --- Pass 1: host-side builds ------------------------------------ *)
+  let matrices = build_matrices ~jobs:cfg.jobs reqs in
+  let coo_of r = Hashtbl.find matrices r.Request.matrix in
+  let fp = Array.map Request.fingerprint reqs in
+  let fb_req = Array.map Request.fallback reqs in
+  let fb_fp = Array.map Request.fingerprint fb_req in
+  let has_deadline = Array.map (fun r -> r.Request.deadline <> None) reqs in
+  let build_one (req : Request.t) = Build.build req (coo_of req) in
+  (* Work items: with caching, one per distinct fingerprint (plus the
+     fallback fingerprint of every deadline-carrying request — built
+     eagerly so degradation never blocks); without, one per request. *)
+  let entry_for, builds =
+    if caching then begin
+      (* Representative request per fingerprint: the first (by input
+         index) request — or fallback form — that produces it. Only
+         fields inside the fingerprint affect the build, so any
+         representative yields the same entry. *)
+      let rep : (string, Request.t) Hashtbl.t = Hashtbl.create (2 * n) in
+      let note key req =
+        if not (Hashtbl.mem rep key) then Hashtbl.add rep key req
+      in
+      Array.iteri
+        (fun i r ->
+          note fp.(i) r;
+          if has_deadline.(i) then note fb_fp.(i) fb_req.(i))
+        reqs;
+      let keys =
+        Hashtbl.fold (fun k _ acc -> k :: acc) rep []
+        |> List.sort String.compare |> Array.of_list
+      in
+      let entries =
+        Par.map ~jobs:cfg.jobs
+          (fun key -> build_one (Hashtbl.find rep key))
+          keys
+      in
+      let tbl = Hashtbl.create (Array.length keys) in
+      Array.iteri (fun i key -> Hashtbl.add tbl key entries.(i)) keys;
+      let lookup i = function
+        | `Primary -> Hashtbl.find tbl fp.(i)
+        | `Fallback -> Hashtbl.find tbl fb_fp.(i)
+      in
+      (lookup, Array.length keys)
+    end
+    else begin
+      (* Uncached baseline: every request pays its own build — primaries
+         first, then the fallbacks of deadline-carrying requests, all in
+         input order so results stay index-slotted. *)
+      let fb_idx =
+        Array.to_list (Array.init n Fun.id)
+        |> List.filter (fun i -> has_deadline.(i))
+        |> Array.of_list
+      in
+      let work =
+        Array.append
+          (Array.map (fun r -> r) reqs)
+          (Array.map (fun i -> fb_req.(i)) fb_idx)
+      in
+      let entries = Par.map ~jobs:cfg.jobs build_one work in
+      let prim = Array.sub entries 0 n in
+      let fbent : Build.entry option array = Array.make n None in
+      Array.iteri (fun k i -> fbent.(i) <- Some entries.(n + k)) fb_idx;
+      let lookup i = function
+        | `Primary -> prim.(i)
+        | `Fallback -> Option.get fbent.(i)
+      in
+      (lookup, Array.length work)
+    end
+  in
+
+  (* --- Pass 2: virtual-time discrete-event simulation --------------- *)
+  let arrival i = reqs.(i).Request.arrival_ms in
+  let deadline_abs =
+    Array.mapi
+      (fun i r ->
+        if has_deadline.(i) then
+          Request.deadline_ms r (Request.machine_of r)
+        else None)
+      reqs
+  in
+  (* Arrivals in (arrival, index) order; queue is the bounded FIFO. *)
+  let pending =
+    ref
+      (List.stable_sort
+         (fun a b -> compare (arrival a) (arrival b))
+         (List.init n Fun.id))
+  in
+  let queue : int list ref = ref [] in
+  let qlen = ref 0 in
+  let free = Array.make cfg.servers 0. in
+  let lru : (string, Build.entry) Lru.t =
+    Lru.create ~capacity:cfg.cache_capacity
+  in
+  let recs : record option array = Array.make n None in
+  let batches = ref 0 in
+  let batch_max = ref 0 in
+  let queue_peak = ref 0 in
+  let inflight_peak = ref 0 in
+  let shed i =
+    recs.(i) <-
+      Some
+        { r_index = i; r_req = reqs.(i); r_outcome = Shed; r_fp = fp.(i);
+          r_hit = false; r_batch = 0; r_queue_ms = 0.; r_service_ms = 0.;
+          r_finish_ms = arrival i; r_result = None };
+    match trace with
+    | None -> ()
+    | Some tr ->
+      Chrome.add_instant tr ~track:"admission" ~name:reqs.(i).Request.id
+        ~cat:"shed" ~ts:(us_of_ms (arrival i))
+        [ ("fp", Jsonu.Str fp.(i)) ]
+  in
+  let admit_until t0 =
+    let continue = ref true in
+    while !continue do
+      match !pending with
+      | i :: rest when arrival i <= t0 ->
+        pending := rest;
+        if !qlen >= cfg.queue_limit then shed i
+        else begin
+          queue := !queue @ [ i ];
+          incr qlen;
+          if !qlen > !queue_peak then queue_peak := !qlen
+        end
+      | _ -> continue := false
+    done
+  in
+  let min_server () =
+    let s = ref 0 in
+    for k = 1 to cfg.servers - 1 do
+      if free.(k) < free.(!s) then s := k
+    done;
+    !s
+  in
+  (* The dispatch loop. The dispatch time [t0] is non-decreasing: each
+     iteration sets [free.(s)] to at least [t0], so the minimum free
+     time never moves backwards, and the empty-queue branch only moves
+     forward to the next arrival. *)
+  let continue = ref true in
+  while !continue do
+    match (!queue, !pending) with
+    | [], [] -> continue := false
+    | q, p ->
+      let s = min_server () in
+      let t0 =
+        match (q, p) with
+        | [], i :: _ -> Float.max free.(s) (arrival i)
+        | _ -> free.(s)
+      in
+      admit_until t0;
+      (match !queue with
+       | [] ->
+         (* Only reachable if admission shed everything it admitted,
+            which cannot happen into an empty queue (queue_limit >= 1). *)
+         assert false
+       | h :: rest ->
+         queue := rest;
+         decr qlen;
+         let eff i =
+           match deadline_abs.(i) with
+           | Some d when t0 > d -> `Fallback
+           | _ -> `Primary
+         in
+         let fp_of i = function
+           | `Primary -> fp.(i)
+           | `Fallback -> fb_fp.(i)
+         in
+         let eh = eff h in
+         let key = fp_of h eh in
+         let batch =
+           if cfg.batching && caching then begin
+             let same, other =
+               List.partition (fun j -> String.equal (fp_of j (eff j)) key) !queue
+             in
+             queue := other;
+             qlen := List.length other;
+             h :: same
+           end
+           else [ h ]
+         in
+         let nb = List.length batch in
+         if nb > 1 then incr batches;
+         if nb > !batch_max then batch_max := nb;
+         let entry = entry_for h eh in
+         let hit = Lru.find lru key <> None in
+         if not hit then ignore (Lru.add lru key entry);
+         let penalty =
+           if hit then 0. else cfg.compile_ms +. entry.Build.e_tune_ms
+         in
+         let run = entry.Build.e_run_ms in
+         List.iteri
+           (fun pos j ->
+             let start = t0 +. penalty +. (run *. float_of_int pos) in
+             let finish = start +. run in
+             let outcome = if eff j = `Fallback then Degraded else Served in
+             recs.(j) <-
+               Some
+                 { r_index = j; r_req = reqs.(j); r_outcome = outcome;
+                   r_fp = key; r_hit = hit; r_batch = nb;
+                   r_queue_ms = t0 -. arrival j;
+                   r_service_ms =
+                     (if pos = 0 then penalty +. run else run);
+                   r_finish_ms = finish;
+                   r_result = Some entry.Build.e_result };
+             match trace with
+             | None -> ()
+             | Some tr ->
+               let ts = if pos = 0 then us_of_ms t0 else us_of_ms start in
+               Chrome.add_complete tr
+                 ~track:(Printf.sprintf "server%d" s)
+                 ~name:reqs.(j).Request.id ~cat:"serve" ~ts
+                 ~dur:(us_of_ms finish - ts)
+                 [ ("fp", Jsonu.Str key);
+                   ("hit", Jsonu.Bool hit);
+                   ("outcome", Jsonu.Str (outcome_to_string outcome));
+                   ("batch", Jsonu.Int nb) ])
+           batch;
+         free.(s) <- t0 +. penalty +. (run *. float_of_int nb);
+         let inflight =
+           Array.fold_left
+             (fun acc f -> if f > t0 then acc + 1 else acc)
+             0 free
+         in
+         if inflight > !inflight_peak then inflight_peak := inflight)
+  done;
+
+  (* --- Summarise ---------------------------------------------------- *)
+  let records =
+    Array.mapi
+      (fun i r ->
+        match r with
+        | Some r -> r
+        | None -> invalid_arg (Printf.sprintf "Scheduler: request %d lost" i))
+      recs
+  in
+  let ok = ref 0 and degraded = ref 0 and shed_n = ref 0 in
+  let lats = ref [] in
+  let makespan = ref 0. in
+  Array.iter
+    (fun r ->
+      (match r.r_outcome with
+       | Served -> incr ok
+       | Degraded -> incr degraded
+       | Shed -> incr shed_n);
+      if r.r_outcome <> Shed then begin
+        lats := (r.r_finish_ms -. r.r_req.Request.arrival_ms) :: !lats;
+        if r.r_finish_ms > !makespan then makespan := r.r_finish_ms
+      end)
+    records;
+  let summary =
+    Slo.make
+      ~latencies_ms:(Array.of_list (List.rev !lats))
+      ~ok:!ok ~degraded:!degraded ~shed:!shed_n ~hits:(Lru.hits lru)
+      ~misses:(Lru.misses lru) ~evictions:(Lru.evictions lru)
+      ~batches:!batches ~batch_max:!batch_max ~queue_peak:!queue_peak
+      ~inflight_peak:!inflight_peak ~builds ~makespan_ms:!makespan
+  in
+  { rp_records = records; rp_summary = summary;
+    rp_registry = Slo.registry summary }
+
+(* One record as a JSONL object — virtual quantities only, so replay
+   output is byte-comparable across runs and host parallelism. *)
+let checksum (res : Driver.result) : float =
+  match (res.Driver.out_f, res.Driver.out_b) with
+  | Some a, _ -> Array.fold_left ( +. ) 0. a
+  | None, Some b ->
+    let acc = ref 0 in
+    Bytes.iter (fun c -> acc := !acc + Char.code c) b;
+    float_of_int !acc
+  | None, None -> 0.
+
+let record_to_json (r : record) : Jsonu.t =
+  let base =
+    [ ("index", Jsonu.Int r.r_index);
+      ("id", Jsonu.Str r.r_req.Request.id);
+      ("outcome", Jsonu.Str (outcome_to_string r.r_outcome));
+      ("fp", Jsonu.Str r.r_fp);
+      ("hit", Jsonu.Bool r.r_hit);
+      ("batch", Jsonu.Int r.r_batch);
+      ("queue_ms", Jsonu.Float r.r_queue_ms);
+      ("service_ms", Jsonu.Float r.r_service_ms);
+      ("finish_ms", Jsonu.Float r.r_finish_ms) ]
+  in
+  let result =
+    match r.r_result with
+    | None -> []
+    | Some res ->
+      let report = res.Driver.report in
+      [ ("cycles", Jsonu.Int (Asap_sim.Exec.Report.cycles report));
+        ("checksum", Jsonu.Float (checksum res)) ]
+  in
+  Jsonu.Obj (base @ result)
+
+let record_to_line (r : record) : string = Jsonu.to_string (record_to_json r)

@@ -1,0 +1,68 @@
+(** The deterministic request scheduler: replay a request list through a
+    fleet of virtual servers draining a bounded FIFO queue, with a
+    compile/tune LRU cache, same-fingerprint batching, admission-control
+    shedding, and deadline degradation.
+
+    Host parallelism only accelerates the build pass (entries are built
+    once per distinct fingerprint on a {!Asap_core.Par} pool, results
+    index-slotted); scheduling itself is a sequential discrete-event
+    simulation in virtual time, so {!replay} is a pure function of the
+    request list — byte-identical records at any [jobs]. *)
+
+module Driver = Asap_core.Driver
+module Registry = Asap_obs.Registry
+module Chrome = Asap_obs.Chrome
+module Jsonu = Asap_obs.Jsonu
+
+type cfg = {
+  servers : int;          (** virtual servers draining the queue *)
+  queue_limit : int;      (** bounded FIFO depth; arrivals past it shed *)
+  cache_capacity : int;   (** LRU entries; 0 disables cache, memoised
+                              builds and batching (uncached baseline) *)
+  compile_ms : float;     (** virtual sparsify+compile penalty per miss *)
+  batching : bool;        (** serve same-fingerprint waiters together *)
+  jobs : int;             (** host domains for the build pass *)
+}
+
+(** 2 servers, queue 64, cache 128, 0.05 ms compile penalty, batching
+    on, sequential build. *)
+val default_cfg : cfg
+
+type outcome =
+  | Served      (** on time (or no deadline) with the requested variant *)
+  | Degraded    (** deadline expired before dispatch; served as baseline *)
+  | Shed        (** rejected by admission control (queue full) *)
+
+val outcome_to_string : outcome -> string
+
+type record = {
+  r_index : int;                   (** position in the input list *)
+  r_req : Request.t;
+  r_outcome : outcome;
+  r_fp : string;                   (** fingerprint actually served *)
+  r_hit : bool;                    (** cache hit at dispatch *)
+  r_batch : int;                   (** its dispatch batch size; 0 = shed *)
+  r_queue_ms : float;              (** admission wait: dispatch - arrival *)
+  r_service_ms : float;            (** own run + (on miss) build penalty *)
+  r_finish_ms : float;             (** virtual completion; arrival if shed *)
+  r_result : Driver.result option; (** [None] for shed *)
+}
+
+type replayed = {
+  rp_records : record array;       (** input order *)
+  rp_summary : Slo.summary;
+  rp_registry : Registry.t;        (** [serve.*] counters *)
+}
+
+(** [replay ?trace cfg requests] runs the full two-pass replay. [trace],
+    if given, receives per-request spans on per-server tracks and shed
+    instants. @raise Invalid_argument on a bad config, unknown matrix
+    spec or malformed request. *)
+val replay : ?trace:Chrome.t -> cfg -> Request.t list -> replayed
+
+(** [record_to_json r] / [record_to_line r]: one record as a (one-line)
+    JSON object of virtual quantities only — byte-comparable across
+    runs and host parallelism. *)
+val record_to_json : record -> Jsonu.t
+
+val record_to_line : record -> string

@@ -1,0 +1,126 @@
+(* Latency/SLO summaries over a replay.
+
+   Latencies are virtual (simulated) milliseconds — finish minus
+   arrival for every request that was actually served — so percentiles
+   are deterministic replay properties, not host measurements. The host
+   wall clock appears only in the separate throughput numbers the bench
+   layer reports. Counters export under the [serve.*] segment of the
+   DESIGN.md §3c catalogue; times go in as integer microseconds (the
+   registry is integral), rates as milli-units. *)
+
+module Registry = Asap_obs.Registry
+module Jsonu = Asap_obs.Jsonu
+
+type summary = {
+  s_total : int;
+  s_ok : int;
+  s_degraded : int;
+  s_shed : int;
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+  s_batches : int;            (* dispatches serving more than one request *)
+  s_batch_max : int;
+  s_queue_peak : int;
+  s_inflight_peak : int;
+  s_builds : int;             (* host-side entry builds performed *)
+  s_p50_ms : float;
+  s_p95_ms : float;
+  s_p99_ms : float;
+  s_makespan_ms : float;      (* virtual time of the last finish *)
+  s_throughput_rps : float;   (* served / virtual makespan *)
+}
+
+(** [percentile xs ~p] is the nearest-rank percentile ([p] in [0,100])
+    of [xs] (not required sorted; empty yields 0). *)
+let percentile (xs : float array) ~(p : float) : float =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let make ~latencies_ms ~ok ~degraded ~shed ~hits ~misses ~evictions ~batches
+    ~batch_max ~queue_peak ~inflight_peak ~builds ~makespan_ms : summary =
+  let served = ok + degraded in
+  { s_total = ok + degraded + shed; s_ok = ok; s_degraded = degraded;
+    s_shed = shed; s_hits = hits; s_misses = misses;
+    s_evictions = evictions; s_batches = batches; s_batch_max = batch_max;
+    s_queue_peak = queue_peak; s_inflight_peak = inflight_peak;
+    s_builds = builds;
+    s_p50_ms = percentile latencies_ms ~p:50.;
+    s_p95_ms = percentile latencies_ms ~p:95.;
+    s_p99_ms = percentile latencies_ms ~p:99.;
+    s_makespan_ms = makespan_ms;
+    s_throughput_rps =
+      (if makespan_ms > 0. then 1000. *. float_of_int served /. makespan_ms
+       else 0.) }
+
+(** [hit_rate s] is hits / (hits + misses), 0 when the cache saw no
+    lookups. *)
+let hit_rate (s : summary) : float =
+  let n = s.s_hits + s.s_misses in
+  if n = 0 then 0. else float_of_int s.s_hits /. float_of_int n
+
+let us ms = int_of_float (Float.round (ms *. 1000.))
+
+(** [registry s] exports the summary as [serve.*] counters (times as
+    integer microseconds, throughput as milli-requests/s). *)
+let registry (s : summary) : Registry.t =
+  let reg = Registry.create () in
+  let set = Registry.set reg in
+  set "serve.requests" s.s_total;
+  set "serve.ok" s.s_ok;
+  set "serve.degraded" s.s_degraded;
+  set "serve.shed" s.s_shed;
+  set "serve.cache.hit" s.s_hits;
+  set "serve.cache.miss" s.s_misses;
+  set "serve.cache.evict" s.s_evictions;
+  set "serve.batch.count" s.s_batches;
+  set "serve.batch.max" s.s_batch_max;
+  set "serve.queue.peak" s.s_queue_peak;
+  set "serve.inflight.peak" s.s_inflight_peak;
+  set "serve.build.host" s.s_builds;
+  set "serve.lat.p50_us" (us s.s_p50_ms);
+  set "serve.lat.p95_us" (us s.s_p95_ms);
+  set "serve.lat.p99_us" (us s.s_p99_ms);
+  set "serve.makespan_us" (us s.s_makespan_ms);
+  set "serve.throughput_mrps" (int_of_float (Float.round (s.s_throughput_rps *. 1000.)));
+  reg
+
+let to_json (s : summary) : Jsonu.t =
+  Jsonu.Obj
+    [ ("requests", Jsonu.Int s.s_total);
+      ("ok", Jsonu.Int s.s_ok);
+      ("degraded", Jsonu.Int s.s_degraded);
+      ("shed", Jsonu.Int s.s_shed);
+      ("cache_hit", Jsonu.Int s.s_hits);
+      ("cache_miss", Jsonu.Int s.s_misses);
+      ("cache_evict", Jsonu.Int s.s_evictions);
+      ("hit_rate", Jsonu.Float (hit_rate s));
+      ("batches", Jsonu.Int s.s_batches);
+      ("batch_max", Jsonu.Int s.s_batch_max);
+      ("queue_peak", Jsonu.Int s.s_queue_peak);
+      ("inflight_peak", Jsonu.Int s.s_inflight_peak);
+      ("builds", Jsonu.Int s.s_builds);
+      ("p50_ms", Jsonu.Float s.s_p50_ms);
+      ("p95_ms", Jsonu.Float s.s_p95_ms);
+      ("p99_ms", Jsonu.Float s.s_p99_ms);
+      ("makespan_ms", Jsonu.Float s.s_makespan_ms);
+      ("throughput_rps", Jsonu.Float s.s_throughput_rps) ]
+
+let pp ppf (s : summary) =
+  Format.fprintf ppf
+    "@[<v>requests %d: %d ok, %d degraded, %d shed@,\
+     cache: %d hit / %d miss / %d evict (hit rate %.2f)@,\
+     batching: %d batched dispatches, largest %d@,\
+     peaks: queue %d, in-flight %d; host builds %d@,\
+     latency p50/p95/p99: %.3f / %.3f / %.3f ms@,\
+     makespan %.3f ms, throughput %.1f req/s (virtual)@]"
+    s.s_total s.s_ok s.s_degraded s.s_shed s.s_hits s.s_misses s.s_evictions
+    (hit_rate s) s.s_batches s.s_batch_max s.s_queue_peak s.s_inflight_peak
+    s.s_builds s.s_p50_ms s.s_p95_ms s.s_p99_ms s.s_makespan_ms
+    s.s_throughput_rps

@@ -1,0 +1,46 @@
+(** Latency/SLO summaries over a replay. Latencies are virtual
+    (simulated) milliseconds, so percentiles are deterministic replay
+    properties; host wall time lives only in the bench layer. Exports as
+    [serve.*] counters (times as integer microseconds). *)
+
+module Registry = Asap_obs.Registry
+module Jsonu = Asap_obs.Jsonu
+
+type summary = {
+  s_total : int;
+  s_ok : int;
+  s_degraded : int;
+  s_shed : int;
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+  s_batches : int;           (** dispatches serving more than one request *)
+  s_batch_max : int;
+  s_queue_peak : int;
+  s_inflight_peak : int;
+  s_builds : int;            (** host-side entry builds performed *)
+  s_p50_ms : float;
+  s_p95_ms : float;
+  s_p99_ms : float;
+  s_makespan_ms : float;     (** virtual time of the last finish *)
+  s_throughput_rps : float;  (** served / virtual makespan *)
+}
+
+(** [percentile xs ~p] is the nearest-rank percentile ([p] in [0,100]);
+    0 on empty input. *)
+val percentile : float array -> p:float -> float
+
+val make :
+  latencies_ms:float array -> ok:int -> degraded:int -> shed:int ->
+  hits:int -> misses:int -> evictions:int -> batches:int -> batch_max:int ->
+  queue_peak:int -> inflight_peak:int -> builds:int -> makespan_ms:float ->
+  summary
+
+(** [hit_rate s] is hits / (hits + misses); 0 without lookups. *)
+val hit_rate : summary -> float
+
+(** [registry s] exports the summary as [serve.*] counters. *)
+val registry : summary -> Registry.t
+
+val to_json : summary -> Jsonu.t
+val pp : Format.formatter -> summary -> unit

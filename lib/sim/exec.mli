@@ -42,10 +42,36 @@ val engine_of_string : string -> engine option
 
 val engine_to_string : engine -> string
 
+(** A prepared single-core execution: the simulated address layout and
+    (for the compiled engine) the staged closure, computed once by
+    {!prepare} and reusable across {!run_prepared} calls. The buffer
+    binding is captured — re-running reads whatever the bound arrays
+    contain at that moment — but the memory hierarchy is fresh per run,
+    so repeat runs are independent simulations. This is the amortisation
+    point the serve subsystem's compile cache stores. *)
+type prepared
+
+(** [prepare ?engine machine fn ~bufs] is the run-independent half of
+    {!run}: layout plus (compiled engine) closure staging. *)
+val prepare :
+  ?engine:engine -> Machine.t -> Ir.func ->
+  bufs:(Ir.buffer * Runtime.rbuf) list -> prepared
+
+(** The engine [p] was prepared for. *)
+val prepared_engine : prepared -> engine
+
+(** [run_prepared ?obs ?slice p ~scalars] executes [p] on one core of a
+    fresh memory hierarchy; equal in every report field to the {!run} it
+    was prepared from. *)
+val run_prepared :
+  ?obs:Asap_obs.Sink.t -> ?slice:int * int -> prepared ->
+  scalars:int list -> report
+
 (** [run ?engine ?obs ?slice machine fn ~bufs ~scalars] executes [fn] on
     one core of a fresh memory hierarchy; [obs] receives the hierarchy's
     event stream (default: disabled, zero cost); [slice] restricts the
-    outermost loop's iteration range (used by profile-guided tuning). *)
+    outermost loop's iteration range (used by profile-guided tuning).
+    Equivalent to [prepare] + [run_prepared]. *)
 val run :
   ?engine:engine -> ?obs:Asap_obs.Sink.t -> ?slice:int * int -> Machine.t ->
   Ir.func -> bufs:(Ir.buffer * Runtime.rbuf) list -> scalars:int list -> report

@@ -38,9 +38,17 @@ let parse_header line =
     (field, sym)
   | _ -> fail "bad MatrixMarket header: %S" line
 
-(** [of_lines lines] parses the line sequence of a .mtx file. *)
+(** [of_lines lines] parses the line sequence of a .mtx file. Tolerant of
+    real-world SuiteSparse files: CRLF line endings, leading/trailing
+    whitespace, and blank or ["%"]-comment lines anywhere after the
+    header are accepted. Duplicate coordinates (including those produced
+    by symmetry expansion) are rejected with a clear error — silently
+    keeping them would mis-state nnz and skew every per-nnz metric. *)
 let of_lines (lines : string Seq.t) : Coo.t =
-  let lines = Seq.filter (fun l -> String.trim l <> "") lines in
+  (* [String.trim] strips the '\r' of CRLF files along with surrounding
+     blanks, so every later stage sees clean tokens. *)
+  let lines = Seq.map String.trim lines in
+  let lines = Seq.filter (fun l -> l <> "") lines in
   match lines () with
   | Seq.Nil -> fail "empty file"
   | Seq.Cons (header, rest) ->
@@ -57,6 +65,14 @@ let of_lines (lines : string Seq.t) : Coo.t =
          | _ -> fail "bad size line: %S" size_line
        in
        let triples = ref [] and count = ref 0 in
+       let seen = Hashtbl.create (max 16 nnz) in
+       let add i j v =
+         let key = (i * cols) + j in
+         if Hashtbl.mem seen key then
+           fail "duplicate entry (%d, %d)" (i + 1) (j + 1);
+         Hashtbl.add seen key ();
+         triples := (i, j, v) :: !triples
+       in
        Seq.iter
          (fun line ->
            let i, j, v =
@@ -71,12 +87,11 @@ let of_lines (lines : string Seq.t) : Coo.t =
            let i = i - 1 and j = j - 1 in
            if i < 0 || i >= rows || j < 0 || j >= cols then
              fail "entry (%d, %d) out of %dx%d" (i + 1) (j + 1) rows cols;
-           triples := (i, j, v) :: !triples;
+           add i j v;
            (match sym with
             | General -> ()
-            | Symmetric -> if i <> j then triples := (j, i, v) :: !triples
-            | Skew_symmetric ->
-              if i <> j then triples := (j, i, -.v) :: !triples);
+            | Symmetric -> if i <> j then add j i v
+            | Skew_symmetric -> if i <> j then add j i (-.v));
            incr count)
          entries;
        if !count <> nnz then

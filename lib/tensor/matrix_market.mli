@@ -7,7 +7,10 @@
 
 exception Parse_error of string
 
-(** [of_lines lines] parses the line sequence of a .mtx file.
+(** [of_lines lines] parses the line sequence of a .mtx file. Accepts
+    CRLF line endings, leading/trailing whitespace, and blank or
+    comment lines anywhere after the header; rejects duplicate
+    coordinates (including duplicates produced by symmetry expansion).
     @raise Parse_error on malformed input. *)
 val of_lines : string Seq.t -> Coo.t
 

@@ -184,3 +184,57 @@ let heavy_tail ~seed ~rows ~cols ~nnz ~hubs () =
     entries := (hubs + Rng.int rng (rows - hubs), Rng.int rng cols) :: !entries
   done;
   of_rowcols ~rows ~cols !entries rng
+
+(* --- Spec-string constructor ---------------------------------------- *)
+
+(* One textual name per generator family, so matrices can be carried by
+   value in CLI flags, serve request files and benchmark manifests
+   instead of by .mtx path. The grammar is "kind:arg,arg[@seed]"; every
+   spec is deterministic, so equal specs name equal matrices — the serve
+   cache fingerprints rely on that. *)
+
+let spec_grammar =
+  "powerlaw:<n>,<deg> | uniform:<n>,<nnz> | banded:<n>,<band> | \
+   road:<n>,<deg> | stencil2d:<side> | stencil3d:<side> | \
+   fem:<nblocks>,<blk>,<reach> | heavytail:<rows>,<nnz>,<hubs> | \
+   tensor3:<d1>,<d2>,<d3>,<nnz>  (each optionally @<seed>, default 1)"
+
+(** [of_spec s] builds the matrix named by spec string [s]; [Error]
+    carries the expected grammar. *)
+let of_spec (spec : string) : (Coo.t, string) result =
+  let usage kind = Error ("bad " ^ kind ^ " spec; expected " ^ spec_grammar) in
+  let spec, seed =
+    match String.split_on_char '@' spec with
+    | [ s ] -> (s, Ok 1)
+    | [ s; seed ] ->
+      (s, match int_of_string_opt seed with
+          | Some n -> Ok n
+          | None -> Error ("bad seed in spec: " ^ seed))
+    | _ -> (spec, Error ("bad spec: " ^ spec))
+  in
+  match seed with
+  | Error e -> Error e
+  | Ok seed ->
+    (match String.split_on_char ':' spec with
+     | [ kind; rest ] ->
+       let args = List.map int_of_string_opt (String.split_on_char ',' rest) in
+       let all_ok = List.for_all Option.is_some args in
+       if not all_ok then usage kind
+       else
+         (match (kind, List.map Option.get args) with
+          | "powerlaw", [ n; d ] ->
+            Ok (power_law ~seed ~rows:n ~cols:n ~avg_deg:d ~alpha:2.0 ())
+          | "uniform", [ n; nnz ] -> Ok (uniform ~seed ~rows:n ~cols:n ~nnz ())
+          | "banded", [ n; band ] -> Ok (banded ~seed ~n ~band ())
+          | "road", [ n; deg ] -> Ok (road ~seed ~n ~deg ())
+          | "stencil2d", [ side ] -> Ok (stencil_2d ~seed ~side ())
+          | "stencil3d", [ side ] -> Ok (stencil_3d ~seed ~side ())
+          | "fem", [ nblocks; blk; reach ] ->
+            Ok (fem_blocks ~seed ~nblocks ~blk ~reach ())
+          | "heavytail", [ rows; nnz; hubs ] ->
+            Ok (heavy_tail ~seed ~rows ~cols:rows ~nnz ~hubs ())
+          | "tensor3", [ d1; d2; d3; nnz ] ->
+            Ok (tensor3 ~seed ~dims:[| d1; d2; d3 |] ~nnz ())
+          | _ -> usage kind)
+     | _ -> Error ("unknown generator spec: " ^ spec ^ "; expected "
+                   ^ spec_grammar))

@@ -412,6 +412,91 @@ let test_generator_shapes () =
   let st = Coo.matrix_stats h in
   check "hubs dominate" true (st.Coo.s_row_max > 40)
 
+(* --- Par: persistent pool ------------------------------------------- *)
+
+let test_par_pool_basics () =
+  let p = Asap_core.Par.pool ~workers:3 in
+  check_int "pool size" 3 (Asap_core.Par.pool_size p);
+  let xs = Array.init 101 Fun.id in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (array int))
+    "map_pool = Array.map" (Array.map f xs)
+    (Asap_core.Par.map_pool p ~jobs:4 f xs);
+  (* The pool is persistent: repeated maps reuse the same domains. *)
+  Alcotest.(check (array int))
+    "second map reuses workers" (Array.map f xs)
+    (Asap_core.Par.map_pool p ~jobs:4 f xs);
+  check_int "workers survive" 3 (Asap_core.Par.pool_size p);
+  Asap_core.Par.shutdown p;
+  check_int "shutdown empties" 0 (Asap_core.Par.pool_size p);
+  (* Idempotent shutdown; maps afterwards degrade to sequential. *)
+  Asap_core.Par.shutdown p;
+  Alcotest.(check (array int))
+    "sequential after shutdown" (Array.map f xs)
+    (Asap_core.Par.map_pool p ~jobs:4 f xs)
+
+let test_par_pool_nested_and_errors () =
+  let p = Asap_core.Par.pool ~workers:2 in
+  (* A worker (or the draining caller) re-entering its own pool must
+     degrade to Array.map, not deadlock. *)
+  let inner = Array.init 5 Fun.id in
+  let nested =
+    Asap_core.Par.map_pool p ~jobs:3
+      (fun x ->
+        Array.fold_left ( + ) x (Asap_core.Par.map_pool p ~jobs:3 Fun.id inner))
+      (Array.init 40 Fun.id)
+  in
+  Alcotest.(check (array int))
+    "nested map degrades" (Array.init 40 (fun x -> x + 10)) nested;
+  (* The first worker exception is re-raised on the caller; the pool
+     stays usable afterwards. *)
+  (try
+     ignore
+       (Asap_core.Par.map_pool p ~jobs:3
+          (fun x -> if x = 17 then failwith "boom" else x)
+          (Array.init 40 Fun.id));
+     Alcotest.fail "exception swallowed"
+   with Failure m -> check "error propagates" true (m = "boom"));
+  Alcotest.(check (array int))
+    "pool usable after error" (Array.init 9 succ)
+    (Asap_core.Par.map_pool p ~jobs:3 succ (Array.init 9 Fun.id));
+  Asap_core.Par.shutdown p
+
+let test_par_map_jobs_invariant () =
+  let xs = Array.init 64 (fun i -> i - 7) in
+  let f x = Printf.sprintf "%d" (x * 3) in
+  Alcotest.(check (array string))
+    "Par.map jobs 1 = jobs 4" (Asap_core.Par.map ~jobs:1 f xs)
+    (Asap_core.Par.map ~jobs:4 f xs)
+
+(* Satellite d: profile-guided tuning is jobs-invariant — the decision
+   AND the profile it was made from are identical whether the profile
+   runs sequentially or on the domain pool, across encodings with a
+   dense outer loop and both execution engines. *)
+let test_tuning_jobs_invariant () =
+  let coo =
+    Generate.power_law ~seed:57 ~rows:40_000 ~cols:40_000 ~avg_deg:5
+      ~alpha:1.9 ()
+  in
+  List.iter
+    (fun (en, enc) ->
+      List.iter
+        (fun engine ->
+          let tune jobs =
+            Asap_core.Tuning.tune ~engine ~jobs ~candidates:[ 8; 32 ] machine
+              enc coo
+          in
+          let d1 = tune 1 and d4 = tune 4 in
+          let label =
+            Printf.sprintf "%s/%s" en (Exec.engine_to_string engine)
+          in
+          check (label ^ ": same decision") true
+            (d1.Asap_core.Tuning.chosen = d4.Asap_core.Tuning.chosen);
+          check (label ^ ": identical profile") true
+            (d1.Asap_core.Tuning.profile = d4.Asap_core.Tuning.profile))
+        [ `Interp; `Compiled ])
+    [ ("csr", Encoding.csr ()); ("csc", Encoding.csc ()) ]
+
 let test_suite_structure () =
   check "has groups" true (List.length Suite.groups = 7);
   check "selected six" true (List.length Suite.selected_groups = 6);
@@ -468,6 +553,13 @@ let suite =
     Alcotest.test_case "generators deterministic" `Quick
       test_generators_deterministic;
     Alcotest.test_case "generator shapes" `Quick test_generator_shapes;
+    Alcotest.test_case "par pool basics" `Quick test_par_pool_basics;
+    Alcotest.test_case "par pool nested/errors" `Quick
+      test_par_pool_nested_and_errors;
+    Alcotest.test_case "par map jobs-invariant" `Quick
+      test_par_map_jobs_invariant;
+    Alcotest.test_case "tuning jobs-invariant" `Slow
+      test_tuning_jobs_invariant;
     Alcotest.test_case "suite structure" `Quick test_suite_structure ]
 
 (* qcheck: interpreted sparsified SpMV equals the reference for random

@@ -13,4 +13,5 @@ let () =
       ("interp-props", Test_interp_props.suite);
       ("core", Test_core.suite);
       ("engine", Test_engine.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite) ]

@@ -268,6 +268,68 @@ let test_run_equals_wrappers () =
     (Driver.run cfg (Driver.Ttv None) t3)
     (Driver.ttv machine asap_v t3)
 
+(* --- Registry snapshot/diff ------------------------------------------ *)
+
+let test_registry_snapshot_diff () =
+  let r = Registry.create () in
+  Registry.set r "a.one" 3;
+  Registry.set r "a.two" 5;
+  let before = Registry.snapshot r in
+  Registry.add r "a.one" 4;
+  Registry.set r "b.new" 2;
+  (* The snapshot is immutable: mutating [r] must not leak into it. *)
+  check_int "snapshot frozen" 3 (Registry.find before "a.one");
+  check "snapshot has no b.new" true (Registry.get before "b.new" = None);
+  Alcotest.(check (list (pair string int)))
+    "diff is the change set"
+    [ ("a.one", 4); ("b.new", 2) ]
+    (Registry.diff ~before ~after:r);
+  (* Unchanged counters drop; a self-diff is empty. *)
+  Alcotest.(check (list (pair string int)))
+    "self diff empty" []
+    (Registry.diff ~before:r ~after:r);
+  (* A counter that disappears (or was only on the before side) reads as
+     a negative change. *)
+  Alcotest.(check (list (pair string int)))
+    "reverse diff negates"
+    [ ("a.one", -4); ("b.new", -2) ]
+    (Registry.diff ~before:r ~after:before)
+
+(* --- Jsonu parsing ---------------------------------------------------- *)
+
+let test_jsonu_roundtrip () =
+  let doc =
+    Jsonu.Obj
+      [ ("s", Jsonu.Str "a\"b\\c\n\t");
+        ("i", Jsonu.Int (-42));
+        ("f", Jsonu.Float 1.5);
+        ("b", Jsonu.Bool true);
+        ("nul", Jsonu.Null);
+        ("l", Jsonu.List [ Jsonu.Int 1; Jsonu.Str "x"; Jsonu.Bool false ]);
+        ("o", Jsonu.Obj [ ("k", Jsonu.Int 7) ]) ]
+  in
+  (match Jsonu.of_string (Jsonu.to_string doc) with
+   | Ok parsed -> check "emit/parse roundtrip" true (parsed = doc)
+   | Error e -> Alcotest.fail e);
+  (* Numbers: int unless '.' or exponent; unicode escapes decode. *)
+  (match Jsonu.of_string {| {"a": 2e3, "u": "\u00e9\ud83d\ude00"} |} with
+   | Ok j ->
+     check "2e3 is float" true
+       (Jsonu.member "a" j |> Option.get |> Jsonu.to_float_opt = Some 2000.);
+     check "int accessor rejects non-integral" true
+       (Jsonu.of_string "1.5" |> Result.get_ok |> Jsonu.to_int_opt = None);
+     check "utf8 decode" true
+       (Jsonu.member "u" j |> Option.get |> Jsonu.to_str_opt
+        = Some "\xc3\xa9\xf0\x9f\x98\x80")
+   | Error e -> Alcotest.fail e);
+  (* Malformed inputs are errors, not exceptions. *)
+  List.iter
+    (fun s ->
+      check (Printf.sprintf "reject %S" s) true
+        (Result.is_error (Jsonu.of_string s)))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated";
+      "{\"a\" 1}" ]
+
 let test_cfg_defaults () =
   let cfg = Driver.Cfg.make ~machine ~variant:Pipeline.Baseline () in
   check "default engine" true (cfg.Driver.Cfg.engine = Exec.default_engine);
@@ -289,4 +351,7 @@ let suite =
       test_chrome_json_parses;
     Alcotest.test_case "Driver.run = wrappers" `Quick
       test_run_equals_wrappers;
-    Alcotest.test_case "Cfg defaults" `Quick test_cfg_defaults ]
+    Alcotest.test_case "Cfg defaults" `Quick test_cfg_defaults;
+    Alcotest.test_case "registry snapshot/diff" `Quick
+      test_registry_snapshot_diff;
+    Alcotest.test_case "jsonu parse roundtrip" `Quick test_jsonu_roundtrip ]

@@ -1,0 +1,313 @@
+(* Serving subsystem tests: the request model round-trips through JSONL,
+   the LRU counts hits/misses/evictions deterministically, and the
+   scheduler replay is a pure function of the request list — byte-equal
+   records at any host parallelism, repeat fingerprints never rebuilt,
+   shedding/degradation/batching all observable in the records. *)
+
+module Coo = Asap_tensor.Coo
+module Encoding = Asap_tensor.Encoding
+module Machine = Asap_sim.Machine
+module Exec = Asap_sim.Exec
+module Pipeline = Asap_core.Pipeline
+module Driver = Asap_core.Driver
+module Generate = Asap_workloads.Generate
+module Request = Asap_serve.Request
+module Lru = Asap_serve.Lru
+module Build = Asap_serve.Build
+module Mix = Asap_serve.Mix
+module Scheduler = Asap_serve.Scheduler
+module Slo = Asap_serve.Slo
+module Registry = Asap_obs.Registry
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Small matrices keep every build cheap; the scheduler's behaviour is
+   what is under test. *)
+let req ?(id = "r0") ?(kernel = `Spmv) ?(format = "csr")
+    ?(matrix = "powerlaw:400,5") ?(variant : Request.variant = `Asap)
+    ?(arrival = 0.) ?deadline () : Request.t =
+  { Request.id; kernel; format; matrix; variant;
+    engine = Exec.default_engine; machine = "optimized"; arrival_ms = arrival;
+    deadline }
+
+let small_profiles () =
+  [ Mix.profile "powerlaw:400,5";
+    Mix.profile ~variant:`Tuned "powerlaw:400,5";
+    Mix.profile ~format:"dcsr" "uniform:300,1200";
+    Mix.profile ~kernel:`Ttv ~format:"csf" "tensor3:12,12,12,400";
+    Mix.profile ~variant:`Baseline "banded:300,4" ]
+
+let lines rp =
+  Array.to_list (Array.map Scheduler.record_to_line rp.Scheduler.rp_records)
+
+(* --- Request model ---------------------------------------------------- *)
+
+let test_request_roundtrip () =
+  List.iter
+    (fun r ->
+      match Request.of_line (Request.to_line r) with
+      | Ok r' -> check ("roundtrip " ^ r.Request.id) true (r = r')
+      | Error e -> Alcotest.fail e)
+    [ req ();
+      req ~id:"r1" ~kernel:`Spmm ~format:"dcsr" ~variant:`Tuned ~arrival:3.5
+        ~deadline:(Request.Ms 0.25) ();
+      req ~id:"r2" ~kernel:`Ttv ~format:"csf" ~matrix:"tensor3:12,12,12,400"
+        ~deadline:(Request.Cycles 9000) ();
+      req ~id:"r3" ~variant:`Baseline ~format:"csc" () ]
+
+let test_request_fingerprint () =
+  let a = req () in
+  (* id, arrival and deadline are scheduling metadata, not cache key. *)
+  let b = { a with Request.id = "other"; arrival_ms = 9.;
+            deadline = Some (Request.Ms 1.) } in
+  check "metadata outside key" true
+    (Request.fingerprint a = Request.fingerprint b);
+  List.iter
+    (fun c ->
+      check "artefact fields inside key" true
+        (Request.fingerprint a <> Request.fingerprint c))
+    [ { a with Request.format = "csc" };
+      { a with Request.matrix = "powerlaw:401,5" };
+      { a with Request.variant = `Baseline };
+      { a with Request.machine = "default" } ];
+  let fb = Request.fallback a in
+  check "fallback is baseline" true (fb.Request.variant = `Baseline);
+  check "fallback keeps identity" true (fb.Request.id = a.Request.id)
+
+let test_request_errors () =
+  List.iter
+    (fun line -> check line true (Result.is_error (Request.of_line line)))
+    [ "{}";                                          (* missing fields *)
+      {| {"id":"x","kernel":"qr","matrix":"m"} |};   (* unknown kernel *)
+      {| {"id":"x","kernel":"spmv","matrix":"m","format":"csf"} |};
+      "not json" ];
+  (* Ttv with a matrix format (and vice versa) is a spec mismatch. *)
+  (try
+     ignore (Request.spec (req ~kernel:`Ttv ~format:"csr" ()));
+     Alcotest.fail "accepted ttv over csr"
+   with Invalid_argument _ -> ())
+
+(* --- Lru --------------------------------------------------------------- *)
+
+let test_lru () =
+  let l = Lru.create ~capacity:2 in
+  check "miss on empty" true (Lru.find l "a" = None);
+  ignore (Lru.add l "a" 1);
+  ignore (Lru.add l "b" 2);
+  check "hit a" true (Lru.find l "a" = Some 1);
+  (* "b" is now least-recently used; inserting "c" evicts it. *)
+  check "evicts lru" true (Lru.add l "c" 3 = Some "b");
+  check "b gone" true (Lru.find l "b" = None);
+  check "a stays" true (Lru.find l "a" = Some 1);
+  check_int "hits" 2 (Lru.hits l);
+  check_int "misses" 2 (Lru.misses l);
+  check_int "evictions" 1 (Lru.evictions l);
+  check_int "length" 2 (Lru.length l);
+  (* Capacity 0: the valid disabled cache — always miss, never stores. *)
+  let z = Lru.create ~capacity:0 in
+  ignore (Lru.add z "a" 1);
+  check "capacity 0 never stores" true (Lru.find z "a" = None);
+  check_int "capacity 0 length" 0 (Lru.length z);
+  (try
+     ignore (Lru.create ~capacity:(-1));
+     Alcotest.fail "accepted negative capacity"
+   with Invalid_argument _ -> ())
+
+(* --- Scheduler: determinism ------------------------------------------- *)
+
+let test_replay_deterministic_across_jobs () =
+  let reqs = Mix.hot_cold ~seed:5 ~n:60 (small_profiles ()) in
+  let run jobs =
+    let cfg = { Scheduler.default_cfg with Scheduler.jobs } in
+    lines (Scheduler.replay cfg reqs)
+  in
+  let l1 = run 1 in
+  Alcotest.(check (list string)) "jobs 1 = jobs 4 (byte)" l1 (run 4);
+  Alcotest.(check (list string)) "replay is reproducible" l1 (run 1)
+
+let test_replay_cache_counters () =
+  let reqs = Mix.hot_cold ~seed:6 ~n:50 (small_profiles ()) in
+  let uniq =
+    List.sort_uniq String.compare (List.map Request.fingerprint reqs)
+  in
+  let rp = Scheduler.replay Scheduler.default_cfg reqs in
+  let s = rp.Scheduler.rp_summary in
+  (* Repeat fingerprints never re-sparsify/re-compile: exactly one host
+     build per distinct fingerprint (no deadlines, so no fallbacks). *)
+  check_int "builds = distinct fingerprints" (List.length uniq)
+    s.Slo.s_builds;
+  check_int "misses = distinct fingerprints" (List.length uniq)
+    s.Slo.s_misses;
+  check "repeats hit" true (s.Slo.s_hits > 0);
+  check_int "all served" 50 s.Slo.s_ok;
+  check_int "registry mirrors summary" s.Slo.s_hits
+    (Registry.find rp.Scheduler.rp_registry "serve.cache.hit");
+  (* Cache off: every request rebuilds and misses. *)
+  let off =
+    Scheduler.replay
+      { Scheduler.default_cfg with Scheduler.cache_capacity = 0 }
+      reqs
+  in
+  check_int "uncached builds = requests" 50 off.Scheduler.rp_summary.Slo.s_builds;
+  check_int "uncached misses = dispatches" 50
+    off.Scheduler.rp_summary.Slo.s_misses;
+  check_int "uncached hits" 0 off.Scheduler.rp_summary.Slo.s_hits
+
+let test_replay_eviction () =
+  (* Two alternating fingerprints through a 1-entry cache: every
+     dispatch misses and (from the second on) evicts. *)
+  let reqs =
+    List.init 8 (fun i ->
+        req
+          ~id:(Printf.sprintf "r%d" i)
+          ~matrix:(if i mod 2 = 0 then "powerlaw:400,5" else "banded:300,4")
+          ~arrival:(float_of_int i)
+          ())
+  in
+  let rp =
+    Scheduler.replay
+      { Scheduler.default_cfg with Scheduler.cache_capacity = 1; servers = 1 }
+      reqs
+  in
+  let s = rp.Scheduler.rp_summary in
+  check_int "no hits" 0 s.Slo.s_hits;
+  check_int "evictions" 7 s.Slo.s_evictions;
+  check_int "but only two builds" 2 s.Slo.s_builds
+
+(* --- Scheduler: shedding, deadlines, batching ------------------------- *)
+
+let test_replay_shedding () =
+  (* A burst of 12 simultaneous arrivals into a queue of 4: admission at
+     t=0 fills the queue (the head included) and sheds the other 8
+     before any dispatch frees a slot. Shed records carry no result. *)
+  let reqs =
+    List.init 12 (fun i -> req ~id:(Printf.sprintf "r%02d" i) ())
+  in
+  let rp =
+    Scheduler.replay
+      { Scheduler.default_cfg with
+        Scheduler.queue_limit = 4; servers = 1; batching = false }
+      reqs
+  in
+  let s = rp.Scheduler.rp_summary in
+  check_int "shed" 8 s.Slo.s_shed;
+  check_int "served" 4 s.Slo.s_ok;
+  check_int "queue peak" 4 s.Slo.s_queue_peak;
+  Array.iter
+    (fun (r : Scheduler.record) ->
+      if r.Scheduler.r_outcome = Scheduler.Shed then begin
+        check "shed has no result" true (r.Scheduler.r_result = None);
+        check "shed finishes at arrival" true
+          (r.Scheduler.r_finish_ms = r.Scheduler.r_req.Request.arrival_ms)
+      end)
+    rp.Scheduler.rp_records
+
+let test_replay_deadline_degrades () =
+  (* One server; the first request occupies it long enough that the
+     second's deadline expires in the queue — it must be served as the
+     baseline fallback, not dropped. *)
+  let reqs =
+    [ req ~id:"warm" ();
+      req ~id:"late" ~deadline:(Request.Ms 1e-6) ();
+      req ~id:"slack" ~deadline:(Request.Ms 1e6) () ]
+  in
+  let rp =
+    Scheduler.replay
+      { Scheduler.default_cfg with Scheduler.servers = 1; batching = false }
+      reqs
+  in
+  let by_id id =
+    Array.to_list rp.Scheduler.rp_records
+    |> List.find (fun r -> r.Scheduler.r_req.Request.id = id)
+  in
+  let late = by_id "late" in
+  check "late degraded" true (late.Scheduler.r_outcome = Scheduler.Degraded);
+  check "late served as fallback fingerprint" true
+    (late.Scheduler.r_fp
+     = Request.fingerprint (Request.fallback late.Scheduler.r_req));
+  check "late still has a result" true (late.Scheduler.r_result <> None);
+  check "slack kept its variant" true
+    ((by_id "slack").Scheduler.r_outcome = Scheduler.Served);
+  check_int "summary counts one degrade" 1
+    rp.Scheduler.rp_summary.Slo.s_degraded
+
+let test_replay_batching () =
+  (* Five same-fingerprint requests queued behind a warmer dispatch as
+     one batch when batching is on, five when off. *)
+  let reqs =
+    req ~id:"warm" ~matrix:"banded:300,4" ()
+    :: List.init 5 (fun i -> req ~id:(Printf.sprintf "r%d" i) ())
+  in
+  let run batching =
+    (Scheduler.replay
+       { Scheduler.default_cfg with Scheduler.servers = 1; batching }
+       reqs)
+      .Scheduler.rp_summary
+  in
+  let on = run true and off = run false in
+  check "batched dispatch" true (on.Slo.s_batch_max = 5);
+  check_int "no batches when off" 0 off.Slo.s_batches;
+  (* Batch members share one cache lookup, so hits differ; outcomes
+     don't. *)
+  check_int "same served count" on.Slo.s_ok off.Slo.s_ok
+
+(* --- Scheduler: served results = direct Driver runs -------------------- *)
+
+let test_replay_matches_driver () =
+  let r = req () in
+  let rp = Scheduler.replay Scheduler.default_cfg [ r ] in
+  let rec_ = rp.Scheduler.rp_records.(0) in
+  let coo = Result.get_ok (Generate.of_spec r.Request.matrix) in
+  let cfg =
+    Driver.Cfg.make ~engine:r.Request.engine
+      ~machine:(Request.machine_of r)
+      ~variant:(Option.get (Request.fixed_variant r.Request.variant))
+      ()
+  in
+  let direct = Driver.run cfg (Request.spec r) coo in
+  let served = Option.get rec_.Scheduler.r_result in
+  check "served counters = direct run" true
+    (served.Driver.counters = direct.Driver.counters);
+  check "served output = direct run" true
+    (served.Driver.out_f = direct.Driver.out_f)
+
+(* Driver.Prep reuse: repeated exec on one preparation is byte-stable
+   and equals a fresh Driver.run — the property the cache rests on. *)
+let test_prep_exec_stable () =
+  let coo = Result.get_ok (Generate.of_spec "powerlaw:400,5") in
+  let machine = Machine.gracemont_scaled ~hw:Machine.hw_optimized () in
+  let cfg =
+    Driver.Cfg.make ~machine
+      ~variant:(Pipeline.Asap Asap_prefetch.Asap.default) ()
+  in
+  let spec = Driver.Spmv (Encoding.csr ()) in
+  let prep = Driver.Prep.make cfg spec coo in
+  let a = Driver.Prep.exec prep in
+  let a_out = Option.map Array.copy a.Driver.out_f in
+  let a_counters = a.Driver.counters in
+  let b = Driver.Prep.exec prep in
+  check "exec twice: same counters" true (b.Driver.counters = a_counters);
+  check "exec twice: same output" true
+    (Option.map Array.copy b.Driver.out_f = a_out);
+  let fresh = Driver.run cfg spec coo in
+  check "prep = fresh run" true (fresh.Driver.counters = a_counters)
+
+let suite =
+  [ Alcotest.test_case "request jsonl roundtrip" `Quick
+      test_request_roundtrip;
+    Alcotest.test_case "request fingerprint" `Quick test_request_fingerprint;
+    Alcotest.test_case "request errors" `Quick test_request_errors;
+    Alcotest.test_case "lru" `Quick test_lru;
+    Alcotest.test_case "replay deterministic across jobs" `Slow
+      test_replay_deterministic_across_jobs;
+    Alcotest.test_case "replay cache counters" `Slow
+      test_replay_cache_counters;
+    Alcotest.test_case "replay eviction" `Quick test_replay_eviction;
+    Alcotest.test_case "replay shedding" `Quick test_replay_shedding;
+    Alcotest.test_case "replay deadline degrades" `Quick
+      test_replay_deadline_degrades;
+    Alcotest.test_case "replay batching" `Quick test_replay_batching;
+    Alcotest.test_case "replay matches driver" `Quick
+      test_replay_matches_driver;
+    Alcotest.test_case "prep exec stable" `Quick test_prep_exec_stable ]

@@ -317,6 +317,47 @@ let test_mm_errors () =
       "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n";
       "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n" ]
 
+let test_mm_crlf_and_whitespace () =
+  (* Files written on Windows terminate lines with \r\n; tolerate that,
+     plus leading/trailing blanks, blank lines and comments after the
+     header. *)
+  let crlf =
+    "%%MatrixMarket matrix coordinate real general\r\n\
+     3 3 2\r\n\
+     1 1 1.5\r\n\
+     3 3 2.5\r\n"
+  in
+  let c = Matrix_market.of_string crlf in
+  check_int "crlf nnz" 2 (Coo.nnz c);
+  check "crlf values" true
+    (let d = Coo.to_dense c in
+     d.(0) = 1.5 && d.(8) = 2.5);
+  let messy =
+    String.concat "\n"
+      [ "%%MatrixMarket matrix coordinate real general";
+        "% a comment before the size line"; ""; "\t 3 3 2  ";
+        "% a comment between entries"; "  1 1 1.5"; ""; "3 3 2.5  "; "" ]
+  in
+  let c' = Matrix_market.of_string messy in
+  Alcotest.(check (array (float 1e-12)))
+    "messy = crlf" (Coo.to_dense c) (Coo.to_dense c')
+
+let test_mm_duplicate_rejected () =
+  List.iter
+    (fun (label, s) ->
+      try
+        let (_ : Coo.t) = Matrix_market.of_string s in
+        Alcotest.fail ("accepted " ^ label)
+      with Matrix_market.Parse_error msg ->
+        check (label ^ " names the entry") true
+          (Astring_contains.contains msg "duplicate"))
+    [ ("plain duplicate",
+       "%%MatrixMarket matrix coordinate real general\n\
+        3 3 2\n2 2 1.0\n2 2 5.0\n");
+      ("symmetric mirror duplicate",
+       "%%MatrixMarket matrix coordinate real symmetric\n\
+        3 3 2\n2 1 1.0\n1 2 5.0\n") ]
+
 (* --- Dense --------------------------------------------------------- *)
 
 let test_dense () =
@@ -356,4 +397,8 @@ let suite =
       test_mm_integer_and_comments;
     Alcotest.test_case "matrix market skew" `Quick test_mm_skew_symmetric;
     Alcotest.test_case "matrix market errors" `Quick test_mm_errors;
+    Alcotest.test_case "matrix market crlf/whitespace" `Quick
+      test_mm_crlf_and_whitespace;
+    Alcotest.test_case "matrix market duplicates" `Quick
+      test_mm_duplicate_rejected;
     Alcotest.test_case "dense tensor" `Quick test_dense ]

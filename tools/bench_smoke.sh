@@ -3,7 +3,9 @@
 # execution engines, check the printed tables are byte-identical, emit one
 # JSONL run record per grid cell, and run the engine microbenchmark
 # (tools/bench_engine.ml) for per-engine simulated-instruction throughput.
-# Emits BENCH_engine.json (plus BENCH_records.jsonl).
+# Emits BENCH_engine.json (plus BENCH_records.jsonl), then runs the
+# serving smoke (@serve-smoke section below) which emits BENCH_serve.json
+# and gates the cache-hit rate and serve throughput.
 #
 # Run directly from the repo root after `dune build`, or via the dune
 # alias: `dune build @bench-smoke` (kept out of the default test alias —
@@ -111,3 +113,10 @@ if [ -n "$prev_compiled_wall" ]; then
   echo "regression gate: compiled ${compiled_wall}s vs previous" \
     "${prev_compiled_wall}s (limit ${MAX_REGRESS}x) — ok"
 fi
+
+# @serve-smoke section: replay the hot/cold Zipf mix through the serving
+# scheduler, cache on vs off -> BENCH_serve.json with hit-rate and
+# throughput gates (tools/serve_smoke.sh; also its own @serve-smoke
+# alias for running without the engine grid).
+SERVE_OUT=${SERVE_OUT:-BENCH_serve.json}
+bash "$(dirname "$0")/serve_smoke.sh" "$SERVE_OUT"

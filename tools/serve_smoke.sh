@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Serving smoke benchmark: replay the synthetic hot/cold Zipf mix through
+# the serving scheduler with the compile/tune cache on and off
+# (bench/serve.ml), and emit BENCH_serve.json.
+#
+# Gates:
+#   - bench/serve.exe itself fails below a 2x cached-vs-uncached speedup;
+#   - the hot-mix cache-hit rate must be >= 0.5;
+#   - if a previous $OUT exists, served requests/s must not fall below
+#     previous / MAX_REGRESS (default 1.10).
+#
+# Run directly after `dune build`, or via `dune build @serve-smoke`
+# (also invoked by tools/bench_smoke.sh as its @serve-smoke section).
+set -euo pipefail
+
+OUT=${1:-BENCH_serve.json}
+MAX_REGRESS=${MAX_REGRESS:-1.10}
+SERVE=${SERVE:-_build/default/bench/serve.exe}
+case $SERVE in */*) ;; *) SERVE=./$SERVE ;; esac
+TIMEOUT_S=${TIMEOUT_S:-900}
+SERVE_N=${SERVE_N:-300}
+SERVE_SEED=${SERVE_SEED:-11}
+SERVE_JOBS=${SERVE_JOBS:-4}
+MIN_SPEEDUP=${MIN_SPEEDUP:-2.0}
+
+prev_serve_rps=
+if [ -f "$OUT" ]; then
+  prev_serve_rps=$(grep -o '"serve_req_per_s": [0-9.]*' "$OUT" \
+    | grep -o '[0-9.]*$' || true)
+fi
+
+timeout "$TIMEOUT_S" "$SERVE" "$SERVE_N" "$SERVE_SEED" "$SERVE_JOBS" \
+  "$MIN_SPEEDUP" >"$OUT"
+
+hit_rate=$(grep -o '"hit_rate": [0-9.]*' "$OUT" | grep -o '[0-9.]*$')
+serve_rps=$(grep -o '"serve_req_per_s": [0-9.]*' "$OUT" | grep -o '[0-9.]*$')
+serve_speedup=$(grep -o '"cache_speedup": [0-9.]*' "$OUT" \
+  | grep -o '[0-9.]*$')
+
+if awk -v h="$hit_rate" 'BEGIN { exit !(h < 0.5) }'; then
+  echo "serve_smoke: FAIL — cache-hit rate $hit_rate < 0.5 on the hot" \
+    "mix" >&2
+  exit 1
+fi
+echo "wrote $OUT (hit_rate=$hit_rate, ${serve_rps} req/s," \
+  "cache_speedup=${serve_speedup}x)"
+
+if [ -n "$prev_serve_rps" ]; then
+  if awk -v now="$serve_rps" -v prev="$prev_serve_rps" -v lim="$MAX_REGRESS" \
+       'BEGIN { exit !(now * lim < prev) }'; then
+    echo "serve_smoke: FAIL — serve throughput ${serve_rps} req/s fell" \
+      "below previous ${prev_serve_rps} req/s / ${MAX_REGRESS}" >&2
+    exit 1
+  fi
+  echo "regression gate: serve ${serve_rps} req/s vs previous" \
+    "${prev_serve_rps} req/s (limit ${MAX_REGRESS}x) — ok"
+fi
