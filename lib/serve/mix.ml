@@ -40,21 +40,27 @@ let default_profiles () : profile list =
     profile ~variant:`Aj "stencil2d:50";
   ]
 
-(* Inverse-CDF Zipf over profile positions. *)
-let zipf_pick rng ~alpha (nprof : int) : int =
-  let w = Array.init nprof (fun i -> 1. /. Float.pow (float_of_int (i + 1)) alpha) in
-  let total = Array.fold_left ( +. ) 0. w in
-  let u = Rng.float rng *. total in
-  let acc = ref 0. and pick = ref (nprof - 1) in
+(* Cumulative Zipf weights over profile positions: [cum.(i)] is the sum
+   of [1/(j+1)^alpha] for [j <= i]. Computed once per request list. *)
+let zipf_cumulative ~alpha (nprof : int) : float array =
+  let acc = ref 0. in
+  Array.init nprof (fun i ->
+      acc := !acc +. (1. /. Float.pow (float_of_int (i + 1)) alpha);
+      !acc)
+
+(* Inverse-CDF pick from precomputed cumulative weights. *)
+let zipf_pick rng (cum : float array) : int =
+  let nprof = Array.length cum in
+  let u = Rng.float rng *. cum.(nprof - 1) in
+  let pick = ref (nprof - 1) in
   (try
      Array.iteri
-       (fun i wi ->
-         acc := !acc +. wi;
-         if u < !acc then begin
+       (fun i ci ->
+         if u < ci then begin
            pick := i;
            raise Exit
          end)
-       w
+       cum
    with Exit -> ());
   !pick
 
@@ -65,9 +71,10 @@ let hot_cold ?(alpha = 1.2) ?(mean_gap_ms = 0.05) ?deadline_ms ~seed ~n
   let nprof = Array.length profs in
   if nprof = 0 then invalid_arg "Mix.hot_cold: no profiles";
   let rng = Rng.create seed in
+  let cum = zipf_cumulative ~alpha nprof in
   let t = ref 0. in
   List.init n (fun i ->
-      let p = profs.(zipf_pick rng ~alpha nprof) in
+      let p = profs.(zipf_pick rng cum) in
       let gap = -.mean_gap_ms *. log (1. -. Rng.float rng) in
       t := !t +. gap;
       { Request.id = Printf.sprintf "r%05d" i;

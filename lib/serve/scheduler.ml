@@ -245,10 +245,17 @@ let replay ?(trace : Chrome.t option) (cfg : cfg)
     | [], [] -> continue := false
     | q, p ->
       let s = min_server () in
+      (* Clamp dispatch to the arrival of whatever is served next: the
+         queue head if one is waiting (queue arrivals are non-decreasing
+         since admission drains [pending] in sorted order), else the next
+         pending arrival. Without the clamp an idle server ([free.(s)]
+         behind the head's arrival) would dispatch before the request
+         exists, yielding negative queue latencies. *)
       let t0 =
         match (q, p) with
         | [], i :: _ -> Float.max free.(s) (arrival i)
-        | _ -> free.(s)
+        | h :: _, _ -> Float.max free.(s) (arrival h)
+        | [], [] -> assert false (* outer match ends the loop *)
       in
       admit_until t0;
       (match !queue with
@@ -296,6 +303,7 @@ let replay ?(trace : Chrome.t option) (cfg : cfg)
              let start = t0 +. penalty +. (run *. float_of_int pos) in
              let finish = start +. run in
              let outcome = if eff j = `Fallback then Degraded else Served in
+             assert (t0 -. arrival j >= 0.);
              recs.(j) <-
                Some
                  { r_index = j; r_req = reqs.(j); r_outcome = outcome;
