@@ -503,8 +503,8 @@ let sections : (string * (unit -> unit)) list =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--quick] [--no-log] [--list] [--engine \
-     interp|compiled] [--jobs N] [--records FILE] [sections...]";
+    ("usage: main.exe [--quick] [--no-log] [--list] [--engine "
+     ^ Exec.valid_engines ^ "] [--jobs N] [--records FILE] [sections...]");
   exit 1
 
 let () =
@@ -523,7 +523,7 @@ let () =
       (match Exec.engine_of_string v with
        | Some e -> engine := e
        | None ->
-         Printf.eprintf "unknown engine %s (interp|compiled)\n" v;
+         Printf.eprintf "unknown engine %s (%s)\n" v Exec.valid_engines;
          exit 1);
       parse acc rest
     | ("--jobs" | "-j") :: v :: rest ->

@@ -12,29 +12,53 @@
    Results go to stdout as JSON (tracked in BENCH_serve.json by
    tools/bench_smoke.sh @serve-smoke).
 
-   Usage: serve.exe [n] [seed] [jobs] [min_speedup; 0 disables] *)
+   Usage: serve.exe [--engine interp|compiled|bytecode]
+                    [n] [seed] [jobs] [min_speedup; 0 disables] *)
 
 module Mix = Asap_serve.Mix
 module Scheduler = Asap_serve.Scheduler
 module Slo = Asap_serve.Slo
+module Exec = Asap_sim.Exec
 
 let () =
+  (* Pull out [--engine E]; what remains is the positional tail. *)
+  let engine = ref Exec.default_engine in
+  let rec split acc = function
+    | [] -> List.rev acc
+    | "--engine" :: v :: rest ->
+      (match Exec.engine_of_string v with
+       | Some e -> engine := e
+       | None ->
+         Printf.eprintf "unknown engine %s (%s)\n" v Exec.valid_engines;
+         exit 1);
+      split acc rest
+    | a :: rest -> split (a :: acc) rest
+  in
+  let pos =
+    Array.of_list (split [] (List.tl (Array.to_list Sys.argv)))
+  in
   let argi i default =
-    if Array.length Sys.argv > i then int_of_string Sys.argv.(i) else default
+    if Array.length pos > i then int_of_string pos.(i) else default
   in
   let argf i default =
-    if Array.length Sys.argv > i then float_of_string Sys.argv.(i) else default
+    if Array.length pos > i then float_of_string pos.(i) else default
   in
-  let n = argi 1 300 in
-  let seed = argi 2 11 in
-  let jobs = argi 3 4 in
-  let min_speedup = argf 4 2.0 in
-  let reqs = Mix.hot_cold ~seed ~n (Mix.default_profiles ()) in
+  let n = argi 0 300 in
+  let seed = argi 1 11 in
+  let jobs = argi 2 4 in
+  let min_speedup = argf 3 2.0 in
+  let engine = !engine in
+  let profiles () =
+    List.map
+      (fun p -> { p with Mix.p_engine = engine })
+      (Mix.default_profiles ())
+  in
+  let reqs = Mix.hot_cold ~seed ~n (profiles ()) in
   let replay ~cache_capacity =
     let cfg = { Scheduler.default_cfg with Scheduler.cache_capacity; jobs } in
     (* One warm-up pass faults in code and allocators, untimed. *)
     if cache_capacity > 0 then
-      ignore (Scheduler.replay cfg (Mix.hot_cold ~seed ~n:8 (Mix.default_profiles ())));
+      ignore (Scheduler.replay cfg (Mix.hot_cold ~seed ~n:8 (profiles ())));
     let t0 = Unix.gettimeofday () in
     let rp = Scheduler.replay cfg reqs in
     let dt = Unix.gettimeofday () -. t0 in
@@ -47,6 +71,7 @@ let () =
   Printf.printf
     "{\n\
     \  \"mix\": \"hot_cold zipf n=%d seed=%d (10 profiles)\",\n\
+    \  \"engine\": \"%s\",\n\
     \  \"host_cpus\": %d,\n\
     \  \"jobs\": %d,\n\
     \  \"cached\": { \"wall_s\": %.3f, \"req_per_s\": %.1f, \"builds\": %d,\n\
@@ -56,6 +81,7 @@ let () =
     \  \"cache_speedup\": %.2f\n\
      }\n"
     n seed
+    (Exec.engine_to_string engine)
     (Domain.recommended_domain_count ())
     jobs cached_wall
     (float_of_int n /. cached_wall)

@@ -77,7 +77,11 @@ let engine_conv =
   let parse s =
     match Exec.engine_of_string s with
     | Some e -> Ok e
-    | None -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown engine %S (expected %s)" s
+              Exec.valid_engines))
   in
   Arg.conv
     (parse, fun fmt e -> Format.pp_print_string fmt (Exec.engine_to_string e))
@@ -85,8 +89,10 @@ let engine_conv =
 let engine_arg =
   Arg.(value & opt engine_conv Exec.default_engine
        & info [ "engine" ] ~docv:"ENGINE"
-           ~doc:"Execution engine: compiled (staged closures, default) or \
-                 interp (tree-walking reference). Both are cycle-exact.")
+           ~doc:"Execution engine: bytecode (flat bytecode with \
+                 superinstruction fusion, default), compiled (staged \
+                 closures) or interp (tree-walking reference). All three \
+                 are cycle-exact.")
 
 let variant_of v ~distance ~strategy ~bound =
   match v with
@@ -402,10 +408,15 @@ let genreqs_cmd =
          & info [ "deadline" ] ~docv:"MS"
              ~doc:"Attach this relative latency budget to every request.")
   in
-  let run out n seed alpha gap deadline =
+  let run out n seed alpha gap deadline engine =
+    let profiles =
+      List.map
+        (fun p -> { p with Mix.p_engine = engine })
+        (Mix.default_profiles ())
+    in
     let reqs =
       Mix.hot_cold ~alpha ~mean_gap_ms:gap ?deadline_ms:deadline ~seed ~n
-        (Mix.default_profiles ())
+        profiles
     in
     let oc = open_out out in
     List.iter (fun r -> output_string oc (Request.to_line r ^ "\n")) reqs;
@@ -416,7 +427,7 @@ let genreqs_cmd =
     (Cmd.info "genreqs"
        ~doc:"Write a synthetic hot/cold request mix as JSONL")
     Term.(const run $ out_arg $ n_arg $ seed_arg $ alpha_arg $ gap_arg
-          $ deadline_arg)
+          $ deadline_arg $ engine_arg)
 
 let () =
   let info =

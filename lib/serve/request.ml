@@ -201,7 +201,9 @@ let of_json (j : Jsonu.t) : (t, string) result =
            (match Exec.engine_of_string e with
             | Some e -> Ok e
             | None ->
-              Error (Printf.sprintf "request %s: unknown engine %S" id e))
+              Error
+                (Printf.sprintf "request %s: unknown engine %S (expected %s)"
+                   id e Exec.valid_engines))
        in
        let deadline =
          match (num "deadline_ms", intf "deadline_cycles") with

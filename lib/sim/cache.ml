@@ -3,16 +3,24 @@
    Only tags are modelled (data correctness is the interpreter's job).
    Each line remembers its provenance — demand fill or the id of the
    prefetcher that brought it in — so prefetch-accuracy counters can tell
-   useful prefetches from pollution. *)
+   useful prefetches from pollution.
+
+   The per-way metadata ([tag; last_use; prov]) is interleaved in one
+   array, one contiguous block per set, rather than kept in three
+   parallel arrays: the simulator's own tag state for a large L3 runs to
+   hundreds of KiB, so on a random (gather-heavy) access pattern each
+   simulated set probe is a cold host-memory touch — with parallel
+   arrays it was three. The PR-5 allocation/locality audit measured the
+   split layout at ~30% of the whole no-prefetcher miss path. *)
 
 type t = {
   name : string;
   sets : int;
   ways : int;
   line_bits : int;
-  tags : int array;        (* sets*ways; -1 = invalid, else line address *)
-  last_use : int array;    (* LRU stamps *)
-  prov : int array;        (* provenance: demand = -1, else prefetcher id *)
+  block : int;             (* ways * 3: ints of metadata per set *)
+  meta : int array;        (* sets*ways*3; per way [tag; last_use; prov],
+                              tag -1 = invalid *)
   mutable stamp : int;
   mutable hits : int;
   mutable misses : int;
@@ -40,34 +48,42 @@ let create ~name ~size_bytes ~ways ~line_bytes =
   if lines mod ways <> 0 then invalid_arg "Cache.create: geometry";
   let sets = lines / ways in
   if sets land (sets - 1) <> 0 then invalid_arg "Cache.create: sets not 2^k";
-  { name; sets; ways; line_bits;
-    tags = Array.make (sets * ways) (-1);
-    last_use = Array.make (sets * ways) 0;
-    prov = Array.make (sets * ways) demand_prov;
+  let meta = Array.make (sets * ways * 3) 0 in
+  for w = 0 to (sets * ways) - 1 do
+    meta.(3 * w) <- -1;                  (* tag: invalid *)
+    meta.((3 * w) + 2) <- demand_prov
+  done;
+  { name; sets; ways; line_bits; block = ways * 3; meta;
     stamp = 0; hits = 0; misses = 0; pf_hits = 0 }
 
-let set_of t line = (line land (t.sets - 1)) * t.ways
+let set_of t line = (line land (t.sets - 1)) * t.block
 
 (* The scan loops below are top-level functions taking all their state as
    arguments: a local [let rec] capturing variables would allocate a
-   closure on every call, and these run on every simulated access. *)
+   closure on every call, and these run on every simulated access. The
+   unchecked accesses are in range by construction: [base] is a set base
+   from [set_of] and [off] stays below [block], so every index is inside
+   the [sets * ways * 3] array. Results are entry indices — the position
+   of a way's tag slot; last_use and prov live at +1 and +2. *)
 
-let rec scan_ways (tags : int array) base (line : int) w ways =
-  if w = ways then -1
-  else if tags.(base + w) = line then base + w
-  else scan_ways tags base line (w + 1) ways
+let rec scan_ways (meta : int array) base (line : int) off block =
+  if off = block then -1
+  else if Array.unsafe_get meta (base + off) = line then base + off
+  else scan_ways meta base line (off + 3) block
 
-let rec pick_lru (last_use : int array) base w best ways =
-  if w = ways then best
+let rec pick_lru (meta : int array) base off best block =
+  if off = block then best
   else
-    pick_lru last_use base (w + 1)
-      (if last_use.(base + w) < last_use.(best) then base + w else best)
-      ways
+    pick_lru meta base (off + 3)
+      (if Array.unsafe_get meta (base + off + 1) < Array.unsafe_get meta (best + 1)
+       then base + off
+       else best)
+      block
 
-(* Way index of [line] or -1. *)
+(* Entry index of [line]'s tag slot, or -1. *)
 let find t line =
   let base = set_of t line in
-  scan_ways t.tags base line 0 t.ways
+  scan_ways t.meta base line 0 t.block
 
 (** [lookup t line] checks for [line], updating LRU and hit/miss counters.
     Returns the provenance of the line on a hit, [no_hit] on a miss. This
@@ -77,12 +93,12 @@ let lookup t line : int =
   let i = find t line in
   if i >= 0 then begin
     t.hits <- t.hits + 1;
-    t.last_use.(i) <- t.stamp;
-    let p = t.prov.(i) in
+    Array.unsafe_set t.meta (i + 1) t.stamp;
+    let p = Array.unsafe_get t.meta (i + 2) in
     if p <> demand_prov then begin
       t.pf_hits <- t.pf_hits + 1;
       (* After the first demand use the line counts as demand-resident. *)
-      t.prov.(i) <- demand_prov
+      Array.unsafe_set t.meta (i + 2) demand_prov
     end;
     p
   end
@@ -103,18 +119,41 @@ let insert_evict t line ~prov =
   t.stamp <- t.stamp + 1;
   let i = find t line in
   if i >= 0 then begin
-    t.last_use.(i) <- t.stamp;
+    Array.unsafe_set t.meta (i + 1) t.stamp;
     demand_prov
   end
   else begin
     let base = set_of t line in
-    let victim = pick_lru t.last_use base 1 base t.ways in
-    let victim_prov = if t.tags.(victim) < 0 then demand_prov else t.prov.(victim) in
-    t.tags.(victim) <- line;
-    t.last_use.(victim) <- t.stamp;
-    t.prov.(victim) <- prov;
+    let victim = pick_lru t.meta base 3 base t.block in
+    let meta = t.meta in
+    let victim_prov =
+      if Array.unsafe_get meta victim < 0 then demand_prov
+      else Array.unsafe_get meta (victim + 2)
+    in
+    Array.unsafe_set meta victim line;
+    Array.unsafe_set meta (victim + 1) t.stamp;
+    Array.unsafe_set meta (victim + 2) prov;
     victim_prov
   end
+
+(** [insert_absent t line ~prov] is [insert_evict] for a line the caller
+    has just observed missing (a [lookup]/[probe] miss with nothing in
+    between that could install it): skips the presence re-scan, which the
+    demand-miss path would otherwise pay at every level it already
+    searched. *)
+let insert_absent t line ~prov =
+  t.stamp <- t.stamp + 1;
+  let base = set_of t line in
+  let victim = pick_lru t.meta base 3 base t.block in
+  let meta = t.meta in
+  let victim_prov =
+    if Array.unsafe_get meta victim < 0 then demand_prov
+    else Array.unsafe_get meta (victim + 2)
+  in
+  Array.unsafe_set meta victim line;
+  Array.unsafe_set meta (victim + 1) t.stamp;
+  Array.unsafe_set meta (victim + 2) prov;
+  victim_prov
 
 (** [insert t line ~prov] installs [line], evicting the LRU way. No-op if
     already present (refreshes LRU). *)

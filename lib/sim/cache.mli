@@ -10,9 +10,12 @@ type t = {
   sets : int;
   ways : int;
   line_bits : int;
-  tags : int array;
-  last_use : int array;
-  prov : int array;
+  block : int;                 (** ways * 3: ints of metadata per set *)
+  meta : int array;
+    (** [sets*ways*3]; per way [tag; last_use; prov] interleaved so one
+        simulated set probe touches one contiguous host block (tag state
+        for a large L3 is hundreds of KiB — three parallel arrays cost
+        three cold host-memory touches per random access) *)
   mutable stamp : int;
   mutable hits : int;
   mutable misses : int;
@@ -50,6 +53,11 @@ val insert : t -> int -> prov:int -> unit
     line's provenance: a prefetcher id when the victim was a prefetched
     line that was never demanded, [demand_prov] otherwise. *)
 val insert_evict : t -> int -> prov:int -> int
+
+(** [insert_absent t line ~prov] is [insert_evict] for a line the caller
+    has just observed missing from [t] (and nothing since the miss could
+    have installed it): skips the presence re-scan. *)
+val insert_absent : t -> int -> prov:int -> int
 
 val reset_stats : t -> unit
 val accesses : t -> int

@@ -88,23 +88,38 @@ let aggregate machine threads (fn : Ir.func) (rs : Interp.result array) mem =
     rp_mem = mem;
     rp_op_misses = op_misses fn mem }
 
-(** The execution engine: the tree-walking interpreter ({!Interp}) or the
-    staged closure compiler ({!Compile}). The two are cycle-exact and
-    value-exact drop-ins for each other (differential-tested), so the
+(** The execution engine: the tree-walking interpreter ({!Interp}), the
+    staged closure compiler ({!Compile}), or the flat-bytecode engine
+    with superinstruction fusion ({!Bytecode}). All three are cycle-exact
+    and value-exact drop-ins for each other (differential-tested), so the
     choice is purely a host-speed trade-off. *)
-type engine = [ `Interp | `Compiled ]
+type engine = [ `Interp | `Compiled | `Bytecode ]
 
-let default_engine : engine = `Compiled
+let default_engine : engine = `Bytecode
+
+(** Canonical engine names, for option docs and error messages. *)
+let valid_engines = "interp|compiled|bytecode"
 
 let engine_of_string = function
   | "interp" | "interpreter" -> Some `Interp
   | "compiled" | "compile" | "closure" -> Some `Compiled
+  | "bytecode" | "bc" | "flat" -> Some `Bytecode
   | _ -> None
 
-let engine_to_string = function `Interp -> "interp" | `Compiled -> "compiled"
+let engine_to_string = function
+  | `Interp -> "interp"
+  | `Compiled -> "compiled"
+  | `Bytecode -> "bytecode"
 
-(* A prepared single-core execution: address layout and (for the compiled
-   engine) the staged closure, both computed once. The buffer binding is
+(* The engine-specific staged form: nothing for the interpreter, the
+   closure tree for Compile, the flat program for Bytecode. *)
+type staged =
+  | S_interp
+  | S_closure of Compile.compiled
+  | S_bytecode of Bytecode.prog
+
+(* A prepared single-core execution: address layout and (for the staged
+   engines) the compiled form, both computed once. The buffer binding is
    captured — re-running reads whatever the bound arrays contain at that
    moment — but the memory hierarchy is created fresh per run, so repeat
    runs are independent simulations. This is the amortisation point the
@@ -113,25 +128,29 @@ type prepared = {
   pr_machine : Machine.t;
   pr_fn : Ir.func;
   pr_bound : Runtime.bound array;
-  pr_closure : Compile.compiled option;   (* Some iff engine = `Compiled *)
+  pr_staged : staged;
 }
 
 (** [prepare ?engine machine fn ~bufs] lays out [bufs] in the simulated
-    address space and, for the compiled engine, stages the closure — the
-    run-independent half of {!run}, done once and reused by every
-    {!run_prepared}. *)
+    address space and, for the staged engines, compiles the flat program
+    or closure tree — the run-independent half of {!run}, done once and
+    reused by every {!run_prepared}. *)
 let prepare ?(engine = default_engine) (machine : Machine.t) (fn : Ir.func)
     ~(bufs : (Ir.buffer * Runtime.rbuf) list) : prepared =
   let bound = Runtime.layout fn bufs in
-  let closure =
+  let staged =
     match engine with
-    | `Compiled -> Some (Compile.compile fn ~bufs:bound)
-    | `Interp -> None
+    | `Interp -> S_interp
+    | `Compiled -> S_closure (Compile.compile fn ~bufs:bound)
+    | `Bytecode -> S_bytecode (Bytecode.compile fn ~bufs:bound)
   in
-  { pr_machine = machine; pr_fn = fn; pr_bound = bound; pr_closure = closure }
+  { pr_machine = machine; pr_fn = fn; pr_bound = bound; pr_staged = staged }
 
 let prepared_engine p : engine =
-  match p.pr_closure with Some _ -> `Compiled | None -> `Interp
+  match p.pr_staged with
+  | S_interp -> `Interp
+  | S_closure _ -> `Compiled
+  | S_bytecode _ -> `Bytecode
 
 (** [run_prepared ?obs ?slice p ~scalars] executes [p] on one core of a
     fresh memory hierarchy. Equal in every report field to the {!run}
@@ -150,12 +169,14 @@ let run_prepared ?obs ?slice (p : prepared) ~(scalars : int list) : report =
   let rob_size = machine.Machine.rob in
   let branch_miss = machine.Machine.branch_miss in
   let r =
-    match p.pr_closure with
-    | None ->
+    match p.pr_staged with
+    | S_interp ->
       Interp.run ?slice ~width ~rob_size ~branch_miss p.pr_fn ~bufs:p.pr_bound
         ~scalars ~mem
-    | Some c ->
+    | S_closure c ->
       Compile.run ?slice ~width ~rob_size ~branch_miss c ~scalars ~mem
+    | S_bytecode bp ->
+      Bytecode.run ?slice ~width ~rob_size ~branch_miss bp ~scalars ~mem
   in
   aggregate machine 1 p.pr_fn [| r |] (Hierarchy.stats hier)
 

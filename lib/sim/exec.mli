@@ -27,23 +27,28 @@ type report = {
   rp_op_misses : op_miss list; (** pc-ascending, zero-miss sites omitted *)
 }
 
-(** The execution engine: the tree-walking interpreter ({!Interp}) or the
-    staged closure compiler ({!Compile}). The two are cycle-exact and
-    value-exact drop-ins for each other (differential-tested), so the
+(** The execution engine: the tree-walking interpreter ({!Interp}), the
+    staged closure compiler ({!Compile}), or the flat-bytecode engine
+    with superinstruction fusion ({!Bytecode}). All three are cycle-exact
+    and value-exact drop-ins for each other (differential-tested), so the
     choice is purely a host-speed trade-off. *)
-type engine = [ `Interp | `Compiled ]
+type engine = [ `Interp | `Compiled | `Bytecode ]
 
-(** [`Compiled] — the faster engine is the default everywhere. *)
+(** [`Bytecode] — the fastest engine is the default everywhere. *)
 val default_engine : engine
 
-(** Parses ["interp"] / ["compiled"] (and close synonyms); [None]
-    otherwise. *)
+(** Canonical engine names (["interp|compiled|bytecode"]), for option
+    docs and error messages. *)
+val valid_engines : string
+
+(** Parses ["interp"] / ["compiled"] / ["bytecode"] (and close
+    synonyms); [None] otherwise. *)
 val engine_of_string : string -> engine option
 
 val engine_to_string : engine -> string
 
 (** A prepared single-core execution: the simulated address layout and
-    (for the compiled engine) the staged closure, computed once by
+    (for the staged engines) the compiled form, computed once by
     {!prepare} and reusable across {!run_prepared} calls. The buffer
     binding is captured — re-running reads whatever the bound arrays
     contain at that moment — but the memory hierarchy is fresh per run,
@@ -52,7 +57,7 @@ val engine_to_string : engine -> string
 type prepared
 
 (** [prepare ?engine machine fn ~bufs] is the run-independent half of
-    {!run}: layout plus (compiled engine) closure staging. *)
+    {!run}: layout plus (staged engines) program/closure compilation. *)
 val prepare :
   ?engine:engine -> Machine.t -> Ir.func ->
   bufs:(Ir.buffer * Runtime.rbuf) list -> prepared

@@ -32,6 +32,9 @@ type t = {
   l1s : Cache.t array;           (* per core *)
   l1_pfs : Hp.t list array;      (* per core *)
   clusters : cluster array;
+  cluster_of_core : cluster array;
+    (* per-core alias into [clusters]: the hot path resolves a core's
+       cluster with one load instead of an integer division per access *)
   l3 : Cache.t;
   l3_pfs : Hp.t list;
   dram : Dram.t;
@@ -39,6 +42,14 @@ type t = {
      building any event, so a null sink costs one branch per access. *)
   obs : Sink.t;
   obs_on : bool;
+  (* Scratch buffers the prefetchers write their requested lines into —
+     the per-access observation path allocates nothing. [pf_out] serves
+     the demand-level firing; [pf_out_nested] serves the L2 observation
+     an L1-level fill triggers inside [fetch_line] while [pf_out] is
+     still being drained (nesting stops there: L2/L3-level fills observe
+     nothing further). *)
+  pf_out : int array;
+  pf_out_nested : int array;
   (* Statistics *)
   pf_issued : int array;         (* per provenance id *)
   pf_useful : int array;
@@ -84,11 +95,15 @@ let create ?(obs = Sink.null) (cfg : Machine.t) : t =
              else []);
             (if cfg.Machine.hw.Machine.l2_amp then [ Hp.l2_amp () ] else []) ] }
   in
+  let clusters = Array.init (Machine.clusters cfg) mk_cluster in
   { cfg;
     line_shift = Cache.line_shift ~line_bytes:line;
     l1s = Array.init cfg.Machine.cores mk_l1;
     l1_pfs = Array.init cfg.Machine.cores mk_l1_pfs;
-    clusters = Array.init (Machine.clusters cfg) mk_cluster;
+    clusters;
+    cluster_of_core =
+      Array.init cfg.Machine.cores (fun c ->
+          clusters.(c / cfg.Machine.cores_per_cluster));
     l3 =
       Cache.create ~name:"L3" ~size_bytes:(cfg.Machine.l3_kb * 1024)
         ~ways:cfg.Machine.l3_ways ~line_bytes:line;
@@ -98,6 +113,8 @@ let create ?(obs = Sink.null) (cfg : Machine.t) : t =
     dram = Dram.create ~latency:cfg.Machine.dram_latency
         ~gap:cfg.Machine.dram_gap;
     obs; obs_on = obs.Sink.enabled;
+    pf_out = Array.make Hp.max_requests 0;
+    pf_out_nested = Array.make Hp.max_requests 0;
     pf_issued = Array.make n_prov 0;
     pf_useful = Array.make n_prov 0;
     pf_drop_mshr = Array.make n_prov 0;
@@ -108,7 +125,7 @@ let create ?(obs = Sink.null) (cfg : Machine.t) : t =
     l1_demand_misses = 0; l2_demand_misses = 0; l3_demand_misses = 0;
     pc_l1_miss = Array.make 64 0; pc_l2_miss = Array.make 64 0 }
 
-let cluster_of t core = t.clusters.(core / t.cfg.Machine.cores_per_cluster)
+let cluster_of t core = t.cluster_of_core.(core)
 
 let note_useful t prov = if prov >= 0 then t.pf_useful.(prov) <- t.pf_useful.(prov) + 1
 
@@ -184,9 +201,12 @@ let rec fetch_line t ~core ~prov ~level ~at line =
     (match level with
      | Hp.L1 ->
        if cl.l2_pfs <> [] then
-         fire_pfs t ~core ~at cl.l2_pfs
-           { Hp.pc = prov lor 0x40000; addr = line lsl t.line_shift; line;
-             hit = in_l2 }
+         (* The nested scratch buffer: [pf_out] may still be mid-drain in
+            the [issue_requests] walk that called us. The L2 units only
+            request L2-level fills, so this never nests further. *)
+         fire_pfs t ~core ~at ~buf:t.pf_out_nested cl.l2_pfs
+           ~pc:(prov lor 0x40000) ~addr:(line lsl t.line_shift) ~line
+           ~hit:in_l2
      | Hp.L2 | Hp.L3 -> ());
     if in_l2 || Cache.probe t.l3 line then begin
       (* Move inward from L2/L3: cheap, no MSHR needed in this model. *)
@@ -212,38 +232,40 @@ let rec fetch_line t ~core ~prov ~level ~at line =
     end
   end
 
-(* Push a prefetcher's fill requests through the shared paths. A plain
-   recursive walk (not List.iter) keeps the per-access path closure-free —
-   these run on every demand access. *)
-and issue_requests t ~core ~at = function
-  | [] -> ()
-  | (r : Hp.request) :: rest ->
-    if r.Hp.r_line >= 0 then begin
-      if fetch_line t ~core ~prov:r.Hp.r_src ~level:r.Hp.r_level ~at
-           r.Hp.r_line
-      then begin
-        t.pf_issued.(r.Hp.r_src) <- t.pf_issued.(r.Hp.r_src) + 1;
-        if t.obs_on then
-          t.obs.Sink.emit
-            (Sink.Hw_prefetch
-               { core; src = r.Hp.r_src; line = r.Hp.r_line; at;
-                 level = level_int r.Hp.r_level })
-      end
+(* Push one unit's fill requests (lines [buf.(i .. n-1)]) through the
+   shared paths; fills go to the unit's own level and are attributed to
+   its id. A plain index walk — this runs on every demand access. *)
+and issue_requests t ~core ~at ~src ~level ~buf i n =
+  if i < n then begin
+    let line = buf.(i) in
+    if fetch_line t ~core ~prov:src ~level ~at line then begin
+      t.pf_issued.(src) <- t.pf_issued.(src) + 1;
+      if t.obs_on then
+        t.obs.Sink.emit
+          (Sink.Hw_prefetch
+             { core; src; line; at; level = level_int level })
     end;
-    issue_requests t ~core ~at rest
+    issue_requests t ~core ~at ~src ~level ~buf (i + 1) n
+  end
 
-and fire_pfs t ~core ~at pfs ev =
+(* Each unit's burst is drained before the next unit observes, so [buf]
+   is reusable across the walk (same order as the old per-unit lists). *)
+and fire_pfs t ~core ~at ~buf pfs ~pc ~addr ~line ~hit =
   match pfs with
   | [] -> ()
   | (pf : Hp.t) :: rest ->
-    issue_requests t ~core ~at (pf.Hp.pf_observe ev);
-    fire_pfs t ~core ~at rest ev
+    let n = pf.Hp.pf_observe ~pc ~addr ~line ~hit ~out:buf in
+    if n > 0 then
+      issue_requests t ~core ~at ~src:pf.Hp.pf_id ~level:pf.Hp.pf_level
+        ~buf 0 n;
+    fire_pfs t ~core ~at ~buf rest ~pc ~addr ~line ~hit
 
-(* [fire_level] builds the observation event and walks the prefetchers.
-   A plain function (not a closure over the access) so the per-load path
-   allocates only when a level actually has prefetchers attached. *)
+(* [fire_level] walks the prefetchers of a level over one demand access.
+   Allocation-free: the observation is passed unpacked and requests land
+   in the demand scratch buffer. *)
 let fire_level t ~core ~at pfs ~pc ~addr ~line hit =
-  if pfs <> [] then fire_pfs t ~core ~at pfs { Hp.pc; addr; line; hit }
+  if pfs <> [] then
+    fire_pfs t ~core ~at ~buf:t.pf_out pfs ~pc ~addr ~line ~hit
 
 (* Trace emission for a serviced demand load, factored out so [load]'s
    return points stay expressions. *)
@@ -283,9 +305,13 @@ let load t ~core ~pc ~addr ~at =
     t.l1_demand_misses <- t.l1_demand_misses + 1;
     if attributable pc then bump_pc t 1 pc;
     fire_level t ~core ~at t.l1_pfs.(core) ~pc ~addr ~line false;
+    (* Every install below uses [insert_absent]: the level in question
+       just missed in [lookup], and no prefetcher ever requests the
+       observed line itself, so absence still holds — this skips a
+       redundant tag re-scan per level on the whole demand-miss path. *)
     let d = Mshr.find cl.mshr line in
     if d >= 0 then begin
-      note_evict t (Cache.insert_evict l1 line ~prov:Cache.demand_prov);
+      note_evict t (Cache.insert_absent l1 line ~prov:Cache.demand_prov);
       if d > lat1 then begin
         note_late t (Mshr.take_prov cl.mshr line);
         if t.obs_on then emit_load t ~core ~pc ~addr ~at ~ready:d ~level:0;
@@ -301,7 +327,7 @@ let load t ~core ~pc ~addr ~at =
       if p2 <> Cache.no_hit then begin
         note_useful t p2;
         fire_level t ~core ~at cl.l2_pfs ~pc ~addr ~line true;
-        note_evict t (Cache.insert_evict l1 line ~prov:Cache.demand_prov);
+        note_evict t (Cache.insert_absent l1 line ~prov:Cache.demand_prov);
         let ready = at + t.cfg.Machine.lat_l2 in
         if t.obs_on then emit_load t ~core ~pc ~addr ~at ~ready ~level:2;
         ready
@@ -314,7 +340,10 @@ let load t ~core ~pc ~addr ~at =
         if p3 <> Cache.no_hit then begin
           note_useful t p3;
           fire_level t ~core ~at t.l3_pfs ~pc ~addr ~line true;
-          install t ~core ~prov:Cache.demand_prov ~level:Hp.L1 line;
+          note_evict t (Cache.insert_absent l1 line ~prov:Cache.demand_prov);
+          note_evict t
+            (Cache.insert_absent cl.l2 line ~prov:Cache.demand_prov);
+          (* No L3 install: the hit [lookup] just refreshed its LRU. *)
           let ready = at + t.cfg.Machine.lat_l3 in
           if t.obs_on then emit_load t ~core ~pc ~addr ~at ~ready ~level:3;
           ready
@@ -333,8 +362,11 @@ let load t ~core ~pc ~addr ~at =
             else at
           in
           let done_at = Dram.fill t.dram ~at:at' in
-          Mshr.add cl.mshr line done_at;
-          install t ~core ~prov:Cache.demand_prov ~level:Hp.L1 line;
+          Mshr.add ~prov:Cache.demand_prov cl.mshr line done_at;
+          note_evict t (Cache.insert_absent l1 line ~prov:Cache.demand_prov);
+          note_evict t
+            (Cache.insert_absent cl.l2 line ~prov:Cache.demand_prov);
+          note_evict t (Cache.insert_absent t.l3 line ~prov:Cache.demand_prov);
           if t.obs_on then
             emit_load t ~core ~pc ~addr ~at ~ready:done_at ~level:4;
           done_at

@@ -1,20 +1,17 @@
 (** Hardware prefetchers of the Alder Lake E-core (paper Table 2).
 
     Each prefetcher observes the demand-access stream at its cache level
-    and returns fill requests; the hierarchy pushes those through the
+    and emits fill requests; the hierarchy pushes those through the
     shared MSHR/bandwidth paths, so inaccurate prefetchers genuinely cost
-    the resources the paper's §5.1 insight is about. *)
+    the resources the paper's §5.1 insight is about.
 
-type event = {
-  pc : int;                    (** static id of the load *)
-  addr : int;                  (** byte address *)
-  line : int;                  (** line address (addr >> 6) *)
-  hit : bool;                  (** hit at the observing level *)
-}
+    The observation path runs on every demand access and is
+    allocation-free: {!t.pf_observe} writes target line addresses into a
+    caller-owned scratch buffer (see {!max_requests}) instead of
+    returning a request list. Requests fill at the observing unit's own
+    {!t.pf_level} and are attributed to its {!t.pf_id}. *)
 
 type level = L1 | L2 | L3
-
-type request = { r_line : int; r_src : int; r_level : level }
 
 (** {1 Prefetcher ids (accuracy-counter indices)} *)
 
@@ -31,10 +28,19 @@ val name_of_id : int -> string
     prefetcher [i] (e.g. ["mlc_streamer"] in ["pf.mlc_streamer.issued"]). *)
 val slug_of_id : int -> string
 
+(** Upper bound on the lines one observation can request; scratch buffers
+    passed as [out] must have at least this length. *)
+val max_requests : int
+
 type t = {
   pf_id : int;
   pf_level : level;            (** where it observes and fills *)
-  pf_observe : event -> request list;
+  pf_observe :
+    pc:int -> addr:int -> line:int -> hit:bool -> out:int array -> int;
+    (** [pf_observe ~pc ~addr ~line ~hit ~out] feeds one demand access at
+        the unit's level ([hit] is the hit/miss outcome there) and writes
+        the target line addresses (all non-negative) of any fill requests
+        into [out.(0 .. n-1)], returning [n]. *)
 }
 
 (** L1 next-line: on a miss, fetch the following line (inaccurate on

@@ -8,8 +8,11 @@
    The pool is consulted on every simulated memory access, so entries live
    in two parallel int arrays (no pointer chasing) and [expire] keeps the
    exact minimum completion time so the common nothing-to-retire case is a
-   single comparison. Completion times must be positive; [find] and
-   [earliest] return -1 for "absent" so callers stay allocation-free. *)
+   single comparison. [mask] summarises the in-flight line addresses
+   (one bit per [line mod 63]-ish hash), letting [find] answer the common
+   "nothing in flight for this line" case without scanning the pool.
+   Completion times must be positive; [find] and [earliest] return -1 for
+   "absent" so callers stay allocation-free. *)
 
 type t = {
   cap : int;
@@ -18,33 +21,42 @@ type t = {
   provs : int array;           (* provenance of each fill; -1 = demand *)
   mutable used : int;
   mutable min_done : int;      (* exact min of dones.(0..used-1); max_int when empty *)
+  mutable mask : int;          (* or of [bit line] over live entries (may
+                                  over-approximate until next [compact]) *)
   mutable drops : int;         (* prefetches dropped on a full pool *)
 }
+
+(* One of 63 bits per line (62..0 of the OCaml int): a cleared bit proves
+   the line is absent; a set bit means "maybe present, scan". *)
+let bit line = 1 lsl (line mod 62)
 
 let create cap =
   { cap; lines = Array.make cap 0; dones = Array.make cap 0;
     provs = Array.make cap (-1);
-    used = 0; min_done = max_int; drops = 0 }
+    used = 0; min_done = max_int; mask = 0; drops = 0 }
 
 (* Top-level loops (a local [let rec] capturing state would allocate a
    closure per call; these run on every simulated access). *)
 
-let rec compact t ~now r w m =
+let rec compact t ~now r w m mask =
   if r = t.used then begin
     t.used <- w;
-    t.min_done <- m
+    t.min_done <- m;
+    t.mask <- mask
   end
   else begin
     let d = t.dones.(r) in
     if d > now then begin
+      let line = t.lines.(r) in
       if r <> w then begin
-        t.lines.(w) <- t.lines.(r);
+        t.lines.(w) <- line;
         t.dones.(w) <- d;
         t.provs.(w) <- t.provs.(r)
       end;
       compact t ~now (r + 1) (w + 1) (if d < m then d else m)
+        (mask lor bit line)
     end
-    else compact t ~now (r + 1) w m
+    else compact t ~now (r + 1) w m mask
   end
 
 let rec scan_lines (lines : int array) (dones : int array) (line : int) i used =
@@ -53,11 +65,13 @@ let rec scan_lines (lines : int array) (dones : int array) (line : int) i used =
   else scan_lines lines dones line (i + 1) used
 
 (** [expire t ~now] retires entries whose fill has completed. *)
-let expire t ~now = if t.min_done <= now then compact t ~now 0 0 max_int
+let expire t ~now = if t.min_done <= now then compact t ~now 0 0 max_int 0
 
 (** [find t line] is the completion time of an in-flight fill of [line],
     or -1 if none is in flight. *)
-let find t line = scan_lines t.lines t.dones line 0 t.used
+let find t line =
+  if t.mask land bit line = 0 then -1
+  else scan_lines t.lines t.dones line 0 t.used
 
 let full t = t.used >= t.cap
 
@@ -84,15 +98,19 @@ let take_prov t line =
     p
   end
 
-let add ?(prov = -1) t line done_at =
+(* [prov] is a required label: an optional argument here would box a
+   [Some] per registered fill on the miss path. *)
+let add ~prov t line done_at =
   assert (t.used < t.cap && done_at > 0);
   t.lines.(t.used) <- line;
   t.dones.(t.used) <- done_at;
   t.provs.(t.used) <- prov;
   t.used <- t.used + 1;
+  t.mask <- t.mask lor bit line;
   if done_at < t.min_done then t.min_done <- done_at
 
 let reset t =
   t.used <- 0;
   t.min_done <- max_int;
+  t.mask <- 0;
   t.drops <- 0

@@ -17,6 +17,9 @@ type t = {
   provs : int array;           (** provenance of each fill; -1 = demand *)
   mutable used : int;
   mutable min_done : int;      (** exact min of live [dones]; [max_int] when empty *)
+  mutable mask : int;          (** hashed-presence summary of live lines:
+                                   a cleared bit proves absence, letting
+                                   {!find} skip the scan *)
   mutable drops : int;
 }
 
@@ -40,9 +43,10 @@ val earliest : t -> int
     same fill is attributed at most once. *)
 val take_prov : t -> int -> int
 
-(** [add ?prov t line done_at] registers a fill ([prov] defaults to
-    demand, -1); the pool must not be full and [done_at] must be
-    positive. *)
-val add : ?prov:int -> t -> int -> int -> unit
+(** [add ~prov t line done_at] registers a fill ([prov] is -1 for demand
+    fills, else the prefetcher's provenance id — required, because an
+    optional argument would box a [Some] per miss); the pool must not be
+    full and [done_at] must be positive. *)
+val add : prov:int -> t -> int -> int -> unit
 
 val reset : t -> unit

@@ -1,21 +1,34 @@
-(* Differential tests for the staged closure compiler (Compile) against
-   the tree-walking interpreter (Interp): the two engines must agree
+(* Differential tests for the staged execution engines — the closure
+   compiler (Compile) and the flat-bytecode engine (Bytecode) — against
+   the tree-walking interpreter (Interp): all three must agree
    cycle-exactly and value-exactly on every kernel, format and prefetch
-   variant, single- and multi-core. Also checks that the benchmark grid's
-   domain-parallel prewarm reproduces sequential measurements bit for
-   bit. *)
+   variant, single- and multi-core, and must raise identical traps and
+   faults on the same inputs. The bytecode engine's superinstruction
+   fusion is additionally checked fused-vs-unfused. Also checks that the
+   benchmark grid's domain-parallel prewarm reproduces sequential
+   measurements bit for bit. *)
 
+module Ir = Asap_ir.Ir
+module Builder = Asap_ir.Builder
 module Coo = Asap_tensor.Coo
 module Encoding = Asap_tensor.Encoding
+module Storage = Asap_tensor.Storage
 module Machine = Asap_sim.Machine
+module Exec = Asap_sim.Exec
+module Interp = Asap_sim.Interp
+module Bytecode = Asap_sim.Bytecode
+module Runtime = Asap_sim.Runtime
 module Pipeline = Asap_core.Pipeline
+module Bindings = Asap_core.Bindings
 module Driver = Asap_core.Driver
+module Kernel = Asap_lang.Kernel
 module Asap = Asap_prefetch.Asap
 module Aj = Asap_prefetch.Ainsworth_jones
 module Generate = Asap_workloads.Generate
 module Suite = Asap_workloads.Suite
 
 let check = Alcotest.(check bool)
+let check_s = Alcotest.(check string)
 
 let machine = Machine.gracemont_scaled ()
 
@@ -40,16 +53,22 @@ let same_result name (a : Driver.result) (b : Driver.result) =
   check (name ^ ": out_f") true (a.Driver.out_f = b.Driver.out_f);
   check (name ^ ": out_b") true (a.Driver.out_b = b.Driver.out_b)
 
+(* Run [f] under all three engines and require both staged engines to
+   reproduce the interpreter exactly. *)
+let three_way name (f : Exec.engine -> Driver.result) =
+  let r_i = f `Interp in
+  same_result (name ^ " compiled") r_i (f `Compiled);
+  same_result (name ^ " bytecode") r_i (f `Bytecode)
+
 let test_differential_spmv () =
   let coo = small_matrix 21 in
   List.iter
     (fun enc ->
       List.iter
         (fun (vn, v) ->
-          let r_i = Driver.spmv ~engine:`Interp machine v enc coo in
-          let r_c = Driver.spmv ~engine:`Compiled machine v enc coo in
-          same_result (Printf.sprintf "spmv %s/%s" enc.Encoding.name vn) r_i
-            r_c)
+          three_way
+            (Printf.sprintf "spmv %s/%s" enc.Encoding.name vn)
+            (fun engine -> Driver.spmv ~engine machine v enc coo))
         variants)
     (encodings ())
 
@@ -59,10 +78,9 @@ let test_differential_spmm () =
     (fun enc ->
       List.iter
         (fun (vn, v) ->
-          let r_i = Driver.spmm ~engine:`Interp ~n:4 machine v enc coo in
-          let r_c = Driver.spmm ~engine:`Compiled ~n:4 machine v enc coo in
-          same_result (Printf.sprintf "spmm %s/%s" enc.Encoding.name vn) r_i
-            r_c)
+          three_way
+            (Printf.sprintf "spmm %s/%s" enc.Encoding.name vn)
+            (fun engine -> Driver.spmm ~engine ~n:4 machine v enc coo))
         variants)
     (encodings ())
 
@@ -70,13 +88,8 @@ let test_differential_binary () =
   let coo = small_matrix 23 in
   List.iter
     (fun (vn, v) ->
-      let r_i = Driver.spmv ~engine:`Interp ~binary:true machine v
-          (Encoding.csr ()) coo
-      in
-      let r_c = Driver.spmv ~engine:`Compiled ~binary:true machine v
-          (Encoding.csr ()) coo
-      in
-      same_result ("binary spmv " ^ vn) r_i r_c)
+      three_way ("binary spmv " ^ vn) (fun engine ->
+          Driver.spmv ~engine ~binary:true machine v (Encoding.csr ()) coo))
     variants
 
 let test_differential_ttv () =
@@ -85,9 +98,7 @@ let test_differential_ttv () =
   in
   List.iter
     (fun (vn, v) ->
-      let r_i = Driver.ttv ~engine:`Interp machine v coo in
-      let r_c = Driver.ttv ~engine:`Compiled machine v coo in
-      same_result ("ttv " ^ vn) r_i r_c)
+      three_way ("ttv " ^ vn) (fun engine -> Driver.ttv ~engine machine v coo))
     variants
 
 let test_differential_multicore () =
@@ -97,17 +108,12 @@ let test_differential_multicore () =
   let machine4 = Machine.gracemont_scaled ~cores:4 () in
   List.iter
     (fun (vn, v) ->
-      let r_i =
-        Driver.spmv ~engine:`Interp ~threads:4 machine4 v (Encoding.csr ())
-          coo
+      let run engine =
+        Driver.spmv ~engine ~threads:4 machine4 v (Encoding.csr ()) coo
       in
-      let r_c =
-        Driver.spmv ~engine:`Compiled ~threads:4 machine4 v (Encoding.csr ())
-          coo
-      in
-      same_result ("multicore spmv " ^ vn) r_i r_c;
+      three_way ("multicore spmv " ^ vn) run;
       check ("multicore " ^ vn ^ ": 4 threads") true
-        (r_c.Driver.report.Asap_sim.Exec.rp_threads = 4))
+        ((run `Bytecode).Driver.report.Asap_sim.Exec.rp_threads = 4))
     variants
 
 let test_multicore_deterministic () =
@@ -120,6 +126,190 @@ let test_multicore_deterministic () =
     Driver.spmv ~threads:4 machine4 v (Encoding.csr ()) coo
   in
   same_result "multicore repeat" (run ()) (run ())
+
+(* --- Traps and faults ------------------------------------------------- *)
+
+(* Every engine must fail the same way on the same bad program: same
+   exception, same message, raised from the same simulated point. *)
+let outcome_of engine fn ~bufs ~scalars =
+  match Exec.run ~engine machine fn ~bufs ~scalars with
+  | (_ : Exec.report) -> "ok"
+  | exception Interp.Trap m -> "trap: " ^ m
+  | exception Runtime.Fault m -> "fault: " ^ m
+
+let same_outcome name expected fn mk_bufs scalars =
+  List.iter
+    (fun engine ->
+      check_s
+        (Printf.sprintf "%s (%s)" name (Exec.engine_to_string engine))
+        expected
+        (outcome_of engine fn ~bufs:(mk_bufs ()) ~scalars))
+    [ `Interp; `Compiled; `Bytecode ]
+
+let test_trap_fault_parity () =
+  (* Division by zero inside a loop body. *)
+  let fn_div, div_buf =
+    let b = Builder.create () in
+    let out = Builder.buf b "out" Ir.EIdx64 in
+    let n = Builder.scalar_param b "n" Ir.Index in
+    Builder.for0 b "i" (Builder.index b 0) n (fun i ->
+        let q = Builder.ibin b Ir.Idiv n i in
+        Builder.store b out (Builder.index b 0) q);
+    (Builder.finish b "div_by_zero", out)
+  in
+  same_outcome "div by zero" "trap: division by zero" fn_div
+    (fun () -> [ (div_buf, Runtime.RI (Array.make 1 0)) ])
+    [ 3 ];
+  (* Non-positive loop step (a dynamic step of zero). *)
+  let fn_step, step_buf =
+    let b = Builder.create () in
+    let out = Builder.buf b "out" Ir.EIdx64 in
+    let s = Builder.scalar_param b "s" Ir.Index in
+    Builder.for0 b ~step:s "i" (Builder.index b 0) (Builder.index b 4)
+      (fun i -> Builder.store b out (Builder.index b 0) i);
+    (Builder.finish b "zero_step", out)
+  in
+  same_outcome "zero step" "trap: non-positive loop step" fn_step
+    (fun () -> [ (step_buf, Runtime.RI (Array.make 1 0)) ])
+    [ 0 ];
+  (* Out-of-bounds load: the address is observed, then the engine faults
+     with the buffer's name and extent. *)
+  let fn_load, load_bufs =
+    let b = Builder.create () in
+    let src = Builder.buf b "src" Ir.EF64 in
+    let out = Builder.buf b "out" Ir.EF64 in
+    let x = Builder.load b src (Builder.index b 5) in
+    Builder.store b out (Builder.index b 0) x;
+    (Builder.finish b "oob_load", (src, out))
+  in
+  same_outcome "oob load" "fault: load src[5] out of bounds [0, 3)" fn_load
+    (fun () ->
+      let src, out = load_bufs in
+      [ (src, Runtime.RF [| 1.; 2.; 3. |]);
+        (out, Runtime.RF (Array.make 1 0.)) ])
+    [];
+  (* Out-of-bounds store. *)
+  let fn_store, store_buf =
+    let b = Builder.create () in
+    let out = Builder.buf b "out" Ir.EF64 in
+    Builder.store b out (Builder.index b 2) (Builder.f64 b 7.5);
+    (Builder.finish b "oob_store", out)
+  in
+  same_outcome "oob store" "fault: store out[2] out of bounds [0, 2)" fn_store
+    (fun () -> [ (store_buf, Runtime.RF (Array.make 2 0.)) ])
+    []
+
+(* --- Carried values --------------------------------------------------- *)
+
+let test_carried_values () =
+  (* A counted loop carrying a float accumulator and an int counter,
+     feeding a while loop that carries both onward — the full carried
+     init/yield/result plumbing of both loop forms, in every engine. *)
+  let fn, (src_buf, out_buf) =
+    let b = Builder.create () in
+    let src = Builder.buf b "src" Ir.EF64 in
+    let out = Builder.buf b "out" Ir.EF64 in
+    let n = Builder.scalar_param b "n" Ir.Index in
+    let zero = Builder.index b 0 and one = Builder.index b 1 in
+    let finals =
+      Builder.for_ b "i" zero n
+        ~carried:
+          [ ("acc", Ir.F64, Builder.f64 b 0.25); ("cnt", Ir.Index, zero) ]
+        (fun i args ->
+          match args with
+          | [ acc; cnt ] ->
+            let x = Builder.load b src i in
+            [ Builder.fadd b acc x; Builder.iadd b cnt one ]
+          | _ -> assert false)
+    in
+    (match finals with
+     | [ acc; cnt ] ->
+       let ws =
+         Builder.while_ b
+           [ ("c", Ir.Index, cnt); ("s", Ir.F64, acc) ]
+           (fun args ->
+             match args with
+             | [ c; _ ] -> Builder.icmp b Ir.Sgt c zero
+             | _ -> assert false)
+           (fun args ->
+             match args with
+             | [ c; s ] -> [ Builder.isub b c one; Builder.fadd b s s ]
+             | _ -> assert false)
+       in
+       (match ws with
+        | [ c; s ] ->
+          Builder.store b out zero s;
+          Builder.store b out one (Builder.cast b Ir.F64 c)
+        | _ -> assert false)
+     | _ -> assert false);
+    (Builder.finish b "carried", (src, out))
+  in
+  let src_data = [| 0.5; 1.5; 2.5; 3.5 |] in
+  let run engine =
+    let out = Array.make 2 0. in
+    let bufs =
+      [ (src_buf, Runtime.RF (Array.copy src_data));
+        (out_buf, Runtime.RF out) ]
+    in
+    let r = Exec.run ~engine machine fn ~bufs ~scalars:[ 4 ] in
+    (r, out)
+  in
+  let r_i, out_i = run `Interp in
+  let r_c, out_c = run `Compiled in
+  let r_b, out_b = run `Bytecode in
+  (* (0.25 + 8.0) doubled 4 times, and the counter drained to 0. *)
+  check "carried: expected value" true (out_i = [| 132.; 0. |]);
+  check "carried: compiled report" true (r_i = r_c);
+  check "carried: bytecode report" true (r_i = r_b);
+  check "carried: compiled out" true (out_i = out_c);
+  check "carried: bytecode out" true (out_i = out_b)
+
+(* --- Superinstruction fusion ------------------------------------------ *)
+
+let test_fusion_cycle_exact () =
+  (* CSR SpMV — the shape the LD2/LDFMA/POS2FOR superinstructions target.
+     Fused and unfused bytecode must produce identical results and cycle
+     counts (against a memory port with address-dependent latencies, so
+     any divergence in issue/retire order shows up), both matching the
+     interpreter. *)
+  let coo = small_matrix 27 in
+  let enc = Encoding.csr () in
+  let st = Storage.pack enc coo in
+  let compiled = Pipeline.compile (Kernel.spmv ~enc ()) Pipeline.Baseline in
+  let fn = compiled.Pipeline.fn in
+  let rows = coo.Coo.dims.(0) and cols = coo.Coo.dims.(1) in
+  let scalars = Bindings.scalar_args compiled.Pipeline.cc ~extents:[| rows; cols |] in
+  let mem =
+    { Interp.m_load = (fun ~pc:_ ~addr ~at -> at + 2 + (addr land 31));
+      m_store = (fun ~pc:_ ~addr:_ ~at:_ -> ());
+      m_prefetch = (fun ~addr:_ ~locality:_ ~at:_ -> ()) }
+  in
+  let fresh () =
+    let out = Array.make rows 0. in
+    let dense =
+      [ ("c", Runtime.RF (Array.init cols (fun j -> float_of_int (j mod 7))));
+        ("a", Runtime.RF out) ]
+    in
+    let bufs =
+      Bindings.storage_bufs compiled.Pipeline.cc st ~binary:false ~dense
+    in
+    (Runtime.layout fn bufs, out)
+  in
+  let bound_i, out_i = fresh () in
+  let r_i = Interp.run fn ~bufs:bound_i ~scalars ~mem in
+  let bound_f, out_f = fresh () in
+  let p_fused = Bytecode.compile fn ~bufs:bound_f in
+  let r_f = Bytecode.run p_fused ~scalars ~mem in
+  let bound_u, out_u = fresh () in
+  let p_unfused = Bytecode.compile ~fuse:false fn ~bufs:bound_u in
+  let r_u = Bytecode.run p_unfused ~scalars ~mem in
+  check "fusion: superinstructions emitted" true
+    (Bytecode.fused_count p_fused > 0);
+  check "fusion: unfused has none" true (Bytecode.fused_count p_unfused = 0);
+  check "fusion: fused = interp" true (r_f = r_i);
+  check "fusion: unfused = interp" true (r_u = r_i);
+  check "fusion: fused output" true (out_f = out_i);
+  check "fusion: unfused output" true (out_u = out_i)
 
 (* --- Parallel benchmark grid ----------------------------------------- *)
 
@@ -185,5 +375,8 @@ let suite =
       test_differential_multicore;
     Alcotest.test_case "multicore deterministic" `Quick
       test_multicore_deterministic;
+    Alcotest.test_case "trap and fault parity" `Quick test_trap_fault_parity;
+    Alcotest.test_case "carried values" `Quick test_carried_values;
+    Alcotest.test_case "fusion cycle-exact" `Quick test_fusion_cycle_exact;
     Alcotest.test_case "parallel grid = sequential" `Quick
       test_grid_parallel_matches_sequential ]

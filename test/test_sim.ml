@@ -71,8 +71,8 @@ let test_dram_bandwidth_queueing () =
 
 let test_mshr () =
   let m = Mshr.create 2 in
-  Mshr.add m 10 50;
-  Mshr.add m 11 60;
+  Mshr.add ~prov:(-1) m 10 50;
+  Mshr.add ~prov:(-1) m 11 60;
   check "full" true (Mshr.full m);
   check_int "find" 50 (Mshr.find m 10);
   check_int "earliest" 50 (Mshr.earliest m);
@@ -84,61 +84,61 @@ let test_mshr () =
 
 (* --- Hardware prefetchers ------------------------------------------ *)
 
-let ev ?(pc = 1) ?(hit = false) addr =
-  { Hp.pc; addr; line = addr asr 6; hit }
+(* Feed one observation and collect the requested lines as a list. *)
+let observe (p : Hp.t) ?(pc = 1) ?(hit = false) addr =
+  let out = Array.make Hp.max_requests 0 in
+  let n = p.Hp.pf_observe ~pc ~addr ~line:(addr asr 6) ~hit ~out in
+  Array.to_list (Array.sub out 0 n)
 
 let test_nlp () =
   let p = Hp.l1_nlp () in
-  (match p.Hp.pf_observe (ev 640) with
-   | [ r ] -> check_int "next line" 11 r.Hp.r_line
+  (match observe p 640 with
+   | [ line ] -> check_int "next line" 11 line
    | _ -> Alcotest.fail "nlp must fire on a miss");
-  check "silent on hit" true (p.Hp.pf_observe (ev ~hit:true 640) = [])
+  check "silent on hit" true (observe p ~hit:true 640 = [])
 
 let test_ipp_stride_detection () =
   let p = Hp.l1_ipp ~streams:2 ~lookahead:4 () in
   (* Train PC 1 with stride 256 (4 lines). *)
   let fire = ref [] in
-  List.iter
-    (fun a -> fire := p.Hp.pf_observe (ev ~pc:1 a))
-    [ 0; 256; 512; 768 ];
+  List.iter (fun a -> fire := observe p ~pc:1 a) [ 0; 256; 512; 768 ];
   (match !fire with
-   | [ r ] -> check_int "strided target" ((768 + (256 * 4)) asr 6) r.Hp.r_line
+   | [ line ] -> check_int "strided target" ((768 + (256 * 4)) asr 6) line
    | _ -> Alcotest.fail "ipp must fire after training");
   (* Replacement hysteresis: an established stream is not displaced by a
      burst of other PCs (capacity 2: PC 2 takes the free slot, PC 3 only
      decays). *)
   List.iter
-    (fun (pc, a) -> ignore (p.Hp.pf_observe (ev ~pc a)))
+    (fun (pc, a) -> ignore (observe p ~pc a))
     [ (2, 0); (2, 64); (3, 0); (3, 64) ];
-  check "established stream retained" true
-    (p.Hp.pf_observe (ev ~pc:1 1024) <> []);
+  check "established stream retained" true (observe p ~pc:1 1024 <> []);
   (* Sustained conflicts eventually decay and evict it. *)
   for k = 1 to 200 do
-    ignore (p.Hp.pf_observe (ev ~pc:(10 + (k mod 7)) (k * 8192)))
+    ignore (observe p ~pc:(10 + (k mod 7)) (k * 8192))
   done;
-  check "decayed stream evicted" true (p.Hp.pf_observe (ev ~pc:1 1280) = [])
+  check "decayed stream evicted" true (observe p ~pc:1 1280 = [])
 
 let test_streamer () =
   let p = Hp.mlc_streamer () in
-  ignore (p.Hp.pf_observe (ev 0));
-  ignore (p.Hp.pf_observe (ev 64));
-  let rs = p.Hp.pf_observe (ev 128) in
+  ignore (observe p 0);
+  ignore (observe p 64);
+  let rs = observe p 128 in
   check "streamer fires" true (rs <> []);
   List.iter
-    (fun (r : Hp.request) ->
-      check "within page" true (r.Hp.r_line asr 6 = 0);
-      check "ahead" true (r.Hp.r_line > 2))
+    (fun line ->
+      check "within page" true (line asr 6 = 0);
+      check "ahead" true (line > 2))
     rs
 
 let test_amp_repeated_delta () =
   let p = Hp.l2_amp () in
-  ignore (p.Hp.pf_observe (ev 0));
-  ignore (p.Hp.pf_observe (ev (5 * 64)));
-  let rs = p.Hp.pf_observe (ev (10 * 64)) in
+  ignore (observe p 0);
+  ignore (observe p (5 * 64));
+  let rs = observe p (10 * 64) in
   (match rs with
    | [ a; b ] ->
-     check_int "stride 5" 15 a.Hp.r_line;
-     check_int "stride 5 x2" 20 b.Hp.r_line
+     check_int "stride 5" 15 a;
+     check_int "stride 5 x2" 20 b
    | _ -> Alcotest.fail "amp must fire on repeated delta")
 
 (* --- Hierarchy ----------------------------------------------------- *)

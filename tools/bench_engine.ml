@@ -1,5 +1,5 @@
 (* Engine microbenchmark: host wall-clock and simulated-instruction
-   throughput of the two execution engines on identical cells.
+   throughput of the three execution engines on identical cells.
 
    The matrix is generated and packed once; each engine then runs the same
    kernel/variant cells on fresh hierarchies, so the comparison isolates
@@ -55,7 +55,16 @@ let () =
   in
   let ti, ii = measure `Interp in
   let tc, ic = measure `Compiled in
+  let tb, ib = measure `Bytecode in
   assert (ii = ic);
+  assert (ii = ib);
+  (* Seed-commit Minstr/s on this microbench (default arguments, same
+     host class), for cross-commit ratios: the per-access hierarchy
+     optimisations that rode along with the bytecode engine sped up all
+     three engines, so same-run ratios understate the distance travelled
+     from the seed's closure engine. *)
+  let seed_interp = 4.84 and seed_compiled = 7.18 in
+  let mb = float_of_int ib /. tb /. 1e6 in
   Printf.printf
     "{\n\
     \  \"grid\": \"spmv csr x {baseline,asap,aj} x %d reps\",\n\
@@ -63,10 +72,19 @@ let () =
     \  \"simulated_instructions\": %d,\n\
     \  \"interp\": { \"wall_s\": %.3f, \"minstr_per_s\": %.2f },\n\
     \  \"compiled\": { \"wall_s\": %.3f, \"minstr_per_s\": %.2f },\n\
-    \  \"speedup\": %.2f\n\
+    \  \"bytecode\": { \"wall_s\": %.3f, \"minstr_per_s\": %.2f },\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"bytecode_vs_compiled\": %.2f,\n\
+    \  \"bytecode_vs_interp\": %.2f,\n\
+    \  \"seed_interp_minstr_per_s\": %.2f,\n\
+    \  \"seed_compiled_minstr_per_s\": %.2f,\n\
+    \  \"bytecode_vs_seed_compiled\": %.2f,\n\
+    \  \"bytecode_vs_seed_interp\": %.2f\n\
      }\n"
     reps rows deg (Coo.nnz coo) ii ti
     (float_of_int ii /. ti /. 1e6)
     tc
     (float_of_int ic /. tc /. 1e6)
-    (ti /. tc)
+    tb mb
+    (ti /. tc) (tc /. tb) (ti /. tb)
+    seed_interp seed_compiled (mb /. seed_compiled) (mb /. seed_interp)

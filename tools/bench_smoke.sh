@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Engine smoke benchmark: wall-clock the --quick fig6 grid under both
-# execution engines, check the printed tables are byte-identical, emit one
-# JSONL run record per grid cell, and run the engine microbenchmark
-# (tools/bench_engine.ml) for per-engine simulated-instruction throughput.
+# Engine smoke benchmark: wall-clock the --quick fig6 grid under all three
+# execution engines (interp, compiled, bytecode), check the printed tables
+# are byte-identical, emit one JSONL run record per grid cell, and run the
+# engine microbenchmark (tools/bench_engine.ml) for per-engine
+# simulated-instruction throughput.
 # Emits BENCH_engine.json (plus BENCH_records.jsonl), then runs the
 # serving smoke (@serve-smoke section below) which emits BENCH_serve.json
 # and gates the cache-hit rate and serve throughput.
@@ -55,11 +56,12 @@ fi
 
 interp_wall=$(run_grid interp 1 "$tmp/interp.txt" "$tmp/interp.log")
 compiled_wall=$(run_grid compiled 4 "$tmp/compiled.txt" "$tmp/compiled.log")
+bytecode_wall=$(run_grid bytecode 4 "$tmp/bytecode.txt" "$tmp/bytecode.log")
 
-# Re-run one compiled cell set with --records to exercise the JSONL sink
+# Re-run one bytecode cell set with --records to exercise the JSONL sink
 # (cheap: records ride along with the grid's own measurement pass).
 rm -f "$RECORDS"
-timeout "$TIMEOUT_S" "$MAIN" --quick --engine compiled --jobs 1 \
+timeout "$TIMEOUT_S" "$MAIN" --quick --engine bytecode --jobs 1 \
   --records "$RECORDS" fig6 >/dev/null 2>"$tmp/records.log"
 record_count=$(wc -l <"$RECORDS")
 if [ "$record_count" -eq 0 ]; then
@@ -67,7 +69,8 @@ if [ "$record_count" -eq 0 ]; then
   exit 1
 fi
 
-if cmp -s "$tmp/interp.txt" "$tmp/compiled.txt"; then
+if cmp -s "$tmp/interp.txt" "$tmp/compiled.txt" \
+   && cmp -s "$tmp/interp.txt" "$tmp/bytecode.txt"; then
   identical=true
 else
   identical=false
@@ -87,12 +90,17 @@ micro=$(timeout "$TIMEOUT_S" "$MICRO" 60000 8 2)
   printf '  "seed_interp_wall_s": %s,\n' "$SEED_WALL_S"
   printf '  "interp_wall_s": %s,\n' "$interp_wall"
   printf '  "compiled_jobs4_wall_s": %s,\n' "$compiled_wall"
+  printf '  "bytecode_jobs4_wall_s": %s,\n' "$bytecode_wall"
   awk -v s="$SEED_WALL_S" -v i="$interp_wall" -v c="$compiled_wall" \
-    -v m="$minstr" 'BEGIN {
+    -v y="$bytecode_wall" -v m="$minstr" 'BEGIN {
       printf "  \"interp_minstr_per_s\": %.2f,\n", m / i;
       printf "  \"compiled_minstr_per_s\": %.2f,\n", m / c;
+      printf "  \"bytecode_minstr_per_s\": %.2f,\n", m / y;
       printf "  \"speedup_vs_seed\": %.2f,\n", s / c;
-      printf "  \"speedup_vs_interp\": %.2f,\n", i / c }'
+      printf "  \"speedup_vs_interp\": %.2f,\n", i / c;
+      printf "  \"bytecode_speedup_vs_seed\": %.2f,\n", s / y;
+      printf "  \"bytecode_speedup_vs_interp\": %.2f,\n", i / y;
+      printf "  \"bytecode_vs_compiled\": %.2f,\n", c / y }'
   printf '  "tables_identical": %s,\n' "$identical"
   printf '  "run_records": %s,\n' "$record_count"
   printf '  "microbench":\n'
@@ -101,7 +109,20 @@ micro=$(timeout "$TIMEOUT_S" "$MICRO" 60000 8 2)
 } >"$OUT"
 
 echo "wrote $OUT (interp ${interp_wall}s, compiled+4jobs ${compiled_wall}s," \
-  "tables_identical=$identical, records=$record_count)"
+  "bytecode+4jobs ${bytecode_wall}s, tables_identical=$identical," \
+  "records=$record_count)"
+
+# Bytecode throughput gate: the flat-bytecode engine must stay within 5%
+# of the closure compiler on the same-run grid (it is normally ahead; the
+# tolerance absorbs host noise on small --quick cells).
+if awk -v c="$compiled_wall" -v y="$bytecode_wall" \
+     'BEGIN { exit !(c / y < 0.95) }'; then
+  echo "bench_smoke: FAIL — bytecode grid ${bytecode_wall}s is slower than" \
+    "0.95x compiled ${compiled_wall}s" >&2
+  exit 1
+fi
+echo "bytecode gate: ${bytecode_wall}s vs compiled ${compiled_wall}s" \
+  "(>= 0.95x compiled throughput) — ok"
 
 if [ -n "$prev_compiled_wall" ]; then
   if awk -v now="$compiled_wall" -v prev="$prev_compiled_wall" \

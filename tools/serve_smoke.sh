@@ -22,6 +22,7 @@ SERVE_N=${SERVE_N:-300}
 SERVE_SEED=${SERVE_SEED:-11}
 SERVE_JOBS=${SERVE_JOBS:-4}
 MIN_SPEEDUP=${MIN_SPEEDUP:-2.0}
+SERVE_ENGINE=${SERVE_ENGINE:-bytecode}
 
 prev_serve_rps=
 if [ -f "$OUT" ]; then
@@ -29,8 +30,8 @@ if [ -f "$OUT" ]; then
     | grep -o '[0-9.]*$' || true)
 fi
 
-timeout "$TIMEOUT_S" "$SERVE" "$SERVE_N" "$SERVE_SEED" "$SERVE_JOBS" \
-  "$MIN_SPEEDUP" >"$OUT"
+timeout "$TIMEOUT_S" "$SERVE" --engine "$SERVE_ENGINE" "$SERVE_N" \
+  "$SERVE_SEED" "$SERVE_JOBS" "$MIN_SPEEDUP" >"$OUT"
 
 hit_rate=$(grep -o '"hit_rate": [0-9.]*' "$OUT" | grep -o '[0-9.]*$')
 serve_rps=$(grep -o '"serve_req_per_s": [0-9.]*' "$OUT" | grep -o '[0-9.]*$')
