@@ -13,16 +13,20 @@
    tools/bench_smoke.sh @serve-smoke).
 
    Usage: serve.exe [--engine interp|compiled|bytecode]
+                    [--tune-mode sweep|model|hybrid]
                     [n] [seed] [jobs] [min_speedup; 0 disables] *)
 
 module Mix = Asap_serve.Mix
 module Scheduler = Asap_serve.Scheduler
 module Slo = Asap_serve.Slo
 module Exec = Asap_sim.Exec
+module Tuning = Asap_core.Tuning
 
 let () =
-  (* Pull out [--engine E]; what remains is the positional tail. *)
+  (* Pull out [--engine E] / [--tune-mode M]; what remains is the
+     positional tail. *)
   let engine = ref Exec.default_engine in
+  let tune_mode = ref Tuning.default_mode in
   let rec split acc = function
     | [] -> List.rev acc
     | "--engine" :: v :: rest ->
@@ -30,6 +34,13 @@ let () =
        | Some e -> engine := e
        | None ->
          Printf.eprintf "unknown engine %s (%s)\n" v Exec.valid_engines;
+         exit 1);
+      split acc rest
+    | "--tune-mode" :: v :: rest ->
+      (match Tuning.mode_of_string v with
+       | Some m -> tune_mode := m
+       | None ->
+         Printf.eprintf "unknown tune mode %s (%s)\n" v Tuning.valid_modes;
          exit 1);
       split acc rest
     | a :: rest -> split (a :: acc) rest
@@ -47,10 +58,10 @@ let () =
   let seed = argi 1 11 in
   let jobs = argi 2 4 in
   let min_speedup = argf 3 2.0 in
-  let engine = !engine in
+  let engine = !engine and tune_mode = !tune_mode in
   let profiles () =
     List.map
-      (fun p -> { p with Mix.p_engine = engine })
+      (fun p -> { p with Mix.p_engine = engine; p_tune_mode = tune_mode })
       (Mix.default_profiles ())
   in
   let reqs = Mix.hot_cold ~seed ~n (profiles ()) in
@@ -72,6 +83,7 @@ let () =
     "{\n\
     \  \"mix\": \"hot_cold zipf n=%d seed=%d (10 profiles)\",\n\
     \  \"engine\": \"%s\",\n\
+    \  \"tune_mode\": \"%s\",\n\
     \  \"host_cpus\": %d,\n\
     \  \"jobs\": %d,\n\
     \  \"cached\": { \"wall_s\": %.3f, \"req_per_s\": %.1f, \"builds\": %d,\n\
@@ -82,6 +94,7 @@ let () =
      }\n"
     n seed
     (Exec.engine_to_string engine)
+    (Tuning.mode_to_string tune_mode)
     (Domain.recommended_domain_count ())
     jobs cached_wall
     (float_of_int n /. cached_wall)

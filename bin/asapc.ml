@@ -94,6 +94,27 @@ let engine_arg =
                  closures) or interp (tree-walking reference). All three \
                  are cycle-exact.")
 
+let tune_mode_conv =
+  let parse s =
+    match Asap_core.Tuning.mode_of_string s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown tune mode %S (expected %s)" s
+              Asap_core.Tuning.valid_modes))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt m ->
+        Format.pp_print_string fmt (Asap_core.Tuning.mode_to_string m) )
+
+let tune_mode_doc =
+  "How tuned variants are decided: sweep (profile every candidate \
+   distance on a slice), model (predict from one-pass matrix features — \
+   no profiling simulations), or hybrid (serve the sweep's decision, \
+   record whether the model agreed)."
+
 let variant_of v ~distance ~strategy ~bound =
   match v with
   | `Baseline -> Pipeline.Baseline
@@ -242,15 +263,32 @@ let inspect_cmd =
 (* --- tune ------------------------------------------------------------ *)
 
 let tune_cmd =
-  let run coo enc =
+  let mode_arg =
+    Arg.(value & opt tune_mode_conv Asap_core.Tuning.default_mode
+         & info [ "tune-mode" ] ~docv:"MODE" ~doc:tune_mode_doc)
+  in
+  let features_arg =
+    Arg.(value & flag
+         & info [ "features" ]
+             ~doc:"Also print the extracted feature vector the cost model \
+                   predicts from.")
+  in
+  let run coo enc mode features =
     let machine = Machine.gracemont_scaled ~hw:Machine.hw_optimized () in
-    let d = Asap_core.Tuning.tune machine enc coo in
-    print_string (Asap_core.Tuning.describe d)
+    let d = Asap_model.Select.decide ~mode machine enc coo in
+    if features then
+      (match d.Asap_model.Select.d_features with
+       | Some f -> Format.printf "%a" Asap_model.Features.pp f
+       | None ->
+         let f = Asap_model.Features.extract ~machine enc coo in
+         Format.printf "%a" Asap_model.Features.pp f);
+    print_string (Asap_model.Select.describe d)
   in
   Cmd.v
     (Cmd.info "tune"
-       ~doc:"Profile a slice and pick a prefetch configuration (§3.2.3)")
-    Term.(const run $ matrix_args $ format_arg)
+       ~doc:"Pick a prefetch configuration: profile a slice (§3.2.3), \
+             predict from matrix features, or both")
+    Term.(const run $ matrix_args $ format_arg $ mode_arg $ features_arg)
 
 (* --- gen ------------------------------------------------------------- *)
 
@@ -330,11 +368,25 @@ let serve_cmd =
     Arg.(value & flag
          & info [ "counters" ] ~doc:"Dump the serve.* counter registry.")
   in
+  let mode_arg =
+    Arg.(value & opt (some tune_mode_conv) None
+         & info [ "tune-mode" ] ~docv:"MODE"
+             ~doc:(tune_mode_doc
+                   ^ " Overrides the tune_mode field of every request; \
+                      without it each request's own field (default sweep) \
+                      applies."))
+  in
   let run requests out jobs servers queue cache no_cache no_batch summary
-      trace counters =
+      trace counters mode =
     match Request.load requests with
     | Error e -> prerr_endline ("asapc serve: " ^ e); exit 1
     | Ok reqs ->
+      let reqs =
+        match mode with
+        | None -> reqs
+        | Some m ->
+          List.map (fun r -> { r with Request.tune_mode = m }) reqs
+      in
       let cfg =
         { Scheduler.servers; queue_limit = queue;
           cache_capacity = (if no_cache then 0 else cache);
@@ -376,7 +428,7 @@ let serve_cmd =
        ~doc:"Replay a JSONL request file through the serving scheduler")
     Term.(const run $ requests_arg $ out_arg $ jobs_arg $ servers_arg
           $ queue_arg $ cache_arg $ no_cache_arg $ no_batch_arg $ summary_arg
-          $ trace_arg $ counters_arg)
+          $ trace_arg $ counters_arg $ mode_arg)
 
 (* --- genreqs --------------------------------------------------------- *)
 
@@ -408,10 +460,16 @@ let genreqs_cmd =
          & info [ "deadline" ] ~docv:"MS"
              ~doc:"Attach this relative latency budget to every request.")
   in
-  let run out n seed alpha gap deadline engine =
+  let mode_arg =
+    Arg.(value & opt tune_mode_conv Asap_core.Tuning.default_mode
+         & info [ "tune-mode" ] ~docv:"MODE"
+             ~doc:"Tuning mode stamped on every generated request \
+                   (sweep|model|hybrid).")
+  in
+  let run out n seed alpha gap deadline engine mode =
     let profiles =
       List.map
-        (fun p -> { p with Mix.p_engine = engine })
+        (fun p -> { p with Mix.p_engine = engine; p_tune_mode = mode })
         (Mix.default_profiles ())
     in
     let reqs =
@@ -427,7 +485,7 @@ let genreqs_cmd =
     (Cmd.info "genreqs"
        ~doc:"Write a synthetic hot/cold request mix as JSONL")
     Term.(const run $ out_arg $ n_arg $ seed_arg $ alpha_arg $ gap_arg
-          $ deadline_arg $ engine_arg)
+          $ deadline_arg $ engine_arg $ mode_arg)
 
 let () =
   let info =

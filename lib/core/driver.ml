@@ -40,11 +40,13 @@ module Cfg = struct
     n : int option;                      (* SpMM dense columns *)
     st : Storage.t option;               (* shared pre-packed storage *)
     obs : Asap_obs.Sink.t;               (* event sink (default: off) *)
+    tune_mode : Tuning.mode;             (* how `Tuned decisions are made *)
   }
 
   let make ?(engine = Exec.default_engine) ?(threads = 1) ?(binary = false)
-      ?n ?st ?(obs = Asap_obs.Sink.null) ~machine ~variant () =
-    { machine; variant; engine; threads; binary; n; st; obs }
+      ?n ?st ?(obs = Asap_obs.Sink.null) ?(tune_mode = Tuning.default_mode)
+      ~machine ~variant () =
+    { machine; variant; engine; threads; binary; n; st; obs; tune_mode }
 end
 
 (** What to execute: the kernel family and the sparse encoding of its

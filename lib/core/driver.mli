@@ -37,14 +37,18 @@ module Cfg : sig
     n : int option;                      (** SpMM dense columns *)
     st : Asap_tensor.Storage.t option;   (** shared pre-packed storage *)
     obs : Asap_obs.Sink.t;               (** event sink (default: off) *)
+    tune_mode : Tuning.mode;
+      (** how [`Tuned] variant decisions are made by layers that tune
+          (the serve build path); {!run} itself never tunes *)
   }
 
   (** [make ~machine ~variant ()] with defaults: [Exec.default_engine],
       one thread, numeric kernels, kernel-specific [n], fresh packing, no
-      observability. *)
+      observability, [`Sweep] tuning. *)
   val make :
     ?engine:Exec.engine -> ?threads:int -> ?binary:bool -> ?n:int ->
     ?st:Asap_tensor.Storage.t -> ?obs:Asap_obs.Sink.t ->
+    ?tune_mode:Tuning.mode ->
     machine:Machine.t -> variant:Pipeline.variant -> unit -> t
 end
 

@@ -12,74 +12,85 @@
 
    Virtual service costs derive from the same build: [run_ms] is the
    kernel's simulated cycles at the machine's frequency, and [tune_ms]
-   is the summed simulated cycles of the tuning profile runs — the
-   scheduler charges them to cache misses in virtual time. *)
+   is the virtual cost of making the tuning decision — summed profile
+   cycles for sweep-mode tuning, the O(nnz) feature-extraction cost for
+   model-mode (microseconds, the whole point of the cost model), their
+   sum for hybrid — charged to cache misses in virtual time.
+
+   The matrix is packed once here and shared by both the tuning profile
+   runs and the prepared execution; packing is variant-independent, so
+   neither side repeats it. *)
 
 module Coo = Asap_tensor.Coo
+module Storage = Asap_tensor.Storage
 module Machine = Asap_sim.Machine
 module Exec = Asap_sim.Exec
 module Driver = Asap_core.Driver
 module Pipeline = Asap_core.Pipeline
 module Tuning = Asap_core.Tuning
+module Select = Asap_model.Select
 module Asap = Asap_prefetch.Asap
 
 type entry = {
   e_fp : string;                      (* Request.fingerprint *)
   e_machine : Machine.t;
   e_prep : Driver.Prep.t;
-  e_tune : Tuning.decision option;    (* Some iff variant was `Tuned … *)
+  e_decide : Select.decision option;  (* Some iff variant was `Tuned … *)
   e_tune_fell_back : bool;            (* … and tuning was inapplicable *)
   e_result : Driver.result;           (* the canonical cold run *)
   e_run_ms : float;                   (* virtual per-execution cost *)
-  e_tune_ms : float;                  (* virtual profiling cost on miss *)
+  e_tune_ms : float;                  (* virtual decision cost on miss *)
 }
 
 let run_ms (e : entry) = e.e_run_ms
 let result (e : entry) = e.e_result
 
 (* Profile-guided tuning needs a rank-2 matrix under an encoding with a
-   dense top level (the profile slice is a row range). Anything else
-   gracefully falls back to the default ASaP variant rather than
-   failing the request. *)
+   dense top level (the profile slice is a row range); the model path
+   shares the rank-2 restriction. Anything else gracefully falls back to
+   the default ASaP variant rather than failing the request. When tuning
+   applies, the storage packed for the profile runs is returned so the
+   prepared execution reuses it. *)
 let decide_variant (req : Request.t) (machine : Machine.t) (coo : Coo.t) :
-    Pipeline.variant * Tuning.decision option * bool =
+    Pipeline.variant * Select.decision option * bool * Storage.t option =
   match Request.fixed_variant req.Request.variant with
-  | Some v -> (v, None, false)
+  | Some v -> (v, None, false, None)
   | None ->
-    let fallback = (Pipeline.Asap Asap.default, None, true) in
+    let fallback = (Pipeline.Asap Asap.default, None, true, None) in
     (match Request.encoding_of_format req.Request.kernel req.Request.format with
      | None -> fallback
      | Some enc when req.Request.kernel <> `Ttv && Coo.rank coo = 2 ->
        (match
-          Tuning.tune ~engine:req.Request.engine ~jobs:1 machine enc coo
+          let st = Storage.pack enc coo in
+          ( Select.decide ~engine:req.Request.engine ~jobs:1 ~st
+              ~mode:req.Request.tune_mode machine enc coo,
+            st )
         with
-        | d -> (d.Tuning.chosen, Some d, false)
+        | d, st -> (d.Select.d_chosen, Some d, false, Some st)
         | exception Invalid_argument _ -> fallback)
      | Some _ -> fallback)
 
 (** [build req coo] assembles the cache entry for [req]'s fingerprint:
-    tune (if asked), prepare, and execute once cold. Safe to call from a
-    {!Par} worker — it touches no shared state ([~jobs:1] tuning). *)
+    decide the variant (if asked), prepare, and execute once cold. Safe
+    to call from a {!Par} worker — it touches no shared state ([~jobs:1]
+    tuning). *)
 let build (req : Request.t) (coo : Coo.t) : entry =
   let machine = Request.machine_of req in
-  let variant, tune, fell_back = decide_variant req machine coo in
+  let variant, decide, fell_back, st = decide_variant req machine coo in
   let tune_ms =
-    match tune with
+    match decide with
     | None -> 0.
-    | Some d ->
-      let cycles =
-        List.fold_left
-          (fun acc (p : Tuning.profile_entry) -> acc + p.Tuning.pe_cycles)
-          0 d.Tuning.profile
-      in
-      Machine.cycles_to_ms machine cycles
+    | Some d -> Machine.cycles_to_ms machine d.Select.d_tune_cycles
   in
-  let cfg = Driver.Cfg.make ~engine:req.Request.engine ~machine ~variant () in
+  let cfg =
+    Driver.Cfg.make ~engine:req.Request.engine
+      ~tune_mode:req.Request.tune_mode ?st ~machine ~variant ()
+  in
   let prep = Driver.Prep.make cfg (Request.spec req) coo in
   let result = Driver.Prep.exec prep in
   let run_ms =
     Machine.cycles_to_ms machine (Exec.Report.cycles result.Driver.report)
   in
   { e_fp = Request.fingerprint req; e_machine = machine; e_prep = prep;
-    e_tune = tune; e_tune_fell_back = fell_back; e_result = result;
+    e_decide = decide; e_tune_fell_back = fell_back; e_result = result;
     e_run_ms = run_ms; e_tune_ms = tune_ms }

@@ -1,31 +1,36 @@
 (** Building one cache entry — the expensive host-side half of serving:
     the prepared execution ({!Asap_core.Driver.Prep}), the tuning
-    decision for [`Tuned] requests, and the canonical result of one cold
-    run (the simulator is deterministic, so repeats are identical and
-    cache hits skip host work entirely). Virtual service costs ride
-    along: [run_ms] (simulated kernel time) and [tune_ms] (simulated
-    profiling time, charged to cache misses). *)
+    decision for [`Tuned] requests (under the request's tuning mode:
+    sweep, model or hybrid — {!Asap_model.Select}), and the canonical
+    result of one cold run (the simulator is deterministic, so repeats
+    are identical and cache hits skip host work entirely). Virtual
+    service costs ride along: [run_ms] (simulated kernel time) and
+    [tune_ms] (simulated decision time — profile runs for sweep,
+    feature extraction for model — charged to cache misses). The matrix
+    is packed once and shared by the profile runs and the prepared
+    execution. *)
 
 module Coo = Asap_tensor.Coo
 module Machine = Asap_sim.Machine
 module Driver = Asap_core.Driver
-module Tuning = Asap_core.Tuning
+module Select = Asap_model.Select
 
 type entry = {
   e_fp : string;                      (** {!Request.fingerprint} *)
   e_machine : Machine.t;
   e_prep : Driver.Prep.t;
-  e_tune : Tuning.decision option;    (** Some iff variant was [`Tuned] … *)
+  e_decide : Select.decision option;  (** Some iff variant was [`Tuned] … *)
   e_tune_fell_back : bool;            (** … and tuning was inapplicable *)
   e_result : Driver.result;           (** the canonical cold run *)
   e_run_ms : float;                   (** virtual per-execution cost *)
-  e_tune_ms : float;                  (** virtual profiling cost on miss *)
+  e_tune_ms : float;                  (** virtual decision cost on miss *)
 }
 
 val run_ms : entry -> float
 val result : entry -> Driver.result
 
-(** [build req coo] assembles the entry for [req]'s fingerprint: tune
-    (if asked; falls back to default ASaP when tuning is inapplicable),
-    prepare, and execute once cold. Safe to call from a {!Par} worker. *)
+(** [build req coo] assembles the entry for [req]'s fingerprint: decide
+    the variant (if asked; falls back to default ASaP when tuning is
+    inapplicable), prepare, and execute once cold. Safe to call from a
+    {!Par} worker. *)
 val build : Request.t -> Coo.t -> entry

@@ -9,6 +9,7 @@
 
 module Exec = Asap_sim.Exec
 module Rng = Asap_workloads.Rng
+module Tuning = Asap_core.Tuning
 
 type profile = {
   p_kernel : Request.kernel;
@@ -17,12 +18,15 @@ type profile = {
   p_variant : Request.variant;
   p_engine : Exec.engine;
   p_machine : string;
+  p_tune_mode : Tuning.mode;
 }
 
 let profile ?(kernel = `Spmv) ?(format = "csr") ?(variant = `Asap)
-    ?(engine = Exec.default_engine) ?(machine = "optimized") matrix =
+    ?(engine = Exec.default_engine) ?(machine = "optimized")
+    ?(tune_mode = Tuning.default_mode) matrix =
   { p_kernel = kernel; p_format = format; p_matrix = matrix;
-    p_variant = variant; p_engine = engine; p_machine = machine }
+    p_variant = variant; p_engine = engine; p_machine = machine;
+    p_tune_mode = tune_mode }
 
 (* A small spread over the workload suite: hot head on the irregular
    matrices prefetching helps most, cold tail over formats, variants and
@@ -80,5 +84,5 @@ let hot_cold ?(alpha = 1.2) ?(mean_gap_ms = 0.05) ?deadline_ms ~seed ~n
       { Request.id = Printf.sprintf "r%05d" i;
         kernel = p.p_kernel; format = p.p_format; matrix = p.p_matrix;
         variant = p.p_variant; engine = p.p_engine; machine = p.p_machine;
-        arrival_ms = !t;
+        tune_mode = p.p_tune_mode; arrival_ms = !t;
         deadline = Option.map (fun ms -> Request.Ms ms) deadline_ms })

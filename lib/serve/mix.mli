@@ -3,6 +3,7 @@
     seed. *)
 
 module Exec = Asap_sim.Exec
+module Tuning = Asap_core.Tuning
 
 type profile = {
   p_kernel : Request.kernel;
@@ -11,13 +12,15 @@ type profile = {
   p_variant : Request.variant;
   p_engine : Exec.engine;
   p_machine : string;
+  p_tune_mode : Tuning.mode;
 }
 
 (** [profile matrix] with defaults: SpMV, csr, ASaP variant, default
-    engine, "optimized" machine. *)
+    engine, "optimized" machine, sweep tuning. *)
 val profile :
   ?kernel:Request.kernel -> ?format:string -> ?variant:Request.variant ->
-  ?engine:Exec.engine -> ?machine:string -> string -> profile
+  ?engine:Exec.engine -> ?machine:string -> ?tune_mode:Tuning.mode ->
+  string -> profile
 
 (** A 10-profile spread over the workload suite, hot head first (Zipf
     weight falls with list position). *)

@@ -17,6 +17,7 @@ module Pipeline = Asap_core.Pipeline
 module Asap = Asap_prefetch.Asap
 module Aj = Asap_prefetch.Ainsworth_jones
 module Jsonu = Asap_obs.Jsonu
+module Tuning = Asap_core.Tuning
 
 type kernel = [ `Spmv | `Spmm | `Ttv ]
 
@@ -38,6 +39,7 @@ type t = {
   variant : variant;
   engine : Exec.engine;
   machine : string;         (* preset name, see machine_of *)
+  tune_mode : Tuning.mode;  (* how a `Tuned variant is decided *)
   arrival_ms : float;       (* virtual arrival time *)
   deadline : deadline option;
 }
@@ -125,9 +127,19 @@ let deadline_ms (r : t) (machine : Machine.t) : float option =
     decision) and nothing that doesn't (id, arrival, deadline). Equal
     fingerprints are servable by one cache entry. *)
 let fingerprint (r : t) : string =
-  String.concat "|"
+  let base =
     [ kernel_to_string r.kernel; r.format; r.matrix; r.machine;
       variant_to_string r.variant; Exec.engine_to_string r.engine ]
+  in
+  (* The tuning mode only shapes the artefact when there is a tuning
+     decision to make; fixed-variant requests share cache entries across
+     modes. *)
+  let base =
+    match r.variant with
+    | `Tuned -> base @ [ Tuning.mode_to_string r.tune_mode ]
+    | `Baseline | `Asap | `Aj -> base
+  in
+  String.concat "|" base
 
 (** [fallback r] is the degraded form a timed-out request is served as:
     the untuned, prefetch-free baseline of the same kernel on the same
@@ -145,6 +157,7 @@ let to_json (r : t) : Jsonu.t =
       ("variant", Jsonu.Str (variant_to_string r.variant));
       ("engine", Jsonu.Str (Exec.engine_to_string r.engine));
       ("machine", Jsonu.Str r.machine);
+      ("tune_mode", Jsonu.Str (Tuning.mode_to_string r.tune_mode));
       ("arrival_ms", Jsonu.Float r.arrival_ms) ]
   in
   let deadline =
@@ -159,8 +172,8 @@ let to_line r = Jsonu.to_string (to_json r)
 
 (** [of_json j] parses one request object. Required fields: [id],
     [kernel], [matrix]. Defaults: format [csr] ([csf] for ttv), variant
-    [asap], the default engine, machine [optimized], arrival 0, no
-    deadline. *)
+    [asap], the default engine, machine [optimized], tune_mode [sweep],
+    arrival 0, no deadline. *)
 let of_json (j : Jsonu.t) : (t, string) result =
   let str k = Option.bind (Jsonu.member k j) Jsonu.to_str_opt in
   let num k = Option.bind (Jsonu.member k j) Jsonu.to_float_opt in
@@ -205,17 +218,30 @@ let of_json (j : Jsonu.t) : (t, string) result =
                 (Printf.sprintf "request %s: unknown engine %S (expected %s)"
                    id e Exec.valid_engines))
        in
+       let tune_mode_r =
+         match str "tune_mode" with
+         | None -> Ok Tuning.default_mode
+         | Some m ->
+           (match Tuning.mode_of_string m with
+            | Some m -> Ok m
+            | None ->
+              Error
+                (Printf.sprintf
+                   "request %s: unknown tune_mode %S (expected %s)" id m
+                   Tuning.valid_modes))
+       in
        let deadline =
          match (num "deadline_ms", intf "deadline_cycles") with
          | Some b, _ -> Some (Ms b)
          | None, Some c -> Some (Cycles c)
          | None, None -> None
        in
-       (match (format_r, variant_r, engine_r) with
-        | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
-        | Ok format, Ok variant, Ok engine ->
+       (match (format_r, variant_r, engine_r, tune_mode_r) with
+        | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _
+        | _, _, _, Error e -> Error e
+        | Ok format, Ok variant, Ok engine, Ok tune_mode ->
           Ok
-            { id; kernel; format; matrix; variant; engine;
+            { id; kernel; format; matrix; variant; engine; tune_mode;
               machine = Option.value (str "machine") ~default:"optimized";
               arrival_ms = Option.value (num "arrival_ms") ~default:0.;
               deadline }))

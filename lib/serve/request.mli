@@ -9,6 +9,7 @@ module Exec = Asap_sim.Exec
 module Driver = Asap_core.Driver
 module Pipeline = Asap_core.Pipeline
 module Jsonu = Asap_obs.Jsonu
+module Tuning = Asap_core.Tuning
 
 type kernel = [ `Spmv | `Spmm | `Ttv ]
 
@@ -28,6 +29,7 @@ type t = {
   variant : variant;
   engine : Exec.engine;
   machine : string;         (** preset name, see {!machine_of} *)
+  tune_mode : Tuning.mode;  (** how a [`Tuned] variant is decided *)
   arrival_ms : float;       (** virtual arrival time *)
   deadline : deadline option;
 }
@@ -61,7 +63,8 @@ val deadline_ms : t -> Machine.t -> float option
 
 (** [fingerprint r] is the canonical cache key: every field affecting
     the built artefact and nothing that doesn't (id, arrival, deadline
-    excluded). *)
+    excluded; [tune_mode] included only for [`Tuned] requests, which are
+    the only ones whose artefact it shapes). *)
 val fingerprint : t -> string
 
 (** [fallback r] is the degraded form a timed-out request is served as:

@@ -30,6 +30,7 @@ module Generate = Asap_workloads.Generate
 module Registry = Asap_obs.Registry
 module Chrome = Asap_obs.Chrome
 module Jsonu = Asap_obs.Jsonu
+module Select = Asap_model.Select
 
 type cfg = {
   servers : int;          (* virtual servers draining the queue *)
@@ -113,8 +114,11 @@ let replay ?(trace : Chrome.t option) (cfg : cfg)
   let build_one (req : Request.t) = Build.build req (coo_of req) in
   (* Work items: with caching, one per distinct fingerprint (plus the
      fallback fingerprint of every deadline-carrying request — built
-     eagerly so degradation never blocks); without, one per request. *)
-  let entry_for, builds =
+     eagerly so degradation never blocks); without, one per request.
+     [built] keeps every entry in a deterministic order (sorted
+     fingerprints when caching, input order otherwise) so the tuning
+     counters aggregated from them are jobs-invariant. *)
+  let entry_for, builds, built =
     if caching then begin
       (* Representative request per fingerprint: the first (by input
          index) request — or fallback form — that produces it. Only
@@ -144,7 +148,7 @@ let replay ?(trace : Chrome.t option) (cfg : cfg)
         | `Primary -> Hashtbl.find tbl fp.(i)
         | `Fallback -> Hashtbl.find tbl fb_fp.(i)
       in
-      (lookup, Array.length keys)
+      (lookup, Array.length keys, entries)
     end
     else begin
       (* Uncached baseline: every request pays its own build — primaries
@@ -168,7 +172,7 @@ let replay ?(trace : Chrome.t option) (cfg : cfg)
         | `Primary -> prim.(i)
         | `Fallback -> Option.get fbent.(i)
       in
-      (lookup, Array.length work)
+      (lookup, Array.length work, entries)
     end
   in
 
@@ -366,8 +370,34 @@ let replay ?(trace : Chrome.t option) (cfg : cfg)
       ~batches:!batches ~batch_max:!batch_max ~queue_peak:!queue_peak
       ~inflight_peak:!inflight_peak ~builds ~makespan_ms:!makespan
   in
-  { rp_records = records; rp_summary = summary;
-    rp_registry = Slo.registry summary }
+  let registry = Slo.registry summary in
+  (* Tuning-decision counters, aggregated over the deterministic build
+     list: how many builds swept, how many ran the model, how many
+     rolled prefetching back — and, for hybrid builds, whether the model
+     agreed with the sweep and the profiled-cycle regret when not. *)
+  Array.iter
+    (fun (e : Build.entry) ->
+      match e.Build.e_decide with
+      | None -> ()
+      | Some d ->
+        if d.Select.d_sweep <> None then
+          Registry.add registry "serve.tune.sweep_runs" 1;
+        if d.Select.d_model <> None then
+          Registry.add registry "serve.tune.model_decisions" 1;
+        (match d.Select.d_chosen with
+         | Asap_core.Pipeline.Baseline ->
+           Registry.add registry "serve.tune.rollbacks" 1
+         | _ -> ());
+        (match d.Select.d_agree with
+         | Some true -> Registry.add registry "tune.model.agree" 1
+         | Some false ->
+           Registry.add registry "tune.model.disagree" 1;
+           (match d.Select.d_delta_cycles with
+            | Some dc -> Registry.add registry "tune.model.delta_cycles" dc
+            | None -> ())
+         | None -> ()))
+    built;
+  { rp_records = records; rp_summary = summary; rp_registry = registry }
 
 (* One record as a JSONL object — virtual quantities only, so replay
    output is byte-comparable across runs and host parallelism. *)

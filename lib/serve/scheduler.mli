@@ -51,7 +51,13 @@ type record = {
 type replayed = {
   rp_records : record array;       (** input order *)
   rp_summary : Slo.summary;
-  rp_registry : Registry.t;        (** [serve.*] counters *)
+  rp_registry : Registry.t;
+    (** [serve.*] counters, including the tuning-decision counters
+        [serve.tune.sweep_runs] / [serve.tune.model_decisions] /
+        [serve.tune.rollbacks] and the hybrid-mode agreement counters
+        [tune.model.agree] / [tune.model.disagree] /
+        [tune.model.delta_cycles], aggregated deterministically over
+        the build list *)
 }
 
 (** [replay ?trace cfg requests] runs the full two-pass replay. [trace],

@@ -197,6 +197,49 @@ let test_tuning_needs_dense_outer () =
      Alcotest.fail "tuning must reject compressed outer loops"
    with Invalid_argument _ -> ())
 
+(* Satellite: an empty candidate list used to crash deep in the profile
+   loop; it must be rejected up front as a caller error. *)
+let test_tuning_rejects_empty_candidates () =
+  let coo = small_matrix 8 in
+  try
+    let (_ : Asap_core.Tuning.decision) =
+      Asap_core.Tuning.tune ~candidates:[] machine (Encoding.csr ()) coo
+    in
+    Alcotest.fail "tuning must reject an empty candidate list"
+  with Invalid_argument msg ->
+    check "empty-candidates message names the cause" true
+      (Astring_contains.contains msg "empty candidate")
+
+(* The sweep decision is a function of the candidate SET: permuting the
+   list changes neither the pick nor the per-candidate profile, and
+   cycle ties break towards the smaller distance. *)
+let test_tuning_candidate_order_invariant () =
+  let coo =
+    Generate.power_law ~seed:53 ~rows:40_000 ~cols:40_000 ~avg_deg:5
+      ~alpha:1.9 ()
+  in
+  let enc = Encoding.csr () in
+  let sorted_profile d =
+    List.sort compare d.Asap_core.Tuning.profile
+  in
+  let d1 =
+    Asap_core.Tuning.tune ~candidates:[ 4; 16; 64 ] machine enc coo
+  in
+  let d2 =
+    Asap_core.Tuning.tune ~candidates:[ 64; 4; 16 ] machine enc coo
+  in
+  check "same decision under permutation" true
+    (d1.Asap_core.Tuning.chosen = d2.Asap_core.Tuning.chosen);
+  check "same profile under permutation" true
+    (sorted_profile d1 = sorted_profile d2);
+  (* Duplicated candidates tie exactly; the duplicate must not flip the
+     pick. *)
+  let d3 =
+    Asap_core.Tuning.tune ~candidates:[ 16; 4; 16; 64 ] machine enc coo
+  in
+  check "duplicates don't flip the pick" true
+    (d1.Asap_core.Tuning.chosen = d3.Asap_core.Tuning.chosen)
+
 (* Rank-3 CSF tensor-times-vector: the §3.2.2 bound recursion at depth 3,
    all variants, checked against the reference. *)
 let test_ttv_all_variants () =
@@ -532,6 +575,10 @@ let suite =
       test_tuning_picks_distance;
     Alcotest.test_case "tuning needs dense outer" `Quick
       test_tuning_needs_dense_outer;
+    Alcotest.test_case "tuning rejects empty candidates" `Quick
+      test_tuning_rejects_empty_candidates;
+    Alcotest.test_case "tuning candidate-order invariant" `Slow
+      test_tuning_candidate_order_invariant;
     Alcotest.test_case "ttv all variants" `Quick test_ttv_all_variants;
     Alcotest.test_case "ttv csf bound chain" `Quick test_ttv_sites_and_bounds;
     Alcotest.test_case "licm+fold preserve spmv" `Quick

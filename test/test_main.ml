@@ -12,6 +12,7 @@ let () =
       ("sim", Test_sim.suite);
       ("interp-props", Test_interp_props.suite);
       ("core", Test_core.suite);
+      ("model", Test_model.suite);
       ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);
       ("serve", Test_serve.suite) ]

@@ -26,10 +26,11 @@ let check_int = Alcotest.(check int)
    what is under test. *)
 let req ?(id = "r0") ?(kernel = `Spmv) ?(format = "csr")
     ?(matrix = "powerlaw:400,5") ?(variant : Request.variant = `Asap)
-    ?(arrival = 0.) ?deadline () : Request.t =
+    ?(tune_mode = Asap_core.Tuning.default_mode) ?(arrival = 0.) ?deadline ()
+    : Request.t =
   { Request.id; kernel; format; matrix; variant;
-    engine = Exec.default_engine; machine = "optimized"; arrival_ms = arrival;
-    deadline }
+    engine = Exec.default_engine; machine = "optimized"; tune_mode;
+    arrival_ms = arrival; deadline }
 
 let small_profiles () =
   [ Mix.profile "powerlaw:400,5";
@@ -272,6 +273,123 @@ let test_replay_matches_driver () =
   check "served output = direct run" true
     (served.Driver.out_f = direct.Driver.out_f)
 
+(* --- Tuning modes through the scheduler ------------------------------- *)
+
+(* A [`Tuned] mix under one tuning mode. Both specs are rank-2 so every
+   request takes the real tuning path (sweep, model or both). *)
+let tuned_mix ~tune_mode ~seed ~n () =
+  Mix.hot_cold ~seed ~n
+    [ Mix.profile ~variant:`Tuned ~tune_mode "powerlaw:400,5";
+      Mix.profile ~variant:`Tuned ~tune_mode "banded:300,4" ]
+
+(* Hybrid serves the sweep's decision: replayed records carry the same
+   outcomes and byte-identical execution results as sweep mode. Only the
+   decision's bookkeeping differs — fingerprints name the mode, and
+   service time charges the extra model pass on misses. *)
+let test_hybrid_serves_sweep_decision () =
+  let run tune_mode =
+    Scheduler.replay Scheduler.default_cfg
+      (tuned_mix ~tune_mode ~seed:7 ~n:40 ())
+  in
+  let sw = run `Sweep and hy = run `Hybrid in
+  check_int "same record count"
+    (Array.length sw.Scheduler.rp_records)
+    (Array.length hy.Scheduler.rp_records);
+  Array.iteri
+    (fun i s ->
+      let h = hy.Scheduler.rp_records.(i) in
+      check "same outcome" true
+        (s.Scheduler.r_outcome = h.Scheduler.r_outcome);
+      check "same hit/miss" true (s.Scheduler.r_hit = h.Scheduler.r_hit);
+      (* The served artefact is the same code: identical simulated
+         counters and output. *)
+      (match (s.Scheduler.r_result, h.Scheduler.r_result) with
+       | Some a, Some b ->
+         check "same counters" true (a.Driver.counters = b.Driver.counters);
+         check "same output" true (a.Driver.out_f = b.Driver.out_f)
+       | None, None -> ()
+       | _ -> Alcotest.fail "served/shed mismatch between modes");
+      (* Fingerprints differ only in the mode suffix. *)
+      let strip fp =
+        match String.rindex_opt fp '|' with
+        | Some j -> String.sub fp 0 j
+        | None -> fp
+      in
+      check "same fingerprint modulo mode" true
+        (strip s.Scheduler.r_fp = strip h.Scheduler.r_fp))
+    sw.Scheduler.rp_records;
+  (* Hybrid records the agreement it observed, one verdict per build. *)
+  let agree = Registry.find hy.Scheduler.rp_registry "tune.model.agree"
+  and disagree =
+    Registry.find hy.Scheduler.rp_registry "tune.model.disagree"
+  in
+  check_int "one verdict per build"
+    hy.Scheduler.rp_summary.Slo.s_builds (agree + disagree)
+
+let test_hybrid_replay_jobs_invariant () =
+  let reqs = tuned_mix ~tune_mode:`Hybrid ~seed:8 ~n:40 () in
+  let run jobs =
+    lines (Scheduler.replay { Scheduler.default_cfg with Scheduler.jobs } reqs)
+  in
+  Alcotest.(check (list string)) "hybrid jobs 1 = jobs 4 (byte)" (run 1)
+    (run 4)
+
+(* The serve.tune.* counters: sweep runs and model decisions are counted
+   per build under the mode that made them, and rollbacks count decisions
+   that chose baseline. *)
+let test_tune_mode_counters () =
+  let run tune_mode =
+    Scheduler.replay Scheduler.default_cfg
+      (tuned_mix ~tune_mode ~seed:9 ~n:30 ())
+  in
+  let find rp k = Registry.find rp.Scheduler.rp_registry k in
+  let sw = run `Sweep in
+  let builds = sw.Scheduler.rp_summary.Slo.s_builds in
+  check_int "sweep: one sweep per build" builds
+    (find sw "serve.tune.sweep_runs");
+  check_int "sweep: no model decisions" 0
+    (find sw "serve.tune.model_decisions");
+  (* banded:300,4 rolls back, powerlaw:400,5 doesn't: both decisions
+     visible. *)
+  check "sweep: some rollbacks" true (find sw "serve.tune.rollbacks" > 0);
+  check "sweep: not all rollbacks" true
+    (find sw "serve.tune.rollbacks" < builds);
+  let md = run `Model in
+  check_int "model: one decision per build"
+    md.Scheduler.rp_summary.Slo.s_builds
+    (find md "serve.tune.model_decisions");
+  check_int "model: no sweeps" 0 (find md "serve.tune.sweep_runs");
+  let hy = run `Hybrid in
+  let hb = hy.Scheduler.rp_summary.Slo.s_builds in
+  check_int "hybrid: sweeps" hb (find hy "serve.tune.sweep_runs");
+  check_int "hybrid: model decisions" hb
+    (find hy "serve.tune.model_decisions");
+  (* The pinned mix is inside the model's calibrated regime. *)
+  check_int "hybrid: full agreement" hb (find hy "tune.model.agree")
+
+(* tune_mode round-trips through JSONL and scopes the cache key: it only
+   splits fingerprints when there is a tuning decision to make. *)
+let test_tune_mode_request_plumbing () =
+  List.iter
+    (fun tune_mode ->
+      let r = req ~variant:`Tuned ~tune_mode () in
+      match Request.of_line (Request.to_line r) with
+      | Ok r' -> check "tune_mode roundtrip" true (r = r')
+      | Error e -> Alcotest.fail e)
+    [ `Sweep; `Model; `Hybrid ];
+  let tuned = req ~variant:`Tuned () in
+  check "tuned: mode splits the key" true
+    (Request.fingerprint { tuned with Request.tune_mode = `Model }
+     <> Request.fingerprint { tuned with Request.tune_mode = `Sweep });
+  let fixed = req ~variant:`Asap () in
+  check "fixed variant: mode outside the key" true
+    (Request.fingerprint { fixed with Request.tune_mode = `Model }
+     = Request.fingerprint { fixed with Request.tune_mode = `Sweep });
+  check "unknown mode rejected" true
+    (Result.is_error
+       (Request.of_line
+          {| {"id":"x","kernel":"spmv","matrix":"powerlaw:400,5","format":"csr","variant":"tuned","tune_mode":"oracle"} |}))
+
 (* Driver.Prep reuse: repeated exec on one preparation is byte-stable
    and equals a fresh Driver.run — the property the cache rests on. *)
 let test_prep_exec_stable () =
@@ -310,4 +428,11 @@ let suite =
     Alcotest.test_case "replay batching" `Quick test_replay_batching;
     Alcotest.test_case "replay matches driver" `Quick
       test_replay_matches_driver;
+    Alcotest.test_case "hybrid serves sweep decision" `Slow
+      test_hybrid_serves_sweep_decision;
+    Alcotest.test_case "hybrid replay jobs-invariant" `Slow
+      test_hybrid_replay_jobs_invariant;
+    Alcotest.test_case "tune-mode counters" `Slow test_tune_mode_counters;
+    Alcotest.test_case "tune-mode request plumbing" `Quick
+      test_tune_mode_request_plumbing;
     Alcotest.test_case "prep exec stable" `Quick test_prep_exec_stable ]

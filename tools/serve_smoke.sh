@@ -1,27 +1,36 @@
 #!/usr/bin/env bash
 # Serving smoke benchmark: replay the synthetic hot/cold Zipf mix through
 # the serving scheduler with the compile/tune cache on and off
-# (bench/serve.ml), and emit BENCH_serve.json.
+# (bench/serve.ml), emit BENCH_serve.json; then run the cold-start
+# tuning benchmark (bench/tune.ml: cost-model decisions vs the candidate
+# sweep) and emit BENCH_tune.json next to it.
 #
 # Gates:
 #   - bench/serve.exe itself fails below a 2x cached-vs-uncached speedup;
 #   - the hot-mix cache-hit rate must be >= 0.5;
 #   - if a previous $OUT exists, served requests/s must not fall below
-#     previous / MAX_REGRESS (default 1.10).
+#     previous / MAX_REGRESS (default 1.10);
+#   - bench/tune.exe fails unless model-mode tuning decisions are at
+#     least MIN_TUNE_RATIO (default 3x) faster than the sweep's.
 #
 # Run directly after `dune build`, or via `dune build @serve-smoke`
 # (also invoked by tools/bench_smoke.sh as its @serve-smoke section).
 set -euo pipefail
 
 OUT=${1:-BENCH_serve.json}
+TUNE_OUT=${TUNE_OUT:-$(dirname "$OUT")/BENCH_tune.json}
 MAX_REGRESS=${MAX_REGRESS:-1.10}
 SERVE=${SERVE:-_build/default/bench/serve.exe}
+TUNE=${TUNE:-_build/default/bench/tune.exe}
 case $SERVE in */*) ;; *) SERVE=./$SERVE ;; esac
+case $TUNE in */*) ;; *) TUNE=./$TUNE ;; esac
 TIMEOUT_S=${TIMEOUT_S:-900}
 SERVE_N=${SERVE_N:-300}
 SERVE_SEED=${SERVE_SEED:-11}
 SERVE_JOBS=${SERVE_JOBS:-4}
 MIN_SPEEDUP=${MIN_SPEEDUP:-2.0}
+MIN_TUNE_RATIO=${MIN_TUNE_RATIO:-3.0}
+TUNE_N=${TUNE_N:-120}
 SERVE_ENGINE=${SERVE_ENGINE:-bytecode}
 
 prev_serve_rps=
@@ -56,3 +65,15 @@ if [ -n "$prev_serve_rps" ]; then
   echo "regression gate: serve ${serve_rps} req/s vs previous" \
     "${prev_serve_rps} req/s (limit ${MAX_REGRESS}x) — ok"
 fi
+
+# Cold-start tuning: cost-model vs sweep decision throughput, uncached
+# build wall and hybrid agreement. tune.exe itself enforces the
+# >= MIN_TUNE_RATIO decision-throughput gate (exit 1 below it).
+timeout "$TIMEOUT_S" "$TUNE" --engine "$SERVE_ENGINE" "$TUNE_N" \
+  "$SERVE_SEED" "$SERVE_JOBS" "$MIN_TUNE_RATIO" >"$TUNE_OUT"
+
+tune_ratio=$(grep -o '"ratio": [0-9.]*' "$TUNE_OUT" | head -1 \
+  | grep -o '[0-9.]*$')
+agree_rate=$(grep -o '"rate": [0-9.]*' "$TUNE_OUT" | grep -o '[0-9.]*$')
+echo "wrote $TUNE_OUT (model/sweep decision ratio=${tune_ratio}x," \
+  "hybrid agreement=${agree_rate})"
