@@ -18,6 +18,7 @@
 
 module Mix = Asap_serve.Mix
 module Scheduler = Asap_serve.Scheduler
+module Config = Asap_serve.Config
 module Slo = Asap_serve.Slo
 module Exec = Asap_sim.Exec
 module Tuning = Asap_core.Tuning
@@ -66,16 +67,20 @@ let () =
   in
   let reqs = Mix.hot_cold ~seed ~n (profiles ()) in
   let replay ~cache_capacity =
-    let cfg = { Scheduler.default_cfg with Scheduler.cache_capacity; jobs } in
+    let config =
+      Config.(default |> with_cache_capacity cache_capacity |> with_jobs jobs)
+    in
     (* One warm-up pass faults in code and allocators, untimed. *)
     if cache_capacity > 0 then
-      ignore (Scheduler.replay cfg (Mix.hot_cold ~seed ~n:8 (profiles ())));
+      ignore (Scheduler.run config (Mix.hot_cold ~seed ~n:8 (profiles ())));
     let t0 = Unix.gettimeofday () in
-    let rp = Scheduler.replay cfg reqs in
+    let rp = Scheduler.run config reqs in
     let dt = Unix.gettimeofday () -. t0 in
     (dt, rp)
   in
-  let cached_wall, cached = replay ~cache_capacity:Scheduler.default_cfg.Scheduler.cache_capacity in
+  let cached_wall, cached =
+    replay ~cache_capacity:Config.default.Config.cache_capacity
+  in
   let uncached_wall, uncached = replay ~cache_capacity:0 in
   let cs = cached.Scheduler.rp_summary and us = uncached.Scheduler.rp_summary in
   let speedup = uncached_wall /. cached_wall in

@@ -134,9 +134,12 @@ let () =
   in
   let replay mode =
     let reqs = Mix.hot_cold ~seed ~n (tuned_profiles mode) in
-    let cfg = { Scheduler.default_cfg with Scheduler.cache_capacity = 0; jobs } in
+    let config =
+      Asap_serve.Config.(
+        default |> with_cache_capacity 0 |> with_jobs jobs)
+    in
     let t0 = Unix.gettimeofday () in
-    let rp = Scheduler.replay cfg reqs in
+    let rp = Scheduler.run config reqs in
     let dt = Unix.gettimeofday () -. t0 in
     (dt, rp)
   in

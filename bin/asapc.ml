@@ -307,8 +307,40 @@ let gen_cmd =
 
 (* --- serve ----------------------------------------------------------- *)
 
+(* "tenant=N,tenant=N" assoc parser, shared by --quotas (ints) and
+   genreqs --tenants (float weights). *)
+let assoc_conv ~name of_string =
+  let parse s =
+    let items = String.split_on_char ',' (String.trim s) in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest ->
+        (match String.index_opt item '=' with
+         | None ->
+           Error
+             (`Msg (Printf.sprintf "%s: %S is not tenant=value" name item))
+         | Some eq ->
+           let tenant = String.sub item 0 eq in
+           let v = String.sub item (eq + 1) (String.length item - eq - 1) in
+           (match of_string v with
+            | Some v when tenant <> "" -> go ((tenant, v) :: acc) rest
+            | _ ->
+              Error
+                (`Msg
+                   (Printf.sprintf "%s: bad entry %S (want tenant=value)" name
+                      item))))
+    in
+    go [] items
+  in
+  let print fmt l =
+    Format.pp_print_string fmt
+      (String.concat "," (List.map (fun (t, _) -> t ^ "=..") l))
+  in
+  Arg.conv (parse, print)
+
 let serve_cmd =
   let module Scheduler = Asap_serve.Scheduler in
+  let module Config = Asap_serve.Config in
   let module Request = Asap_serve.Request in
   let requests_arg =
     Arg.(required & opt (some string) None
@@ -329,18 +361,67 @@ let serve_cmd =
              ~doc:"Host domains for the build pass (scheduling itself is \
                    a sequential virtual-time simulation).")
   in
+  let shards_arg =
+    Arg.(value & opt int Config.default.Config.shards
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Fleet width: shards routed by consistent hashing on \
+                   artefact fingerprints, each with its own queue, cache \
+                   and servers.")
+  in
   let servers_arg =
-    Arg.(value & opt int Scheduler.default_cfg.Scheduler.servers
-         & info [ "servers" ] ~docv:"N" ~doc:"Virtual servers.")
+    Arg.(value & opt int Config.default.Config.servers
+         & info [ "servers" ] ~docv:"N" ~doc:"Virtual servers per shard.")
   in
   let queue_arg =
-    Arg.(value & opt int Scheduler.default_cfg.Scheduler.queue_limit
+    Arg.(value & opt int Config.default.Config.queue_limit
          & info [ "queue" ] ~docv:"N"
-             ~doc:"Queue depth limit; arrivals past it are shed.")
+             ~doc:"Per-shard queue depth limit; arrivals past it are shed.")
   in
   let cache_arg =
-    Arg.(value & opt int Scheduler.default_cfg.Scheduler.cache_capacity
-         & info [ "cache" ] ~docv:"N" ~doc:"Compile/tune LRU capacity.")
+    Arg.(value & opt int Config.default.Config.cache_capacity
+         & info [ "cache" ] ~docv:"N"
+             ~doc:"Per-shard compile/tune LRU capacity.")
+  in
+  let no_steal_arg =
+    Arg.(value & flag
+         & info [ "no-steal" ]
+             ~doc:"Disable cross-shard work stealing (idle shards serving \
+                   the longest other queue).")
+  in
+  let quota_arg =
+    Arg.(value & opt (some int) None
+         & info [ "quota" ] ~docv:"N"
+             ~doc:"Default per-tenant admission quota: at most $(docv) \
+                   requests of one tenant queued fleet-wide; arrivals past \
+                   it are shed.")
+  in
+  let quotas_arg =
+    Arg.(value & opt (some (assoc_conv ~name:"--quotas" int_of_string_opt))
+           None
+         & info [ "quotas" ] ~docv:"T=N,..."
+             ~doc:"Per-tenant quota overrides, e.g. alpha=8,beta=2.")
+  in
+  let deadline_policy_arg =
+    let policy_conv =
+      let parse s =
+        match Config.deadline_policy_of_string s with
+        | Some p -> Ok p
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown deadline policy %S (expected %s)" s
+                  Config.valid_deadline_policies))
+      in
+      Arg.conv
+        ( parse,
+          fun fmt p ->
+            Format.pp_print_string fmt (Config.deadline_policy_to_string p) )
+    in
+    Arg.(value & opt policy_conv Config.default.Config.deadline_policy
+         & info [ "deadline-policy" ] ~docv:"POLICY"
+             ~doc:"What happens to a request whose deadline expired while \
+                   queued: degrade (serve its prefetch-free baseline, \
+                   default), drop (shed at dispatch), or ignore.")
   in
   let no_cache_arg =
     Arg.(value & flag
@@ -376,25 +457,30 @@ let serve_cmd =
                       without it each request's own field (default sweep) \
                       applies."))
   in
-  let run requests out jobs servers queue cache no_cache no_batch summary
-      trace counters mode =
+  let run requests out jobs shards servers queue cache no_cache no_batch
+      no_steal quota quotas deadline_policy summary trace counters mode =
     match Request.load requests with
     | Error e -> prerr_endline ("asapc serve: " ^ e); exit 1
     | Ok reqs ->
-      let reqs =
-        match mode with
-        | None -> reqs
-        | Some m ->
-          List.map (fun r -> { r with Request.tune_mode = m }) reqs
+      let config =
+        Config.(
+          default |> with_shards shards |> with_servers servers
+          |> with_queue_limit queue
+          |> with_cache_capacity (if no_cache then 0 else cache)
+          |> with_batching (not no_batch)
+          |> with_stealing (not no_steal)
+          |> with_quota quota
+          |> with_quotas (Option.value quotas ~default:[])
+          |> with_deadline_policy deadline_policy
+          |> with_jobs jobs)
       in
-      let cfg =
-        { Scheduler.servers; queue_limit = queue;
-          cache_capacity = (if no_cache then 0 else cache);
-          compile_ms = Scheduler.default_cfg.Scheduler.compile_ms;
-          batching = not no_batch; jobs }
+      let config =
+        match mode with
+        | None -> config
+        | Some m -> Config.with_tune_mode m config
       in
       let chrome = Option.map (fun _ -> Asap_obs.Chrome.create ()) trace in
-      let rp = Scheduler.replay ?trace:chrome cfg reqs in
+      let rp = Scheduler.run ?trace:chrome config reqs in
       (match out with
        | None -> ()
        | Some path ->
@@ -425,10 +511,11 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Replay a JSONL request file through the serving scheduler")
-    Term.(const run $ requests_arg $ out_arg $ jobs_arg $ servers_arg
-          $ queue_arg $ cache_arg $ no_cache_arg $ no_batch_arg $ summary_arg
-          $ trace_arg $ counters_arg $ mode_arg)
+       ~doc:"Replay a JSONL request file through the serving fleet")
+    Term.(const run $ requests_arg $ out_arg $ jobs_arg $ shards_arg
+          $ servers_arg $ queue_arg $ cache_arg $ no_cache_arg $ no_batch_arg
+          $ no_steal_arg $ quota_arg $ quotas_arg $ deadline_policy_arg
+          $ summary_arg $ trace_arg $ counters_arg $ mode_arg)
 
 (* --- genreqs --------------------------------------------------------- *)
 
@@ -466,15 +553,24 @@ let genreqs_cmd =
              ~doc:"Tuning mode stamped on every generated request \
                    (sweep|model|hybrid).")
   in
-  let run out n seed alpha gap deadline engine mode =
+  let tenants_arg =
+    Arg.(value
+         & opt (some (assoc_conv ~name:"--tenants" float_of_string_opt)) None
+         & info [ "tenants" ] ~docv:"T=W,..."
+             ~doc:"Weighted tenant mix each request is drawn from, e.g. \
+                   alpha=3,beta=1. Without it every request belongs to the \
+                   default tenant (and the RNG stream is unchanged, so old \
+                   seeds reproduce old traces byte-for-byte).")
+  in
+  let run out n seed alpha gap deadline engine mode tenants =
     let profiles =
       List.map
         (fun p -> { p with Mix.p_engine = engine; p_tune_mode = mode })
         (Mix.default_profiles ())
     in
     let reqs =
-      Mix.hot_cold ~alpha ~mean_gap_ms:gap ?deadline_ms:deadline ~seed ~n
-        profiles
+      Mix.hot_cold ~alpha ~mean_gap_ms:gap ?deadline_ms:deadline
+        ?tenants ~seed ~n profiles
     in
     let oc = open_out out in
     List.iter (fun r -> output_string oc (Request.to_line r ^ "\n")) reqs;
@@ -485,7 +581,7 @@ let genreqs_cmd =
     (Cmd.info "genreqs"
        ~doc:"Write a synthetic hot/cold request mix as JSONL")
     Term.(const run $ out_arg $ n_arg $ seed_arg $ alpha_arg $ gap_arg
-          $ deadline_arg $ engine_arg $ mode_arg)
+          $ deadline_arg $ engine_arg $ mode_arg $ tenants_arg)
 
 let () =
   let info =

@@ -39,6 +39,21 @@ let find t name = match get t name with Some v -> v | None -> 0
 
 let cardinal t = Hashtbl.length t.tbl
 
+(** [sum_prefix t ?leaf prefix] sums every counter whose name starts
+    with [prefix] — and, when [leaf] is given, also ends with
+    [".leaf"] — so fleet aggregates over per-shard counters are derived
+    rather than maintained:
+    [sum_prefix t ~leaf:"ok" "serve.shard."] folds
+    [serve.shard.<i>.ok] over every shard. 0 when nothing matches. *)
+let sum_prefix t ?leaf prefix =
+  let want name =
+    String.starts_with ~prefix name
+    && (match leaf with
+        | None -> true
+        | Some l -> String.ends_with ~suffix:("." ^ l) name)
+  in
+  Hashtbl.fold (fun k v acc -> if want k then acc + v else acc) t.tbl 0
+
 (** [to_assoc t] is the canonical export: counters sorted by name. *)
 let to_assoc t =
   let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [] in

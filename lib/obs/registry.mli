@@ -21,6 +21,12 @@ val find : t -> string -> int
 
 val cardinal : t -> int
 
+(** [sum_prefix t ?leaf prefix] sums counters whose name starts with
+    [prefix] and (when [leaf] is given) ends with [".leaf"]; 0 when
+    nothing matches. E.g. [sum_prefix t ~leaf:"ok" "serve.shard."]
+    folds [serve.shard.<i>.ok] over every shard. *)
+val sum_prefix : t -> ?leaf:string -> string -> int
+
 (** [to_assoc t] is the canonical export: counters sorted by name. *)
 val to_assoc : t -> (string * int) list
 

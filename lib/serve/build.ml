@@ -45,6 +45,11 @@ type entry = {
 let run_ms (e : entry) = e.e_run_ms
 let result (e : entry) = e.e_result
 
+(** [miss_penalty_ms ~compile_ms e] is the virtual time a cache miss on
+    [e]'s fingerprint charges before service can start: the configured
+    sparsify+compile penalty plus the entry's tuning-decision cost. *)
+let miss_penalty_ms ~compile_ms (e : entry) = compile_ms +. e.e_tune_ms
+
 (* Profile-guided tuning needs a rank-2 matrix under an encoding with a
    dense top level (the profile slice is a row range); the model path
    shares the rank-2 restriction. Anything else gracefully falls back to

@@ -29,6 +29,11 @@ type entry = {
 val run_ms : entry -> float
 val result : entry -> Driver.result
 
+(** [miss_penalty_ms ~compile_ms e] is the virtual time a cache miss
+    charges before service: the compile penalty plus [e]'s
+    tuning-decision cost. *)
+val miss_penalty_ms : compile_ms:float -> entry -> float
+
 (** [build req coo] assembles the entry for [req]'s fingerprint: decide
     the variant (if asked; falls back to default ASaP when tuning is
     inapplicable), prepare, and execute once cold. Safe to call from a

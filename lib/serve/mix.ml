@@ -68,21 +68,64 @@ let zipf_pick rng (cum : float array) : int =
    with Exit -> ());
   !pick
 
-let hot_cold ?(alpha = 1.2) ?(mean_gap_ms = 0.05) ?deadline_ms ~seed ~n
-    (profiles : profile list) : Request.t list =
+let hot_cold ?(alpha = 1.2) ?(mean_gap_ms = 0.05) ?deadline_ms
+    ?(tenants = []) ~seed ~n (profiles : profile list) : Request.t list =
   if n < 0 then invalid_arg "Mix.hot_cold: n < 0";
   let profs = Array.of_list profiles in
   let nprof = Array.length profs in
   if nprof = 0 then invalid_arg "Mix.hot_cold: no profiles";
+  List.iter
+    (fun (name, w) ->
+      if w <= 0. then
+        invalid_arg
+          (Printf.sprintf "Mix.hot_cold: non-positive weight for tenant %S"
+             name))
+    tenants;
   let rng = Rng.create seed in
   let cum = zipf_cumulative ~alpha nprof in
+  (* Tenant draws happen only with >= 2 tenants, and strictly after the
+     profile and gap draws, so single-tenant (and legacy no-tenant)
+     traces consume the exact same RNG stream as before tenants
+     existed — byte-identical request lists for old (seed, n) pairs. *)
+  let tenant_cum =
+    if List.length tenants < 2 then [||]
+    else begin
+      let acc = ref 0. in
+      Array.of_list
+        (List.map
+           (fun (name, w) ->
+             acc := !acc +. w;
+             (name, !acc))
+           tenants)
+    end
+  in
+  let pick_tenant () =
+    match tenants with
+    | [] -> Request.default_tenant
+    | [ (name, _) ] -> name
+    | _ ->
+      let total = snd tenant_cum.(Array.length tenant_cum - 1) in
+      let u = Rng.float rng *. total in
+      let pick = ref (fst tenant_cum.(Array.length tenant_cum - 1)) in
+      (try
+         Array.iter
+           (fun (name, ci) ->
+             if u < ci then begin
+               pick := name;
+               raise Exit
+             end)
+           tenant_cum
+       with Exit -> ());
+      !pick
+  in
   let t = ref 0. in
   List.init n (fun i ->
       let p = profs.(zipf_pick rng cum) in
       let gap = -.mean_gap_ms *. log (1. -. Rng.float rng) in
       t := !t +. gap;
+      let tenant = pick_tenant () in
       { Request.id = Printf.sprintf "r%05d" i;
         kernel = p.p_kernel; format = p.p_format; matrix = p.p_matrix;
         variant = p.p_variant; engine = p.p_engine; machine = p.p_machine;
-        tune_mode = p.p_tune_mode; arrival_ms = !t;
+        tune_mode = p.p_tune_mode; tenant; arrival_ms = !t;
         deadline = Option.map (fun ms -> Request.Ms ms) deadline_ms })

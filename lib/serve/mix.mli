@@ -30,7 +30,12 @@ val default_profiles : unit -> profile list
     Zipf weight [1/(i+1)^alpha] (default 1.2), arrivals spaced by
     exponential gaps of mean [mean_gap_ms] (default 0.05 virtual ms),
     ids ["r%05d"]. [deadline_ms], if given, attaches that relative
-    budget to every request. *)
+    budget to every request. [tenants] is a weighted
+    [(name, weight)] list each request's tenant is drawn from; with
+    fewer than two tenants no RNG draw is consumed, so legacy
+    (seed, n) traces stay byte-identical.
+    @raise Invalid_argument on a non-positive tenant weight. *)
 val hot_cold :
-  ?alpha:float -> ?mean_gap_ms:float -> ?deadline_ms:float -> seed:int ->
-  n:int -> profile list -> Request.t list
+  ?alpha:float -> ?mean_gap_ms:float -> ?deadline_ms:float ->
+  ?tenants:(string * float) list -> seed:int -> n:int -> profile list ->
+  Request.t list

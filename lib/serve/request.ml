@@ -40,9 +40,12 @@ type t = {
   engine : Exec.engine;
   machine : string;         (* preset name, see machine_of *)
   tune_mode : Tuning.mode;  (* how a `Tuned variant is decided *)
+  tenant : string;          (* admission-quota accounting key *)
   arrival_ms : float;       (* virtual arrival time *)
   deadline : deadline option;
 }
+
+let default_tenant = "default"
 
 let kernel_to_string = function
   | `Spmv -> "spmv"
@@ -125,7 +128,8 @@ let deadline_ms (r : t) (machine : Machine.t) : float option =
 (** [fingerprint r] is the canonical cache key: every field that affects
     the built artefact (sparsified IR, compiled closure, tuning
     decision) and nothing that doesn't (id, arrival, deadline). Equal
-    fingerprints are servable by one cache entry. *)
+    fingerprints are servable by one cache entry — the tenant is
+    scheduling metadata like id and arrival, so tenants share entries. *)
 let fingerprint (r : t) : string =
   let base =
     [ kernel_to_string r.kernel; r.format; r.matrix; r.machine;
@@ -158,6 +162,7 @@ let to_json (r : t) : Jsonu.t =
       ("engine", Jsonu.Str (Exec.engine_to_string r.engine));
       ("machine", Jsonu.Str r.machine);
       ("tune_mode", Jsonu.Str (Tuning.mode_to_string r.tune_mode));
+      ("tenant", Jsonu.Str r.tenant);
       ("arrival_ms", Jsonu.Float r.arrival_ms) ]
   in
   let deadline =
@@ -173,7 +178,7 @@ let to_line r = Jsonu.to_string (to_json r)
 (** [of_json j] parses one request object. Required fields: [id],
     [kernel], [matrix]. Defaults: format [csr] ([csf] for ttv), variant
     [asap], the default engine, machine [optimized], tune_mode [sweep],
-    arrival 0, no deadline. *)
+    tenant [default], arrival 0, no deadline. *)
 let of_json (j : Jsonu.t) : (t, string) result =
   let str k = Option.bind (Jsonu.member k j) Jsonu.to_str_opt in
   let num k = Option.bind (Jsonu.member k j) Jsonu.to_float_opt in
@@ -243,6 +248,7 @@ let of_json (j : Jsonu.t) : (t, string) result =
           Ok
             { id; kernel; format; matrix; variant; engine; tune_mode;
               machine = Option.value (str "machine") ~default:"optimized";
+              tenant = Option.value (str "tenant") ~default:default_tenant;
               arrival_ms = Option.value (num "arrival_ms") ~default:0.;
               deadline }))
 

@@ -30,9 +30,13 @@ type t = {
   engine : Exec.engine;
   machine : string;         (** preset name, see {!machine_of} *)
   tune_mode : Tuning.mode;  (** how a [`Tuned] variant is decided *)
+  tenant : string;          (** admission-quota accounting key *)
   arrival_ms : float;       (** virtual arrival time *)
   deadline : deadline option;
 }
+
+(** ["default"] — the tenant of requests that don't name one. *)
+val default_tenant : string
 
 val kernel_to_string : kernel -> string
 val kernel_of_string : string -> kernel option
@@ -62,9 +66,9 @@ val machine_of : t -> Machine.t
 val deadline_ms : t -> Machine.t -> float option
 
 (** [fingerprint r] is the canonical cache key: every field affecting
-    the built artefact and nothing that doesn't (id, arrival, deadline
-    excluded; [tune_mode] included only for [`Tuned] requests, which are
-    the only ones whose artefact it shapes). *)
+    the built artefact and nothing that doesn't (id, tenant, arrival,
+    deadline excluded; [tune_mode] included only for [`Tuned] requests,
+    which are the only ones whose artefact it shapes). *)
 val fingerprint : t -> string
 
 (** [fallback r] is the degraded form a timed-out request is served as:

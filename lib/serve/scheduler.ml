@@ -1,4 +1,4 @@
-(* The deterministic request scheduler.
+(* The deterministic serving fleet.
 
    Serving must produce the same results whatever the host parallelism,
    so the replay is split into two passes:
@@ -8,20 +8,40 @@
    domain pool — sparsify, prefetch-inject, pack, lay out, stage the
    closure, tune if asked, and run once cold. Results land in
    index-slotted arrays, so this pass is deterministic for any [jobs].
-   Repeat fingerprints never rebuild: this is the host-side half of the
-   compile/tune cache. With the cache disabled ([cache_capacity = 0])
-   the memoisation is disabled too — every request builds its own entry,
-   which is the honest baseline the serve bench compares against.
+   With more than one shard the keys are grouped by their home shard
+   (consistent hash of the fingerprint) and each group builds on its
+   {!Par.lease} slice of one persistent pool — a per-shard worker
+   budget over the same domains. Repeat fingerprints never rebuild:
+   this is the host-side half of the compile/tune cache. With the cache
+   disabled ([cache_capacity = 0]) the memoisation is disabled too —
+   every request builds its own entry, which is the honest baseline the
+   serve bench compares against.
 
-   Pass 2 (virtual time, sequential): a discrete-event simulation of the
-   serving fleet — [servers] identical virtual servers drain a bounded
-   FIFO queue. Admission control sheds arrivals past [queue_limit]; the
-   LRU cache charges misses a virtual compile+tune penalty; same-
-   fingerprint waiters are served as one batch; a request whose deadline
-   has expired by dispatch time degrades to its prefetch-free baseline
-   entry instead of failing. All times are virtual milliseconds derived
-   from simulated cycles, so the pass is a pure function of the request
-   list — byte-identical records at any [jobs]. *)
+   Pass 2 (virtual time, sequential): a discrete-event simulation of
+   the fleet — [shards] shards, each owning [servers] identical virtual
+   servers, a bounded FIFO queue and its own LRU, drained by one global
+   earliest-dispatch loop. Every request is admitted to the home shard
+   its fingerprint hashes to (per-tenant quotas and the per-shard queue
+   limit shed at admission); an idle shard steals the head batch of the
+   longest queue; same-fingerprint waiters are served as one batch; a
+   request whose deadline expired while queued is degraded, dropped or
+   served anyway per the configured policy. All times are virtual
+   milliseconds derived from simulated cycles, and every scheduling
+   decision (candidate order, tie-breaks, admission chronology) is a
+   pure function of the request list and config — byte-identical
+   records at any [jobs].
+
+   Determinism argument for the loop: dispatch candidates are settled
+   one event at a time. The next event is either the earliest pending
+   arrival (admitted to its home shard, possibly shed) or the earliest
+   candidate dispatch (t0, serving shard, source shard), whichever is
+   earlier — arrivals win ties, lower shard index breaks candidate
+   ties. Host parallelism never enters: virtual times come from the
+   deterministic build pass, and the fleet state is plain sequential
+   OCaml. With [shards = 1] the loop specialises to the classic
+   single-scheduler chronology (one candidate, stepwise admission
+   admits exactly the arrivals at or before its t0), so the deprecated
+   {!replay} wrapper reproduces historical records byte-for-byte. *)
 
 module Coo = Asap_tensor.Coo
 module Driver = Asap_core.Driver
@@ -63,12 +83,16 @@ type record = {
   r_queue_ms : float;              (* admission wait: dispatch - arrival *)
   r_service_ms : float;            (* own run + (miss) build penalty *)
   r_finish_ms : float;             (* virtual completion; arrival if shed *)
+  r_shard : int;                   (* shard whose server dispatched it *)
+  r_home : int;                    (* shard its fingerprint routed to *)
+  r_stolen : bool;                 (* served by a shard other than home *)
   r_result : Driver.result option; (* None for shed *)
 }
 
 type replayed = {
   rp_records : record array;       (* input order *)
   rp_summary : Slo.summary;
+  rp_shards : Slo.shard_summary array;
   rp_registry : Registry.t;
 }
 
@@ -96,16 +120,36 @@ let build_matrices ~jobs (reqs : Request.t array) :
 
 let us_of_ms ms = int_of_float (Float.round (ms *. 1000.))
 
-let replay ?(trace : Chrome.t option) (cfg : cfg)
+let run ?(trace : Chrome.t option) (config : Config.t)
     (requests : Request.t list) : replayed =
-  if cfg.servers < 1 then invalid_arg "Scheduler.replay: servers < 1";
-  if cfg.queue_limit < 1 then invalid_arg "Scheduler.replay: queue_limit < 1";
+  Config.validate config;
+  (* Config-level overrides rewrite the requests up front (they change
+     fingerprints, so they must precede routing and building). *)
+  let requests =
+    match (config.Config.engine, config.Config.tune_mode) with
+    | None, None -> requests
+    | engine, tune_mode ->
+      List.map
+        (fun r ->
+          let r =
+            match engine with
+            | Some e -> { r with Request.engine = e }
+            | None -> r
+          in
+          match tune_mode with
+          | Some m -> { r with Request.tune_mode = m }
+          | None -> r)
+        requests
+  in
   let reqs = Array.of_list requests in
   let n = Array.length reqs in
-  let caching = cfg.cache_capacity > 0 in
+  let caching = config.Config.cache_capacity > 0 in
+  let nshards = config.Config.shards in
+  let router = Router.create ~vnodes:config.Config.vnodes ~shards:nshards () in
+  let jobs = config.Config.jobs in
 
   (* --- Pass 1: host-side builds ------------------------------------ *)
-  let matrices = build_matrices ~jobs:cfg.jobs reqs in
+  let matrices = build_matrices ~jobs reqs in
   let coo_of r = Hashtbl.find matrices r.Request.matrix in
   let fp = Array.map Request.fingerprint reqs in
   let fb_req = Array.map Request.fallback reqs in
@@ -116,8 +160,9 @@ let replay ?(trace : Chrome.t option) (cfg : cfg)
      fallback fingerprint of every deadline-carrying request — built
      eagerly so degradation never blocks); without, one per request.
      [built] keeps every entry in a deterministic order (sorted
-     fingerprints when caching, input order otherwise) so the tuning
-     counters aggregated from them are jobs-invariant. *)
+     fingerprints when caching — grouped by home shard for a fleet —
+     input order otherwise) so the tuning counters aggregated from them
+     are jobs-invariant. *)
   let entry_for, builds, built =
     if caching then begin
       (* Representative request per fingerprint: the first (by input
@@ -137,10 +182,43 @@ let replay ?(trace : Chrome.t option) (cfg : cfg)
         Hashtbl.fold (fun k _ acc -> k :: acc) rep []
         |> List.sort String.compare |> Array.of_list
       in
-      let entries =
-        Par.map ~jobs:cfg.jobs
-          (fun key -> build_one (Hashtbl.find rep key))
-          keys
+      let keys, entries =
+        if nshards = 1 then
+          ( keys,
+            Par.map ~jobs (fun key -> build_one (Hashtbl.find rep key)) keys )
+        else begin
+          (* Group the keys by home shard (each group stays sorted) and
+             build every group on its leased slice of one persistent
+             pool — shard i's builds use shard i's worker budget. *)
+          let groups = Array.make nshards [] in
+          Array.iter
+            (fun key ->
+              let s = Router.shard_of router key in
+              groups.(s) <- key :: groups.(s))
+            keys;
+          let groups =
+            Array.map (fun g -> Array.of_list (List.rev g)) groups
+          in
+          let build_group slice_map g =
+            slice_map (fun key -> build_one (Hashtbl.find rep key)) g
+          in
+          let per_shard =
+            if jobs > 1 then begin
+              let pool = Par.pool ~workers:(jobs - 1) in
+              let slices = Par.lease pool ~shards:nshards in
+              let r =
+                Array.mapi
+                  (fun s g -> build_group (Par.map_slice slices.(s)) g)
+                  groups
+              in
+              Par.shutdown pool;
+              r
+            end
+            else Array.map (build_group Array.map) groups
+          in
+          ( Array.concat (Array.to_list groups),
+            Array.concat (Array.to_list per_shard) )
+        end
       in
       let tbl = Hashtbl.create (Array.length keys) in
       Array.iteri (fun i key -> Hashtbl.add tbl key entries.(i)) keys;
@@ -164,7 +242,7 @@ let replay ?(trace : Chrome.t option) (cfg : cfg)
           (Array.map (fun r -> r) reqs)
           (Array.map (fun i -> fb_req.(i)) fb_idx)
       in
-      let entries = Par.map ~jobs:cfg.jobs build_one work in
+      let entries = Par.map ~jobs build_one work in
       let prim = Array.sub entries 0 n in
       let fbent : Build.entry option array = Array.make n None in
       Array.iteri (fun k i -> fbent.(i) <- Some entries.(n + k)) fb_idx;
@@ -181,35 +259,39 @@ let replay ?(trace : Chrome.t option) (cfg : cfg)
   let deadline_abs =
     Array.mapi
       (fun i r ->
-        if has_deadline.(i) then
-          Request.deadline_ms r (Request.machine_of r)
+        if has_deadline.(i) then Request.deadline_ms r (Request.machine_of r)
         else None)
       reqs
   in
-  (* Arrivals in (arrival, index) order; queue is the bounded FIFO. *)
+  let home = Array.map (fun key -> Router.shard_of router key) fp in
+  (* Arrivals in (arrival, index) order. *)
   let pending =
     ref
       (List.stable_sort
          (fun a b -> compare (arrival a) (arrival b))
          (List.init n Fun.id))
   in
-  let queue : int list ref = ref [] in
-  let qlen = ref 0 in
-  let free = Array.make cfg.servers 0. in
-  let lru : (string, Build.entry) Lru.t =
-    Lru.create ~capacity:cfg.cache_capacity
+  let shards =
+    Array.init nshards (fun index ->
+        Shard.create ~index ~servers:config.Config.servers
+          ~cache_capacity:config.Config.cache_capacity)
   in
-  let recs : record option array = Array.make n None in
-  let batches = ref 0 in
-  let batch_max = ref 0 in
-  let queue_peak = ref 0 in
+  let tenant_queued : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let tenant_quota_shed : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let tcount tenant =
+    match Hashtbl.find_opt tenant_queued tenant with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.add tenant_queued tenant r;
+      r
+  in
+  let total_q = ref 0 in
+  let fleet_queue_peak = ref 0 in
   let inflight_peak = ref 0 in
-  let shed i =
-    recs.(i) <-
-      Some
-        { r_index = i; r_req = reqs.(i); r_outcome = Shed; r_fp = fp.(i);
-          r_hit = false; r_batch = 0; r_queue_ms = 0.; r_service_ms = 0.;
-          r_finish_ms = arrival i; r_result = None };
+  let steals = ref 0 in
+  let recs : record option array = Array.make n None in
+  let trace_shed i =
     match trace with
     | None -> ()
     | Some tr ->
@@ -217,126 +299,215 @@ let replay ?(trace : Chrome.t option) (cfg : cfg)
         ~cat:"shed" ~ts:(us_of_ms (arrival i))
         [ ("fp", Jsonu.Str fp.(i)) ]
   in
-  let admit_until t0 =
-    let continue = ref true in
-    while !continue do
-      match !pending with
-      | i :: rest when arrival i <= t0 ->
-        pending := rest;
-        if !qlen >= cfg.queue_limit then shed i
-        else begin
-          queue := !queue @ [ i ];
-          incr qlen;
-          if !qlen > !queue_peak then queue_peak := !qlen
-        end
-      | _ -> continue := false
-    done
+  (* Admission sheds (queue full or quota) are attributed to the
+     request's home shard; its record never reached a server, so
+     r_shard = r_home. *)
+  let shed_at_admission why i =
+    let s = home.(i) in
+    shards.(s).Shard.shed <- shards.(s).Shard.shed + 1;
+    (if why = `Quota then
+       let t = reqs.(i).Request.tenant in
+       Hashtbl.replace tenant_quota_shed t
+         (1 + Option.value (Hashtbl.find_opt tenant_quota_shed t) ~default:0));
+    recs.(i) <-
+      Some
+        { r_index = i; r_req = reqs.(i); r_outcome = Shed; r_fp = fp.(i);
+          r_hit = false; r_batch = 0; r_queue_ms = 0.; r_service_ms = 0.;
+          r_finish_ms = arrival i; r_shard = s; r_home = s; r_stolen = false;
+          r_result = None };
+    trace_shed i
   in
-  let min_server () =
-    let s = ref 0 in
-    for k = 1 to cfg.servers - 1 do
-      if free.(k) < free.(!s) then s := k
+  let admit_one i =
+    let tenant = reqs.(i).Request.tenant in
+    let tc = tcount tenant in
+    let over_quota =
+      match Config.quota_of config tenant with
+      | Some q -> !tc >= q
+      | None -> false
+    in
+    if over_quota then shed_at_admission `Quota i
+    else begin
+      let sh = shards.(home.(i)) in
+      if sh.Shard.qlen >= config.Config.queue_limit then
+        shed_at_admission `Queue i
+      else begin
+        Shard.enqueue sh i;
+        incr tc;
+        incr total_q;
+        if !total_q > !fleet_queue_peak then fleet_queue_peak := !total_q
+      end
+    end
+  in
+  let unqueued i =
+    decr (tcount reqs.(i).Request.tenant);
+    decr total_q
+  in
+  (* The earliest possible dispatch across the fleet:
+     (t0, serving shard, source shard). A shard with work serves its own
+     head; an idle shard (stealing on) targets the longest other queue
+     (lowest index on ties). Own-queue candidates are scanned first and
+     [consider] keeps the incumbent on ties, so a steal fires only when
+     it is *strictly* earlier than every home dispatch — an equally-free
+     home shard keeps its own work (and its cache locality) instead of
+     losing it to a lower-indexed idle shard. Ties within each class go
+     to the lowest serving shard. *)
+  let best_candidate () =
+    let best = ref None in
+    let consider t srv src =
+      match !best with
+      | Some (bt, _, _) when bt <= t -> ()
+      | _ -> best := Some (t, srv, src)
+    in
+    for s = 0 to nshards - 1 do
+      let sh = shards.(s) in
+      match Shard.head sh with
+      | Some h ->
+        consider (Float.max sh.Shard.free.(Shard.min_server sh) (arrival h)) s s
+      | None -> ()
     done;
-    !s
+    if config.Config.stealing then
+      for s = 0 to nshards - 1 do
+        let sh = shards.(s) in
+        if Shard.head sh = None then begin
+          let v = ref (-1) in
+          for u = 0 to nshards - 1 do
+            if
+              u <> s
+              && shards.(u).Shard.qlen > 0
+              && (!v < 0 || shards.(u).Shard.qlen > shards.(!v).Shard.qlen)
+            then v := u
+          done;
+          if !v >= 0 then begin
+            let h = Option.get (Shard.head shards.(!v)) in
+            consider
+              (Float.max sh.Shard.free.(Shard.min_server sh) (arrival h))
+              s !v
+          end
+        end
+      done;
+    !best
   in
-  (* The dispatch loop. The dispatch time [t0] is non-decreasing: each
-     iteration sets [free.(s)] to at least [t0], so the minimum free
-     time never moves backwards, and the empty-queue branch only moves
-     forward to the next arrival. *)
+  let expired ~t0 i =
+    match deadline_abs.(i) with Some d -> t0 > d | None -> false
+  in
+  let dispatch t0 s v =
+    let sh = shards.(s) and src = shards.(v) in
+    let k = Shard.min_server sh in
+    let h = Shard.take src in
+    unqueued h;
+    if config.Config.deadline_policy = Config.Drop && expired ~t0 h then begin
+      (* Dropped at dispatch: shed without consuming server time,
+         attributed to the queue it waited in. *)
+      src.Shard.shed <- src.Shard.shed + 1;
+      recs.(h) <-
+        Some
+          { r_index = h; r_req = reqs.(h); r_outcome = Shed; r_fp = fp.(h);
+            r_hit = false; r_batch = 0; r_queue_ms = t0 -. arrival h;
+            r_service_ms = 0.; r_finish_ms = t0; r_shard = v;
+            r_home = home.(h); r_stolen = false; r_result = None };
+      trace_shed h
+    end
+    else begin
+      let eff i =
+        match config.Config.deadline_policy with
+        | Config.Degrade when expired ~t0 i -> `Fallback
+        | Config.Degrade | Config.Drop | Config.Ignore -> `Primary
+      in
+      let fp_of i = function `Primary -> fp.(i) | `Fallback -> fb_fp.(i) in
+      let eh = eff h in
+      let key = fp_of h eh in
+      let batch =
+        if config.Config.batching && caching then begin
+          (* Under Drop, expired same-key waiters stay queued (they drop
+             when they reach the head) instead of riding the batch. *)
+          let mates =
+            Shard.take_matching src (fun j ->
+                String.equal (fp_of j (eff j)) key
+                && not
+                     (config.Config.deadline_policy = Config.Drop
+                      && expired ~t0 j))
+          in
+          List.iter unqueued mates;
+          h :: mates
+        end
+        else [ h ]
+      in
+      let nb = List.length batch in
+      Shard.note_batch sh nb;
+      if s <> v then begin
+        incr steals;
+        sh.Shard.steals_in <- sh.Shard.steals_in + 1;
+        src.Shard.steals_out <- src.Shard.steals_out + 1
+      end;
+      let entry = entry_for h eh in
+      let hit = Lru.find sh.Shard.lru key <> None in
+      if not hit then ignore (Lru.add sh.Shard.lru key entry);
+      let penalty =
+        if hit then 0.
+        else Build.miss_penalty_ms ~compile_ms:config.Config.compile_ms entry
+      in
+      let run_ms = entry.Build.e_run_ms in
+      List.iteri
+        (fun pos j ->
+          let start = t0 +. penalty +. (run_ms *. float_of_int pos) in
+          let finish = start +. run_ms in
+          let outcome = if eff j = `Fallback then Degraded else Served in
+          assert (t0 -. arrival j >= 0.);
+          recs.(j) <-
+            Some
+              { r_index = j; r_req = reqs.(j); r_outcome = outcome;
+                r_fp = key; r_hit = hit; r_batch = nb;
+                r_queue_ms = t0 -. arrival j;
+                r_service_ms = (if pos = 0 then penalty +. run_ms else run_ms);
+                r_finish_ms = finish; r_shard = s; r_home = home.(j);
+                r_stolen = s <> v; r_result = Some entry.Build.e_result };
+          match trace with
+          | None -> ()
+          | Some tr ->
+            let ts = if pos = 0 then us_of_ms t0 else us_of_ms start in
+            let track =
+              if nshards = 1 then Printf.sprintf "server%d" k
+              else Printf.sprintf "shard%d.server%d" s k
+            in
+            Chrome.add_complete tr ~track ~name:reqs.(j).Request.id
+              ~cat:"serve" ~ts
+              ~dur:(us_of_ms finish - ts)
+              [ ("fp", Jsonu.Str key);
+                ("hit", Jsonu.Bool hit);
+                ("outcome", Jsonu.Str (outcome_to_string outcome));
+                ("batch", Jsonu.Int nb) ])
+        batch;
+      sh.Shard.free.(k) <- t0 +. penalty +. (run_ms *. float_of_int nb);
+      let inflight =
+        Array.fold_left
+          (fun acc sh ->
+            Array.fold_left
+              (fun acc f -> if f > t0 then acc + 1 else acc)
+              acc sh.Shard.free)
+          0 shards
+      in
+      if inflight > !inflight_peak then inflight_peak := inflight
+    end
+  in
+  (* The settle loop: one event per iteration — the earliest pending
+     arrival when it is at or before the earliest candidate dispatch
+     (so admission chronology is exact: a dispatch at t0 sees exactly
+     the arrivals <= t0, as the classic scheduler's admit_until did),
+     otherwise that dispatch. Each iteration strictly shrinks
+     [pending] or a queue, so the loop terminates. *)
   let continue = ref true in
   while !continue do
-    match (!queue, !pending) with
-    | [], [] -> continue := false
-    | q, p ->
-      let s = min_server () in
-      (* Clamp dispatch to the arrival of whatever is served next: the
-         queue head if one is waiting (queue arrivals are non-decreasing
-         since admission drains [pending] in sorted order), else the next
-         pending arrival. Without the clamp an idle server ([free.(s)]
-         behind the head's arrival) would dispatch before the request
-         exists, yielding negative queue latencies. *)
-      let t0 =
-        match (q, p) with
-        | [], i :: _ -> Float.max free.(s) (arrival i)
-        | h :: _, _ -> Float.max free.(s) (arrival h)
-        | [], [] -> assert false (* outer match ends the loop *)
-      in
-      admit_until t0;
-      (match !queue with
-       | [] ->
-         (* Only reachable if admission shed everything it admitted,
-            which cannot happen into an empty queue (queue_limit >= 1). *)
-         assert false
-       | h :: rest ->
-         queue := rest;
-         decr qlen;
-         let eff i =
-           match deadline_abs.(i) with
-           | Some d when t0 > d -> `Fallback
-           | _ -> `Primary
-         in
-         let fp_of i = function
-           | `Primary -> fp.(i)
-           | `Fallback -> fb_fp.(i)
-         in
-         let eh = eff h in
-         let key = fp_of h eh in
-         let batch =
-           if cfg.batching && caching then begin
-             let same, other =
-               List.partition (fun j -> String.equal (fp_of j (eff j)) key) !queue
-             in
-             queue := other;
-             qlen := List.length other;
-             h :: same
-           end
-           else [ h ]
-         in
-         let nb = List.length batch in
-         if nb > 1 then incr batches;
-         if nb > !batch_max then batch_max := nb;
-         let entry = entry_for h eh in
-         let hit = Lru.find lru key <> None in
-         if not hit then ignore (Lru.add lru key entry);
-         let penalty =
-           if hit then 0. else cfg.compile_ms +. entry.Build.e_tune_ms
-         in
-         let run = entry.Build.e_run_ms in
-         List.iteri
-           (fun pos j ->
-             let start = t0 +. penalty +. (run *. float_of_int pos) in
-             let finish = start +. run in
-             let outcome = if eff j = `Fallback then Degraded else Served in
-             assert (t0 -. arrival j >= 0.);
-             recs.(j) <-
-               Some
-                 { r_index = j; r_req = reqs.(j); r_outcome = outcome;
-                   r_fp = key; r_hit = hit; r_batch = nb;
-                   r_queue_ms = t0 -. arrival j;
-                   r_service_ms =
-                     (if pos = 0 then penalty +. run else run);
-                   r_finish_ms = finish;
-                   r_result = Some entry.Build.e_result };
-             match trace with
-             | None -> ()
-             | Some tr ->
-               let ts = if pos = 0 then us_of_ms t0 else us_of_ms start in
-               Chrome.add_complete tr
-                 ~track:(Printf.sprintf "server%d" s)
-                 ~name:reqs.(j).Request.id ~cat:"serve" ~ts
-                 ~dur:(us_of_ms finish - ts)
-                 [ ("fp", Jsonu.Str key);
-                   ("hit", Jsonu.Bool hit);
-                   ("outcome", Jsonu.Str (outcome_to_string outcome));
-                   ("batch", Jsonu.Int nb) ])
-           batch;
-         free.(s) <- t0 +. penalty +. (run *. float_of_int nb);
-         let inflight =
-           Array.fold_left
-             (fun acc f -> if f > t0 then acc + 1 else acc)
-             0 free
-         in
-         if inflight > !inflight_peak then inflight_peak := inflight)
+    match (best_candidate (), !pending) with
+    | None, [] -> continue := false
+    | None, i :: rest ->
+      pending := rest;
+      admit_one i
+    | Some (t0, s, v), p ->
+      (match p with
+       | i :: rest when arrival i <= t0 ->
+         pending := rest;
+         admit_one i
+       | _ -> dispatch t0 s v)
   done;
 
   (* --- Summarise ---------------------------------------------------- *)
@@ -348,29 +519,87 @@ let replay ?(trace : Chrome.t option) (cfg : cfg)
         | None -> invalid_arg (Printf.sprintf "Scheduler: request %d lost" i))
       recs
   in
-  let ok = ref 0 and degraded = ref 0 and shed_n = ref 0 in
+  (* Per-shard served counts and latencies, attributed to the serving
+     shard, accumulated in input order (so pooled latencies match the
+     classic single-shard order exactly). *)
+  let ok_s = Array.make nshards 0 in
+  let deg_s = Array.make nshards 0 in
+  let lats_s = Array.make nshards [] in
   let lats = ref [] in
   let makespan = ref 0. in
   Array.iter
     (fun r ->
-      (match r.r_outcome with
-       | Served -> incr ok
-       | Degraded -> incr degraded
-       | Shed -> incr shed_n);
-      if r.r_outcome <> Shed then begin
-        lats := (r.r_finish_ms -. r.r_req.Request.arrival_ms) :: !lats;
-        if r.r_finish_ms > !makespan then makespan := r.r_finish_ms
-      end)
+      match r.r_outcome with
+      | Shed -> ()
+      | Served | Degraded ->
+        (match r.r_outcome with
+         | Served -> ok_s.(r.r_shard) <- ok_s.(r.r_shard) + 1
+         | _ -> deg_s.(r.r_shard) <- deg_s.(r.r_shard) + 1);
+        let lat = r.r_finish_ms -. r.r_req.Request.arrival_ms in
+        lats_s.(r.r_shard) <- lat :: lats_s.(r.r_shard);
+        lats := lat :: !lats;
+        if r.r_finish_ms > !makespan then makespan := r.r_finish_ms)
     records;
+  let shard_summaries =
+    Array.init nshards (fun s ->
+        let sh = shards.(s) in
+        Slo.shard_make ~index:s
+          ~latencies_ms:(Array.of_list (List.rev lats_s.(s)))
+          ~ok:ok_s.(s) ~degraded:deg_s.(s) ~shed:sh.Shard.shed
+          ~hits:(Lru.hits sh.Shard.lru) ~misses:(Lru.misses sh.Shard.lru)
+          ~evictions:(Lru.evictions sh.Shard.lru) ~batches:sh.Shard.batches
+          ~batch_max:sh.Shard.batch_max ~queue_peak:sh.Shard.queue_peak
+          ~steals_in:sh.Shard.steals_in ~steals_out:sh.Shard.steals_out)
+  in
+  let registry = Registry.create () in
+  Array.iter (Slo.shard_register registry) shard_summaries;
+  (* Fleet totals over additive leaves are DERIVED from the per-shard
+     counters just registered, not maintained separately — the
+     aggregation is a fold over the registry, deterministic because the
+     leaves are commutative sums. *)
+  let fleet leaf = Registry.sum_prefix registry ~leaf "serve.shard." in
+  let batch_max =
+    Array.fold_left (fun m sh -> max m sh.Shard.batch_max) 0 shards
+  in
   let summary =
     Slo.make
       ~latencies_ms:(Array.of_list (List.rev !lats))
-      ~ok:!ok ~degraded:!degraded ~shed:!shed_n ~hits:(Lru.hits lru)
-      ~misses:(Lru.misses lru) ~evictions:(Lru.evictions lru)
-      ~batches:!batches ~batch_max:!batch_max ~queue_peak:!queue_peak
-      ~inflight_peak:!inflight_peak ~builds ~makespan_ms:!makespan
+      ~ok:(fleet "ok") ~degraded:(fleet "degraded") ~shed:(fleet "shed")
+      ~hits:(fleet "cache.hit") ~misses:(fleet "cache.miss")
+      ~evictions:(fleet "cache.evict") ~batches:(fleet "batch.count")
+      ~batch_max ~queue_peak:!fleet_queue_peak ~inflight_peak:!inflight_peak
+      ~builds ~steals:!steals ~makespan_ms:!makespan
   in
-  let registry = Slo.registry summary in
+  Slo.register registry summary;
+  (* Per-tenant admission accounting, sorted by tenant name. *)
+  let tenants =
+    Array.fold_left
+      (fun acc r -> r.r_req.Request.tenant :: acc)
+      (Hashtbl.fold (fun t _ acc -> t :: acc) tenant_quota_shed [])
+      records
+    |> List.sort_uniq String.compare
+  in
+  List.iter
+    (fun t ->
+      let pre leaf = Printf.sprintf "serve.tenant.%s.%s" t leaf in
+      let requests = ref 0 and ok = ref 0 and deg = ref 0 and shed = ref 0 in
+      Array.iter
+        (fun r ->
+          if String.equal r.r_req.Request.tenant t then begin
+            incr requests;
+            match r.r_outcome with
+            | Served -> incr ok
+            | Degraded -> incr deg
+            | Shed -> incr shed
+          end)
+        records;
+      Registry.set registry (pre "requests") !requests;
+      Registry.set registry (pre "ok") !ok;
+      Registry.set registry (pre "degraded") !deg;
+      Registry.set registry (pre "shed") !shed;
+      Registry.set registry (pre "quota_shed")
+        (Option.value (Hashtbl.find_opt tenant_quota_shed t) ~default:0))
+    tenants;
   (* Tuning-decision counters, aggregated over the deterministic build
      list: how many builds swept, how many ran the model, how many
      rolled prefetching back — and, for hybrid builds, whether the model
@@ -397,7 +626,22 @@ let replay ?(trace : Chrome.t option) (cfg : cfg)
             | None -> ())
          | None -> ()))
     built;
-  { rp_records = records; rp_summary = summary; rp_registry = registry }
+  { rp_records = records; rp_summary = summary; rp_shards = shard_summaries;
+    rp_registry = registry }
+
+(* The legacy single-scheduler surface: a [cfg] is a one-shard
+   [Config.t]. Kept so pre-fleet callers keep compiling; new code uses
+   [run] with [Config] builders. *)
+let replay ?trace (cfg : cfg) (requests : Request.t list) : replayed =
+  run ?trace
+    { Config.default with
+      Config.servers = cfg.servers;
+      queue_limit = cfg.queue_limit;
+      cache_capacity = cfg.cache_capacity;
+      compile_ms = cfg.compile_ms;
+      batching = cfg.batching;
+      jobs = cfg.jobs }
+    requests
 
 (* One record as a JSONL object — virtual quantities only, so replay
    output is byte-comparable across runs and host parallelism. *)
@@ -414,10 +658,14 @@ let record_to_json (r : record) : Jsonu.t =
   let base =
     [ ("index", Jsonu.Int r.r_index);
       ("id", Jsonu.Str r.r_req.Request.id);
+      ("tenant", Jsonu.Str r.r_req.Request.tenant);
       ("outcome", Jsonu.Str (outcome_to_string r.r_outcome));
       ("fp", Jsonu.Str r.r_fp);
       ("hit", Jsonu.Bool r.r_hit);
       ("batch", Jsonu.Int r.r_batch);
+      ("shard", Jsonu.Int r.r_shard);
+      ("home", Jsonu.Int r.r_home);
+      ("stolen", Jsonu.Bool r.r_stolen);
       ("queue_ms", Jsonu.Float r.r_queue_ms);
       ("service_ms", Jsonu.Float r.r_service_ms);
       ("finish_ms", Jsonu.Float r.r_finish_ms) ]

@@ -1,19 +1,26 @@
-(** The deterministic request scheduler: replay a request list through a
-    fleet of virtual servers draining a bounded FIFO queue, with a
-    compile/tune LRU cache, same-fingerprint batching, admission-control
-    shedding, and deadline degradation.
+(** The deterministic serving fleet: replay a request list through
+    [shards] shards — each owning virtual servers, a bounded FIFO queue
+    and a compile/tune LRU — with consistent-hash routing on artefact
+    fingerprints, cross-shard work stealing, per-tenant admission
+    quotas, same-fingerprint batching and a configurable deadline
+    policy.
 
     Host parallelism only accelerates the build pass (entries are built
-    once per distinct fingerprint on a {!Asap_core.Par} pool, results
-    index-slotted); scheduling itself is a sequential discrete-event
-    simulation in virtual time, so {!replay} is a pure function of the
-    request list — byte-identical records at any [jobs]. *)
+    once per distinct fingerprint on {!Asap_core.Par} slices leased per
+    shard, results index-slotted); scheduling itself is a sequential
+    discrete-event simulation in virtual time, so {!run} is a pure
+    function of the request list and {!Config.t} — byte-identical
+    records at any [jobs]. See DESIGN.md §3f for the router → shard →
+    steal path and the determinism argument. *)
 
 module Driver = Asap_core.Driver
 module Registry = Asap_obs.Registry
 module Chrome = Asap_obs.Chrome
 module Jsonu = Asap_obs.Jsonu
 
+(** The legacy single-scheduler configuration — superseded by
+    {!Config.t}, kept so pre-fleet callers keep compiling. A [cfg] is
+    exactly a one-shard [Config.t] without quotas or overrides. *)
 type cfg = {
   servers : int;          (** virtual servers draining the queue *)
   queue_limit : int;      (** bounded FIFO depth; arrivals past it shed *)
@@ -31,7 +38,8 @@ val default_cfg : cfg
 type outcome =
   | Served      (** on time (or no deadline) with the requested variant *)
   | Degraded    (** deadline expired before dispatch; served as baseline *)
-  | Shed        (** rejected by admission control (queue full) *)
+  | Shed        (** rejected by admission control (queue full or tenant
+                    quota), or dropped at dispatch under [Config.Drop] *)
 
 val outcome_to_string : outcome -> string
 
@@ -45,14 +53,21 @@ type record = {
   r_queue_ms : float;              (** admission wait: dispatch - arrival *)
   r_service_ms : float;            (** own run + (on miss) build penalty *)
   r_finish_ms : float;             (** virtual completion; arrival if shed *)
+  r_shard : int;                   (** shard whose server dispatched it *)
+  r_home : int;                    (** shard its fingerprint routed to *)
+  r_stolen : bool;                 (** served by a shard other than home *)
   r_result : Driver.result option; (** [None] for shed *)
 }
 
 type replayed = {
   rp_records : record array;       (** input order *)
-  rp_summary : Slo.summary;
+  rp_summary : Slo.summary;        (** fleet-wide *)
+  rp_shards : Slo.shard_summary array;
   rp_registry : Registry.t;
-    (** [serve.*] counters, including the tuning-decision counters
+    (** [serve.*] counters: per-shard [serve.shard.<i>.*], per-tenant
+        [serve.tenant.<t>.*] (requests / ok / degraded / shed /
+        quota_shed), fleet totals derived from the per-shard leaves via
+        {!Registry.sum_prefix}, plus the tuning-decision counters
         [serve.tune.sweep_runs] / [serve.tune.model_decisions] /
         [serve.tune.rollbacks] and the hybrid-mode agreement counters
         [tune.model.agree] / [tune.model.disagree] /
@@ -60,11 +75,25 @@ type replayed = {
         the build list *)
 }
 
-(** [replay ?trace cfg requests] runs the full two-pass replay. [trace],
-    if given, receives per-request spans on per-server tracks and shed
-    instants. @raise Invalid_argument on a bad config, unknown matrix
-    spec or malformed request. *)
+(** [run ?trace config requests] replays the fleet: engine/tune-mode
+    overrides from [config] are applied to every request first, each
+    distinct fingerprint builds once (host-parallel, per-shard
+    {!Asap_core.Par.lease} slices), then the sequential virtual-time
+    loop routes, admits (quota, then queue limit), batches, steals and
+    serves. [trace], if given, receives per-request spans on
+    per-shard-server tracks and shed instants.
+    @raise Invalid_argument on a bad config, unknown matrix spec or
+    malformed request. *)
+val run : ?trace:Chrome.t -> Config.t -> Request.t list -> replayed
+
+(** [replay ?trace cfg requests] is {!run} over the one-shard
+    [Config.t] equivalent to [cfg] — byte-identical to the historical
+    single-scheduler replay. *)
 val replay : ?trace:Chrome.t -> cfg -> Request.t list -> replayed
+[@@ocaml.deprecated
+  "Scheduler.replay/cfg are superseded by Scheduler.run over \
+   Serve.Config — e.g. run Config.(default |> with_jobs 4 |> \
+   with_shards 8) reqs."]
 
 (** [record_to_json r] / [record_to_line r]: one record as a (one-line)
     JSON object of virtual quantities only — byte-comparable across

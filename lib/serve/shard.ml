@@ -1,0 +1,67 @@
+(* Per-shard runtime state of the fleet replay.
+
+   A shard owns what a single classic scheduler owned: a bounded FIFO
+   queue of admitted request indices, a bank of virtual servers (their
+   next-free virtual times), and its own compile/tune LRU. The fleet
+   scheduler drives an array of these from one sequential discrete-event
+   loop, so nothing here needs synchronisation — the mutability is plain
+   record fields, and every counter is attributed to exactly one shard:
+   admission (queue/quota sheds, queue peak) to the request's home
+   shard, service (batches, cache traffic, steals) to the shard whose
+   server dispatched it. *)
+
+type t = {
+  index : int;
+  lru : (string, Build.entry) Lru.t;   (* this shard's compile/tune cache *)
+  free : float array;                  (* per-server next-free virtual ms *)
+  mutable queue : int list;            (* admitted request indices, FIFO *)
+  mutable qlen : int;
+  mutable queue_peak : int;
+  mutable shed : int;                  (* admission sheds (queue + quota) *)
+  mutable batches : int;               (* dispatches serving > 1 request *)
+  mutable batch_max : int;
+  mutable steals_in : int;             (* batches this shard's servers stole *)
+  mutable steals_out : int;            (* batches stolen from this queue *)
+}
+
+let create ~index ~servers ~cache_capacity =
+  { index; lru = Lru.create ~capacity:cache_capacity;
+    free = Array.make servers 0.; queue = []; qlen = 0; queue_peak = 0;
+    shed = 0; batches = 0; batch_max = 0; steals_in = 0; steals_out = 0 }
+
+let enqueue t i =
+  t.queue <- t.queue @ [ i ];
+  t.qlen <- t.qlen + 1;
+  if t.qlen > t.queue_peak then t.queue_peak <- t.qlen
+
+(** [head t] is the oldest queued index, if any. *)
+let head t = match t.queue with [] -> None | i :: _ -> Some i
+
+(** [min_server t] is the earliest-free server (lowest index on ties). *)
+let min_server t =
+  let s = ref 0 in
+  for k = 1 to Array.length t.free - 1 do
+    if t.free.(k) < t.free.(!s) then s := k
+  done;
+  !s
+
+(** [take t] pops the queue head. @raise Invalid_argument if empty. *)
+let take t =
+  match t.queue with
+  | [] -> invalid_arg "Shard.take: empty queue"
+  | h :: rest ->
+    t.queue <- rest;
+    t.qlen <- t.qlen - 1;
+    h
+
+(** [take_matching t pred] removes every queued index satisfying [pred],
+    in queue order — the same-fingerprint co-batch of a dispatch. *)
+let take_matching t pred =
+  let same, other = List.partition pred t.queue in
+  t.queue <- other;
+  t.qlen <- List.length other;
+  same
+
+let note_batch t nb =
+  if nb > 1 then t.batches <- t.batches + 1;
+  if nb > t.batch_max then t.batch_max <- nb

@@ -1,0 +1,38 @@
+(** Per-shard runtime state of the fleet replay: a bounded FIFO queue of
+    request indices, a bank of virtual servers, and the shard's own
+    compile/tune {!Lru} — driven by the fleet scheduler's sequential
+    discrete-event loop, so no synchronisation is involved. *)
+
+type t = {
+  index : int;
+  lru : (string, Build.entry) Lru.t;
+  free : float array;        (** per-server next-free virtual ms *)
+  mutable queue : int list;  (** admitted request indices, FIFO *)
+  mutable qlen : int;
+  mutable queue_peak : int;
+  mutable shed : int;        (** admission sheds (queue full or quota) *)
+  mutable batches : int;     (** dispatches serving more than one request *)
+  mutable batch_max : int;
+  mutable steals_in : int;   (** batches this shard's servers stole *)
+  mutable steals_out : int;  (** batches stolen from this shard's queue *)
+}
+
+val create : index:int -> servers:int -> cache_capacity:int -> t
+
+(** [enqueue t i] appends [i], maintaining [qlen] and [queue_peak]. *)
+val enqueue : t -> int -> unit
+
+val head : t -> int option
+
+(** Earliest-free server index (lowest index on ties). *)
+val min_server : t -> int
+
+(** Pops the queue head. @raise Invalid_argument if empty. *)
+val take : t -> int
+
+(** [take_matching t pred] removes every queued index satisfying [pred],
+    in queue order. *)
+val take_matching : t -> (int -> bool) -> int list
+
+(** [note_batch t nb] records a dispatch of [nb] requests. *)
+val note_batch : t -> int -> unit

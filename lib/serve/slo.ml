@@ -1,12 +1,26 @@
-(* Latency/SLO summaries over a replay.
+(* Latency/SLO summaries over a replay — fleet-wide and per shard.
 
    Latencies are virtual (simulated) milliseconds — finish minus
    arrival for every request that was actually served — so percentiles
    are deterministic replay properties, not host measurements. The host
    wall clock appears only in the separate throughput numbers the bench
    layer reports. Counters export under the [serve.*] segment of the
-   DESIGN.md §3c catalogue; times go in as integer microseconds (the
-   registry is integral), rates as milli-units. *)
+   DESIGN.md §3c catalogue — per-shard counters as
+   [serve.shard.<i>.<leaf>], so fleet aggregates can be *derived* with
+   {!Asap_obs.Registry.sum_prefix} instead of maintained separately —
+   times go in as integer microseconds (the registry is integral),
+   rates as milli-units.
+
+   Percentile estimator: nearest-rank — the smallest sample x such that
+   at least p% of the samples are <= x (sorted.(ceil (p/100 * n)) with
+   1-based rank). It is exact in the sense that it always returns an
+   observed sample, but it says nothing a sample of size n cannot
+   support: with n < 100/(100-p) every sample sits below the requested
+   rank resolution and nearest-rank degenerates to "the maximum", which
+   reads as a meaningful tail estimate when it is not (a 5-request
+   shard has no p99.9). {!percentile_opt} therefore returns [None]
+   below that threshold; the raw {!percentile} survives for callers
+   that want the degenerate value knowingly. *)
 
 module Registry = Asap_obs.Registry
 module Jsonu = Asap_obs.Jsonu
@@ -21,18 +35,22 @@ type summary = {
   s_evictions : int;
   s_batches : int;            (* dispatches serving more than one request *)
   s_batch_max : int;
-  s_queue_peak : int;
+  s_queue_peak : int;         (* peak total queued across the fleet *)
   s_inflight_peak : int;
   s_builds : int;             (* host-side entry builds performed *)
+  s_steals : int;             (* cross-shard batches stolen *)
   s_p50_ms : float;
   s_p95_ms : float;
-  s_p99_ms : float;
+  s_p99_ms : float option;    (* None below 100 samples *)
+  s_p999_ms : float option;   (* None below 1000 samples *)
   s_makespan_ms : float;      (* virtual time of the last finish *)
   s_throughput_rps : float;   (* served / virtual makespan *)
 }
 
 (** [percentile xs ~p] is the nearest-rank percentile ([p] in [0,100])
-    of [xs] (not required sorted; empty yields 0). *)
+    of [xs] (not required sorted; empty yields 0). Degenerates to the
+    sample maximum once [p] exceeds the sample's rank resolution — see
+    {!percentile_opt} for the honest variant. *)
 let percentile (xs : float array) ~(p : float) : float =
   let n = Array.length xs in
   if n = 0 then 0.
@@ -43,17 +61,38 @@ let percentile (xs : float array) ~(p : float) : float =
     sorted.(max 0 (min (n - 1) (rank - 1)))
   end
 
+(** [min_samples ~p] is the smallest sample count whose nearest-rank
+    p-th percentile is not simply the maximum: ceil (100 / (100 - p)).
+    100 for p99, 1000 for p99.9. @raise Invalid_argument outside
+    (0, 100). *)
+let min_samples ~(p : float) : int =
+  if p <= 0. || p >= 100. then
+    invalid_arg "Slo.min_samples: p outside (0, 100)";
+  (* The epsilon absorbs binary-float noise in 100/(100-p): p = 99.9
+     computes to 1000.0000000000009, which must not ceil to 1001. *)
+  int_of_float (ceil (100. /. (100. -. p) -. 1e-6))
+
+(** [percentile_opt xs ~p] is {!percentile} when the sample can resolve
+    the requested quantile ([length xs >= min_samples ~p]), [None]
+    otherwise — a tiny per-shard sample yields no tail estimate rather
+    than a misleading one. *)
+let percentile_opt (xs : float array) ~(p : float) : float option =
+  if Array.length xs < min_samples ~p then None
+  else Some (percentile xs ~p)
+
 let make ~latencies_ms ~ok ~degraded ~shed ~hits ~misses ~evictions ~batches
-    ~batch_max ~queue_peak ~inflight_peak ~builds ~makespan_ms : summary =
+    ~batch_max ~queue_peak ~inflight_peak ~builds ~steals ~makespan_ms :
+    summary =
   let served = ok + degraded in
   { s_total = ok + degraded + shed; s_ok = ok; s_degraded = degraded;
     s_shed = shed; s_hits = hits; s_misses = misses;
     s_evictions = evictions; s_batches = batches; s_batch_max = batch_max;
     s_queue_peak = queue_peak; s_inflight_peak = inflight_peak;
-    s_builds = builds;
+    s_builds = builds; s_steals = steals;
     s_p50_ms = percentile latencies_ms ~p:50.;
     s_p95_ms = percentile latencies_ms ~p:95.;
-    s_p99_ms = percentile latencies_ms ~p:99.;
+    s_p99_ms = percentile_opt latencies_ms ~p:99.;
+    s_p999_ms = percentile_opt latencies_ms ~p:99.9;
     s_makespan_ms = makespan_ms;
     s_throughput_rps =
       (if makespan_ms > 0. then 1000. *. float_of_int served /. makespan_ms
@@ -67,10 +106,11 @@ let hit_rate (s : summary) : float =
 
 let us ms = int_of_float (Float.round (ms *. 1000.))
 
-(** [registry s] exports the summary as [serve.*] counters (times as
-    integer microseconds, throughput as milli-requests/s). *)
-let registry (s : summary) : Registry.t =
-  let reg = Registry.create () in
+(** [register reg s] exports the summary as [serve.*] counters into
+    [reg] (times as integer microseconds, throughput as
+    milli-requests/s). Tail percentiles the sample cannot resolve are
+    omitted, not exported as 0. *)
+let register (reg : Registry.t) (s : summary) : unit =
   let set = Registry.set reg in
   set "serve.requests" s.s_total;
   set "serve.ok" s.s_ok;
@@ -84,12 +124,26 @@ let registry (s : summary) : Registry.t =
   set "serve.queue.peak" s.s_queue_peak;
   set "serve.inflight.peak" s.s_inflight_peak;
   set "serve.build.host" s.s_builds;
+  set "serve.steal.count" s.s_steals;
   set "serve.lat.p50_us" (us s.s_p50_ms);
   set "serve.lat.p95_us" (us s.s_p95_ms);
-  set "serve.lat.p99_us" (us s.s_p99_ms);
+  (match s.s_p99_ms with
+   | Some v -> set "serve.lat.p99_us" (us v)
+   | None -> ());
+  (match s.s_p999_ms with
+   | Some v -> set "serve.lat.p999_us" (us v)
+   | None -> ());
   set "serve.makespan_us" (us s.s_makespan_ms);
-  set "serve.throughput_mrps" (int_of_float (Float.round (s.s_throughput_rps *. 1000.)));
+  set "serve.throughput_mrps"
+    (int_of_float (Float.round (s.s_throughput_rps *. 1000.)))
+
+(** [registry s] is {!register} into a fresh registry. *)
+let registry (s : summary) : Registry.t =
+  let reg = Registry.create () in
+  register reg s;
   reg
+
+let opt_json = function Some v -> Jsonu.Float v | None -> Jsonu.Null
 
 let to_json (s : summary) : Jsonu.t =
   Jsonu.Obj
@@ -106,21 +160,120 @@ let to_json (s : summary) : Jsonu.t =
       ("queue_peak", Jsonu.Int s.s_queue_peak);
       ("inflight_peak", Jsonu.Int s.s_inflight_peak);
       ("builds", Jsonu.Int s.s_builds);
+      ("steals", Jsonu.Int s.s_steals);
       ("p50_ms", Jsonu.Float s.s_p50_ms);
       ("p95_ms", Jsonu.Float s.s_p95_ms);
-      ("p99_ms", Jsonu.Float s.s_p99_ms);
+      ("p99_ms", opt_json s.s_p99_ms);
+      ("p999_ms", opt_json s.s_p999_ms);
       ("makespan_ms", Jsonu.Float s.s_makespan_ms);
       ("throughput_rps", Jsonu.Float s.s_throughput_rps) ]
+
+let pp_opt ppf = function
+  | Some v -> Format.fprintf ppf "%.3f" v
+  | None -> Format.pp_print_string ppf "n/a"
 
 let pp ppf (s : summary) =
   Format.fprintf ppf
     "@[<v>requests %d: %d ok, %d degraded, %d shed@,\
      cache: %d hit / %d miss / %d evict (hit rate %.2f)@,\
-     batching: %d batched dispatches, largest %d@,\
+     batching: %d batched dispatches, largest %d; %d stolen@,\
      peaks: queue %d, in-flight %d; host builds %d@,\
-     latency p50/p95/p99: %.3f / %.3f / %.3f ms@,\
+     latency p50/p95/p99/p99.9: %.3f / %.3f / %a / %a ms@,\
      makespan %.3f ms, throughput %.1f req/s (virtual)@]"
     s.s_total s.s_ok s.s_degraded s.s_shed s.s_hits s.s_misses s.s_evictions
-    (hit_rate s) s.s_batches s.s_batch_max s.s_queue_peak s.s_inflight_peak
-    s.s_builds s.s_p50_ms s.s_p95_ms s.s_p99_ms s.s_makespan_ms
-    s.s_throughput_rps
+    (hit_rate s) s.s_batches s.s_batch_max s.s_steals s.s_queue_peak
+    s.s_inflight_peak s.s_builds s.s_p50_ms s.s_p95_ms pp_opt s.s_p99_ms
+    pp_opt s.s_p999_ms s.s_makespan_ms s.s_throughput_rps
+
+(* --- Per-shard summaries --------------------------------------------- *)
+
+type shard_summary = {
+  sh_index : int;
+  sh_ok : int;
+  sh_degraded : int;
+  sh_shed : int;              (* admission sheds on this home shard *)
+  sh_hits : int;
+  sh_misses : int;
+  sh_evictions : int;
+  sh_batches : int;
+  sh_batch_max : int;
+  sh_queue_peak : int;
+  sh_steals_in : int;         (* batches this shard's servers stole *)
+  sh_steals_out : int;        (* batches stolen from this shard's queue *)
+  sh_p50_ms : float option;   (* None below the rank resolution *)
+  sh_p95_ms : float option;
+  sh_p99_ms : float option;
+  sh_p999_ms : float option;
+}
+
+(** [shard_make ~index ~latencies_ms ...] builds one shard's summary;
+    every percentile goes through {!percentile_opt} — per-shard samples
+    are routinely tiny, and a 5-request shard has no p99. *)
+let shard_make ~index ~latencies_ms ~ok ~degraded ~shed ~hits ~misses
+    ~evictions ~batches ~batch_max ~queue_peak ~steals_in ~steals_out :
+    shard_summary =
+  { sh_index = index; sh_ok = ok; sh_degraded = degraded; sh_shed = shed;
+    sh_hits = hits; sh_misses = misses; sh_evictions = evictions;
+    sh_batches = batches; sh_batch_max = batch_max;
+    sh_queue_peak = queue_peak; sh_steals_in = steals_in;
+    sh_steals_out = steals_out;
+    sh_p50_ms = percentile_opt latencies_ms ~p:50.;
+    sh_p95_ms = percentile_opt latencies_ms ~p:95.;
+    sh_p99_ms = percentile_opt latencies_ms ~p:99.;
+    sh_p999_ms = percentile_opt latencies_ms ~p:99.9 }
+
+(** [shard_register reg sh] exports [serve.shard.<i>.<leaf>] counters:
+    ok / degraded / shed / cache.hit / cache.miss / cache.evict /
+    batch.count / batch.max / queue.peak / steal.in / steal.out and the
+    resolvable [lat.*_us] percentiles. Fleet totals over additive
+    leaves are derived with [Registry.sum_prefix ~leaf "serve.shard."]. *)
+let shard_register (reg : Registry.t) (sh : shard_summary) : unit =
+  let set leaf v =
+    Registry.set reg (Printf.sprintf "serve.shard.%d.%s" sh.sh_index leaf) v
+  in
+  set "ok" sh.sh_ok;
+  set "degraded" sh.sh_degraded;
+  set "shed" sh.sh_shed;
+  set "cache.hit" sh.sh_hits;
+  set "cache.miss" sh.sh_misses;
+  set "cache.evict" sh.sh_evictions;
+  set "batch.count" sh.sh_batches;
+  set "batch.max" sh.sh_batch_max;
+  set "queue.peak" sh.sh_queue_peak;
+  set "steal.in" sh.sh_steals_in;
+  set "steal.out" sh.sh_steals_out;
+  let set_lat leaf = function
+    | Some v -> set leaf (us v)
+    | None -> ()
+  in
+  set_lat "lat.p50_us" sh.sh_p50_ms;
+  set_lat "lat.p95_us" sh.sh_p95_ms;
+  set_lat "lat.p99_us" sh.sh_p99_ms;
+  set_lat "lat.p999_us" sh.sh_p999_ms
+
+let shard_to_json (sh : shard_summary) : Jsonu.t =
+  Jsonu.Obj
+    [ ("shard", Jsonu.Int sh.sh_index);
+      ("ok", Jsonu.Int sh.sh_ok);
+      ("degraded", Jsonu.Int sh.sh_degraded);
+      ("shed", Jsonu.Int sh.sh_shed);
+      ("cache_hit", Jsonu.Int sh.sh_hits);
+      ("cache_miss", Jsonu.Int sh.sh_misses);
+      ("cache_evict", Jsonu.Int sh.sh_evictions);
+      ("batches", Jsonu.Int sh.sh_batches);
+      ("batch_max", Jsonu.Int sh.sh_batch_max);
+      ("queue_peak", Jsonu.Int sh.sh_queue_peak);
+      ("steal_in", Jsonu.Int sh.sh_steals_in);
+      ("steal_out", Jsonu.Int sh.sh_steals_out);
+      ("p50_ms", opt_json sh.sh_p50_ms);
+      ("p95_ms", opt_json sh.sh_p95_ms);
+      ("p99_ms", opt_json sh.sh_p99_ms);
+      ("p999_ms", opt_json sh.sh_p999_ms) ]
+
+let pp_shard ppf (sh : shard_summary) =
+  Format.fprintf ppf
+    "shard %d: %d ok, %d degraded, %d shed; cache %d/%d/%d; steal %d in \
+     / %d out; p50/p95 %a / %a ms"
+    sh.sh_index sh.sh_ok sh.sh_degraded sh.sh_shed sh.sh_hits sh.sh_misses
+    sh.sh_evictions sh.sh_steals_in sh.sh_steals_out pp_opt sh.sh_p50_ms
+    pp_opt sh.sh_p95_ms

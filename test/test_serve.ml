@@ -1,8 +1,10 @@
 (* Serving subsystem tests: the request model round-trips through JSONL,
    the LRU counts hits/misses/evictions deterministically, and the
-   scheduler replay is a pure function of the request list — byte-equal
-   records at any host parallelism, repeat fingerprints never rebuilt,
-   shedding/degradation/batching all observable in the records. *)
+   fleet replay is a pure function of the request list and config —
+   byte-equal records at any host parallelism and shard count, repeat
+   fingerprints never rebuilt, routing stable under fleet resizes,
+   stealing/quotas/shedding/degradation/batching all observable in the
+   records. *)
 
 module Coo = Asap_tensor.Coo
 module Encoding = Asap_tensor.Encoding
@@ -15,6 +17,8 @@ module Request = Asap_serve.Request
 module Lru = Asap_serve.Lru
 module Build = Asap_serve.Build
 module Mix = Asap_serve.Mix
+module Router = Asap_serve.Router
+module Config = Asap_serve.Config
 module Scheduler = Asap_serve.Scheduler
 module Slo = Asap_serve.Slo
 module Registry = Asap_obs.Registry
@@ -26,10 +30,11 @@ let check_int = Alcotest.(check int)
    what is under test. *)
 let req ?(id = "r0") ?(kernel = `Spmv) ?(format = "csr")
     ?(matrix = "powerlaw:400,5") ?(variant : Request.variant = `Asap)
-    ?(tune_mode = Asap_core.Tuning.default_mode) ?(arrival = 0.) ?deadline ()
+    ?(tune_mode = Asap_core.Tuning.default_mode)
+    ?(tenant = Request.default_tenant) ?(arrival = 0.) ?deadline ()
     : Request.t =
   { Request.id; kernel; format; matrix; variant;
-    engine = Exec.default_engine; machine = "optimized"; tune_mode;
+    engine = Exec.default_engine; machine = "optimized"; tune_mode; tenant;
     arrival_ms = arrival; deadline }
 
 let small_profiles () =
@@ -55,12 +60,22 @@ let test_request_roundtrip () =
         ~deadline:(Request.Ms 0.25) ();
       req ~id:"r2" ~kernel:`Ttv ~format:"csf" ~matrix:"tensor3:12,12,12,400"
         ~deadline:(Request.Cycles 9000) ();
-      req ~id:"r3" ~variant:`Baseline ~format:"csc" () ]
+      req ~id:"r3" ~variant:`Baseline ~format:"csc" ();
+      req ~id:"r4" ~tenant:"acme" () ];
+  (* A request that names no tenant parses as the default tenant. *)
+  match
+    Request.of_line {| {"id":"x","kernel":"spmv","matrix":"powerlaw:400,5"} |}
+  with
+  | Ok r ->
+    check "absent tenant defaults" true
+      (r.Request.tenant = Request.default_tenant)
+  | Error e -> Alcotest.fail e
 
 let test_request_fingerprint () =
   let a = req () in
-  (* id, arrival and deadline are scheduling metadata, not cache key. *)
-  let b = { a with Request.id = "other"; arrival_ms = 9.;
+  (* id, tenant, arrival and deadline are scheduling metadata, not
+     cache key. *)
+  let b = { a with Request.id = "other"; tenant = "acme"; arrival_ms = 9.;
             deadline = Some (Request.Ms 1.) } in
   check "metadata outside key" true
     (Request.fingerprint a = Request.fingerprint b);
@@ -120,8 +135,7 @@ let test_lru () =
 let test_replay_deterministic_across_jobs () =
   let reqs = Mix.hot_cold ~seed:5 ~n:60 (small_profiles ()) in
   let run jobs =
-    let cfg = { Scheduler.default_cfg with Scheduler.jobs } in
-    lines (Scheduler.replay cfg reqs)
+    lines (Scheduler.run Config.(with_jobs jobs default) reqs)
   in
   let l1 = run 1 in
   Alcotest.(check (list string)) "jobs 1 = jobs 4 (byte)" l1 (run 4);
@@ -132,7 +146,7 @@ let test_replay_cache_counters () =
   let uniq =
     List.sort_uniq String.compare (List.map Request.fingerprint reqs)
   in
-  let rp = Scheduler.replay Scheduler.default_cfg reqs in
+  let rp = Scheduler.run Config.default reqs in
   let s = rp.Scheduler.rp_summary in
   (* Repeat fingerprints never re-sparsify/re-compile: exactly one host
      build per distinct fingerprint (no deadlines, so no fallbacks). *)
@@ -145,11 +159,7 @@ let test_replay_cache_counters () =
   check_int "registry mirrors summary" s.Slo.s_hits
     (Registry.find rp.Scheduler.rp_registry "serve.cache.hit");
   (* Cache off: every request rebuilds and misses. *)
-  let off =
-    Scheduler.replay
-      { Scheduler.default_cfg with Scheduler.cache_capacity = 0 }
-      reqs
-  in
+  let off = Scheduler.run Config.(with_cache_capacity 0 default) reqs in
   check_int "uncached builds = requests" 50 off.Scheduler.rp_summary.Slo.s_builds;
   check_int "uncached misses = dispatches" 50
     off.Scheduler.rp_summary.Slo.s_misses;
@@ -167,8 +177,8 @@ let test_replay_eviction () =
           ())
   in
   let rp =
-    Scheduler.replay
-      { Scheduler.default_cfg with Scheduler.cache_capacity = 1; servers = 1 }
+    Scheduler.run
+      Config.(default |> with_cache_capacity 1 |> with_servers 1)
       reqs
   in
   let s = rp.Scheduler.rp_summary in
@@ -186,9 +196,10 @@ let test_replay_shedding () =
     List.init 12 (fun i -> req ~id:(Printf.sprintf "r%02d" i) ())
   in
   let rp =
-    Scheduler.replay
-      { Scheduler.default_cfg with
-        Scheduler.queue_limit = 4; servers = 1; batching = false }
+    Scheduler.run
+      Config.(
+        default |> with_queue_limit 4 |> with_servers 1
+        |> with_batching false)
       reqs
   in
   let s = rp.Scheduler.rp_summary in
@@ -214,8 +225,8 @@ let test_replay_deadline_degrades () =
       req ~id:"slack" ~deadline:(Request.Ms 1e6) () ]
   in
   let rp =
-    Scheduler.replay
-      { Scheduler.default_cfg with Scheduler.servers = 1; batching = false }
+    Scheduler.run
+      Config.(default |> with_servers 1 |> with_batching false)
       reqs
   in
   let by_id id =
@@ -241,8 +252,8 @@ let test_replay_batching () =
     :: List.init 5 (fun i -> req ~id:(Printf.sprintf "r%d" i) ())
   in
   let run batching =
-    (Scheduler.replay
-       { Scheduler.default_cfg with Scheduler.servers = 1; batching }
+    (Scheduler.run
+       Config.(default |> with_servers 1 |> with_batching batching)
        reqs)
       .Scheduler.rp_summary
   in
@@ -257,7 +268,7 @@ let test_replay_batching () =
 
 let test_replay_matches_driver () =
   let r = req () in
-  let rp = Scheduler.replay Scheduler.default_cfg [ r ] in
+  let rp = Scheduler.run Config.default [ r ] in
   let rec_ = rp.Scheduler.rp_records.(0) in
   let coo = Result.get_ok (Generate.of_spec r.Request.matrix) in
   let cfg =
@@ -288,8 +299,7 @@ let tuned_mix ~tune_mode ~seed ~n () =
    service time charges the extra model pass on misses. *)
 let test_hybrid_serves_sweep_decision () =
   let run tune_mode =
-    Scheduler.replay Scheduler.default_cfg
-      (tuned_mix ~tune_mode ~seed:7 ~n:40 ())
+    Scheduler.run Config.default (tuned_mix ~tune_mode ~seed:7 ~n:40 ())
   in
   let sw = run `Sweep and hy = run `Hybrid in
   check_int "same record count"
@@ -329,7 +339,7 @@ let test_hybrid_serves_sweep_decision () =
 let test_hybrid_replay_jobs_invariant () =
   let reqs = tuned_mix ~tune_mode:`Hybrid ~seed:8 ~n:40 () in
   let run jobs =
-    lines (Scheduler.replay { Scheduler.default_cfg with Scheduler.jobs } reqs)
+    lines (Scheduler.run Config.(with_jobs jobs default) reqs)
   in
   Alcotest.(check (list string)) "hybrid jobs 1 = jobs 4 (byte)" (run 1)
     (run 4)
@@ -339,8 +349,7 @@ let test_hybrid_replay_jobs_invariant () =
    that chose baseline. *)
 let test_tune_mode_counters () =
   let run tune_mode =
-    Scheduler.replay Scheduler.default_cfg
-      (tuned_mix ~tune_mode ~seed:9 ~n:30 ())
+    Scheduler.run Config.default (tuned_mix ~tune_mode ~seed:9 ~n:30 ())
   in
   let find rp k = Registry.find rp.Scheduler.rp_registry k in
   let sw = run `Sweep in
@@ -411,6 +420,321 @@ let test_prep_exec_stable () =
   let fresh = Driver.run cfg spec coo in
   check "prep = fresh run" true (fresh.Driver.counters = a_counters)
 
+(* --- Router: consistent hashing --------------------------------------- *)
+
+let test_router_stability () =
+  let keys = List.init 2000 (Printf.sprintf "artefact|key|%d") in
+  let r4 = Router.create ~shards:4 () in
+  let r5 = Router.create ~shards:5 () in
+  (* Balance: every shard of the 4-ring owns a non-trivial key share. *)
+  let counts = Array.make 4 0 in
+  List.iter
+    (fun k ->
+      let s = Router.shard_of r4 k in
+      counts.(s) <- counts.(s) + 1)
+    keys;
+  Array.iteri
+    (fun s c ->
+      check (Printf.sprintf "shard %d owns keys" s) true (c > 2000 / 16))
+    counts;
+  (* Stability: growing 4 -> 5 only moves keys onto the new shard, and
+     only about 1/5 of them (a modulo hash would reshuffle ~4/5). *)
+  let moved =
+    List.filter (fun k -> Router.shard_of r4 k <> Router.shard_of r5 k) keys
+  in
+  List.iter
+    (fun k ->
+      check "moved keys land on the new shard" true
+        (Router.shard_of r5 k = 4))
+    moved;
+  let frac = float_of_int (List.length moved) /. 2000. in
+  check "moved fraction bounded" true (frac > 0.05 && frac < 0.35);
+  (* Same (shards, vnodes) -> same ring, and routing is pure. *)
+  let r4' = Router.create ~shards:4 () in
+  List.iter
+    (fun k ->
+      check_int "ring is deterministic" (Router.shard_of r4 k)
+        (Router.shard_of r4' k))
+    keys
+
+(* --- Fleet: determinism, stealing, quotas ------------------------------ *)
+
+let fleet_mix ~seed ~n () =
+  Mix.hot_cold ~mean_gap_ms:0.002 ~seed ~n
+    ~tenants:[ ("alpha", 3.); ("beta", 1.) ]
+    (small_profiles ())
+
+let test_fleet_jobs_invariant () =
+  let reqs = fleet_mix ~seed:12 ~n:60 () in
+  let config =
+    Config.(
+      default |> with_shards 4 |> with_quotas [ ("alpha", 24) ])
+  in
+  let run jobs = lines (Scheduler.run (Config.with_jobs jobs config) reqs) in
+  let l1 = run 1 in
+  Alcotest.(check (list string)) "fleet jobs 1 = jobs 4 (byte)" l1 (run 4);
+  (* Sanity: the fleet actually fanned out. *)
+  let rp = Scheduler.run (Config.with_jobs 4 config) reqs in
+  let active =
+    Array.to_list rp.Scheduler.rp_shards
+    |> List.filter (fun sh -> sh.Slo.sh_ok + sh.Slo.sh_degraded > 0)
+  in
+  check "several shards served" true (List.length active >= 2)
+
+(* The deprecated single-scheduler wrapper must reproduce Scheduler.run
+   over the equivalent one-shard Config byte-for-byte. *)
+module Compat = struct
+  [@@@ocaml.alert "-deprecated"]
+
+  let replay_default reqs = Scheduler.replay Scheduler.default_cfg reqs
+end
+
+let test_deprecated_replay_compat () =
+  let reqs = Mix.hot_cold ~seed:5 ~n:40 (small_profiles ()) in
+  Alcotest.(check (list string)) "replay cfg = run Config (byte)"
+    (lines (Scheduler.run Config.default reqs))
+    (lines (Compat.replay_default reqs));
+  (* One-shard records carry trivial fleet fields. *)
+  Array.iter
+    (fun (r : Scheduler.record) ->
+      check "one shard" true (r.Scheduler.r_shard = 0);
+      check "never stolen" true (not r.Scheduler.r_stolen))
+    (Compat.replay_default reqs).Scheduler.rp_records
+
+let test_work_stealing () =
+  (* Twenty same-fingerprint requests all route to one home shard; with
+     stealing on, the other three shards' idle servers drain it. *)
+  let reqs =
+    List.init 20 (fun i ->
+        req
+          ~id:(Printf.sprintf "r%02d" i)
+          ~matrix:"banded:300,4"
+          ~arrival:(0.0001 *. float_of_int i)
+          ())
+  in
+  let run stealing =
+    Scheduler.run
+      Config.(
+        default |> with_shards 4 |> with_servers 1 |> with_batching false
+        |> with_stealing stealing)
+      reqs
+  in
+  let on = run true and off = run false in
+  check "steals happen" true (on.Scheduler.rp_summary.Slo.s_steals > 0);
+  check_int "registry counts steals" on.Scheduler.rp_summary.Slo.s_steals
+    (Registry.find on.Scheduler.rp_registry "serve.steal.count");
+  check "stolen records marked" true
+    (Array.exists
+       (fun (r : Scheduler.record) ->
+         r.Scheduler.r_stolen && r.Scheduler.r_shard <> r.Scheduler.r_home)
+       on.Scheduler.rp_records);
+  (* steal.in / steal.out balance across the fleet. *)
+  check_int "steal in = steal out"
+    (Registry.sum_prefix on.Scheduler.rp_registry ~leaf:"steal.in"
+       "serve.shard.")
+    (Registry.sum_prefix on.Scheduler.rp_registry ~leaf:"steal.out"
+       "serve.shard.");
+  check_int "no steals when disabled" 0 off.Scheduler.rp_summary.Slo.s_steals;
+  Array.iter
+    (fun (r : Scheduler.record) ->
+      check "stealing off: served at home" true
+        (r.Scheduler.r_shard = r.Scheduler.r_home))
+    off.Scheduler.rp_records;
+  (* Both runs serve everything — stealing changes placement, not
+     outcomes, for this unloaded trace. *)
+  check_int "same served count" on.Scheduler.rp_summary.Slo.s_ok
+    off.Scheduler.rp_summary.Slo.s_ok
+
+let test_tenant_quota () =
+  (* Six simultaneous arrivals of tenant a against a quota of 1: the
+     first queues, the other five shed at admission; tenant b is
+     unconstrained. *)
+  let reqs =
+    List.init 6 (fun i -> req ~id:(Printf.sprintf "a%d" i) ~tenant:"a" ())
+    @ [ req ~id:"b0" ~tenant:"b" (); req ~id:"b1" ~tenant:"b" () ]
+  in
+  let rp =
+    Scheduler.run
+      Config.(
+        default |> with_servers 1 |> with_batching false
+        |> with_quotas [ ("a", 1) ])
+      reqs
+  in
+  let find = Registry.find rp.Scheduler.rp_registry in
+  check_int "a served" 1 (find "serve.tenant.a.ok");
+  check_int "a quota-shed" 5 (find "serve.tenant.a.quota_shed");
+  check_int "b served" 2 (find "serve.tenant.b.ok");
+  check_int "b quota-shed" 0 (find "serve.tenant.b.quota_shed");
+  check_int "fleet shed" 5 rp.Scheduler.rp_summary.Slo.s_shed;
+  (* quota_of resolves overrides before the default. *)
+  let c = Config.(default |> with_quota (Some 7) |> with_quotas [ ("a", 1) ]) in
+  check "override wins" true (Config.quota_of c "a" = Some 1);
+  check "default applies" true (Config.quota_of c "z" = Some 7)
+
+let test_tenant_quota_zipf () =
+  (* A skewed two-tenant Zipf burst: the heavy tenant exhausts its quota
+     while the light tenant is never quota- or queue-shed. *)
+  let reqs =
+    Mix.hot_cold ~mean_gap_ms:0.0005 ~seed:13 ~n:80
+      ~tenants:[ ("heavy", 8.); ("light", 1.) ]
+      (small_profiles ())
+  in
+  check "both tenants drawn" true
+    (List.exists (fun r -> r.Request.tenant = "light") reqs
+     && List.exists (fun r -> r.Request.tenant = "heavy") reqs);
+  let rp =
+    Scheduler.run
+      Config.(
+        default |> with_servers 1 |> with_batching false
+        |> with_queue_limit 128
+        |> with_quotas [ ("heavy", 2) ])
+      reqs
+  in
+  let find = Registry.find rp.Scheduler.rp_registry in
+  check "heavy quota-shed" true (find "serve.tenant.heavy.quota_shed" > 0);
+  check_int "light never quota-shed" 0 (find "serve.tenant.light.quota_shed");
+  check_int "light never shed" 0 (find "serve.tenant.light.shed");
+  check "light served" true (find "serve.tenant.light.ok" > 0);
+  check_int "tenant sheds sum to fleet"
+    rp.Scheduler.rp_summary.Slo.s_shed
+    (find "serve.tenant.heavy.shed" + find "serve.tenant.light.shed")
+
+let test_deadline_policies () =
+  let reqs =
+    [ req ~id:"warm" ();
+      req ~id:"late" ~deadline:(Request.Ms 1e-6) ();
+      req ~id:"slack" ~deadline:(Request.Ms 1e6) () ]
+  in
+  let run policy =
+    Scheduler.run
+      Config.(
+        default |> with_servers 1 |> with_batching false
+        |> with_deadline_policy policy)
+      reqs
+  in
+  let by_id rp id =
+    Array.to_list rp.Scheduler.rp_records
+    |> List.find (fun r -> r.Scheduler.r_req.Request.id = id)
+  in
+  (* Drop: the expired request sheds at dispatch time — no result, and
+     its finish is the dispatch instant, not its arrival. *)
+  let dr = run Config.Drop in
+  let late = by_id dr "late" in
+  check "drop: late shed" true (late.Scheduler.r_outcome = Scheduler.Shed);
+  check "drop: no result" true (late.Scheduler.r_result = None);
+  check "drop: finish at dispatch" true
+    (late.Scheduler.r_finish_ms > late.Scheduler.r_req.Request.arrival_ms);
+  check "drop: slack served" true
+    ((by_id dr "slack").Scheduler.r_outcome = Scheduler.Served);
+  check_int "drop: one shed" 1 dr.Scheduler.rp_summary.Slo.s_shed;
+  (* Ignore: the expired request is served with its requested variant. *)
+  let ig = run Config.Ignore in
+  let late = by_id ig "late" in
+  check "ignore: late served" true
+    (late.Scheduler.r_outcome = Scheduler.Served);
+  check "ignore: primary fingerprint" true
+    (late.Scheduler.r_fp = Request.fingerprint late.Scheduler.r_req);
+  check_int "ignore: nothing degraded" 0
+    ig.Scheduler.rp_summary.Slo.s_degraded
+
+let test_derived_aggregates () =
+  (* Fleet totals in the registry are derived from the per-shard
+     counters; the sum_prefix fold must agree with both the summary and
+     a manual per-shard sum. *)
+  let rp =
+    Scheduler.run
+      Config.(with_shards 4 default)
+      (fleet_mix ~seed:14 ~n:50 ())
+  in
+  let reg = rp.Scheduler.rp_registry in
+  let manual leaf =
+    List.fold_left
+      (fun acc s ->
+        acc + Registry.find reg (Printf.sprintf "serve.shard.%d.%s" s leaf))
+      0 [ 0; 1; 2; 3 ]
+  in
+  List.iter
+    (fun (leaf, fleet_name) ->
+      let derived = Registry.sum_prefix reg ~leaf "serve.shard." in
+      check_int ("derived = manual " ^ leaf) (manual leaf) derived;
+      check_int ("derived = fleet " ^ fleet_name) derived
+        (Registry.find reg fleet_name))
+    [ ("ok", "serve.ok"); ("degraded", "serve.degraded");
+      ("shed", "serve.shed"); ("cache.hit", "serve.cache.hit");
+      ("cache.miss", "serve.cache.miss");
+      ("batch.count", "serve.batch.count") ];
+  check_int "summary ok = derived ok" rp.Scheduler.rp_summary.Slo.s_ok
+    (Registry.find reg "serve.ok")
+
+(* --- Slo: percentile estimator ----------------------------------------- *)
+
+let test_percentile_resolution () =
+  check_int "p50 needs 2" 2 (Slo.min_samples ~p:50.);
+  check_int "p95 needs 20" 20 (Slo.min_samples ~p:95.);
+  check_int "p99 needs 100" 100 (Slo.min_samples ~p:99.);
+  check_int "p99.9 needs 1000" 1000 (Slo.min_samples ~p:99.9);
+  let xs n = Array.init n (fun i -> float_of_int (i + 1)) in
+  check "p99 unresolvable at 99" true
+    (Slo.percentile_opt (xs 99) ~p:99. = None);
+  check "p99 resolvable at 100" true
+    (Slo.percentile_opt (xs 100) ~p:99. = Some 99.);
+  check "p99.9 unresolvable at 100" true
+    (Slo.percentile_opt (xs 100) ~p:99.9 = None);
+  check "tiny sample has no p50" true
+    (Slo.percentile_opt [| 4.2 |] ~p:50. = None);
+  (* The raw estimator still answers (degenerately) on tiny samples. *)
+  check "raw percentile degenerates to max" true
+    (Slo.percentile [| 4.2 |] ~p:99. = 4.2);
+  (try
+     ignore (Slo.min_samples ~p:100.);
+     Alcotest.fail "accepted p = 100"
+   with Invalid_argument _ -> ())
+
+let test_config_validate () =
+  List.iter
+    (fun c ->
+      try
+        Config.validate c;
+        Alcotest.fail "accepted invalid config"
+      with Invalid_argument _ -> ())
+    [ Config.(with_shards 0 default);
+      Config.(with_servers 0 default);
+      Config.(with_queue_limit 0 default);
+      Config.(with_cache_capacity (-1) default);
+      Config.(with_vnodes 0 default);
+      Config.(with_jobs 0 default);
+      Config.(with_quota (Some (-1)) default);
+      Config.(with_quotas [ ("a", -2) ] default) ];
+  Config.validate Config.default
+
+(* --- Mix: tenants ------------------------------------------------------ *)
+
+let test_mix_tenants () =
+  (* Fewer than two tenants consume no RNG draw: the request stream is
+     byte-identical to the legacy no-tenant mix, tenant field aside. *)
+  let plain = Mix.hot_cold ~seed:15 ~n:30 (small_profiles ()) in
+  let one =
+    Mix.hot_cold ~seed:15 ~n:30 ~tenants:[ ("acme", 1.) ] (small_profiles ())
+  in
+  List.iter2
+    (fun p o ->
+      check "single tenant stamps only the tenant" true
+        (p = { o with Request.tenant = Request.default_tenant });
+      check "tenant stamped" true (o.Request.tenant = "acme"))
+    plain one;
+  (* Two-tenant draws are deterministic per seed. *)
+  let two () =
+    Mix.hot_cold ~seed:16 ~n:30
+      ~tenants:[ ("a", 3.); ("b", 1.) ]
+      (small_profiles ())
+  in
+  check "two-tenant mix reproducible" true (two () = two ());
+  (try
+     ignore
+       (Mix.hot_cold ~seed:1 ~n:1 ~tenants:[ ("a", 0.) ] (small_profiles ()));
+     Alcotest.fail "accepted zero tenant weight"
+   with Invalid_argument _ -> ())
+
 let suite =
   [ Alcotest.test_case "request jsonl roundtrip" `Quick
       test_request_roundtrip;
@@ -435,4 +759,18 @@ let suite =
     Alcotest.test_case "tune-mode counters" `Slow test_tune_mode_counters;
     Alcotest.test_case "tune-mode request plumbing" `Quick
       test_tune_mode_request_plumbing;
-    Alcotest.test_case "prep exec stable" `Quick test_prep_exec_stable ]
+    Alcotest.test_case "prep exec stable" `Quick test_prep_exec_stable;
+    Alcotest.test_case "router stability" `Quick test_router_stability;
+    Alcotest.test_case "fleet jobs-invariant" `Slow test_fleet_jobs_invariant;
+    Alcotest.test_case "deprecated replay compat" `Slow
+      test_deprecated_replay_compat;
+    Alcotest.test_case "work stealing" `Quick test_work_stealing;
+    Alcotest.test_case "tenant quota" `Quick test_tenant_quota;
+    Alcotest.test_case "tenant quota under zipf" `Slow test_tenant_quota_zipf;
+    Alcotest.test_case "deadline policies" `Quick test_deadline_policies;
+    Alcotest.test_case "derived fleet aggregates" `Slow
+      test_derived_aggregates;
+    Alcotest.test_case "percentile resolution" `Quick
+      test_percentile_resolution;
+    Alcotest.test_case "config validate" `Quick test_config_validate;
+    Alcotest.test_case "mix tenants" `Quick test_mix_tenants ]

@@ -3,7 +3,9 @@
 # the serving scheduler with the compile/tune cache on and off
 # (bench/serve.ml), emit BENCH_serve.json; then run the cold-start
 # tuning benchmark (bench/tune.ml: cost-model decisions vs the candidate
-# sweep) and emit BENCH_tune.json next to it.
+# sweep) and emit BENCH_tune.json next to it; then the fleet benchmark
+# (bench/fleet.ml: sharded fleet vs single shard, jobs byte-identity)
+# and emit BENCH_fleet.json.
 #
 # Gates:
 #   - bench/serve.exe itself fails below a 2x cached-vs-uncached speedup;
@@ -11,7 +13,11 @@
 #   - if a previous $OUT exists, served requests/s must not fall below
 #     previous / MAX_REGRESS (default 1.10);
 #   - bench/tune.exe fails unless model-mode tuning decisions are at
-#     least MIN_TUNE_RATIO (default 3x) faster than the sweep's.
+#     least MIN_TUNE_RATIO (default 3x) faster than the sweep's;
+#   - bench/fleet.exe fails unless the FLEET_SHARDS-shard fleet reaches
+#     MIN_FLEET_RATIO (default 2x) the single shard's virtual
+#     throughput AND its records are byte-identical between --jobs 1
+#     and --jobs $SERVE_JOBS.
 #
 # Run directly after `dune build`, or via `dune build @serve-smoke`
 # (also invoked by tools/bench_smoke.sh as its @serve-smoke section).
@@ -19,11 +25,14 @@ set -euo pipefail
 
 OUT=${1:-BENCH_serve.json}
 TUNE_OUT=${TUNE_OUT:-$(dirname "$OUT")/BENCH_tune.json}
+FLEET_OUT=${FLEET_OUT:-$(dirname "$OUT")/BENCH_fleet.json}
 MAX_REGRESS=${MAX_REGRESS:-1.10}
 SERVE=${SERVE:-_build/default/bench/serve.exe}
 TUNE=${TUNE:-_build/default/bench/tune.exe}
+FLEET=${FLEET:-_build/default/bench/fleet.exe}
 case $SERVE in */*) ;; *) SERVE=./$SERVE ;; esac
 case $TUNE in */*) ;; *) TUNE=./$TUNE ;; esac
+case $FLEET in */*) ;; *) FLEET=./$FLEET ;; esac
 TIMEOUT_S=${TIMEOUT_S:-900}
 SERVE_N=${SERVE_N:-300}
 SERVE_SEED=${SERVE_SEED:-11}
@@ -31,6 +40,9 @@ SERVE_JOBS=${SERVE_JOBS:-4}
 MIN_SPEEDUP=${MIN_SPEEDUP:-2.0}
 MIN_TUNE_RATIO=${MIN_TUNE_RATIO:-3.0}
 TUNE_N=${TUNE_N:-120}
+FLEET_N=${FLEET_N:-240}
+FLEET_SHARDS=${FLEET_SHARDS:-4}
+MIN_FLEET_RATIO=${MIN_FLEET_RATIO:-2.0}
 SERVE_ENGINE=${SERVE_ENGINE:-bytecode}
 
 prev_serve_rps=
@@ -77,3 +89,17 @@ tune_ratio=$(grep -o '"ratio": [0-9.]*' "$TUNE_OUT" | head -1 \
 agree_rate=$(grep -o '"rate": [0-9.]*' "$TUNE_OUT" | grep -o '[0-9.]*$')
 echo "wrote $TUNE_OUT (model/sweep decision ratio=${tune_ratio}x," \
   "hybrid agreement=${agree_rate})"
+
+# Fleet: sharded fleet vs single shard on the multi-tenant Zipf trace.
+# fleet.exe itself enforces both gates (>= MIN_FLEET_RATIO virtual
+# throughput, records byte-identical between --jobs 1 and --jobs N).
+timeout "$TIMEOUT_S" "$FLEET" --engine "$SERVE_ENGINE" \
+  --shards "$FLEET_SHARDS" "$FLEET_N" "$SERVE_SEED" "$SERVE_JOBS" \
+  "$MIN_FLEET_RATIO" >"$FLEET_OUT"
+
+fleet_speedup=$(grep -o '"fleet_speedup": [0-9.]*' "$FLEET_OUT" \
+  | grep -o '[0-9.]*$')
+fleet_identical=$(grep -o '"records_jobs_identical": [a-z]*' "$FLEET_OUT" \
+  | grep -o '[a-z]*$')
+echo "wrote $FLEET_OUT (${FLEET_SHARDS}-shard fleet" \
+  "speedup=${fleet_speedup}x, jobs-identical=${fleet_identical})"
