@@ -7,7 +7,8 @@
      inspect   show a matrix's storage buffers and coordinate tree
      gen       write a synthetic matrix to a Matrix Market file
      serve     replay a JSONL request file through the serving scheduler
-     genreqs   write a synthetic hot/cold request mix as JSONL *)
+     genreqs   write a synthetic hot/cold request mix as JSONL
+     passes    list the registered pipeline passes and their parameters *)
 
 module Coo = Asap_tensor.Coo
 module Encoding = Asap_tensor.Encoding
@@ -115,6 +116,24 @@ let tune_mode_doc =
    no profiling simulations), or hybrid (serve the sweep's decision, \
    record whether the model agreed)."
 
+(* A --pipeline spec is validated against the pass registry right at
+   argument parsing, so a typo fails before any matrix is read. *)
+let pipeline_conv =
+  let parse s =
+    match Asap_pass.Runner.resolve s with
+    | (_ : Asap_pass.Runner.resolved) -> Ok s
+    | exception Invalid_argument m -> Error (`Msg m)
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let pipeline_arg =
+  Arg.(value & opt (some pipeline_conv) None
+       & info [ "pipeline" ] ~docv:"SPEC"
+           ~doc:"Explicit pass-pipeline spec, e.g. \
+                 sparsify,asap{d=32},fold,licm,unroll{f=4}. Overrides the \
+                 variant's default pipeline; see $(b,asapc passes) for the \
+                 registry.")
+
 let variant_of v ~distance ~strategy ~bound =
   match v with
   | `Baseline -> Pipeline.Baseline
@@ -151,18 +170,21 @@ let matrix_args =
 (* --- compile --------------------------------------------------------- *)
 
 let compile_cmd =
-  let run kernel enc v distance strategy bound =
+  let run kernel enc v distance strategy bound pipeline =
     let kernel = match kernel with
       | `Spmv -> Kernel.spmv ~enc ()
       | `Spmm -> Kernel.spmm ~enc ()
     in
-    let c = Pipeline.compile kernel (variant_of v ~distance ~strategy ~bound) in
+    let c =
+      Pipeline.compile ?pipeline kernel
+        (variant_of v ~distance ~strategy ~bound)
+    in
     print_string (Pipeline.listing c);
     Printf.printf "// prefetch sites: %d\n" c.Pipeline.n_prefetch_sites
   in
   Cmd.v (Cmd.info "compile" ~doc:"Sparsify a kernel and print the IR")
     Term.(const run $ kernel_arg $ format_arg $ variant_arg $ distance_arg
-          $ strategy_arg $ bound_arg)
+          $ strategy_arg $ bound_arg $ pipeline_arg)
 
 (* --- run ------------------------------------------------------------- *)
 
@@ -190,7 +212,7 @@ let run_cmd =
              ~doc:"Dump the full named-counter registry after the run.")
   in
   let run coo kernel enc v distance strategy bound threads hw checkit engine
-      trace counters =
+      trace counters pipeline =
     let hw = match (hw, kernel) with
       | `D, _ -> Machine.hw_default
       | `O, `Spmv -> Machine.hw_optimized
@@ -205,7 +227,9 @@ let run_cmd =
       | Some c ->
         Asap_obs.Chrome.sink ~pf_name:Asap_sim.Hw_prefetcher.slug_of_id c
     in
-    let cfg = Driver.Cfg.make ~engine ~threads ~obs ~machine ~variant () in
+    let cfg =
+      Driver.Cfg.make ~engine ~threads ~obs ?pipeline ~machine ~variant ()
+    in
     let spec = match kernel with
       | `Spmv -> Driver.Spmv enc
       | `Spmm -> Driver.Spmm enc
@@ -234,7 +258,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a kernel on the simulated machine")
     Term.(const run $ matrix_args $ kernel_arg $ format_arg $ variant_arg
           $ distance_arg $ strategy_arg $ bound_arg $ threads_arg $ hw_arg
-          $ check_arg $ engine_arg $ trace_arg $ counters_arg)
+          $ check_arg $ engine_arg $ trace_arg $ counters_arg $ pipeline_arg)
 
 (* --- inspect --------------------------------------------------------- *)
 
@@ -304,6 +328,35 @@ let gen_cmd =
   in
   Cmd.v (Cmd.info "gen" ~doc:"Write a synthetic matrix to Matrix Market")
     Term.(const run $ matrix_args $ out_arg)
+
+(* --- passes ---------------------------------------------------------- *)
+
+let passes_cmd =
+  let module Pass = Asap_pass.Pass in
+  let run () =
+    Asap_pass.Builtin.ensure ();
+    List.iter
+      (fun (p : Pass.t) ->
+        Printf.printf "%-10s %-8s %s\n" p.Pass.name (Pass.kind_name p)
+          p.Pass.doc;
+        List.iter
+          (fun (ps : Pass.param_spec) ->
+            let domain =
+              match ps.Pass.p_syms with
+              | [] -> "int"
+              | syms -> String.concat "|" syms
+            in
+            Printf.printf "             %s=%s  %s (%s)\n" ps.Pass.p_name
+              (Asap_pass.Spec.pvalue_to_string ps.Pass.p_default)
+              ps.Pass.p_doc domain)
+          p.Pass.params)
+      (Pass.all ())
+  in
+  Cmd.v
+    (Cmd.info "passes"
+       ~doc:"List the registered pipeline passes, their kinds and \
+             parameters (with defaults) for --pipeline specs")
+    Term.(const run $ const ())
 
 (* --- serve ----------------------------------------------------------- *)
 
@@ -457,8 +510,63 @@ let serve_cmd =
                       without it each request's own field (default sweep) \
                       applies."))
   in
+  (* "tenant=spec;tenant=spec" — ';' separates entries because ',' is
+     the pass separator inside a spec. The first '=' splits tenant from
+     spec (specs themselves contain '=' in parameter lists). *)
+  let pipelines_arg =
+    let tenant_pipelines_conv =
+      let parse s =
+        let items =
+          String.split_on_char ';' (String.trim s)
+          |> List.map String.trim
+          |> List.filter (fun i -> i <> "")
+        in
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | item :: rest ->
+            (match String.index_opt item '=' with
+             | None ->
+               Error
+                 (`Msg
+                    (Printf.sprintf "--pipelines: %S is not tenant=spec" item))
+             | Some eq ->
+               let tenant = String.sub item 0 eq in
+               let spec =
+                 String.sub item (eq + 1) (String.length item - eq - 1)
+               in
+               if tenant = "" then
+                 Error
+                   (`Msg
+                      (Printf.sprintf "--pipelines: %S names no tenant" item))
+               else
+                 (match Asap_pass.Runner.resolve spec with
+                  | (_ : Asap_pass.Runner.resolved) ->
+                    go ((tenant, spec) :: acc) rest
+                  | exception Invalid_argument m ->
+                    Error
+                      (`Msg
+                         (Printf.sprintf "--pipelines: tenant %S: %s" tenant m))))
+        in
+        go [] items
+      in
+      let print fmt l =
+        Format.pp_print_string fmt
+          (String.concat ";" (List.map (fun (t, s) -> t ^ "=" ^ s) l))
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(value & opt (some tenant_pipelines_conv) None
+         & info [ "pipelines" ] ~docv:"T=SPEC;..."
+             ~doc:"Per-tenant pass-pipeline overrides, e.g. \
+                   'alpha=sparsify,asap{d=16};beta=sparsify,unroll{f=4}' \
+                   (';'-separated — ',' separates passes inside a spec). A \
+                   tenant's spec replaces the pipeline of every one of its \
+                   requests and enters the artefact fingerprint in \
+                   canonical form.")
+  in
   let run requests out jobs shards servers queue cache no_cache no_batch
-      no_steal quota quotas deadline_policy summary trace counters mode =
+      no_steal quota quotas deadline_policy summary trace counters mode
+      pipelines =
     match Request.load requests with
     | Error e -> prerr_endline ("asapc serve: " ^ e); exit 1
     | Ok reqs ->
@@ -472,6 +580,7 @@ let serve_cmd =
           |> with_quota quota
           |> with_quotas (Option.value quotas ~default:[])
           |> with_deadline_policy deadline_policy
+          |> with_pipelines (Option.value pipelines ~default:[])
           |> with_jobs jobs)
       in
       let config =
@@ -515,7 +624,8 @@ let serve_cmd =
     Term.(const run $ requests_arg $ out_arg $ jobs_arg $ shards_arg
           $ servers_arg $ queue_arg $ cache_arg $ no_cache_arg $ no_batch_arg
           $ no_steal_arg $ quota_arg $ quotas_arg $ deadline_policy_arg
-          $ summary_arg $ trace_arg $ counters_arg $ mode_arg)
+          $ summary_arg $ trace_arg $ counters_arg $ mode_arg
+          $ pipelines_arg)
 
 (* --- genreqs --------------------------------------------------------- *)
 
@@ -592,4 +702,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ compile_cmd; run_cmd; inspect_cmd; gen_cmd; tune_cmd; serve_cmd;
-            genreqs_cmd ]))
+            genreqs_cmd; passes_cmd ]))

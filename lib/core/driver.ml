@@ -41,12 +41,14 @@ module Cfg = struct
     st : Storage.t option;               (* shared pre-packed storage *)
     obs : Asap_obs.Sink.t;               (* event sink (default: off) *)
     tune_mode : Tuning.mode;             (* how `Tuned decisions are made *)
+    pipeline : string option;            (* pass-pipeline spec override *)
   }
 
   let make ?(engine = Exec.default_engine) ?(threads = 1) ?(binary = false)
       ?n ?st ?(obs = Asap_obs.Sink.null) ?(tune_mode = Tuning.default_mode)
-      ~machine ~variant () =
-    { machine; variant; engine; threads; binary; n; st; obs; tune_mode }
+      ?pipeline ~machine ~variant () =
+    { machine; variant; engine; threads; binary; n; st; obs; tune_mode;
+      pipeline }
 end
 
 (** What to execute: the kernel family and the sparse encoding of its
@@ -101,7 +103,9 @@ let assemble_spmv (cfg : Cfg.t) (enc : Encoding.t) (coo : Coo.t) : assembled =
   let rows = coo.Coo.dims.(0) and cols = coo.Coo.dims.(1) in
   let body = if binary then Kernel.And_or else Kernel.Mul_add in
   let kernel = Kernel.spmv ~enc ~body () in
-  let compiled = Pipeline.compile kernel cfg.Cfg.variant in
+  let compiled =
+    Pipeline.compile ?pipeline:cfg.Cfg.pipeline kernel cfg.Cfg.variant
+  in
   let st =
     match cfg.Cfg.st with Some st -> st | None -> Storage.pack enc coo
   in
@@ -131,7 +135,9 @@ let assemble_spmm (cfg : Cfg.t) (enc : Encoding.t) (coo : Coo.t) : assembled =
   in
   let body = if binary then Kernel.And_or else Kernel.Mul_add in
   let kernel = Kernel.spmm ~enc ~body () in
-  let compiled = Pipeline.compile kernel cfg.Cfg.variant in
+  let compiled =
+    Pipeline.compile ?pipeline:cfg.Cfg.pipeline kernel cfg.Cfg.variant
+  in
   let st =
     match cfg.Cfg.st with Some st -> st | None -> Storage.pack enc coo
   in
@@ -246,7 +252,9 @@ let assemble_ttv (cfg : Cfg.t) (enc : Encoding.t option) (coo : Coo.t) :
   let enc = match enc with Some e -> e | None -> Encoding.csf 3 in
   let di = coo.Coo.dims.(0) and dj = coo.Coo.dims.(1) and dk = coo.Coo.dims.(2) in
   let kernel = Kernel.ttv ~enc () in
-  let compiled = Pipeline.compile kernel cfg.Cfg.variant in
+  let compiled =
+    Pipeline.compile ?pipeline:cfg.Cfg.pipeline kernel cfg.Cfg.variant
+  in
   let st =
     match cfg.Cfg.st with Some st -> st | None -> Storage.pack enc coo
   in

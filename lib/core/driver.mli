@@ -40,15 +40,18 @@ module Cfg : sig
     tune_mode : Tuning.mode;
       (** how [`Tuned] variant decisions are made by layers that tune
           (the serve build path); {!run} itself never tunes *)
+    pipeline : string option;
+      (** pass-pipeline spec overriding [variant]'s default
+          (see {!Pipeline.compile}) *)
   }
 
   (** [make ~machine ~variant ()] with defaults: [Exec.default_engine],
       one thread, numeric kernels, kernel-specific [n], fresh packing, no
-      observability, [`Sweep] tuning. *)
+      observability, [`Sweep] tuning, no pipeline override. *)
   val make :
     ?engine:Exec.engine -> ?threads:int -> ?binary:bool -> ?n:int ->
     ?st:Asap_tensor.Storage.t -> ?obs:Asap_obs.Sink.t ->
-    ?tune_mode:Tuning.mode ->
+    ?tune_mode:Tuning.mode -> ?pipeline:string ->
     machine:Machine.t -> variant:Pipeline.variant -> unit -> t
 end
 

@@ -1,6 +1,8 @@
 (** Compilation pipeline: kernel + encoding + prefetch variant -> IR.
 
-    The three implementation variants of the paper's §4.3. *)
+    A thin wrapper over the registered pass pipeline ({!Asap_pass}): the
+    three §4.3 variants denote canonical pipeline specs, and an explicit
+    spec can override them (the per-tenant pipeline path from serve). *)
 
 module Kernel = Asap_lang.Kernel
 module Emitter = Asap_sparsifier.Emitter
@@ -15,18 +17,29 @@ type variant =
 
 val variant_name : variant -> string
 
+(** [spec_of_variant ?optimize v] is the pipeline spec [compile] runs for
+    [v]: ["sparsify"], ["sparsify,asap{..}"] or ["sparsify,aj{..}"], with
+    [",fold,licm"] appended when [optimize] is set. *)
+val spec_of_variant : ?optimize:bool -> variant -> string
+
 type compiled = {
   cc : Emitter.compiled;       (** parameter layout and kernel metadata *)
-  fn : Ir.func;                (** final function, post-hoc passes applied *)
+  fn : Ir.func;                (** final function, pass tail applied *)
   variant : variant;
-  n_prefetch_sites : int;      (** sites instrumented by the variant *)
+  n_prefetch_sites : int;      (** sites instrumented by the pipeline *)
 }
 
-(** [compile ?optimize k variant] lowers kernel [k] and applies the
-    variant's prefetching; the generated IR is always verified.
-    [optimize] additionally runs {!Asap_ir.Fold} and {!Asap_ir.Licm}
-    (default off — the emitter already canonicalises its output). *)
-val compile : ?optimize:bool -> Kernel.t -> variant -> compiled
+(** [compile ?optimize ?pipeline ?registry k variant] lowers kernel [k]
+    through the variant's pipeline spec; the generated IR is always
+    verified.  [pipeline] overrides the variant's spec entirely (it must
+    start with an entry pass, e.g. ["sparsify,asap{d=16},unroll{f=4}"]).
+    [optimize] is a deprecated alias for appending [",fold,licm"] to the
+    variant's spec; it is ignored when [pipeline] is given.  [registry]
+    receives per-pass [pass.<name>.runs/.rewrites/.ns] counters.
+    @raise Invalid_argument on an invalid [pipeline] spec. *)
+val compile :
+  ?optimize:bool -> ?pipeline:string -> ?registry:Asap_obs.Registry.t ->
+  Kernel.t -> variant -> compiled
 
 (** [listing c] is the MLIR-flavoured text of the final function. *)
 val listing : compiled -> string

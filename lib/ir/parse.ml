@@ -1,0 +1,743 @@
+(* Textual IR parser: the inverse of Printer.
+
+   Line-oriented recursive descent. The printer emits one statement (or
+   region delimiter) per line, so each line is classified by its leading
+   keyword and parsed with a small cursor; regions recurse on blocks
+   terminated by the printer's closing forms ("}", "} else {", "} do {",
+   "scf.yield ...", "scf.condition(...) ...").
+
+   Fresh dense value ids are assigned in definition order and buffer ids
+   in parameter order; the result is verified before being returned, so
+   a successful parse is always a well-formed function. *)
+
+open Ir
+
+exception Error of { line : int; col : int; msg : string }
+
+let err ~line ~col fmt =
+  Printf.ksprintf (fun msg -> raise (Error { line; col; msg })) fmt
+
+(* --- Line cursor ------------------------------------------------------ *)
+
+type cursor = { text : string; lnum : int; mutable pos : int }
+
+let cur_err (c : cursor) fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Error { line = c.lnum; col = c.pos + 1; msg }))
+    fmt
+
+let at_end c = c.pos >= String.length c.text
+
+let skip_ws c =
+  while (not (at_end c)) && c.text.[c.pos] = ' ' do
+    c.pos <- c.pos + 1
+  done
+
+let looking_at c s =
+  let n = String.length s in
+  c.pos + n <= String.length c.text && String.sub c.text c.pos n = s
+
+let eat c s =
+  skip_ws c;
+  if looking_at c s then c.pos <- c.pos + String.length s
+  else cur_err c "expected %S" s
+
+let eat_opt c s =
+  skip_ws c;
+  if looking_at c s then (c.pos <- c.pos + String.length s; true) else false
+
+let is_ident_char ch =
+  (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z')
+  || (ch >= '0' && ch <= '9') || ch = '_'
+
+let ident c =
+  skip_ws c;
+  let start = c.pos in
+  while (not (at_end c)) && is_ident_char c.text.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then cur_err c "expected an identifier";
+  String.sub c.text start (c.pos - start)
+
+(* %name — an SSA value or buffer reference. *)
+let pct_name c =
+  eat c "%";
+  let start = c.pos in
+  while (not (at_end c)) && is_ident_char c.text.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then cur_err c "expected a name after '%%'";
+  String.sub c.text start (c.pos - start)
+
+(* A numeric literal token: everything %g / %d can produce, including
+   sign, dot, exponent, nan and inf. *)
+let number_token c =
+  skip_ws c;
+  let start = c.pos in
+  let num_char ch =
+    (ch >= '0' && ch <= '9')
+    || ch = '-' || ch = '+' || ch = '.' || ch = 'e' || ch = 'E'
+    || ch = 'n' || ch = 'a' || ch = 'i' || ch = 'f' || ch = 'x'
+  in
+  while (not (at_end c)) && num_char c.text.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then cur_err c "expected a number";
+  String.sub c.text start (c.pos - start)
+
+let int_token c =
+  let s = number_token c in
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> cur_err c "bad integer literal %S" s
+
+let scalar_of_name c = function
+  | "index" -> Index
+  | "i64" -> I64
+  | "f64" -> F64
+  | "i1" -> I1
+  | s -> cur_err c "unknown scalar type %S" s
+
+let scalar_ty c = scalar_of_name c (ident c)
+
+let elem_of_name c = function
+  | "i32" -> EIdx32
+  | "i64" -> EIdx64
+  | "f64" -> EF64
+  | "i8" -> EI8
+  | s -> cur_err c "unknown element type %S" s
+
+(* memref<?xELEM> *)
+let memref_ty c =
+  eat c "memref<?x";
+  let e = elem_of_name c (ident c) in
+  eat c ">";
+  e
+
+(* A parameter / result type: memref<?x..> or a scalar name. *)
+type pty = Tbuf of elem | Tscalar of scalar
+
+let param_ty c =
+  skip_ws c;
+  if looking_at c "memref<" then Tbuf (memref_ty c)
+  else Tscalar (scalar_ty c)
+
+(* An optional trailing "// tag" comment; the tag runs to end of line. *)
+let opt_tag c =
+  skip_ws c;
+  if looking_at c "//" then begin
+    c.pos <- c.pos + 2;
+    skip_ws c;
+    let s = String.sub c.text c.pos (String.length c.text - c.pos) in
+    c.pos <- String.length c.text;
+    String.trim s
+  end
+  else ""
+
+let expect_eol c =
+  skip_ws c;
+  if not (at_end c) then
+    cur_err c "trailing input %S"
+      (String.sub c.text c.pos (String.length c.text - c.pos))
+
+(* --- Parser state ----------------------------------------------------- *)
+
+type st = {
+  lines : string array;
+  mutable ln : int;                       (* index of the next line *)
+  mutable next_vid : int;
+  vals : (string, value) Hashtbl.t;
+  bufs : (string, buffer) Hashtbl.t;
+  mutable nbufs : int;
+}
+
+let next_line (st : st) : cursor =
+  let rec go () =
+    if st.ln >= Array.length st.lines then
+      err ~line:(Array.length st.lines) ~col:1 "unexpected end of input";
+    let raw = st.lines.(st.ln) in
+    st.ln <- st.ln + 1;
+    if String.trim raw = "" then go ()
+    else { text = raw; lnum = st.ln; pos = 0 }
+  in
+  go ()
+
+let define (st : st) (c : cursor) name ty : value =
+  if Hashtbl.mem st.vals name then cur_err c "value %%%s defined twice" name;
+  let v = { vid = st.next_vid; vname = name; vty = ty } in
+  st.next_vid <- st.next_vid + 1;
+  Hashtbl.add st.vals name v;
+  v
+
+let define_buf (st : st) (c : cursor) name elem : buffer =
+  if Hashtbl.mem st.bufs name then cur_err c "buffer %%%s defined twice" name;
+  let b = { bid = st.nbufs; bname = name; belem = elem } in
+  st.nbufs <- st.nbufs + 1;
+  Hashtbl.add st.bufs name b;
+  b
+
+let value_ref (st : st) (c : cursor) : value =
+  skip_ws c;
+  let col = c.pos + 1 in
+  let name = pct_name c in
+  match Hashtbl.find_opt st.vals name with
+  | Some v -> v
+  | None -> err ~line:c.lnum ~col "use of undefined value %%%s" name
+
+let buf_ref (st : st) (c : cursor) : buffer =
+  skip_ws c;
+  let col = c.pos + 1 in
+  let name = pct_name c in
+  match Hashtbl.find_opt st.bufs name with
+  | Some b -> b
+  | None -> err ~line:c.lnum ~col "use of undefined buffer %%%s" name
+
+(* --- Rvalues ---------------------------------------------------------- *)
+
+let ibinop_of_name = function
+  | "arith.addi" -> Some Iadd | "arith.subi" -> Some Isub
+  | "arith.muli" -> Some Imul | "arith.divui" -> Some Idiv
+  | "arith.remui" -> Some Irem | "arith.minui" -> Some Imin
+  | "arith.maxui" -> Some Imax | "arith.andi" -> Some Iand
+  | "arith.ori" -> Some Ior | "arith.xori" -> Some Ixor
+  | "arith.shli" -> Some Ishl
+  | _ -> None
+
+let fbinop_of_name = function
+  | "arith.addf" -> Some Fadd | "arith.subf" -> Some Fsub
+  | "arith.mulf" -> Some Fmul | "arith.divf" -> Some Fdiv
+  | "arith.minimumf" -> Some Fmin | "arith.maximumf" -> Some Fmax
+  | _ -> None
+
+let icmp_of_name c = function
+  | "eq" -> Eq | "ne" -> Ne
+  | "ult" -> Ult | "ule" -> Ule | "ugt" -> Ugt | "uge" -> Uge
+  | "slt" -> Slt | "sle" -> Sle | "sgt" -> Sgt | "sge" -> Sge
+  | s -> cur_err c "unknown cmpi predicate %S" s
+
+(* The operation keyword: dotted identifier like "arith.addi". *)
+let op_name c =
+  skip_ws c;
+  let start = c.pos in
+  while (not (at_end c)) && (is_ident_char c.text.[c.pos] || c.text.[c.pos] = '.')
+  do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then cur_err c "expected an operation name";
+  String.sub c.text start (c.pos - start)
+
+(* Parse "op ..." after "%v = "; returns the rvalue and the result type. *)
+let rvalue (st : st) (c : cursor) : rvalue * scalar =
+  let op = op_name c in
+  match op with
+  | "arith.constant" ->
+    skip_ws c;
+    if looking_at c "true" || looking_at c "false" then begin
+      let b = eat_opt c "true" in
+      if not b then eat c "false";
+      eat c ":"; eat c "i1";
+      (Const (Cbool b), I1)
+    end
+    else begin
+      let tok = number_token c in
+      eat c ":";
+      (match ident c with
+       | "index" ->
+         (match int_of_string_opt tok with
+          | Some i -> (Const (Cidx i), Index)
+          | None -> cur_err c "bad index constant %S" tok)
+       | "i64" ->
+         (match int_of_string_opt tok with
+          | Some i -> (Const (Ci64 i), I64)
+          | None -> cur_err c "bad i64 constant %S" tok)
+       | "f64" ->
+         (match float_of_string_opt tok with
+          | Some f -> (Const (Cf64 f), F64)
+          | None -> cur_err c "bad f64 constant %S" tok)
+       | ty -> cur_err c "unknown constant type %S" ty)
+    end
+  | "arith.cmpi" ->
+    let pred = icmp_of_name c (ident c) in
+    eat c ",";
+    let x = value_ref st c in
+    eat c ",";
+    let y = value_ref st c in
+    eat c ":";
+    let (_ : scalar) = scalar_ty c in
+    (Icmp (pred, x, y), I1)
+  | "arith.select" ->
+    let cond = value_ref st c in
+    eat c ",";
+    let x = value_ref st c in
+    eat c ",";
+    let y = value_ref st c in
+    eat c ":";
+    let ty = scalar_ty c in
+    (Select (cond, x, y), ty)
+  | "arith.index_cast" ->
+    let x = value_ref st c in
+    eat c ":";
+    let from_ty = scalar_ty c in
+    if from_ty <> x.vty then
+      cur_err c "index_cast: operand is %s, cast written from %s"
+        (scalar_name x.vty) (scalar_name from_ty);
+    eat c "to";
+    let ty = scalar_ty c in
+    (Cast (ty, x), ty)
+  | "memref.load" ->
+    let b = buf_ref st c in
+    eat c "[";
+    let i = value_ref st c in
+    eat c "]"; eat c ":";
+    let e = memref_ty c in
+    if e <> b.belem then
+      cur_err c "load %%%s: element type mismatch" b.bname;
+    (Load (b, i), scalar_of_elem b.belem)
+  | "memref.dim" ->
+    let b = buf_ref st c in
+    eat c ","; eat c "0"; eat c ":";
+    let (_ : elem) = memref_ty c in
+    (Dim b, Index)
+  | op ->
+    (match ibinop_of_name op with
+     | Some bop ->
+       let x = value_ref st c in
+       eat c ",";
+       let y = value_ref st c in
+       eat c ":";
+       let ty = scalar_ty c in
+       (Ibin (bop, x, y), ty)
+     | None ->
+       (match fbinop_of_name op with
+        | Some fop ->
+          let x = value_ref st c in
+          eat c ",";
+          let y = value_ref st c in
+          eat c ":"; eat c "f64";
+          (Fbin (fop, x, y), F64)
+        | None -> cur_err c "unknown operation %S" op))
+
+(* --- Statements and blocks -------------------------------------------- *)
+
+(* How a block's final line ended it. *)
+type stop =
+  | Sclose                       (* "}" *)
+  | Sclose_else                  (* "} else {" *)
+  | Syield of value list * cursor  (* "scf.yield ..." *)
+  | Scondition of value * cursor (* "scf.condition(%c) ..." *)
+
+let ref_list (st : st) (c : cursor) : value list =
+  let rec go acc =
+    let v = value_ref st c in
+    if eat_opt c "," then go (v :: acc) else List.rev (v :: acc)
+  in
+  skip_ws c;
+  if at_end c then [] else go []
+
+(* "(%a = %i, %b = %j)" — carried bindings: names defined later, inits
+   resolved now. *)
+let carried_bindings (st : st) (c : cursor) : (string * value) list =
+  eat c "(";
+  if eat_opt c ")" then []
+  else begin
+    let rec go acc =
+      let name = pct_name c in
+      eat c "=";
+      let init = value_ref st c in
+      if eat_opt c "," then go ((name, init) :: acc)
+      else begin
+        eat c ")";
+        List.rev ((name, init) :: acc)
+      end
+    in
+    go []
+  end
+
+let rec block (st : st) : block * stop =
+  let rec go acc =
+    let c = next_line st in
+    skip_ws c;
+    if looking_at c "}" then begin
+      eat c "}";
+      if eat_opt c "else" then begin
+        eat c "{"; expect_eol c;
+        (List.rev acc, Sclose_else)
+      end
+      else begin
+        expect_eol c;
+        (List.rev acc, Sclose)
+      end
+    end
+    else if looking_at c "scf.yield" then begin
+      eat c "scf.yield";
+      let ys = ref_list st c in
+      expect_eol c;
+      (List.rev acc, Syield (ys, c))
+    end
+    else if looking_at c "scf.condition(" then begin
+      eat c "scf.condition(";
+      let v = value_ref st c in
+      eat c ")";
+      (* The printer restates the carried args here; they are redundant,
+         so parse and discard. *)
+      let (_ : value list) = ref_list st c in
+      expect_eol c;
+      (List.rev acc, Scondition (v, c))
+    end
+    else go (stmt st c :: acc)
+  in
+  go []
+
+and stmt (st : st) (c : cursor) : Ir.stmt =
+  skip_ws c;
+  if looking_at c "memref.store" then begin
+    eat c "memref.store";
+    let v = value_ref st c in
+    eat c ",";
+    let b = buf_ref st c in
+    eat c "[";
+    let i = value_ref st c in
+    eat c "]"; eat c ":";
+    let (_ : elem) = memref_ty c in
+    expect_eol c;
+    Store (b, i, v)
+  end
+  else if looking_at c "memref.prefetch" then begin
+    eat c "memref.prefetch";
+    let b = buf_ref st c in
+    eat c "[";
+    let i = value_ref st c in
+    eat c "]"; eat c ",";
+    let w =
+      if eat_opt c "write" then true
+      else begin eat c "read"; false end
+    in
+    eat c ","; eat c "locality<";
+    let loc = int_token c in
+    eat c ">"; eat c ","; eat c "data"; eat c ":";
+    let (_ : elem) = memref_ty c in
+    expect_eol c;
+    Prefetch { pbuf = b; pidx = i; pwrite = w; plocality = loc }
+  end
+  else if looking_at c "scf.if" then begin
+    eat c "scf.if";
+    let cond = value_ref st c in
+    eat c "{"; expect_eol c;
+    let then_, stop_t = block st in
+    (match stop_t with
+     | Sclose -> If (cond, then_, [])
+     | Sclose_else ->
+       let else_, stop_e = block st in
+       (match stop_e with
+        | Sclose -> If (cond, then_, else_)
+        | _ -> cur_err c "scf.if: else block not closed by '}'")
+     | _ -> cur_err c "scf.if: block not closed by '}'")
+  end
+  else begin
+    (* "[%r, ... = ] scf.for | scf.while | rvalue" *)
+    let result_names = result_head st c in
+    skip_ws c;
+    if looking_at c "scf.for" then for_stmt st c result_names
+    else if looking_at c "scf.while" then while_stmt st c result_names
+    else
+      match result_names with
+      | [ name ] ->
+        let rv, ty = rvalue st c in
+        expect_eol c;
+        Let (define st c name ty, rv)
+      | _ -> cur_err c "expected a single result for a value operation"
+  end
+
+(* The "%a, %b = " result prefix (possibly empty: plain scf.for/if). *)
+and result_head (st : st) (c : cursor) : string list =
+  ignore st;
+  skip_ws c;
+  if not (looking_at c "%") then []
+  else begin
+    let rec go acc =
+      let name = pct_name c in
+      if eat_opt c "," then go (name :: acc)
+      else begin
+        eat c "=";
+        List.rev (name :: acc)
+      end
+    in
+    go []
+  end
+
+and for_stmt (st : st) (c : cursor) (result_names : string list) : Ir.stmt =
+  eat c "scf.for";
+  let iv_name = pct_name c in
+  eat c "=";
+  let lo = value_ref st c in
+  eat c "to";
+  let hi = value_ref st c in
+  eat c "step";
+  let step = value_ref st c in
+  let carried_raw =
+    if eat_opt c "iter_args" then carried_bindings st c else []
+  in
+  eat c "{";
+  let tag = opt_tag c in
+  expect_eol c;
+  let iv = define st c iv_name Index in
+  let carried =
+    List.map
+      (fun (name, init) -> (define st c name init.vty, init))
+      carried_raw
+  in
+  let body, stop = block st in
+  let yield, stop =
+    match stop with
+    | Syield (ys, yc) ->
+      let _, stop2 = ([], ()) in
+      ignore stop2;
+      (* the yield line is followed by the closing "}" *)
+      let c2 = next_line st in
+      skip_ws c2;
+      eat c2 "}"; expect_eol c2;
+      if List.length ys <> List.length carried then
+        cur_err yc "scf.yield arity %d does not match %d iter_args"
+          (List.length ys) (List.length carried);
+      (ys, Sclose)
+    | Sclose -> ([], Sclose)
+    | _ -> cur_err c "scf.for: body not closed by '}'"
+  in
+  ignore stop;
+  if yield = [] && carried <> [] then
+    cur_err c "scf.for with iter_args needs an scf.yield";
+  if List.length result_names <> List.length carried then
+    cur_err c "scf.for: %d results for %d iter_args"
+      (List.length result_names) (List.length carried);
+  let results =
+    List.map2
+      (fun name ((arg : value), _) -> define st c name arg.vty)
+      result_names carried
+  in
+  For
+    { f_iv = iv; f_lo = lo; f_hi = hi; f_step = step; f_carried = carried;
+      f_results = results; f_body = body; f_yield = yield; f_tag = tag }
+
+and while_stmt (st : st) (c : cursor) (result_names : string list) : Ir.stmt =
+  eat c "scf.while";
+  let carried_raw = carried_bindings st c in
+  eat c "{";
+  let tag = opt_tag c in
+  expect_eol c;
+  let carried =
+    List.map
+      (fun (name, init) -> (define st c name init.vty, init))
+      carried_raw
+  in
+  let cond, stop = block st in
+  let cond_v =
+    match stop with
+    | Scondition (v, _) -> v
+    | _ -> cur_err c "scf.while: condition block needs scf.condition(..)"
+  in
+  let c2 = next_line st in
+  skip_ws c2;
+  eat c2 "}"; eat c2 "do"; eat c2 "{"; expect_eol c2;
+  let body, stop = block st in
+  let yield =
+    match stop with
+    | Syield (ys, yc) ->
+      let c3 = next_line st in
+      skip_ws c3;
+      eat c3 "}"; expect_eol c3;
+      if List.length ys <> List.length carried then
+        cur_err yc "scf.while yield arity %d does not match %d carried"
+          (List.length ys) (List.length carried);
+      ys
+    | _ -> cur_err c "scf.while: do block needs a trailing scf.yield"
+  in
+  if List.length result_names <> List.length carried then
+    cur_err c "scf.while: %d results for %d carried values"
+      (List.length result_names) (List.length carried);
+  let results =
+    List.map2
+      (fun name ((arg : value), _) -> define st c name arg.vty)
+      result_names carried
+  in
+  While
+    { w_carried = carried; w_results = results; w_cond = cond;
+      w_cond_v = cond_v; w_body = body; w_yield = yield; w_tag = tag }
+
+(* --- Entry point ------------------------------------------------------ *)
+
+let func (text : string) : func =
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  let st =
+    { lines; ln = 0; next_vid = 0; vals = Hashtbl.create 64;
+      bufs = Hashtbl.create 16; nbufs = 0 }
+  in
+  let c = next_line st in
+  eat c "func.func";
+  eat c "@";
+  let fn_name = ident c in
+  eat c "(";
+  let params =
+    if eat_opt c ")" then []
+    else begin
+      let rec go acc =
+        let name = pct_name c in
+        eat c ":";
+        let p =
+          match param_ty c with
+          | Tbuf e -> Pbuf (define_buf st c name e)
+          | Tscalar ty -> Pscalar (define st c name ty)
+        in
+        if eat_opt c "," then go (p :: acc)
+        else begin
+          eat c ")";
+          List.rev (p :: acc)
+        end
+      in
+      go []
+    end
+  in
+  eat c "{"; expect_eol c;
+  let body, stop = block st in
+  (match stop with
+   | Sclose -> ()
+   | _ -> err ~line:st.ln ~col:1 "function body not closed by '}'");
+  (* Only blank lines may follow. *)
+  while st.ln < Array.length st.lines do
+    if String.trim st.lines.(st.ln) <> "" then
+      err ~line:(st.ln + 1) ~col:1 "trailing input after the function";
+    st.ln <- st.ln + 1
+  done;
+  let fn =
+    { fn_name; fn_params = params; fn_body = body;
+      fn_nvalues = st.next_vid; fn_nbufs = st.nbufs }
+  in
+  (match Verify.check_result fn with
+   | Ok () -> ()
+   | Error m -> invalid_arg ("Ir.Parse: parsed function is invalid: " ^ m));
+  fn
+
+let func_result (text : string) : (func, string) result =
+  match func text with
+  | fn -> Ok fn
+  | exception Error { line; col; msg } ->
+    Result.Error (Printf.sprintf "%d:%d: %s" line col msg)
+  | exception Invalid_argument m -> Result.Error m
+
+(* --- Alpha-structural equality ---------------------------------------- *)
+
+(* Value ids are compared up to a consistent bijection; buffer identity
+   requires the same name, element kind and a consistent id pairing.
+   Names of values are NOT compared (the printer uniquifies duplicates),
+   but loop tags and buffer names are. *)
+let equal_func (a : func) (b : func) : bool =
+  let vmap : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let vrev : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let bmap : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let brev : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let exception Differ in
+  let bij fwd rev x y =
+    match (Hashtbl.find_opt fwd x, Hashtbl.find_opt rev y) with
+    | None, None ->
+      Hashtbl.add fwd x y;
+      Hashtbl.add rev y x
+    | Some y', Some x' when y' = y && x' = x -> ()
+    | _ -> raise Differ
+  in
+  let value (x : value) (y : value) =
+    if x.vty <> y.vty then raise Differ;
+    bij vmap vrev x.vid y.vid
+  in
+  let buffer (x : buffer) (y : buffer) =
+    if x.belem <> y.belem || x.bname <> y.bname then raise Differ;
+    bij bmap brev x.bid y.bid
+  in
+  let const_eq x y =
+    match (x, y) with
+    | Cf64 f, Cf64 g ->
+      if Int64.bits_of_float f <> Int64.bits_of_float g then raise Differ
+    | _ -> if x <> y then raise Differ
+  in
+  let values xs ys =
+    if List.length xs <> List.length ys then raise Differ;
+    List.iter2 value xs ys
+  in
+  let rvalue_eq x y =
+    match (x, y) with
+    | Const cx, Const cy -> const_eq cx cy
+    | Ibin (ox, a1, b1), Ibin (oy, a2, b2) ->
+      if ox <> oy then raise Differ;
+      value a1 a2; value b1 b2
+    | Fbin (ox, a1, b1), Fbin (oy, a2, b2) ->
+      if ox <> oy then raise Differ;
+      value a1 a2; value b1 b2
+    | Icmp (px, a1, b1), Icmp (py, a2, b2) ->
+      if px <> py then raise Differ;
+      value a1 a2; value b1 b2
+    | Select (c1, a1, b1), Select (c2, a2, b2) ->
+      value c1 c2; value a1 a2; value b1 b2
+    | Load (b1, i1), Load (b2, i2) -> buffer b1 b2; value i1 i2
+    | Dim b1, Dim b2 -> buffer b1 b2
+    | Cast (t1, v1), Cast (t2, v2) ->
+      if t1 <> t2 then raise Differ;
+      value v1 v2
+    | _ -> raise Differ
+  in
+  let rec block_eq xs ys =
+    if List.length xs <> List.length ys then raise Differ;
+    List.iter2 stmt_eq xs ys
+  and stmt_eq x y =
+    match (x, y) with
+    | Let (v1, r1), Let (v2, r2) ->
+      rvalue_eq r1 r2;
+      value v1 v2
+    | Store (b1, i1, v1), Store (b2, i2, v2) ->
+      buffer b1 b2; value i1 i2; value v1 v2
+    | Prefetch p1, Prefetch p2 ->
+      if p1.pwrite <> p2.pwrite || p1.plocality <> p2.plocality then
+        raise Differ;
+      buffer p1.pbuf p2.pbuf;
+      value p1.pidx p2.pidx
+    | For f1, For f2 ->
+      if f1.f_tag <> f2.f_tag then raise Differ;
+      value f1.f_lo f2.f_lo;
+      value f1.f_hi f2.f_hi;
+      value f1.f_step f2.f_step;
+      if List.length f1.f_carried <> List.length f2.f_carried then
+        raise Differ;
+      List.iter2 (fun (_, i1) (_, i2) -> value i1 i2) f1.f_carried f2.f_carried;
+      value f1.f_iv f2.f_iv;
+      List.iter2 (fun (a1, _) (a2, _) -> value a1 a2) f1.f_carried f2.f_carried;
+      block_eq f1.f_body f2.f_body;
+      values f1.f_yield f2.f_yield;
+      values f1.f_results f2.f_results
+    | While w1, While w2 ->
+      if w1.w_tag <> w2.w_tag then raise Differ;
+      if List.length w1.w_carried <> List.length w2.w_carried then
+        raise Differ;
+      List.iter2 (fun (_, i1) (_, i2) -> value i1 i2) w1.w_carried w2.w_carried;
+      List.iter2 (fun (a1, _) (a2, _) -> value a1 a2) w1.w_carried w2.w_carried;
+      block_eq w1.w_cond w2.w_cond;
+      value w1.w_cond_v w2.w_cond_v;
+      block_eq w1.w_body w2.w_body;
+      values w1.w_yield w2.w_yield;
+      values w1.w_results w2.w_results
+    | If (c1, t1, e1), If (c2, t2, e2) ->
+      value c1 c2;
+      block_eq t1 t2;
+      block_eq e1 e2
+    | _ -> raise Differ
+  in
+  match
+    if a.fn_name <> b.fn_name then raise Differ;
+    if List.length a.fn_params <> List.length b.fn_params then raise Differ;
+    List.iter2
+      (fun p q ->
+        match (p, q) with
+        | Pbuf x, Pbuf y -> buffer x y
+        | Pscalar x, Pscalar y -> value x y
+        | _ -> raise Differ)
+      a.fn_params b.fn_params;
+    block_eq a.fn_body b.fn_body
+  with
+  | () -> true
+  | exception Differ -> false

@@ -1,0 +1,38 @@
+(** Textual IR parser: the inverse of {!Printer}.
+
+    Accepts exactly the MLIR-flavoured dialect subset {!Printer.to_string}
+    emits — [func.func] with buffer/scalar parameters, [arith.*] value
+    operations, [memref.load]/[store]/[prefetch]/[dim], and structured
+    [scf.for]/[scf.while]/[scf.if] regions — and rebuilds a verified
+    {!Ir.func} with fresh dense value/buffer ids assigned in definition
+    order.
+
+    The round-trip contract, exercised by the golden tests:
+    - [Printer.to_string (func (Printer.to_string fn)) = Printer.to_string fn]
+      (text fixed point), and
+    - [equal_func (func (Printer.to_string fn)) fn]
+      (alpha-structural identity: same shapes, types, constants, tags and
+      buffer names, with value ids compared up to consistent renaming —
+      the printer uniquifies duplicate source names, so names themselves
+      are not part of the contract). *)
+
+open Ir
+
+(** A parse failure, with its 1-based source position. *)
+exception Error of { line : int; col : int; msg : string }
+
+(** [func text] parses one function.
+    @raise Error on malformed input (position of the offending token).
+    @raise Invalid_argument if the parsed function fails {!Verify.check}
+    (cannot happen for printer output). *)
+val func : string -> func
+
+(** [func_result text] is [Ok (func text)] or [Error message] with the
+    position formatted as ["line:col: msg"]. *)
+val func_result : string -> (func, string) result
+
+(** [equal_func a b] is alpha-structural equality: identical structure,
+    operation kinds, scalar/element types, constants (floats compared
+    bitwise), loop tags and buffer names, with value ids matched up to a
+    consistent bijection. *)
+val equal_func : func -> func -> bool

@@ -57,10 +57,16 @@ let build_renames (fn : func) =
   List.iter (function Pscalar v -> def v | Pbuf _ -> ()) fn.fn_params;
   go_block fn.fn_body
 
+(* Shortest %g form that parses back to the same bits, so the textual
+   form round-trips through Parse. *)
+let float_repr f =
+  let s = Printf.sprintf "%g" f in
+  if float_of_string s = f || f <> f then s else Printf.sprintf "%.17g" f
+
 let const_str = function
   | Cidx i -> Printf.sprintf "arith.constant %d : index" i
   | Ci64 i -> Printf.sprintf "arith.constant %d : i64" i
-  | Cf64 f -> Printf.sprintf "arith.constant %g : f64" f
+  | Cf64 f -> Printf.sprintf "arith.constant %s : f64" (float_repr f)
   | Cbool b -> Printf.sprintf "arith.constant %b : i1" b
 
 let rvalue_str = function

@@ -1,0 +1,111 @@
+(* Prefetch-slack scheduling (see slack.mli).
+
+   ASaP emits each prefetch directly after the short Let chain computing
+   its (verified-bounded) index, so moving the prefetch alone never gets
+   anywhere — the whole backward slice has to travel with it.  Per
+   block, per round (up to [max_dist] rounds): every statement in a
+   prefetch's dependency slice tries to move one slot up.  A move is
+   legal when the statement above does not define one of its operands,
+   and — for index loads in the slice — when the statement above cannot
+   write memory (a store, or a region that may contain one).  Moving a
+   pure definition earlier can never break a later use, so values are
+   untouched; only issue timing shifts. *)
+
+open Ir
+
+type stats = { moved : int }
+
+(* The value ids a statement defines at its block's level. *)
+let defined (s : stmt) : int list =
+  match s with
+  | Let (v, _) -> [ v.vid ]
+  | For f -> List.map (fun (r : value) -> r.vid) f.f_results
+  | While w -> List.map (fun (r : value) -> r.vid) w.w_results
+  | Store _ | Prefetch _ | If _ -> []
+
+(* The value ids a movable statement reads. *)
+let operands (s : stmt) : int list =
+  match s with
+  | Prefetch p -> [ p.pidx.vid ]
+  | Let (_, rv) ->
+    (match rv with
+     | Const _ | Dim _ -> []
+     | Ibin (_, a, b) | Fbin (_, a, b) | Icmp (_, a, b) ->
+       [ a.vid; b.vid ]
+     | Select (c, a, b) -> [ c.vid; a.vid; b.vid ]
+     | Load (_, i) -> [ i.vid ]
+     | Cast (_, a) -> [ a.vid ])
+  | Store _ | For _ | While _ | If _ -> []
+
+let may_write_memory = function
+  | Store _ | For _ | While _ | If _ -> true
+  | Let _ | Prefetch _ -> false
+
+let is_load = function Let (_, Load _) -> true | _ -> false
+
+let run ~max_dist (fn : func) : func * stats =
+  if max_dist <= 0 then (fn, { moved = 0 })
+  else begin
+    let moved = ref 0 in
+    let rec go_block (b : block) : block =
+      let arr = Array.of_list (List.map go_stmt b) in
+      let n = Array.length arr in
+      (* Original position of each statement, to count real motion. *)
+      let orig = Array.init n (fun i -> i) in
+      (* Mark the dependency slices: walk bottom-up from each prefetch,
+         collecting the block-level Lets that transitively feed it. *)
+      let in_slice = Array.make n false in
+      let needed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+      for i = n - 1 downto 0 do
+        match arr.(i) with
+        | Prefetch p ->
+          in_slice.(i) <- true;
+          Hashtbl.replace needed p.pidx.vid ()
+        | Let (v, _) when Hashtbl.mem needed v.vid ->
+          in_slice.(i) <- true;
+          List.iter (fun vid -> Hashtbl.replace needed vid ()) (operands arr.(i))
+        | _ -> ()
+      done;
+      for _round = 1 to max_dist do
+        for pos = 1 to n - 1 do
+          if in_slice.(pos) then begin
+            let s = arr.(pos) and above = arr.(pos - 1) in
+            let blocked =
+              List.exists
+                (fun vid -> List.mem vid (defined above))
+                (operands s)
+              || (is_load s && may_write_memory above)
+            in
+            if not blocked then begin
+              arr.(pos - 1) <- s;
+              arr.(pos) <- above;
+              let t = orig.(pos - 1) in
+              orig.(pos - 1) <- orig.(pos);
+              orig.(pos) <- t;
+              let t = in_slice.(pos - 1) in
+              in_slice.(pos - 1) <- in_slice.(pos);
+              in_slice.(pos) <- t
+            end
+          end
+        done
+      done;
+      Array.iteri
+        (fun i s ->
+          match s with
+          | Prefetch _ when orig.(i) > i -> incr moved
+          | _ -> ())
+        arr;
+      Array.to_list arr
+    and go_stmt = function
+      | (Let _ | Store _ | Prefetch _) as s -> s
+      | For f -> For { f with f_body = go_block f.f_body }
+      | While w ->
+        While { w with w_cond = go_block w.w_cond; w_body = go_block w.w_body }
+      | If (c, t, e) -> If (c, go_block t, go_block e)
+    in
+    let fn' = { fn with fn_body = go_block fn.fn_body } in
+    (match Verify.check_result fn' with
+     | Ok () -> ()
+     | Error m -> invalid_arg ("slack: broke the IR: " ^ m));
+    (fn', { moved = !moved })
+  end

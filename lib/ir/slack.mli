@@ -1,0 +1,20 @@
+(** Prefetch-slack scheduling.
+
+    Hoists [memref.prefetch] statements earlier within their enclosing
+    block — bounded by the definition point of the prefetched index (the
+    verified-bound value stays in scope, so the move is always safe) and
+    by a maximum hoist distance.  Issuing a prefetch earlier gives the
+    memory system more slack to complete it before the demand load.
+
+    Values are untouched (prefetch has no data semantics); only the
+    virtual-cycle timing can change, identically on every engine. *)
+
+type stats = { moved : int (** prefetches hoisted at least one slot *) }
+
+(** [run ~max_dist fn] hoists each prefetch — together with the Let
+    chain computing its index, which travels with it — up to [max_dist]
+    slots earlier in its block.  Index loads in the slice never cross a
+    statement that can write memory.  [max_dist <= 0] is the identity.
+    The result is re-verified.
+    @raise Invalid_argument if the rewrite breaks the IR (a bug). *)
+val run : max_dist:int -> Ir.func -> Ir.func * stats

@@ -1,0 +1,22 @@
+(** Innermost-loop unrolling.
+
+    Rewrites each innermost counted [scf.for] whose step is a
+    compile-time-positive constant into a main loop advancing
+    [factor * step] per iteration with the body replicated [factor]
+    times, followed by a remainder loop for the leftover iterations.
+
+    Value-exact by construction: replicas execute in the original
+    iteration order (loop-carried values, including float accumulators,
+    thread through the replicas sequentially), so outputs are bit-identical
+    on every engine.  Only the virtual-cycle profile changes — fewer
+    iterations means less per-iteration loop overhead.
+
+    Loops with a non-constant or non-positive step, and loops containing
+    nested loops, are left untouched. *)
+
+type stats = { unrolled : int (** loops rewritten *) }
+
+(** [run ~factor fn] unrolls eligible innermost loops by [factor].
+    [factor <= 1] is the identity.  The result is re-verified.
+    @raise Invalid_argument if the rewrite breaks the IR (a bug). *)
+val run : factor:int -> Ir.func -> Ir.func * stats

@@ -1,0 +1,90 @@
+(* The pass registry.
+
+   A pass is a named, parameterised transform.  Three kinds exist,
+   mirroring where in the lowering flow they plug in:
+
+   - [Entry]: kernel -> IR (sparsification), optionally taking the
+     composed prefetch hook of the [Hook] passes that follow it;
+   - [Hook]: a prefetch-injection hook that runs *during* an entry pass
+     (ASaP needs the emitter's semantic context, so it cannot be a
+     post-hoc IR pass);
+   - [Ir_pass]: func -> func, re-verified by construction, returning a
+     rewrite count for observability.
+
+   Registration is global and happens once at startup (see Builtin);
+   duplicate names are programming errors and rejected loudly. *)
+
+module Kernel = Asap_lang.Kernel
+module Emitter = Asap_sparsifier.Emitter
+module Access = Asap_sparsifier.Access
+
+type params = (string * Spec.pvalue) list
+
+type param_spec = {
+  p_name : string;
+  p_doc : string;
+  p_default : Spec.pvalue;
+  p_syms : string list;  (** allowed symbols; [] means integer-valued *)
+}
+
+type kind =
+  | Entry of (params -> ?hook:Access.hook -> Kernel.t -> Emitter.compiled)
+  | Hook of (params -> Access.hook)
+  | Ir_pass of (params -> Asap_ir.Ir.func -> Asap_ir.Ir.func * int)
+
+type t = {
+  name : string;
+  doc : string;
+  params : param_spec list;
+  kind : kind;
+  counts_sites : bool;
+      (** the rewrite count contributes to [n_prefetch_sites] *)
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let register (p : t) : unit =
+  if Hashtbl.mem registry p.name then
+    invalid_arg
+      (Printf.sprintf "Pass.register: duplicate pass name %S" p.name);
+  List.iter
+    (fun ps ->
+      match (ps.p_default, ps.p_syms) with
+      | Spec.Vsym s, syms when not (List.mem s syms) ->
+        invalid_arg
+          (Printf.sprintf
+             "Pass.register: %s.%s default %S not among its symbols" p.name
+             ps.p_name s)
+      | Spec.Vint _, _ :: _ ->
+        invalid_arg
+          (Printf.sprintf
+             "Pass.register: %s.%s has symbols but an integer default"
+             p.name ps.p_name)
+      | _ -> ())
+    p.params;
+  Hashtbl.add registry p.name p
+
+let find (name : string) : t option = Hashtbl.find_opt registry name
+
+let all () : t list =
+  Hashtbl.fold (fun _ p acc -> p :: acc) registry []
+  |> List.sort (fun a b -> compare a.name b.name)
+
+let kind_name (p : t) =
+  match p.kind with
+  | Entry _ -> "entry"
+  | Hook _ -> "hook"
+  | Ir_pass _ -> "ir"
+
+(* Parameter access helpers for pass bodies: [resolve]d params always
+   contain every declared key, so lookup failures are runner bugs. *)
+
+let pint (ps : params) (key : string) : int =
+  match List.assoc_opt key ps with
+  | Some (Spec.Vint i) -> i
+  | _ -> invalid_arg (Printf.sprintf "Pass.pint: missing int param %S" key)
+
+let psym (ps : params) (key : string) : string =
+  match List.assoc_opt key ps with
+  | Some (Spec.Vsym s) -> s
+  | _ -> invalid_arg (Printf.sprintf "Pass.psym: missing symbol param %S" key)

@@ -1,0 +1,56 @@
+(** The pass registry: named, parameterised transforms composed by
+    pipeline specs (see {!Spec} for syntax, {!Runner} for execution).
+
+    Passes come in three kinds, matching where they plug into lowering:
+    [Entry] (kernel -> IR, i.e. sparsification), [Hook] (prefetch
+    injection running {e during} the entry pass, which needs the
+    emitter's semantic context), and [Ir_pass] (func -> func rewrites,
+    always re-verified). *)
+
+module Kernel = Asap_lang.Kernel
+module Emitter = Asap_sparsifier.Emitter
+module Access = Asap_sparsifier.Access
+
+(** Resolved parameter bindings, every declared key present. *)
+type params = (string * Spec.pvalue) list
+
+type param_spec = {
+  p_name : string;
+  p_doc : string;
+  p_default : Spec.pvalue;
+  p_syms : string list;  (** allowed symbols; [] means integer-valued *)
+}
+
+type kind =
+  | Entry of (params -> ?hook:Access.hook -> Kernel.t -> Emitter.compiled)
+  | Hook of (params -> Access.hook)
+  | Ir_pass of (params -> Asap_ir.Ir.func -> Asap_ir.Ir.func * int)
+      (** returns the rewrite count for [pass.<name>.rewrites] *)
+
+type t = {
+  name : string;
+  doc : string;
+  params : param_spec list;
+  kind : kind;
+  counts_sites : bool;
+      (** the rewrite count contributes to [n_prefetch_sites] *)
+}
+
+(** [register p] adds [p] to the global registry.
+    @raise Invalid_argument on a duplicate name or an inconsistent
+    parameter schema. *)
+val register : t -> unit
+
+val find : string -> t option
+
+(** All registered passes, sorted by name. *)
+val all : unit -> t list
+
+val kind_name : t -> string
+
+(** [pint ps key] / [psym ps key] read a resolved parameter; resolved
+    parameter lists always contain every declared key, so a miss is a
+    runner bug and raises [Invalid_argument]. *)
+val pint : params -> string -> int
+
+val psym : params -> string -> string

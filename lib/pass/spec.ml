@@ -1,0 +1,130 @@
+(* Textual pipeline specifications.
+
+   Grammar (whitespace allowed between tokens):
+
+     spec   ::= item (',' item)*
+     item   ::= name params?
+     params ::= '{' binding (',' binding)* '}'
+     binding ::= name '=' (int | name)
+
+   e.g. "sparsify,asap{d=32},licm,fold,unroll{f=4}".  Parse errors carry
+   the 1-based character position of the offending token so CLI and
+   config errors can point into the spec string. *)
+
+(** A parameter value: an integer or a bare symbol (e.g. [strategy=both]). *)
+type pvalue = Vint of int | Vsym of string
+
+let pvalue_to_string = function
+  | Vint i -> string_of_int i
+  | Vsym s -> s
+
+(** One pass invocation: name plus explicit parameter bindings, in source
+    order. *)
+type item = { pi_name : string; pi_params : (string * pvalue) list }
+
+type t = item list
+
+exception Error of { pos : int; msg : string }
+
+let err ~pos fmt = Printf.ksprintf (fun msg -> raise (Error { pos; msg })) fmt
+
+let is_ident_char ch =
+  (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z')
+  || (ch >= '0' && ch <= '9') || ch = '_' || ch = '-'
+
+let is_digit ch = ch >= '0' && ch <= '9'
+
+type cursor = { text : string; mutable pos : int }
+
+let at_end c = c.pos >= String.length c.text
+
+let skip_ws c =
+  while (not (at_end c)) && (c.text.[c.pos] = ' ' || c.text.[c.pos] = '\t') do
+    c.pos <- c.pos + 1
+  done
+
+let peek c = if at_end c then None else Some c.text.[c.pos]
+
+let eat c ch =
+  skip_ws c;
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | _ -> err ~pos:(c.pos + 1) "expected '%c'" ch
+
+let ident c =
+  skip_ws c;
+  let start = c.pos in
+  while (not (at_end c)) && is_ident_char c.text.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then err ~pos:(start + 1) "expected a pass or parameter name";
+  String.sub c.text start (c.pos - start)
+
+let value c =
+  skip_ws c;
+  let start = c.pos in
+  let negative = (not (at_end c)) && c.text.[c.pos] = '-' in
+  if negative then c.pos <- c.pos + 1;
+  match peek c with
+  | Some ch when is_digit ch ->
+    while (not (at_end c)) && is_digit c.text.[c.pos] do
+      c.pos <- c.pos + 1
+    done;
+    Vint (int_of_string (String.sub c.text start (c.pos - start)))
+  | _ when negative -> err ~pos:(start + 1) "expected digits after '-'"
+  | _ -> Vsym (ident c)
+
+let params c =
+  eat c '{';
+  let rec go acc =
+    let key = ident c in
+    eat c '=';
+    let v = value c in
+    if List.mem_assoc key acc then
+      err ~pos:(c.pos + 1) "duplicate parameter %S" key;
+    let acc = acc @ [ (key, v) ] in
+    skip_ws c;
+    match peek c with
+    | Some ',' -> c.pos <- c.pos + 1; go acc
+    | Some '}' -> c.pos <- c.pos + 1; acc
+    | _ -> err ~pos:(c.pos + 1) "expected ',' or '}' in parameter list"
+  in
+  go []
+
+let item c =
+  let name = ident c in
+  skip_ws c;
+  match peek c with
+  | Some '{' -> { pi_name = name; pi_params = params c }
+  | _ -> { pi_name = name; pi_params = [] }
+
+let parse (text : string) : t =
+  let c = { text; pos = 0 } in
+  skip_ws c;
+  if at_end c then err ~pos:1 "empty pipeline spec";
+  let rec go acc =
+    let i = item c in
+    skip_ws c;
+    match peek c with
+    | None -> List.rev (i :: acc)
+    | Some ',' -> c.pos <- c.pos + 1; go (i :: acc)
+    | Some ch -> err ~pos:(c.pos + 1) "unexpected character '%c'" ch
+  in
+  go []
+
+let parse_result (text : string) : (t, string) result =
+  match parse text with
+  | s -> Ok s
+  | exception Error { pos; msg } ->
+    Result.Error (Printf.sprintf "at %d: %s (in %S)" pos msg text)
+
+let item_to_string { pi_name; pi_params } =
+  match pi_params with
+  | [] -> pi_name
+  | ps ->
+    Printf.sprintf "%s{%s}" pi_name
+      (String.concat ","
+         (List.map (fun (k, v) -> k ^ "=" ^ pvalue_to_string v) ps))
+
+let to_string (s : t) : string =
+  String.concat "," (List.map item_to_string s)

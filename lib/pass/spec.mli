@@ -1,0 +1,31 @@
+(** Textual pipeline specifications — the "sparsify,asap{d=32},fold"
+    surface syntax.
+
+    Grammar (whitespace-tolerant):
+    {v
+    spec    ::= item (',' item)*
+    item    ::= name params?
+    params  ::= '{' name '=' (int | name) (',' ...)* '}'
+    v}
+
+    Parsing is purely syntactic; pass names and parameters are validated
+    against the registry by {!Runner.resolve}. *)
+
+type pvalue = Vint of int | Vsym of string
+
+val pvalue_to_string : pvalue -> string
+
+type item = { pi_name : string; pi_params : (string * pvalue) list }
+
+type t = item list
+
+(** A syntax error at a 1-based character position in the spec string. *)
+exception Error of { pos : int; msg : string }
+
+(** @raise Error on malformed input. *)
+val parse : string -> t
+
+(** [parse_result s] is [Ok (parse s)] or [Error "at <pos>: <msg> (in ...)"]. *)
+val parse_result : string -> (t, string) result
+
+val to_string : t -> string

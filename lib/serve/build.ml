@@ -58,9 +58,14 @@ let miss_penalty_ms ~compile_ms (e : entry) = compile_ms +. e.e_tune_ms
    prepared execution reuses it. *)
 let decide_variant (req : Request.t) (machine : Machine.t) (coo : Coo.t) :
     Pipeline.variant * Select.decision option * bool * Storage.t option =
-  match Request.fixed_variant req.Request.variant with
-  | Some v -> (v, None, false, None)
-  | None ->
+  match (req.Request.pipeline, Request.fixed_variant req.Request.variant) with
+  | Some _, Some v ->
+    (* An explicit pipeline fixes the pass stack outright: nothing left
+       to tune, no decision cost on miss. *)
+    (v, None, false, None)
+  | Some _, None -> (Pipeline.Asap Asap.default, None, false, None)
+  | None, Some v -> (v, None, false, None)
+  | None, None ->
     let fallback = (Pipeline.Asap Asap.default, None, true, None) in
     (match Request.encoding_of_format req.Request.kernel req.Request.format with
      | None -> fallback
@@ -89,7 +94,8 @@ let build (req : Request.t) (coo : Coo.t) : entry =
   in
   let cfg =
     Driver.Cfg.make ~engine:req.Request.engine
-      ~tune_mode:req.Request.tune_mode ?st ~machine ~variant ()
+      ~tune_mode:req.Request.tune_mode ?pipeline:req.Request.pipeline ?st
+      ~machine ~variant ()
   in
   let prep = Driver.Prep.make cfg (Request.spec req) coo in
   let result = Driver.Prep.exec prep in

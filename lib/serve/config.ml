@@ -54,6 +54,8 @@ type t = {
   deadline_policy : deadline_policy;
   engine : Exec.engine option;    (* override every request's engine *)
   tune_mode : Tuning.mode option; (* override every request's tune_mode *)
+  pipelines : (string * string) list;
+                           (* per-tenant pass-pipeline spec overrides *)
   jobs : int;              (* host domains for the build pass *)
 }
 
@@ -61,7 +63,8 @@ let default =
   { shards = 1; servers = 2; queue_limit = 64; cache_capacity = 128;
     compile_ms = 0.05; batching = true; stealing = true;
     vnodes = Router.default_vnodes; quota_default = None; quotas = [];
-    deadline_policy = Degrade; engine = None; tune_mode = None; jobs = 1 }
+    deadline_policy = Degrade; engine = None; tune_mode = None;
+    pipelines = []; jobs = 1 }
 
 let with_shards shards t = { t with shards }
 let with_servers servers t = { t with servers }
@@ -76,7 +79,12 @@ let with_quotas quotas t = { t with quotas }
 let with_deadline_policy deadline_policy t = { t with deadline_policy }
 let with_engine engine t = { t with engine = Some engine }
 let with_tune_mode tune_mode t = { t with tune_mode = Some tune_mode }
+let with_pipelines pipelines t = { t with pipelines }
 let with_jobs jobs t = { t with jobs }
+
+(** [pipeline_of t tenant] is the pipeline override that applies to
+    [tenant]'s requests, if any. *)
+let pipeline_of t tenant = List.assoc_opt tenant t.pipelines
 
 (** [quota_of t tenant] is the admission quota that applies to [tenant]:
     its [quotas] entry if present, else [quota_default]. *)
@@ -99,4 +107,11 @@ let validate t =
   List.iter
     (fun (tenant, q) ->
       if q < 0 then fail "Serve.Config: negative quota for tenant %S" tenant)
-    t.quotas
+    t.quotas;
+  List.iter
+    (fun (tenant, spec) ->
+      match Asap_pass.Runner.resolve spec with
+      | (_ : Asap_pass.Runner.resolved) -> ()
+      | exception Invalid_argument m ->
+        fail "Serve.Config: bad pipeline for tenant %S: %s" tenant m)
+    t.pipelines

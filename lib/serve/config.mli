@@ -39,6 +39,9 @@ type t = {
   deadline_policy : deadline_policy;
   engine : Exec.engine option;    (** override every request's engine *)
   tune_mode : Tuning.mode option; (** override every request's tune_mode *)
+  pipelines : (string * string) list;
+      (** per-tenant pass-pipeline specs; a tenant's entry overrides
+          the pipeline of every one of its requests *)
   jobs : int;              (** host domains for the build pass *)
 }
 
@@ -64,11 +67,17 @@ val with_quotas : (string * int) list -> t -> t
 val with_deadline_policy : deadline_policy -> t -> t
 val with_engine : Exec.engine -> t -> t
 val with_tune_mode : Tuning.mode -> t -> t
+val with_pipelines : (string * string) list -> t -> t
 val with_jobs : int -> t -> t
 
 (** [quota_of t tenant] is the quota that applies to [tenant]: its
     [quotas] entry if present, else [quota_default]. *)
 val quota_of : t -> string -> int option
 
-(** @raise Invalid_argument on a malformed configuration. *)
+(** [pipeline_of t tenant] is the pipeline override applying to
+    [tenant]'s requests, if any. *)
+val pipeline_of : t -> string -> string option
+
+(** @raise Invalid_argument on a malformed configuration (including an
+    invalid per-tenant pipeline spec). *)
 val validate : t -> unit

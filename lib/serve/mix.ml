@@ -127,5 +127,5 @@ let hot_cold ?(alpha = 1.2) ?(mean_gap_ms = 0.05) ?deadline_ms
       { Request.id = Printf.sprintf "r%05d" i;
         kernel = p.p_kernel; format = p.p_format; matrix = p.p_matrix;
         variant = p.p_variant; engine = p.p_engine; machine = p.p_machine;
-        tune_mode = p.p_tune_mode; tenant; arrival_ms = !t;
+        tune_mode = p.p_tune_mode; pipeline = None; tenant; arrival_ms = !t;
         deadline = Option.map (fun ms -> Request.Ms ms) deadline_ms })

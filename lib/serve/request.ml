@@ -40,6 +40,7 @@ type t = {
   engine : Exec.engine;
   machine : string;         (* preset name, see machine_of *)
   tune_mode : Tuning.mode;  (* how a `Tuned variant is decided *)
+  pipeline : string option; (* explicit pass-pipeline spec override *)
   tenant : string;          (* admission-quota accounting key *)
   arrival_ms : float;       (* virtual arrival time *)
   deadline : deadline option;
@@ -137,18 +138,26 @@ let fingerprint (r : t) : string =
   in
   (* The tuning mode only shapes the artefact when there is a tuning
      decision to make; fixed-variant requests share cache entries across
-     modes. *)
+     modes.  An explicit pipeline fixes the artefact outright, so it
+     supersedes the mode either way. *)
   let base =
-    match r.variant with
-    | `Tuned -> base @ [ Tuning.mode_to_string r.tune_mode ]
-    | `Baseline | `Asap | `Aj -> base
+    match (r.pipeline, r.variant) with
+    | Some _, _ | None, (`Baseline | `Asap | `Aj) -> base
+    | None, `Tuned -> base @ [ Tuning.mode_to_string r.tune_mode ]
+  in
+  (* Canonical form, not the spelling: "asap" and "asap{d=32,...}" with
+     default parameters are the same artefact and must share an entry. *)
+  let base =
+    match r.pipeline with
+    | None -> base
+    | Some p -> base @ [ "pipeline=" ^ Asap_pass.Runner.canonical_of_string p ]
   in
   String.concat "|" base
 
 (** [fallback r] is the degraded form a timed-out request is served as:
     the untuned, prefetch-free baseline of the same kernel on the same
     matrix and machine. *)
-let fallback (r : t) : t = { r with variant = `Baseline }
+let fallback (r : t) : t = { r with variant = `Baseline; pipeline = None }
 
 (* --- JSONL ----------------------------------------------------------- *)
 
@@ -165,6 +174,11 @@ let to_json (r : t) : Jsonu.t =
       ("tenant", Jsonu.Str r.tenant);
       ("arrival_ms", Jsonu.Float r.arrival_ms) ]
   in
+  let base =
+    match r.pipeline with
+    | None -> base
+    | Some p -> base @ [ ("pipeline", Jsonu.Str p) ]
+  in
   let deadline =
     match r.deadline with
     | None -> []
@@ -178,7 +192,9 @@ let to_line r = Jsonu.to_string (to_json r)
 (** [of_json j] parses one request object. Required fields: [id],
     [kernel], [matrix]. Defaults: format [csr] ([csf] for ttv), variant
     [asap], the default engine, machine [optimized], tune_mode [sweep],
-    tenant [default], arrival 0, no deadline. *)
+    tenant [default], arrival 0, no deadline, no pipeline override
+    (an explicit ["pipeline"] spec is validated against the pass
+    registry at ingest). *)
 let of_json (j : Jsonu.t) : (t, string) result =
   let str k = Option.bind (Jsonu.member k j) Jsonu.to_str_opt in
   let num k = Option.bind (Jsonu.member k j) Jsonu.to_float_opt in
@@ -235,18 +251,31 @@ let of_json (j : Jsonu.t) : (t, string) result =
                    "request %s: unknown tune_mode %S (expected %s)" id m
                    Tuning.valid_modes))
        in
+       let pipeline_r =
+         match str "pipeline" with
+         | None -> Ok None
+         | Some p ->
+           (* Validate against the pass registry up front: a request
+              carrying a bad spec must fail at ingest with a line
+              number, not deep inside a build worker. *)
+           (match Asap_pass.Runner.resolve p with
+            | (_ : Asap_pass.Runner.resolved) -> Ok (Some p)
+            | exception Invalid_argument m ->
+              Error (Printf.sprintf "request %s: bad pipeline: %s" id m))
+       in
        let deadline =
          match (num "deadline_ms", intf "deadline_cycles") with
          | Some b, _ -> Some (Ms b)
          | None, Some c -> Some (Cycles c)
          | None, None -> None
        in
-       (match (format_r, variant_r, engine_r, tune_mode_r) with
-        | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _
-        | _, _, _, Error e -> Error e
-        | Ok format, Ok variant, Ok engine, Ok tune_mode ->
+       (match (format_r, variant_r, engine_r, tune_mode_r, pipeline_r) with
+        | Error e, _, _, _, _ | _, Error e, _, _, _ | _, _, Error e, _, _
+        | _, _, _, Error e, _ | _, _, _, _, Error e -> Error e
+        | Ok format, Ok variant, Ok engine, Ok tune_mode, Ok pipeline ->
           Ok
             { id; kernel; format; matrix; variant; engine; tune_mode;
+              pipeline;
               machine = Option.value (str "machine") ~default:"optimized";
               tenant = Option.value (str "tenant") ~default:default_tenant;
               arrival_ms = Option.value (num "arrival_ms") ~default:0.;

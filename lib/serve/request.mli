@@ -30,6 +30,9 @@ type t = {
   engine : Exec.engine;
   machine : string;         (** preset name, see {!machine_of} *)
   tune_mode : Tuning.mode;  (** how a [`Tuned] variant is decided *)
+  pipeline : string option;
+      (** explicit pass-pipeline spec; overrides [variant]'s default
+          pipeline at build time and supersedes tuning *)
   tenant : string;          (** admission-quota accounting key *)
   arrival_ms : float;       (** virtual arrival time *)
   deadline : deadline option;
@@ -68,11 +71,17 @@ val deadline_ms : t -> Machine.t -> float option
 (** [fingerprint r] is the canonical cache key: every field affecting
     the built artefact and nothing that doesn't (id, tenant, arrival,
     deadline excluded; [tune_mode] included only for [`Tuned] requests,
-    which are the only ones whose artefact it shapes). *)
+    which are the only ones whose artefact it shapes).  A pipeline
+    override enters in canonical form — spellings that resolve to the
+    same fully-parameterised pipeline share one cache entry, distinct
+    pipelines never collide.
+    @raise Invalid_argument if [pipeline] holds an invalid spec (JSONL
+    ingest rejects those up front; only hand-built requests can). *)
 val fingerprint : t -> string
 
 (** [fallback r] is the degraded form a timed-out request is served as:
-    the untuned, prefetch-free baseline. *)
+    the untuned, prefetch-free baseline (any pipeline override is
+    dropped with the rest of the machinery it named). *)
 val fallback : t -> t
 
 val to_json : t -> Jsonu.t

@@ -126,9 +126,11 @@ let run ?(trace : Chrome.t option) (config : Config.t)
   (* Config-level overrides rewrite the requests up front (they change
      fingerprints, so they must precede routing and building). *)
   let requests =
-    match (config.Config.engine, config.Config.tune_mode) with
-    | None, None -> requests
-    | engine, tune_mode ->
+    match
+      (config.Config.engine, config.Config.tune_mode, config.Config.pipelines)
+    with
+    | None, None, [] -> requests
+    | engine, tune_mode, _ ->
       List.map
         (fun r ->
           let r =
@@ -136,8 +138,13 @@ let run ?(trace : Chrome.t option) (config : Config.t)
             | Some e -> { r with Request.engine = e }
             | None -> r
           in
-          match tune_mode with
-          | Some m -> { r with Request.tune_mode = m }
+          let r =
+            match tune_mode with
+            | Some m -> { r with Request.tune_mode = m }
+            | None -> r
+          in
+          match Config.pipeline_of config r.Request.tenant with
+          | Some p -> { r with Request.pipeline = Some p }
           | None -> r)
         requests
   in

@@ -311,6 +311,54 @@ let test_fusion_cycle_exact () =
   check "fusion: fused output" true (out_f = out_i);
   check "fusion: unfused output" true (out_u = out_i)
 
+(* --- Pipeline passes -------------------------------------------------- *)
+
+let run_pipeline ?pipeline engine v coo =
+  Driver.run
+    (Driver.Cfg.make ~engine ?pipeline ~machine ~variant:v ())
+    (Driver.Spmv (Encoding.csr ())) coo
+
+let test_differential_pipeline () =
+  (* Every registered IR pass, alone and in the default optimisation
+     stack, must be three-way cycle-exact — and, being non-semantic
+     rewrites, value-exact against the unpiped baseline. *)
+  let coo = small_matrix 28 in
+  let pipelines =
+    [ "sparsify,fold"; "sparsify,licm"; "sparsify,unroll{f=4}";
+      "sparsify,slack";
+      "sparsify,asap{d=8},fold,licm,unroll{f=2},slack";
+      "sparsify,aj{d=8},fold,licm" ]
+  in
+  List.iter
+    (fun p ->
+      three_way ("pipeline " ^ p) (fun engine ->
+          run_pipeline ~pipeline:p engine Pipeline.Baseline coo))
+    pipelines;
+  let base = run_pipeline `Interp Pipeline.Baseline coo in
+  List.iter
+    (fun p ->
+      let r = run_pipeline ~pipeline:p `Interp Pipeline.Baseline coo in
+      check ("pipeline " ^ p ^ ": value-exact vs baseline") true
+        (r.Driver.out_f = base.Driver.out_f))
+    pipelines
+
+let test_pipeline_matches_variant () =
+  (* A variant run with its own canonical spec passed explicitly must be
+     indistinguishable from the implicit-pipeline run, in every engine. *)
+  let coo = small_matrix 29 in
+  List.iter
+    (fun (vn, v) ->
+      let spec = Pipeline.spec_of_variant v in
+      List.iter
+        (fun engine ->
+          same_result
+            (Printf.sprintf "explicit %s (%s)" vn
+               (Asap_sim.Exec.engine_to_string engine))
+            (run_pipeline engine v coo)
+            (run_pipeline ~pipeline:spec engine v coo))
+        [ `Interp; `Compiled; `Bytecode ])
+    variants
+
 (* --- Parallel benchmark grid ----------------------------------------- *)
 
 let grid_entry name seed =
@@ -378,5 +426,9 @@ let suite =
     Alcotest.test_case "trap and fault parity" `Quick test_trap_fault_parity;
     Alcotest.test_case "carried values" `Quick test_carried_values;
     Alcotest.test_case "fusion cycle-exact" `Quick test_fusion_cycle_exact;
+    Alcotest.test_case "pipeline pass differential" `Quick
+      test_differential_pipeline;
+    Alcotest.test_case "pipeline matches variant" `Quick
+      test_pipeline_matches_variant;
     Alcotest.test_case "parallel grid = sequential" `Quick
       test_grid_parallel_matches_sequential ]

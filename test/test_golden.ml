@@ -1,0 +1,81 @@
+(* Golden-file tests for the IR printer/parser round-trip: each checked-in
+   test/golden/<kernel>_<variant>.ir must byte-match what the pipeline
+   emits today, parse back, reprint identically, and be alpha-equal to the
+   freshly compiled function.  Regenerate deliberately with
+   [dune exec tools/gen_golden.exe] and review the diff. *)
+
+module Kernel = Asap_lang.Kernel
+module Encoding = Asap_tensor.Encoding
+module Pipeline = Asap_core.Pipeline
+module Printer = Asap_ir.Printer
+module Parse = Asap_ir.Parse
+
+let check = Alcotest.(check bool)
+let check_s = Alcotest.(check string)
+
+let variants =
+  [ ("baseline", Pipeline.Baseline);
+    ("asap", Pipeline.Asap Asap_prefetch.Asap.default);
+    ("aj", Pipeline.Ainsworth_jones Asap_prefetch.Ainsworth_jones.default) ]
+
+let cases =
+  let open Encoding in
+  [ ("spmv_coo", fun () -> Kernel.spmv ~enc:(coo ()) ());
+    ("spmv_csr", fun () -> Kernel.spmv ~enc:(csr ()) ());
+    ("spmv_csc", fun () -> Kernel.spmv ~enc:(csc ()) ());
+    ("spmv_dcsr", fun () -> Kernel.spmv ~enc:(dcsr ()) ());
+    ("spmm_csr", fun () -> Kernel.spmm ~enc:(csr ()) ());
+    ("ttv_csf", fun () -> Kernel.ttv ~enc:(csf 3) ()) ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let golden_path name = Filename.concat "golden" (name ^ ".ir")
+
+let test_golden () =
+  List.iter
+    (fun (kname, mk) ->
+      List.iter
+        (fun (vname, v) ->
+          let name = Printf.sprintf "%s_%s" kname vname in
+          let path = golden_path name in
+          check (name ^ ": golden file present") true (Sys.file_exists path);
+          let golden = read_file path in
+          let c = Pipeline.compile (mk ()) v in
+          let printed = Printer.to_string c.Pipeline.fn in
+          check_s (name ^ ": printer output matches checked-in golden")
+            golden printed;
+          match Parse.func_result golden with
+          | Error m -> Alcotest.fail (name ^ ": golden does not parse: " ^ m)
+          | Ok fn ->
+            check_s (name ^ ": reprint is byte-identical") golden
+              (Printer.to_string fn);
+            check (name ^ ": parsed func alpha-equal to compiled") true
+              (Parse.equal_func fn c.Pipeline.fn))
+        variants)
+    cases
+
+(* The golden set must cover exactly the generator grid — a stray or
+   missing .ir file is a drift signal even before contents diverge. *)
+let test_golden_inventory () =
+  let expect =
+    List.concat_map
+      (fun (k, _) -> List.map (fun (v, _) -> k ^ "_" ^ v ^ ".ir") variants)
+      cases
+    |> List.sort compare
+  in
+  let actual =
+    Sys.readdir "golden" |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ir")
+    |> List.sort compare
+  in
+  check_s "golden inventory" (String.concat " " expect)
+    (String.concat " " actual)
+
+let suite =
+  [ Alcotest.test_case "printer/parser golden round-trip" `Quick test_golden;
+    Alcotest.test_case "golden inventory" `Quick test_golden_inventory ]

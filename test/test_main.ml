@@ -15,4 +15,6 @@ let () =
       ("model", Test_model.suite);
       ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);
+      ("pass", Test_pass.suite);
+      ("golden", Test_golden.suite);
       ("serve", Test_serve.suite) ]

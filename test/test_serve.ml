@@ -30,12 +30,12 @@ let check_int = Alcotest.(check int)
    what is under test. *)
 let req ?(id = "r0") ?(kernel = `Spmv) ?(format = "csr")
     ?(matrix = "powerlaw:400,5") ?(variant : Request.variant = `Asap)
-    ?(tune_mode = Asap_core.Tuning.default_mode)
+    ?(tune_mode = Asap_core.Tuning.default_mode) ?pipeline
     ?(tenant = Request.default_tenant) ?(arrival = 0.) ?deadline ()
     : Request.t =
   { Request.id; kernel; format; matrix; variant;
-    engine = Exec.default_engine; machine = "optimized"; tune_mode; tenant;
-    arrival_ms = arrival; deadline }
+    engine = Exec.default_engine; machine = "optimized"; tune_mode; pipeline;
+    tenant; arrival_ms = arrival; deadline }
 
 let small_profiles () =
   [ Mix.profile "powerlaw:400,5";
@@ -61,7 +61,8 @@ let test_request_roundtrip () =
       req ~id:"r2" ~kernel:`Ttv ~format:"csf" ~matrix:"tensor3:12,12,12,400"
         ~deadline:(Request.Cycles 9000) ();
       req ~id:"r3" ~variant:`Baseline ~format:"csc" ();
-      req ~id:"r4" ~tenant:"acme" () ];
+      req ~id:"r4" ~tenant:"acme" ();
+      req ~id:"r5" ~pipeline:"sparsify,asap{d=16},unroll{f=2}" () ];
   (* A request that names no tenant parses as the default tenant. *)
   match
     Request.of_line {| {"id":"x","kernel":"spmv","matrix":"powerlaw:400,5"} |}
@@ -103,6 +104,81 @@ let test_request_errors () =
      ignore (Request.spec (req ~kernel:`Ttv ~format:"csr" ()));
      Alcotest.fail "accepted ttv over csr"
    with Invalid_argument _ -> ())
+
+(* --- Pipeline specs in serve ------------------------------------------- *)
+
+let test_request_pipeline () =
+  let a = req () in
+  let p = req ~pipeline:"sparsify,asap{d=16}" () in
+  check "pipeline inside key" true
+    (Request.fingerprint a <> Request.fingerprint p);
+  (* Spellings of one pipeline share a fingerprint: the key embeds the
+     canonical form, with defaults filled. *)
+  check "spellings share the key" true
+    (Request.fingerprint p
+     = Request.fingerprint
+         (req ~pipeline:" sparsify , asap { d = 16 , l = 2 } " ()));
+  check "distinct specs distinct keys" true
+    (Request.fingerprint p
+     <> Request.fingerprint
+          (req ~pipeline:"sparsify,asap{d=16},unroll{f=4}" ()));
+  (* An explicit pipeline supersedes tuning: the tune mode no longer
+     reaches the key. *)
+  let tuned m = req ~variant:`Tuned ~tune_mode:m ~pipeline:"sparsify,fold" () in
+  check "pipeline supersedes tune_mode" true
+    (Request.fingerprint (tuned `Sweep) = Request.fingerprint (tuned `Model));
+  check "tune_mode still keyed without pipeline" true
+    (Request.fingerprint (req ~variant:`Tuned ~tune_mode:`Sweep ())
+     <> Request.fingerprint (req ~variant:`Tuned ~tune_mode:`Model ()));
+  (* Degraded fallback rebuilds the plain baseline artefact. *)
+  check "fallback drops pipeline" true
+    ((Request.fallback p).Request.pipeline = None);
+  (* Bad specs are rejected at JSONL ingest, not at build time. *)
+  (match
+     Request.of_line
+       {| {"id":"x","kernel":"spmv","matrix":"powerlaw:400,5",
+           "pipeline":"sparsify,nope"} |}
+   with
+   | Ok _ -> Alcotest.fail "ingested unknown pass"
+   | Error e ->
+     check "ingest error names the pass" true
+       (Astring_contains.contains e "nope"));
+  (* And in Config.validate for tenant overrides. *)
+  try
+    Config.validate Config.(with_pipelines [ ("acme", "nope" ) ] default);
+    Alcotest.fail "accepted bad tenant pipeline"
+  with Invalid_argument m ->
+    check "config error names tenant" true (Astring_contains.contains m "acme")
+
+let test_replay_tenant_pipelines () =
+  (* Per-tenant pipeline overrides: replay stays byte-equal at any host
+     parallelism, and the override visibly changes the records. *)
+  let reqs =
+    Mix.hot_cold ~seed:7 ~n:40
+      ~tenants:[ ("a", 1.); ("b", 1.) ]
+      (small_profiles ())
+  in
+  let cfg =
+    Config.(
+      default |> with_pipelines [ ("a", "sparsify,asap{d=16},unroll{f=2}") ])
+  in
+  let run jobs = lines (Scheduler.run Config.(with_jobs jobs cfg) reqs) in
+  let l1 = run 1 in
+  Alcotest.(check (list string)) "pipelines: jobs 1 = jobs 4 (byte)" l1 (run 4);
+  check "override changes the records" true
+    (l1 <> lines (Scheduler.run Config.default reqs));
+  (* Distinct specs are distinct cache entries; spellings of one spec
+     share an artefact. *)
+  let r0 = req ~id:"p0" () in
+  let r1 = { r0 with Request.id = "p1";
+             pipeline = Some "sparsify,asap{d=16}" } in
+  (* Same pipeline, different spelling, arriving well after [r1]'s build
+     has completed — must hit the cached artefact. *)
+  let r2 = { r0 with Request.id = "p2"; arrival_ms = 1e6;
+             pipeline = Some " sparsify , asap { d = 16 } " } in
+  let rp = Scheduler.run Config.default [ r0; r1; r2 ] in
+  check_int "distinct spec builds separately" 2 rp.Scheduler.rp_summary.Slo.s_builds;
+  check_int "spellings share the artefact" 1 rp.Scheduler.rp_summary.Slo.s_hits
 
 (* --- Lru --------------------------------------------------------------- *)
 
@@ -740,6 +816,9 @@ let suite =
       test_request_roundtrip;
     Alcotest.test_case "request fingerprint" `Quick test_request_fingerprint;
     Alcotest.test_case "request errors" `Quick test_request_errors;
+    Alcotest.test_case "request pipeline" `Quick test_request_pipeline;
+    Alcotest.test_case "replay tenant pipelines" `Slow
+      test_replay_tenant_pipelines;
     Alcotest.test_case "lru" `Quick test_lru;
     Alcotest.test_case "replay deterministic across jobs" `Slow
       test_replay_deterministic_across_jobs;

@@ -1,0 +1,67 @@
+(* Regenerates the checked-in golden IR listings under test/golden/ and
+   verifies the Parse round-trip for each before writing anything.
+
+     dune exec tools/gen_golden.exe -- [output-dir]
+
+   Run after any deliberate change to the emitter, the prefetch passes
+   or the printer, then review the diff like any other source change. *)
+
+module Kernel = Asap_lang.Kernel
+module Encoding = Asap_tensor.Encoding
+module Pipeline = Asap_core.Pipeline
+module Printer = Asap_ir.Printer
+module Parse = Asap_ir.Parse
+
+let variants =
+  [ ("baseline", Pipeline.Baseline);
+    ("asap", Pipeline.Asap Asap_prefetch.Asap.default);
+    ("aj", Pipeline.Ainsworth_jones Asap_prefetch.Ainsworth_jones.default) ]
+
+let cases =
+  let open Encoding in
+  [ ("spmv_coo", Kernel.spmv ~enc:(coo ()) ());
+    ("spmv_csr", Kernel.spmv ~enc:(csr ()) ());
+    ("spmv_csc", Kernel.spmv ~enc:(csc ()) ());
+    ("spmv_dcsr", Kernel.spmv ~enc:(dcsr ()) ());
+    ("spmm_csr", Kernel.spmm ~enc:(csr ()) ());
+    ("ttv_csf", Kernel.ttv ~enc:(csf 3) ()) ]
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden" in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let failures = ref 0 in
+  List.iter
+    (fun (kname, k) ->
+      List.iter
+        (fun (vname, v) ->
+          let name = Printf.sprintf "%s_%s" kname vname in
+          let c = Pipeline.compile k v in
+          let text = Printer.to_string c.Pipeline.fn in
+          (match Parse.func_result text with
+           | Error m ->
+             incr failures;
+             Printf.printf "FAIL %-20s parse error: %s\n" name m
+           | Ok fn2 ->
+             let text2 = Printer.to_string fn2 in
+             if text2 <> text then begin
+               incr failures;
+               Printf.printf "FAIL %-20s reprint differs from source\n" name
+             end
+             else if not (Parse.equal_func fn2 c.Pipeline.fn) then begin
+               incr failures;
+               Printf.printf "FAIL %-20s parsed func not alpha-equal\n" name
+             end
+             else begin
+               let path = Filename.concat dir (name ^ ".ir") in
+               let oc = open_out path in
+               output_string oc text;
+               close_out oc;
+               Printf.printf "ok   %-20s %4d lines -> %s\n" name
+                 (List.length (String.split_on_char '\n' text)) path
+             end))
+        variants)
+    cases;
+  if !failures > 0 then begin
+    Printf.printf "%d round-trip failure(s)\n" !failures;
+    exit 1
+  end
