@@ -34,18 +34,27 @@ let format_conv =
     | "csr" -> Ok (Encoding.csr ())
     | "csc" -> Ok (Encoding.csc ())
     | "dcsr" -> Ok (Encoding.dcsr ())
-    | s -> Error (`Msg (Printf.sprintf "unknown format %S" s))
+    | "bsr" -> Ok (Encoding.bsr ~bh:4 ~bw:4 ())
+    | s ->
+      (match Scanf.sscanf_opt s "bsr%dx%d%!" (fun bh bw -> (bh, bw)) with
+       | Some (bh, bw) when bh >= 1 && bw >= 1 ->
+         Ok (Encoding.bsr ~bh ~bw ())
+       | _ -> Error (`Msg (Printf.sprintf "unknown format %S" s)))
   in
   Arg.conv (parse, fun fmt e -> Format.pp_print_string fmt e.Encoding.name)
 
 let format_arg =
   Arg.(value & opt format_conv (Encoding.csr ())
        & info [ "f"; "format" ] ~docv:"FORMAT"
-           ~doc:"Sparse format: coo, csr, csc or dcsr.")
+           ~doc:"Sparse format: coo, csr, csc, dcsr, or bsr[<bh>x<bw>] \
+                 (blocked rows/cols, 4x4 default).")
 
 let kernel_arg =
-  Arg.(value & opt (enum [ ("spmv", `Spmv); ("spmm", `Spmm) ]) `Spmv
-       & info [ "k"; "kernel" ] ~docv:"KERNEL" ~doc:"Kernel: spmv or spmm.")
+  Arg.(value
+       & opt (enum [ ("spmv", `Spmv); ("spmm", `Spmm); ("sddmm", `Sddmm) ])
+           `Spmv
+       & info [ "k"; "kernel" ] ~docv:"KERNEL"
+           ~doc:"Kernel: spmv, spmm or sddmm.")
 
 let distance_arg =
   Arg.(value & opt int 45
@@ -174,6 +183,7 @@ let compile_cmd =
     let kernel = match kernel with
       | `Spmv -> Kernel.spmv ~enc ()
       | `Spmm -> Kernel.spmm ~enc ()
+      | `Sddmm -> Kernel.sddmm ~enc ()
     in
     let c =
       Pipeline.compile ?pipeline kernel
@@ -215,7 +225,7 @@ let run_cmd =
       trace counters pipeline =
     let hw = match (hw, kernel) with
       | `D, _ -> Machine.hw_default
-      | `O, `Spmv -> Machine.hw_optimized
+      | `O, (`Spmv | `Sddmm) -> Machine.hw_optimized
       | `O, `Spmm -> Machine.hw_optimized_spmm
     in
     let machine = Machine.gracemont_scaled ~hw ~cores:(max 1 threads) () in
@@ -233,12 +243,14 @@ let run_cmd =
     let spec = match kernel with
       | `Spmv -> Driver.Spmv enc
       | `Spmm -> Driver.Spmm enc
+      | `Sddmm -> Driver.Sddmm enc
     in
     let r = Driver.run cfg spec coo in
     if checkit then begin
       let err = match kernel with
         | `Spmv -> Driver.check_spmv coo r
         | `Spmm -> Driver.check_spmm coo ~n:8 r
+        | `Sddmm -> Driver.check_sddmm coo ~kk:8 r
       in
       Printf.printf "check: max |err| = %g\n" err;
       if err > 1e-6 then exit 1
@@ -398,8 +410,9 @@ let serve_cmd =
   let requests_arg =
     Arg.(required & opt (some string) None
          & info [ "requests" ] ~docv:"FILE"
-             ~doc:"JSONL request file (one request object per line; blank \
-                   and # lines skipped).")
+             ~doc:"JSONL item stream: request objects plus optional \
+                   {\"kind\": \"update\"} streaming-delta lines (one per \
+                   line; blank and # lines skipped).")
   in
   let out_arg =
     Arg.(value & opt (some string) None
@@ -567,9 +580,10 @@ let serve_cmd =
   let run requests out jobs shards servers queue cache no_cache no_batch
       no_steal quota quotas deadline_policy summary trace counters mode
       pipelines =
-    match Request.load requests with
+    match Request.load_items requests with
     | Error e -> prerr_endline ("asapc serve: " ^ e); exit 1
-    | Ok reqs ->
+    | Ok items ->
+      let reqs, updates = Request.split_items items in
       let config =
         Config.(
           default |> with_shards shards |> with_servers servers
@@ -589,7 +603,7 @@ let serve_cmd =
         | Some m -> Config.with_tune_mode m config
       in
       let chrome = Option.map (fun _ -> Asap_obs.Chrome.create ()) trace in
-      let rp = Scheduler.run ?trace:chrome config reqs in
+      let rp = Scheduler.run ?trace:chrome ~updates config reqs in
       (match out with
        | None -> ()
        | Some path ->
@@ -672,7 +686,21 @@ let genreqs_cmd =
                    default tenant (and the RNG stream is unchanged, so old \
                    seeds reproduce old traces byte-for-byte).")
   in
-  let run out n seed alpha gap deadline engine mode tenants =
+  let updates_arg =
+    Arg.(value & opt int 0
+         & info [ "updates" ] ~docv:"N"
+             ~doc:"Also draw $(docv) streaming matrix updates (batched \
+                   deltas, mean gap --update-gap) and interleave them \
+                   with the requests by virtual time.")
+  in
+  let update_gap_arg =
+    Arg.(value & opt float 1.0
+         & info [ "update-gap" ] ~docv:"MS"
+             ~doc:"Mean exponential gap between streaming updates, \
+                   virtual ms.")
+  in
+  let run out n seed alpha gap deadline engine mode tenants updates
+      update_gap =
     let profiles =
       List.map
         (fun p -> { p with Mix.p_engine = engine; p_tune_mode = mode })
@@ -682,16 +710,34 @@ let genreqs_cmd =
       Mix.hot_cold ~alpha ~mean_gap_ms:gap ?deadline_ms:deadline
         ?tenants ~seed ~n profiles
     in
+    let ups =
+      if updates = 0 then []
+      else Mix.update_stream ~mean_gap_ms:update_gap ~seed ~n:updates profiles
+    in
+    (* Interleave by virtual time so the file reads as the stream the
+       replay sees; the scheduler orders each class itself either way. *)
+    let lines =
+      List.merge
+        (fun (ta, _) (tb, _) -> compare ta tb)
+        (List.map (fun r -> (r.Request.arrival_ms, Request.to_line r)) reqs)
+        (List.map
+           (fun u ->
+             (u.Request.Update.u_at_ms, Request.Update.to_line u))
+           ups)
+    in
     let oc = open_out out in
-    List.iter (fun r -> output_string oc (Request.to_line r ^ "\n")) reqs;
+    List.iter (fun (_, l) -> output_string oc (l ^ "\n")) lines;
     close_out oc;
-    Printf.printf "wrote %d requests to %s\n" n out
+    if updates = 0 then Printf.printf "wrote %d requests to %s\n" n out
+    else
+      Printf.printf "wrote %d requests and %d updates to %s\n" n updates out
   in
   Cmd.v
     (Cmd.info "genreqs"
        ~doc:"Write a synthetic hot/cold request mix as JSONL")
     Term.(const run $ out_arg $ n_arg $ seed_arg $ alpha_arg $ gap_arg
-          $ deadline_arg $ engine_arg $ mode_arg $ tenants_arg)
+          $ deadline_arg $ engine_arg $ mode_arg $ tenants_arg $ updates_arg
+          $ update_gap_arg)
 
 let () =
   let info =

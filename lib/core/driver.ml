@@ -56,6 +56,7 @@ end
 type kernel_spec =
   | Spmv of Encoding.t
   | Spmm of Encoding.t
+  | Sddmm of Encoding.t
   | Ttv of Encoding.t option
 
 (* Deterministic dense operand contents (values are irrelevant to timing
@@ -159,6 +160,37 @@ let assemble_spmm (cfg : Cfg.t) (enc : Encoding.t) (coo : Coo.t) : assembled =
     a_scalars = scalars; a_threads = cfg.Cfg.threads; a_outer_extent = rows;
     a_out_f = out_f; a_out_b = out_b }
 
+(* SDDMM samples a dense product: O(i,j) = S(i,j) * sum_k A(i,k)*B(k,j).
+   [cfg.n] is the contraction depth kk (default 8, as for SpMM's dense
+   columns). Only the numeric body is assembled — the binary flag is
+   ignored, as for TTV. *)
+let assemble_sddmm (cfg : Cfg.t) (enc : Encoding.t) (coo : Coo.t) :
+    assembled =
+  let rows = coo.Coo.dims.(0) and cols = coo.Coo.dims.(1) in
+  let kk = match cfg.Cfg.n with Some n -> n | None -> 8 in
+  let kernel = Kernel.sddmm ~enc () in
+  let compiled =
+    Pipeline.compile ?pipeline:cfg.Cfg.pipeline kernel cfg.Cfg.variant
+  in
+  let st =
+    match cfg.Cfg.st with Some st -> st | None -> Storage.pack enc coo
+  in
+  let out = Array.make (rows * cols) 0. in
+  let dense =
+    [ ("A", Runtime.RF (dense_f (rows * kk)));
+      ("C", Runtime.RF (dense_f (kk * cols)));
+      ("O", Runtime.RF out) ]
+  in
+  let bufs =
+    Bindings.storage_bufs compiled.Pipeline.cc st ~binary:false ~dense
+  in
+  let scalars =
+    Bindings.scalar_args compiled.Pipeline.cc ~extents:[| rows; cols; kk |]
+  in
+  { a_nnz = Coo.nnz coo; a_compiled = compiled; a_bufs = bufs;
+    a_scalars = scalars; a_threads = cfg.Cfg.threads; a_outer_extent = rows;
+    a_out_f = Some out; a_out_b = None }
+
 let run_assembled (cfg : Cfg.t) (a : assembled) : result =
   let report =
     run_compiled ~engine:cfg.Cfg.engine ~obs:cfg.Cfg.obs a.a_compiled
@@ -172,6 +204,14 @@ let run_spmv (cfg : Cfg.t) (enc : Encoding.t) (coo : Coo.t) : result =
 
 let run_spmm (cfg : Cfg.t) (enc : Encoding.t) (coo : Coo.t) : result =
   run_assembled cfg (assemble_spmm cfg enc coo)
+
+(** [sddmm ?engine ?kk machine variant enc coo] runs the sampled
+    dense-dense matrix product O(i,j) = S(i,j) * sum_k A(i,k)*B(k,j) over
+    the sparse sample [coo]; [kk] is the contraction depth (default 8). *)
+let sddmm ?engine ?kk ?st (machine : Machine.t)
+    (variant : Pipeline.variant) (enc : Encoding.t) (coo : Coo.t) : result =
+  let cfg = Cfg.make ?engine ?n:kk ?st ~machine ~variant () in
+  run_assembled cfg (assemble_sddmm cfg enc coo)
 
 (** [spmv ?engine ?threads ?binary ?st machine variant enc coo] packs
     [coo] under [enc], compiles SpMV with [variant], and runs it. [st], if
@@ -287,6 +327,7 @@ let assemble (cfg : Cfg.t) (spec : kernel_spec) (coo : Coo.t) : assembled =
   match spec with
   | Spmv enc -> assemble_spmv cfg enc coo
   | Spmm enc -> assemble_spmm cfg enc coo
+  | Sddmm enc -> assemble_sddmm cfg enc coo
   | Ttv enc -> assemble_ttv cfg enc coo
 
 let run (cfg : Cfg.t) (spec : kernel_spec) (coo : Coo.t) : result =
@@ -384,6 +425,24 @@ let check_spmv (coo : Coo.t) (r : result) : float =
       expect;
     if !ok then 0. else 1.
   | None, None -> assert false
+
+(** [check_sddmm coo ~kk r] is the max absolute error of an SDDMM run
+    against the reference (contraction depth [kk]). *)
+let check_sddmm (coo : Coo.t) ~kk (r : result) : float =
+  match r.out_f with
+  | None -> invalid_arg "check_sddmm: binary SDDMM unsupported"
+  | Some o ->
+    let rows = coo.Coo.dims.(0) and cols = coo.Coo.dims.(1) in
+    let expect =
+      Reference.sddmm coo (dense_f (rows * kk)) (dense_f (kk * cols)) ~kk
+    in
+    let m = ref 0. in
+    Array.iteri
+      (fun i x ->
+        let d = Float.abs (x -. expect.(i)) in
+        if d > !m then m := d)
+      o;
+    !m
 
 (** [check_spmm coo ~n r] likewise for SpMM. *)
 let check_spmm (coo : Coo.t) ~n (r : result) : float =

@@ -60,6 +60,7 @@ end
 type kernel_spec =
   | Spmv of Encoding.t
   | Spmm of Encoding.t
+  | Sddmm of Encoding.t
   | Ttv of Encoding.t option
 
 (** [run cfg spec coo] is the unified entry point: execute the kernel
@@ -110,6 +111,15 @@ val spmm :
   ?st:Asap_tensor.Storage.t -> Machine.t ->
   Pipeline.variant -> Encoding.t -> Coo.t -> result
 
+(** [sddmm ?engine ?kk machine variant enc coo] runs the sampled
+    dense-dense matrix product O(i,j) = S(i,j) * sum_k A(i,k)*B(k,j) over
+    the sparse sample [coo]; [kk] is the contraction depth (default 8).
+    The dense contraction loop lowers innermost, inside the sparse (i,j)
+    co-iteration. *)
+val sddmm :
+  ?engine:Exec.engine -> ?kk:int -> ?st:Asap_tensor.Storage.t -> Machine.t ->
+  Pipeline.variant -> Encoding.t -> Coo.t -> result
+
 module Merge = Asap_sparsifier.Merge
 
 (** [vector_ewise machine op b c] merges two sparse vectors element-wise
@@ -139,3 +149,7 @@ val check_spmv : Coo.t -> result -> float
 
 (** [check_spmm coo ~n r] likewise for SpMM. *)
 val check_spmm : Coo.t -> n:int -> result -> float
+
+(** [check_sddmm coo ~kk r] is the max absolute error of an SDDMM run
+    (contraction depth [kk]). *)
+val check_sddmm : Coo.t -> kk:int -> result -> float

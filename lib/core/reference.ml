@@ -32,6 +32,33 @@ let spmm (coo : Coo.t) (cm : float array) ~n : float array =
     coo.Coo.coords;
   a
 
+(** [sddmm coo am bm ~kk] computes the sampled dense-dense product
+    O(i,j) = S(i,j) * sum_k A(i,k) * B(k,j) with row-major A (rows x kk)
+    and B (kk x cols); the result is the dense row-major rows x cols
+    array, zero wherever S has no stored entry. *)
+let sddmm (coo : Coo.t) (am : float array) (bm : float array) ~kk :
+    float array =
+  if Coo.rank coo <> 2 then invalid_arg "Reference.sddmm: not a matrix";
+  let rows = coo.Coo.dims.(0) and cols = coo.Coo.dims.(1) in
+  if Array.length am <> rows * kk then
+    invalid_arg "Reference.sddmm: A shape mismatch";
+  if Array.length bm <> kk * cols then
+    invalid_arg "Reference.sddmm: B shape mismatch";
+  let o = Array.make (rows * cols) 0. in
+  Array.iteri
+    (fun idx cd ->
+      let i = cd.(0) and j = cd.(1) in
+      let s = coo.Coo.vals.(idx) in
+      (* Accumulate in k order with the sample factored into each term,
+         matching the lowered loop (out += S*A*B per k) bit for bit. *)
+      let acc = ref o.((i * cols) + j) in
+      for k = 0 to kk - 1 do
+        acc := !acc +. (s *. am.((i * kk) + k) *. bm.((k * cols) + j))
+      done;
+      o.((i * cols) + j) <- !acc)
+    coo.Coo.coords;
+  o
+
 (** [ttv coo c] computes the rank-3 contraction a(i,j) = B(i,j,k) c(k),
     row-major over (i, j). *)
 let ttv (coo : Coo.t) (c : float array) : float array =

@@ -12,6 +12,11 @@ val spmv : Coo.t -> float array -> float array
 (** [spmm coo cm ~n] computes A = B C with row-major C of [n] columns. *)
 val spmm : Coo.t -> float array -> n:int -> float array
 
+(** [sddmm coo am bm ~kk] computes the sampled dense-dense product
+    O(i,j) = S(i,j) * sum_k A(i,k) * B(k,j) with row-major A (rows x kk)
+    and B (kk x cols), dense row-major output. *)
+val sddmm : Coo.t -> float array -> float array -> kk:int -> float array
+
 (** [ttv coo c] computes the rank-3 contraction a(i,j) = B(i,j,k) c(k),
     row-major over (i, j). *)
 val ttv : Coo.t -> float array -> float array

@@ -69,6 +69,17 @@ let emit_at_entry b s =
   | [] -> invalid_arg "Builder.emit_at_entry: no open block"
   | entry :: _ -> entry := s :: !entry
 
+(* Make the entry block the innermost open block for the extent of [f]:
+   everything [f] emits goes through the normal [emit] path and lands in
+   the entry, ahead of the still-open regions that will close after it. *)
+let at_entry b f =
+  match List.rev b.blocks with
+  | [] -> invalid_arg "Builder.at_entry: no open block"
+  | entry :: _ ->
+    let saved = b.blocks in
+    b.blocks <- [ entry ];
+    Fun.protect ~finally:(fun () -> b.blocks <- saved) (fun () -> f b)
+
 let const b c =
   (* Constants are cached per function and materialised once in the entry
      block, as MLIR canonicalisation + LICM would ensure. *)

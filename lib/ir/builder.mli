@@ -57,6 +57,13 @@ val dim : t -> buffer -> value
 
 val cast : t -> scalar -> value -> value
 
+(** [at_entry b f] runs [f] with the function's entry block as the
+    emission point: values it creates are materialised before every
+    region still being built and so dominate all their uses — the same
+    LICM convention as cached constants. [f] may only reference function
+    parameters, constants and other entry-block values. *)
+val at_entry : t -> (t -> 'a) -> 'a
+
 (** {1 Statements} *)
 
 val store : t -> buffer -> value -> value -> unit

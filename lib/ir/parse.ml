@@ -59,11 +59,16 @@ let ident c =
   if c.pos = start then cur_err c "expected an identifier";
   String.sub c.text start (c.pos - start)
 
-(* %name — an SSA value or buffer reference. *)
+(* %name — an SSA value or buffer reference. MLIR value ids also admit
+   '.', '-' and '+', which the builder's float-constant names use
+   (%cf0.5, %cf1e+06); every printed context ends a value with a
+   character outside this set, so the wider charset is unambiguous. *)
+let is_value_char ch = is_ident_char ch || ch = '.' || ch = '-' || ch = '+'
+
 let pct_name c =
   eat c "%";
   let start = c.pos in
-  while (not (at_end c)) && is_ident_char c.text.[c.pos] do
+  while (not (at_end c)) && is_value_char c.text.[c.pos] do
     c.pos <- c.pos + 1
   done;
   if c.pos = start then cur_err c "expected a name after '%%'";

@@ -82,6 +82,25 @@ let spmm ?(enc = Encoding.csr ()) ?(body = Mul_add) () =
       k_body = body;
       k_sorted = true }
 
+(** [sddmm ?enc ()] is the sampled dense-dense matrix product
+    O(i,j) = S(i,j) * sum_k A(i,k) * B(k,j): the sparse operand S both
+    samples and scales the dense product. The dense contraction
+    dimension k is absent from S, so the sparsifier places it as the
+    innermost loop *inside* the sparse (i,j) co-iteration — the inverse
+    nesting of SpMM, where the dense dimension is outermost-parallel. *)
+let sddmm ?(enc = Encoding.csr ()) ?(body = Mul_add) () =
+  validate
+    { k_name = "sddmm";
+      k_iterators = [| Parallel; Parallel; Reduction |];
+      k_sparse = { o_name = "S"; o_map = Affine.make ~n_dims:3 [| 0; 1 |] };
+      k_encoding = enc;
+      k_dense_ins =
+        [ { o_name = "A"; o_map = Affine.make ~n_dims:3 [| 0; 2 |] };
+          { o_name = "C"; o_map = Affine.make ~n_dims:3 [| 2; 1 |] } ];
+      k_out = { o_name = "O"; o_map = Affine.make ~n_dims:3 [| 0; 1 |] };
+      k_body = body;
+      k_sorted = true }
+
 (** [ttv ?enc ()] is the rank-3 tensor-times-vector contraction
     a(i,j) = B(i,j,k) * c(k). With the CSF encoding every level is
     compressed, so the §3.2.2 bound recursion runs through the full

@@ -41,6 +41,13 @@ val spmv : ?enc:Encoding.t -> ?body:body -> unit -> t
 (** [spmm ?enc ?body ()] is A(i,k) = B(i,j) * C(j,k). *)
 val spmm : ?enc:Encoding.t -> ?body:body -> unit -> t
 
+(** [sddmm ?enc ?body ()] is the sampled dense-dense matrix product
+    O(i,j) = S(i,j) * sum_k A(i,k) * B(k,j). The dense contraction
+    dimension [k] is absent from the sparse operand, so it lowers as the
+    innermost loop inside the sparse (i,j) co-iteration — the inverse
+    nesting of SpMM. *)
+val sddmm : ?enc:Encoding.t -> ?body:body -> unit -> t
+
 (** [ttv ?enc ()] is the rank-3 tensor-times-vector contraction
     a(i,j) = B(i,j,k) * c(k); the default CSF encoding compresses every
     level, exercising the full §3.2.2 bound recursion. *)

@@ -42,6 +42,8 @@ type t = {
   f_l2_ratio : float;          (* touched gather footprint / L2 capacity *)
   f_l3_ratio : float;          (* touched gather footprint / L3 capacity *)
   f_est_mpki : float;          (* analytic L2-MPKI estimate for the gather *)
+  f_block_elems : int;         (* values per stored leaf: bh*bw blocked, 1 *)
+  f_block_fill : float;        (* nnz / stored values; 1.0 unblocked *)
   f_extract_cycles : int;      (* virtual cost charged for extraction *)
 }
 
@@ -164,7 +166,41 @@ let extract ?(profile_fraction = Tuning.default_profile_fraction)
   let index_bytes =
     match enc.Encoding.width with Encoding.W32 -> 4 | Encoding.W64 -> 8
   in
-  let stream_bytes = (nnz * (index_bytes + 8)) + ((rows + 1) * index_bytes) in
+  (* Blocked layouts stream whole blocks: the value stream carries the
+     explicit zeros of partially filled blocks, and pos/crd index the
+     block coordinate space. The fill ratio (nnz / stored values) is the
+     price of the layout and a direct input to the streaming estimate. *)
+  let block_elems = Encoding.block_elems enc in
+  let n_blocks =
+    match enc.Encoding.block with
+    | None -> 0
+    | Some (bh, bw) ->
+      let seen = Hashtbl.create (max 16 nnz) in
+      for k = 0 to nnz - 1 do
+        let c = coo.Coo.coords.(k) in
+        let key = ((c.(0) / bh) * ((cols / bw) + 1)) + (c.(1) / bw) in
+        if not (Hashtbl.mem seen key) then Hashtbl.add seen key ()
+      done;
+      Hashtbl.length seen
+  in
+  let stream_bytes =
+    match enc.Encoding.block with
+    | None -> (nnz * (index_bytes + 8)) + ((rows + 1) * index_bytes)
+    | Some (bh, _) ->
+      let nbr = (rows + bh - 1) / bh in
+      (n_blocks * block_elems * 8)
+      + (n_blocks * index_bytes)
+      + ((nbr + 1) * index_bytes)
+  in
+  let stored_vals =
+    match enc.Encoding.block with
+    | None -> nnz
+    | Some _ -> n_blocks * block_elems
+  in
+  let block_fill =
+    if stored_vals = 0 then 1.
+    else float_of_int nnz /. float_of_int stored_vals
+  in
   let l1 = machine.Machine.l1_kb * 1024
   and l2 = machine.Machine.l2_kb * 1024
   and l3 = machine.Machine.l3_kb * 1024 in
@@ -183,10 +219,13 @@ let extract ?(profile_fraction = Tuning.default_profile_fraction)
     f_est_mpki =
       est_mpki ~slice_nnz:!slice_nnz ~slice_rows:prof_rows
         ~slice_lines:!slice_lines ~l2_bytes:l2;
+    f_block_elems = block_elems;
+    f_block_fill = block_fill;
     (* Extraction is two O(nnz) passes of simple integer work: charge
        ~2 simulated cycles per element plus one per row — microseconds
-       of virtual time, where the sweep charges six sliced simulations. *)
-    f_extract_cycles = (2 * nnz) + rows }
+       of virtual time, where the sweep charges six sliced simulations.
+       Blocked layouts add the block-census hash pass. *)
+    f_extract_cycles = (2 * nnz) + rows + (if n_blocks > 0 then nnz else 0) }
 
 (** [to_assoc f] exports the scalar features (histogram elided) for
     logs, JSON records and the fit tool. *)
@@ -207,7 +246,9 @@ let to_assoc (f : t) : (string * float) list =
     ("l1_ratio", f.f_l1_ratio);
     ("l2_ratio", f.f_l2_ratio);
     ("l3_ratio", f.f_l3_ratio);
-    ("est_mpki", f.f_est_mpki) ]
+    ("est_mpki", f.f_est_mpki);
+    ("block_elems", float_of_int f.f_block_elems);
+    ("block_fill", f.f_block_fill) ]
 
 let pp ppf (f : t) =
   List.iter

@@ -32,6 +32,10 @@ type t = {
   f_l2_ratio : float;          (** touched gather footprint / L2 *)
   f_l3_ratio : float;          (** touched gather footprint / L3 *)
   f_est_mpki : float;          (** analytic slice L2-MPKI of the gather *)
+  f_block_elems : int;         (** values per stored leaf: bh*bw for blocked
+                                   encodings, 1 otherwise *)
+  f_block_fill : float;        (** nnz / stored values — the explicit-zero
+                                   price of a blocked layout; 1.0 unblocked *)
   f_extract_cycles : int;      (** virtual cycles charged for extraction *)
 }
 

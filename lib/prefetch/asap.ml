@@ -49,10 +49,33 @@ let hook (cfg : config) : Access.hook =
     | Outer_only -> not site.Access.s_innermost
   in
   if allowed && site.Access.s_targets <> [] then begin
-    let dist = Builder.index b cfg.distance in
+    (* The configured distance counts tensor elements; an iterator step
+       that covers several elements needs a proportionally shorter
+       lookahead (at least one — §3.2.2 extended to element strides).
+       Two step sizes compose here: a blocked level consumes bh*bw
+       elements per iteration (static), and dense-only loops below the
+       sparse levels (SDDMM's and SpMM's k) replay the body once per
+       element of their extent (a runtime dimension, so the division is
+       emitted into the entry block rather than folded). *)
+    let dist_iters = max 1 (cfg.distance / site.Access.s_step_elems) in
+    let dist, twice =
+      match site.Access.s_inner_extent with
+      | None ->
+        (Builder.index b dist_iters,
+         lazy (Builder.index b (2 * dist_iters)))
+      | Some ext ->
+        let dist =
+          Builder.at_entry b (fun b ->
+            let c1 = Builder.index b 1 in
+            Builder.imax b c1
+              (Builder.ibin b Ir.Idiv
+                 (Builder.index b dist_iters)
+                 (Builder.imax b c1 ext)))
+        in
+        (dist, lazy (Builder.at_entry b (fun b -> Builder.iadd b dist dist)))
+    in
     if cfg.step1 then begin
-      let twice = Builder.index b (2 * cfg.distance) in
-      let idx1 = Builder.iadd b site.Access.s_iv twice in
+      let idx1 = Builder.iadd b site.Access.s_iv (Lazy.force twice) in
       Builder.prefetch b ~locality:cfg.locality site.Access.s_crd idx1
     end;
     let bound =

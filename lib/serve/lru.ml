@@ -69,6 +69,25 @@ let add t k v =
     end
   end
 
+(** [remove t k] drops [k]'s entry, returning it. Removal is not an
+    eviction (the entry was invalidated, not displaced), so no counter
+    moves — callers account invalidations themselves. *)
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some (v, _) ->
+    Hashtbl.remove t.tbl k;
+    Some v
+
+(** [remove_if t pred] drops every entry whose key satisfies [pred];
+    returns how many were dropped. *)
+let remove_if t pred =
+  let victims =
+    Hashtbl.fold (fun k _ acc -> if pred k then k :: acc else acc) t.tbl []
+  in
+  List.iter (Hashtbl.remove t.tbl) victims;
+  List.length victims
+
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions

@@ -18,6 +18,14 @@ val find : ('k, 'v) t -> 'k -> 'v option
     the insert pushed one out. No-op at capacity 0. *)
 val add : ('k, 'v) t -> 'k -> 'v -> 'k option
 
+(** [remove t k] drops [k]'s entry, returning it. Not an eviction: no
+    counter moves — callers account invalidations themselves. *)
+val remove : ('k, 'v) t -> 'k -> 'v option
+
+(** [remove_if t pred] drops every entry whose key satisfies [pred];
+    returns the count dropped. *)
+val remove_if : ('k, 'v) t -> ('k -> bool) -> int
+
 val hits : ('k, 'v) t -> int
 val misses : ('k, 'v) t -> int
 val evictions : ('k, 'v) t -> int

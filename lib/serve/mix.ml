@@ -9,6 +9,8 @@
 
 module Exec = Asap_sim.Exec
 module Rng = Asap_workloads.Rng
+module Generate = Asap_workloads.Generate
+module Coo = Asap_tensor.Coo
 module Tuning = Asap_core.Tuning
 
 type profile = {
@@ -42,6 +44,10 @@ let default_profiles () : profile list =
     profile "banded:2500,8";
     profile ~kernel:`Ttv ~format:"csf" "tensor3:40,40,40,8000";
     profile ~variant:`Aj "stencil2d:50";
+    (* Scenario-diversity tail: the sampled dense-dense product and a
+       blocked format, cold enough not to displace the classic head. *)
+    profile ~kernel:`Sddmm "powerlaw:3000,6";
+    profile ~format:"bsr4x4" "fem:180,4,3";
   ]
 
 (* Cumulative Zipf weights over profile positions: [cum.(i)] is the sum
@@ -129,3 +135,46 @@ let hot_cold ?(alpha = 1.2) ?(mean_gap_ms = 0.05) ?deadline_ms
         variant = p.p_variant; engine = p.p_engine; machine = p.p_machine;
         tune_mode = p.p_tune_mode; pipeline = None; tenant; arrival_ms = !t;
         deadline = Option.map (fun ms -> Request.Ms ms) deadline_ms })
+
+(* Streaming deltas against the rank-2 matrices of a profile list. The
+   generator resolves each distinct spec once (deterministically) just
+   to learn its shape, then draws uniform in-bounds coordinates — so an
+   (seed, n, profiles) triple always yields the same update stream, on
+   a separate RNG stream from {!hot_cold} (seeds are xored with a tag)
+   so adding updates never perturbs the request draw. *)
+let update_stream ?(mean_gap_ms = 1.0) ?(deltas_per_update = 4) ~seed ~n
+    (profiles : profile list) : Request.Update.t list =
+  if n < 0 then invalid_arg "Mix.update_stream: n < 0";
+  if deltas_per_update < 1 then
+    invalid_arg "Mix.update_stream: deltas_per_update < 1";
+  let specs =
+    List.filter_map
+      (fun p -> if p.p_kernel = `Ttv then None else Some p.p_matrix)
+      profiles
+    |> List.fold_left (fun acc s -> if List.mem s acc then acc else s :: acc) []
+    |> List.rev
+  in
+  if specs = [] then invalid_arg "Mix.update_stream: no rank-2 profiles";
+  let shapes =
+    List.map
+      (fun spec ->
+        match Generate.of_spec spec with
+        | Ok coo -> (spec, coo.Coo.dims.(0), coo.Coo.dims.(1))
+        | Error e -> invalid_arg ("Mix.update_stream: " ^ e))
+      specs
+    |> Array.of_list
+  in
+  let rng = Rng.create (seed lxor 0x5eed_a11d) in
+  let t = ref 0. in
+  List.init n (fun k ->
+      let spec, rows, cols = shapes.(Rng.int rng (Array.length shapes)) in
+      let gap = -.mean_gap_ms *. log (1. -. Rng.float rng) in
+      t := !t +. gap;
+      let deltas =
+        Array.init deltas_per_update (fun _ ->
+            let i = Rng.int rng rows in
+            let j = Rng.int rng cols in
+            ((i, j, (2. *. Rng.float rng) -. 1.)))
+      in
+      { Request.Update.u_id = Printf.sprintf "u%05d" k; u_matrix = spec;
+        u_at_ms = !t; u_deltas = deltas })

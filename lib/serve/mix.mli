@@ -39,3 +39,15 @@ val hot_cold :
   ?alpha:float -> ?mean_gap_ms:float -> ?deadline_ms:float ->
   ?tenants:(string * float) list -> seed:int -> n:int -> profile list ->
   Request.t list
+
+(** [update_stream ~seed ~n profiles] draws [n] streaming updates
+    against the rank-2 matrices of [profiles] (uniform spec choice,
+    exponential gaps of mean [mean_gap_ms], default 1 virtual ms;
+    [deltas_per_update] uniform in-bounds deltas each, default 4), ids
+    ["u%05d"]. Uses an RNG stream independent of {!hot_cold}'s, so
+    pairing a request mix with an update stream never perturbs the
+    requests. @raise Invalid_argument when no profile is rank-2 or on
+    a bad spec. *)
+val update_stream :
+  ?mean_gap_ms:float -> ?deltas_per_update:int -> seed:int -> n:int ->
+  profile list -> Request.Update.t list

@@ -19,7 +19,7 @@ module Aj = Asap_prefetch.Ainsworth_jones
 module Jsonu = Asap_obs.Jsonu
 module Tuning = Asap_core.Tuning
 
-type kernel = [ `Spmv | `Spmm | `Ttv ]
+type kernel = [ `Spmv | `Spmm | `Sddmm | `Ttv ]
 
 (** [`Tuned] defers the variant choice to profile-guided {!Tuning.tune}
     at build time; the others name a fixed variant with its default
@@ -51,11 +51,13 @@ let default_tenant = "default"
 let kernel_to_string = function
   | `Spmv -> "spmv"
   | `Spmm -> "spmm"
+  | `Sddmm -> "sddmm"
   | `Ttv -> "ttv"
 
 let kernel_of_string = function
   | "spmv" -> Some `Spmv
   | "spmm" -> Some `Spmm
+  | "sddmm" -> Some `Sddmm
   | "ttv" -> Some `Ttv
   | _ -> None
 
@@ -72,12 +74,22 @@ let variant_of_string = function
   | "tuned" -> Some `Tuned
   | _ -> None
 
+(* "bsr" is the 4x4 default; "bsr<bh>x<bw>" names the block shape
+   explicitly (e.g. "bsr2x8"). *)
+let bsr_of_format (format : string) : Encoding.t option =
+  if String.equal format "bsr" then Some (Encoding.bsr ~bh:4 ~bw:4 ())
+  else
+    match Scanf.sscanf_opt format "bsr%dx%d%!" (fun bh bw -> (bh, bw)) with
+    | Some (bh, bw) when bh >= 1 && bw >= 1 -> Some (Encoding.bsr ~bh ~bw ())
+    | _ -> None
+
 let encoding_of_format (k : kernel) (format : string) : Encoding.t option =
   match (k, format) with
-  | (`Spmv | `Spmm), "coo" -> Some (Encoding.coo ())
-  | (`Spmv | `Spmm), "csr" -> Some (Encoding.csr ())
-  | (`Spmv | `Spmm), "csc" -> Some (Encoding.csc ())
-  | (`Spmv | `Spmm), "dcsr" -> Some (Encoding.dcsr ())
+  | (`Spmv | `Spmm | `Sddmm), "coo" -> Some (Encoding.coo ())
+  | (`Spmv | `Spmm | `Sddmm), "csr" -> Some (Encoding.csr ())
+  | (`Spmv | `Spmm | `Sddmm), "csc" -> Some (Encoding.csc ())
+  | (`Spmv | `Spmm | `Sddmm), "dcsr" -> Some (Encoding.dcsr ())
+  | (`Spmv | `Spmm | `Sddmm), f when String.length f >= 3 -> bsr_of_format f
   | `Ttv, "csf" -> Some (Encoding.csf 3)
   | _ -> None
 
@@ -91,6 +103,7 @@ let spec (r : t) : Driver.kernel_spec =
          r.format (kernel_to_string r.kernel))
   | `Spmv, Some enc -> Driver.Spmv enc
   | `Spmm, Some enc -> Driver.Spmm enc
+  | `Sddmm, Some enc -> Driver.Sddmm enc
   | `Ttv, Some enc -> Driver.Ttv (Some enc)
 
 (** [fixed_variant v] is the pipeline variant for the non-[`Tuned]
@@ -199,6 +212,14 @@ let of_json (j : Jsonu.t) : (t, string) result =
   let str k = Option.bind (Jsonu.member k j) Jsonu.to_str_opt in
   let num k = Option.bind (Jsonu.member k j) Jsonu.to_float_opt in
   let intf k = Option.bind (Jsonu.member k j) Jsonu.to_int_opt in
+  match Jsonu.member "kind" j with
+  | Some (Jsonu.Str kind) when not (String.equal kind "request") ->
+    Error
+      (Printf.sprintf
+         "item of kind %S in a request-only stream (updates need \
+          Request.load_items)"
+         kind)
+  | _ ->
   match (str "id", str "kernel", str "matrix") with
   | None, _, _ -> Error "request missing \"id\""
   | _, None, _ -> Error "request missing \"kernel\""
@@ -263,20 +284,35 @@ let of_json (j : Jsonu.t) : (t, string) result =
             | exception Invalid_argument m ->
               Error (Printf.sprintf "request %s: bad pipeline: %s" id m))
        in
+       let machine_r =
+         (* Validate the preset at ingest: an unknown machine must fail
+            with this line's number, not as an Invalid_argument from
+            machine_of deep inside a build worker. *)
+         let m = Option.value (str "machine") ~default:"optimized" in
+         if List.mem m machine_presets then Ok m
+         else
+           Error
+             (Printf.sprintf
+                "request %s: unknown machine preset %S (expected %s)" id m
+                (String.concat "/" machine_presets))
+       in
        let deadline =
          match (num "deadline_ms", intf "deadline_cycles") with
          | Some b, _ -> Some (Ms b)
          | None, Some c -> Some (Cycles c)
          | None, None -> None
        in
-       (match (format_r, variant_r, engine_r, tune_mode_r, pipeline_r) with
-        | Error e, _, _, _, _ | _, Error e, _, _, _ | _, _, Error e, _, _
-        | _, _, _, Error e, _ | _, _, _, _, Error e -> Error e
-        | Ok format, Ok variant, Ok engine, Ok tune_mode, Ok pipeline ->
+       (match (format_r, variant_r, engine_r, tune_mode_r, pipeline_r,
+               machine_r)
+        with
+        | Error e, _, _, _, _, _ | _, Error e, _, _, _, _
+        | _, _, Error e, _, _, _ | _, _, _, Error e, _, _
+        | _, _, _, _, Error e, _ | _, _, _, _, _, Error e -> Error e
+        | Ok format, Ok variant, Ok engine, Ok tune_mode, Ok pipeline,
+          Ok machine ->
           Ok
             { id; kernel; format; matrix; variant; engine; tune_mode;
-              pipeline;
-              machine = Option.value (str "machine") ~default:"optimized";
+              pipeline; machine;
               tenant = Option.value (str "tenant") ~default:default_tenant;
               arrival_ms = Option.value (num "arrival_ms") ~default:0.;
               deadline }))
@@ -305,3 +341,186 @@ let load (path : string) : (t list, string) result =
              | Error e -> Error (Printf.sprintf "%s:%d: %s" path n e))
       in
       go 1 [] lines)
+
+(* --- Streaming updates ------------------------------------------------ *)
+
+module Update = struct
+  (* A batched delta message against a matrix artefact: at virtual time
+     [u_at_ms] the matrix named by spec [u_matrix] changes — every
+     (i, j, v) delta sets entry (i, j) to v. Requests arriving at or
+     after an update see the updated matrix; requests that arrived
+     before it keep the version their arrival saw (arrival-time
+     consistency), which is what makes the replay a pure function of
+     the item list. *)
+  type t = {
+    u_id : string;
+    u_matrix : string;                 (* Generate.of_spec string *)
+    u_at_ms : float;                   (* virtual fire time *)
+    u_deltas : (int * int * float) array;
+  }
+
+  let to_json (u : t) : Jsonu.t =
+    Jsonu.Obj
+      [ ("kind", Jsonu.Str "update");
+        ("id", Jsonu.Str u.u_id);
+        ("matrix", Jsonu.Str u.u_matrix);
+        ("at_ms", Jsonu.Float u.u_at_ms);
+        ("deltas",
+         Jsonu.List
+           (Array.to_list
+              (Array.map
+                 (fun (i, j, v) ->
+                   Jsonu.List [ Jsonu.Int i; Jsonu.Int j; Jsonu.Float v ])
+                 u.u_deltas))) ]
+
+  let to_line u = Jsonu.to_string (to_json u)
+
+  let of_json (j : Jsonu.t) : (t, string) result =
+    let str k = Option.bind (Jsonu.member k j) Jsonu.to_str_opt in
+    let num k = Option.bind (Jsonu.member k j) Jsonu.to_float_opt in
+    match (str "id", str "matrix") with
+    | None, _ -> Error "update missing \"id\""
+    | _, None -> Error "update missing \"matrix\""
+    | Some u_id, Some u_matrix ->
+      let delta_of = function
+        | Jsonu.List [ i; jj; v ] ->
+          (match (Jsonu.to_int_opt i, Jsonu.to_int_opt jj,
+                  Jsonu.to_float_opt v)
+           with
+           | Some i, Some jj, Some v when i >= 0 && jj >= 0 ->
+             Ok (i, jj, v)
+           | _ -> Error ())
+        | _ -> Error ()
+      in
+      let deltas_r =
+        match Jsonu.member "deltas" j with
+        | None -> Error (Printf.sprintf "update %s: missing \"deltas\"" u_id)
+        | Some d ->
+          (match Jsonu.to_list_opt d with
+           | None ->
+             Error (Printf.sprintf "update %s: \"deltas\" not a list" u_id)
+           | Some ds ->
+             let rec go k acc = function
+               | [] -> Ok (Array.of_list (List.rev acc))
+               | d :: rest ->
+                 (match delta_of d with
+                  | Ok t -> go (k + 1) (t :: acc) rest
+                  | Error () ->
+                    Error
+                      (Printf.sprintf
+                         "update %s: delta %d is not [i, j, v] with \
+                          non-negative coordinates"
+                         u_id (k + 1)))
+             in
+             go 0 [] ds)
+      in
+      (match deltas_r with
+       | Error e -> Error e
+       | Ok u_deltas ->
+         Ok
+           { u_id; u_matrix;
+             u_at_ms = Option.value (num "at_ms") ~default:0.; u_deltas })
+
+  (** [apply u coo] is [coo] with every delta applied (set semantics:
+      existing entries at (i, j) are replaced — duplicates collapse to
+      the new value — and fresh coordinates append in delta order).
+      @raise Invalid_argument on rank <> 2 or out-of-bounds deltas. *)
+  let apply (u : t) (coo : Coo.t) : Coo.t =
+    if Coo.rank coo <> 2 then
+      invalid_arg
+        (Printf.sprintf "Update %s: matrix %s is not rank-2" u.u_id
+           u.u_matrix);
+    let rows = coo.Coo.dims.(0) and cols = coo.Coo.dims.(1) in
+    let value : (int * int, float) Hashtbl.t =
+      Hashtbl.create (max 16 (Array.length u.u_deltas))
+    in
+    Array.iter
+      (fun (i, j, v) ->
+        if i >= rows || j >= cols then
+          invalid_arg
+            (Printf.sprintf "Update %s: delta (%d, %d) outside %dx%d" u.u_id
+               i j rows cols);
+        Hashtbl.replace value (i, j) v)
+      u.u_deltas;
+    let n = Coo.nnz coo in
+    let vals = Array.copy coo.Coo.vals in
+    (* Set an existing coordinate's first occurrence to the new value and
+       zero the rest: duplicate base entries sum under sorted_dedup, so
+       the stored total is exactly the delta's value. *)
+    let hit : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+    for k = 0 to n - 1 do
+      let key = (coo.Coo.coords.(k).(0), coo.Coo.coords.(k).(1)) in
+      match Hashtbl.find_opt value key with
+      | None -> ()
+      | Some v ->
+        vals.(k) <- (if Hashtbl.mem hit key then 0. else v);
+        Hashtbl.replace hit key ()
+    done;
+    (* Fresh coordinates append in first-occurrence delta order. *)
+    let fresh = ref [] in
+    let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+    Array.iter
+      (fun (i, j, _) ->
+        let key = (i, j) in
+        if not (Hashtbl.mem hit key || Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          fresh := key :: !fresh
+        end)
+      u.u_deltas;
+    let fresh = List.rev !fresh in
+    let coords =
+      Array.append
+        (Array.map Array.copy coo.Coo.coords)
+        (Array.of_list (List.map (fun (i, j) -> [| i; j |]) fresh))
+    in
+    let vals =
+      Array.append vals
+        (Array.of_list
+           (List.map (fun key -> Hashtbl.find value key) fresh))
+    in
+    Coo.create ~dims:(Array.copy coo.Coo.dims) ~coords ~vals
+end
+
+(** A line of a mixed request/update stream. *)
+type item = Req of t | Up of Update.t
+
+let item_of_line (line : string) : (item, string) result =
+  match Jsonu.of_string line with
+  | Error e -> Error ("bad item JSON: " ^ e)
+  | Ok j ->
+    (match Jsonu.member "kind" j with
+     | Some (Jsonu.Str "update") -> Result.map (fun u -> Up u) (Update.of_json j)
+     | _ -> Result.map (fun r -> Req r) (of_json j))
+
+(** [load_items path] reads a mixed JSONL stream: request lines plus
+    [{"kind": "update", ...}] lines; blank and [#] lines are skipped;
+    errors carry the 1-based line number. Items keep file order. *)
+let load_items (path : string) : (item list, string) result =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lines = In_channel.input_lines ic in
+      let rec go n acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest ->
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then go (n + 1) acc rest
+          else
+            (match item_of_line line with
+             | Ok it -> go (n + 1) (it :: acc) rest
+             | Error e -> Error (Printf.sprintf "%s:%d: %s" path n e))
+      in
+      go 1 [] lines)
+
+(** [split_items items] separates a mixed stream into its requests and
+    updates, each in stream order. *)
+let split_items (items : item list) : t list * Update.t list =
+  let reqs, ups =
+    List.fold_left
+      (fun (rs, us) -> function
+        | Req r -> (r :: rs, us)
+        | Up u -> (rs, u :: us))
+      ([], []) items
+  in
+  (List.rev reqs, List.rev ups)

@@ -11,7 +11,7 @@ module Pipeline = Asap_core.Pipeline
 module Jsonu = Asap_obs.Jsonu
 module Tuning = Asap_core.Tuning
 
-type kernel = [ `Spmv | `Spmm | `Ttv ]
+type kernel = [ `Spmv | `Spmm | `Sddmm | `Ttv ]
 
 (** [`Tuned] defers the variant choice to profile-guided tuning at build
     time; the others name a fixed variant (default configurations). *)
@@ -24,7 +24,9 @@ type deadline = Ms of float | Cycles of int
 type t = {
   id : string;
   kernel : kernel;
-  format : string;          (** coo/csr/csc/dcsr; csf for ttv *)
+  format : string;
+      (** coo/csr/csc/dcsr/bsr[<bh>x<bw>] for the matrix kernels; csf
+          for ttv *)
   matrix : string;          (** {!Asap_workloads.Generate.of_spec} string *)
   variant : variant;
   engine : Exec.engine;
@@ -47,7 +49,8 @@ val variant_to_string : variant -> string
 val variant_of_string : string -> variant option
 
 (** [encoding_of_format k fmt] is the encoding named by [fmt] if it fits
-    kernel [k]. *)
+    kernel [k]. The matrix kernels additionally accept ["bsr"] (4x4
+    blocks) and ["bsr<bh>x<bw>"]. *)
 val encoding_of_format : kernel -> string -> Encoding.t option
 
 (** [spec r] is the {!Driver.kernel_spec} the request names.
@@ -93,5 +96,45 @@ val of_json : Jsonu.t -> (t, string) result
 val of_line : string -> (t, string) result
 
 (** [load path] reads a JSONL request file; blank and [#] lines are
-    skipped; errors carry the 1-based line number. *)
+    skipped; errors carry the 1-based line number. A [{"kind":
+    "update"}] line is an error here — mixed streams go through
+    {!load_items}. *)
 val load : string -> (t list, string) result
+
+(** Streaming updates: batched delta messages that mutate a matrix
+    artefact mid-replay. Requests arriving at or after an update see
+    the updated matrix; earlier arrivals keep the version they saw
+    (arrival-time consistency), so a replay stays a pure function of
+    the item stream. *)
+module Update : sig
+  type t = {
+    u_id : string;
+    u_matrix : string;  (** {!Asap_workloads.Generate.of_spec} string *)
+    u_at_ms : float;    (** virtual fire time *)
+    u_deltas : (int * int * float) array;
+        (** each (i, j, v) sets entry (i, j) to v *)
+  }
+
+  val to_json : t -> Jsonu.t
+  val to_line : t -> string
+  val of_json : Jsonu.t -> (t, string) result
+
+  (** [apply u coo] applies every delta (set semantics: existing
+      entries replaced, fresh coordinates appended in delta order).
+      @raise Invalid_argument on rank <> 2 or out-of-bounds deltas. *)
+  val apply : t -> Asap_tensor.Coo.t -> Asap_tensor.Coo.t
+end
+
+(** One line of a mixed request/update stream. *)
+type item = Req of t | Up of Update.t
+
+val item_of_line : string -> (item, string) result
+
+(** [load_items path] reads a mixed JSONL stream (requests plus
+    [{"kind": "update", ...}] lines) in file order; blank and [#]
+    lines are skipped; errors carry the 1-based line number. *)
+val load_items : string -> (item list, string) result
+
+(** [split_items items] separates requests from updates, each in
+    stream order. *)
+val split_items : item list -> t list * Update.t list

@@ -120,8 +120,8 @@ let build_matrices ~jobs (reqs : Request.t array) :
 
 let us_of_ms ms = int_of_float (Float.round (ms *. 1000.))
 
-let run ?(trace : Chrome.t option) (config : Config.t)
-    (requests : Request.t list) : replayed =
+let run ?(trace : Chrome.t option) ?(updates : Request.Update.t list = [])
+    (config : Config.t) (requests : Request.t list) : replayed =
   Config.validate config;
   (* Config-level overrides rewrite the requests up front (they change
      fingerprints, so they must precede routing and building). *)
@@ -150,6 +150,45 @@ let run ?(trace : Chrome.t option) (config : Config.t)
   in
   let reqs = Array.of_list requests in
   let n = Array.length reqs in
+  (* --- Streaming updates: versions --------------------------------- *)
+  (* Updates sorted by fire time (stable on stream order); a request's
+     version is the number of its matrix's updates at or before its
+     arrival — a pure function of the item stream, so versioning (and
+     with it every fingerprint) is identical at any [jobs]. *)
+  let upd_sorted =
+    List.stable_sort
+      (fun a b -> compare a.Request.Update.u_at_ms b.Request.Update.u_at_ms)
+      updates
+  in
+  let upd_by_matrix : (string, Request.Update.t array) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun u ->
+      let m = u.Request.Update.u_matrix in
+      let prev =
+        Option.value (Hashtbl.find_opt upd_by_matrix m) ~default:[||]
+      in
+      Hashtbl.replace upd_by_matrix m (Array.append prev [| u |]))
+    upd_sorted;
+  let version_at (matrix : string) (t : float) : int =
+    match Hashtbl.find_opt upd_by_matrix matrix with
+    | None -> 0
+    | Some us ->
+      let v = ref 0 in
+      Array.iter
+        (fun u -> if u.Request.Update.u_at_ms <= t then incr v)
+        us;
+      !v
+  in
+  let ver =
+    Array.map
+      (fun r -> version_at r.Request.matrix r.Request.arrival_ms)
+      reqs
+  in
+  (* Version 0 keeps the bare fingerprint, so update-free replays are
+     byte-identical to what they were before updates existed. *)
+  let vkey key v = if v = 0 then key else Printf.sprintf "%s|v%d" key v in
   let caching = config.Config.cache_capacity > 0 in
   let nshards = config.Config.shards in
   let router = Router.create ~vnodes:config.Config.vnodes ~shards:nshards () in
@@ -157,12 +196,41 @@ let run ?(trace : Chrome.t option) (config : Config.t)
 
   (* --- Pass 1: host-side builds ------------------------------------ *)
   let matrices = build_matrices ~jobs reqs in
-  let coo_of r = Hashtbl.find matrices r.Request.matrix in
-  let fp = Array.map Request.fingerprint reqs in
+  (* Versioned matrices: version v of a spec is its base generation with
+     the first v updates applied cumulatively (sequential — deltas are
+     small next to generation, and the fold is inherently ordered). *)
+  let mat_v : (string * int, Coo.t) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter (fun spec coo -> Hashtbl.add mat_v (spec, 0) coo) matrices;
+  Hashtbl.iter
+    (fun spec us ->
+      if Hashtbl.mem matrices spec then begin
+        let coo = ref (Hashtbl.find matrices spec) in
+        Array.iteri
+          (fun k u ->
+            coo := Request.Update.apply u !coo;
+            Hashtbl.replace mat_v (spec, k + 1) !coo)
+          us
+      end)
+    upd_by_matrix;
+  let coo_of r v = Hashtbl.find mat_v (r.Request.matrix, v) in
+  let fp =
+    Array.mapi (fun i r -> vkey (Request.fingerprint r) ver.(i)) reqs
+  in
   let fb_req = Array.map Request.fallback reqs in
-  let fb_fp = Array.map Request.fingerprint fb_req in
+  (* The fallback shares matrix and arrival, hence the version. *)
+  let fb_fp =
+    Array.mapi (fun i r -> vkey (Request.fingerprint r) ver.(i)) fb_req
+  in
   let has_deadline = Array.map (fun r -> r.Request.deadline <> None) reqs in
-  let build_one (req : Request.t) = Build.build req (coo_of req) in
+  let build_one ((req : Request.t), v) = Build.build req (coo_of req v) in
+  (* Fingerprint -> (matrix, version), for update invalidation and the
+     stale-hit invariant check at dispatch. *)
+  let fp_meta : (string, string * int) Hashtbl.t = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun i r ->
+      Hashtbl.replace fp_meta fp.(i) (r.Request.matrix, ver.(i));
+      Hashtbl.replace fp_meta fb_fp.(i) (r.Request.matrix, ver.(i)))
+    reqs;
   (* Work items: with caching, one per distinct fingerprint (plus the
      fallback fingerprint of every deadline-carrying request — built
      eagerly so degradation never blocks); without, one per request.
@@ -173,17 +241,20 @@ let run ?(trace : Chrome.t option) (config : Config.t)
   let entry_for, builds, built =
     if caching then begin
       (* Representative request per fingerprint: the first (by input
-         index) request — or fallback form — that produces it. Only
-         fields inside the fingerprint affect the build, so any
-         representative yields the same entry. *)
-      let rep : (string, Request.t) Hashtbl.t = Hashtbl.create (2 * n) in
-      let note key req =
-        if not (Hashtbl.mem rep key) then Hashtbl.add rep key req
+         index) request — or fallback form — that produces it, paired
+         with its matrix version. Only fields inside the (versioned)
+         fingerprint affect the build, so any representative yields the
+         same entry. *)
+      let rep : (string, Request.t * int) Hashtbl.t =
+        Hashtbl.create (2 * n)
+      in
+      let note key req v =
+        if not (Hashtbl.mem rep key) then Hashtbl.add rep key (req, v)
       in
       Array.iteri
         (fun i r ->
-          note fp.(i) r;
-          if has_deadline.(i) then note fb_fp.(i) fb_req.(i))
+          note fp.(i) r ver.(i);
+          if has_deadline.(i) then note fb_fp.(i) fb_req.(i) ver.(i))
         reqs;
       let keys =
         Hashtbl.fold (fun k _ acc -> k :: acc) rep []
@@ -246,8 +317,8 @@ let run ?(trace : Chrome.t option) (config : Config.t)
       in
       let work =
         Array.append
-          (Array.map (fun r -> r) reqs)
-          (Array.map (fun i -> fb_req.(i)) fb_idx)
+          (Array.mapi (fun i r -> (r, ver.(i))) reqs)
+          (Array.map (fun i -> (fb_req.(i), ver.(i))) fb_idx)
       in
       let entries = Par.map ~jobs build_one work in
       let prim = Array.sub entries 0 n in
@@ -282,6 +353,35 @@ let run ?(trace : Chrome.t option) (config : Config.t)
     Array.init nshards (fun index ->
         Shard.create ~index ~servers:config.Config.servers
           ~cache_capacity:config.Config.cache_capacity)
+  in
+  (* Update events in fire order, each tagged with the version it brings
+     its matrix to. Firing drops every cached entry of an older version
+     of that matrix from every shard's LRU — post-update requests carry
+     new fingerprints and can never hit them anyway, but reclaiming the
+     slots keeps the cache honest and the counter observable. *)
+  let update_events =
+    let count : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    List.map
+      (fun u ->
+        let m = u.Request.Update.u_matrix in
+        let c = 1 + Option.value (Hashtbl.find_opt count m) ~default:0 in
+        Hashtbl.replace count m c;
+        (u, c))
+      upd_sorted
+  in
+  let pending_updates = ref update_events in
+  let fire_update ((u : Request.Update.t), vnew) =
+    Array.iter
+      (fun sh ->
+        let removed =
+          Lru.remove_if sh.Shard.lru (fun key ->
+              match Hashtbl.find_opt fp_meta key with
+              | Some (m, v) ->
+                String.equal m u.Request.Update.u_matrix && v < vnew
+              | None -> false)
+        in
+        sh.Shard.invalidated <- sh.Shard.invalidated + removed)
+      shards
   in
   let tenant_queued : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
   let tenant_quota_shed : (string, int) Hashtbl.t = Hashtbl.create 8 in
@@ -448,6 +548,15 @@ let run ?(trace : Chrome.t option) (config : Config.t)
       end;
       let entry = entry_for h eh in
       let hit = Lru.find sh.Shard.lru key <> None in
+      (* Stale-hit invariant: a hit's entry version must be exactly the
+         version the request's arrival pinned. Versioned fingerprints
+         make a violation structurally impossible; the counter proves
+         it stayed that way. *)
+      (if hit then
+         match Hashtbl.find_opt fp_meta key with
+         | Some (_, v_entry) when v_entry <> ver.(h) ->
+           sh.Shard.stale_hits <- sh.Shard.stale_hits + 1
+         | _ -> ());
       if not hit then ignore (Lru.add sh.Shard.lru key entry);
       let penalty =
         if hit then 0.
@@ -502,19 +611,43 @@ let run ?(trace : Chrome.t option) (config : Config.t)
      the arrivals <= t0, as the classic scheduler's admit_until did),
      otherwise that dispatch. Each iteration strictly shrinks
      [pending] or a queue, so the loop terminates. *)
+  (* An update at time t fires before arrivals at t (that arrival's
+     version already counts it) and before dispatches at t (a dispatch
+     must never see an entry an update at the same instant should have
+     dropped). All three event classes are drained sequentially, so the
+     chronology is jobs-invariant. *)
+  let update_due t =
+    match !pending_updates with
+    | (u, _) :: _ -> u.Request.Update.u_at_ms <= t
+    | [] -> false
+  in
+  let fire_next () =
+    match !pending_updates with
+    | e :: rest ->
+      pending_updates := rest;
+      fire_update e
+    | [] -> ()
+  in
   let continue = ref true in
   while !continue do
     match (best_candidate (), !pending) with
-    | None, [] -> continue := false
+    | None, [] ->
+      if !pending_updates = [] then continue := false else fire_next ()
     | None, i :: rest ->
-      pending := rest;
-      admit_one i
+      if update_due (arrival i) then fire_next ()
+      else begin
+        pending := rest;
+        admit_one i
+      end
     | Some (t0, s, v), p ->
       (match p with
        | i :: rest when arrival i <= t0 ->
-         pending := rest;
-         admit_one i
-       | _ -> dispatch t0 s v)
+         if update_due (arrival i) then fire_next ()
+         else begin
+           pending := rest;
+           admit_one i
+         end
+       | _ -> if update_due t0 then fire_next () else dispatch t0 s v)
   done;
 
   (* --- Summarise ---------------------------------------------------- *)
@@ -556,7 +689,9 @@ let run ?(trace : Chrome.t option) (config : Config.t)
           ~hits:(Lru.hits sh.Shard.lru) ~misses:(Lru.misses sh.Shard.lru)
           ~evictions:(Lru.evictions sh.Shard.lru) ~batches:sh.Shard.batches
           ~batch_max:sh.Shard.batch_max ~queue_peak:sh.Shard.queue_peak
-          ~steals_in:sh.Shard.steals_in ~steals_out:sh.Shard.steals_out)
+          ~steals_in:sh.Shard.steals_in ~steals_out:sh.Shard.steals_out
+          ~invalidated:sh.Shard.invalidated
+          ~stale_hits:sh.Shard.stale_hits ())
   in
   let registry = Registry.create () in
   Array.iter (Slo.shard_register registry) shard_summaries;
@@ -576,6 +711,8 @@ let run ?(trace : Chrome.t option) (config : Config.t)
       ~evictions:(fleet "cache.evict") ~batches:(fleet "batch.count")
       ~batch_max ~queue_peak:!fleet_queue_peak ~inflight_peak:!inflight_peak
       ~builds ~steals:!steals ~makespan_ms:!makespan
+      ~invalidated:(fleet "cache.invalidated")
+      ~stale_hits:(fleet "cache.stale_hit") ()
   in
   Slo.register registry summary;
   (* Per-tenant admission accounting, sorted by tenant name. *)

@@ -75,16 +75,29 @@ type replayed = {
         the build list *)
 }
 
-(** [run ?trace config requests] replays the fleet: engine/tune-mode
-    overrides from [config] are applied to every request first, each
-    distinct fingerprint builds once (host-parallel, per-shard
-    {!Asap_core.Par.lease} slices), then the sequential virtual-time
-    loop routes, admits (quota, then queue limit), batches, steals and
-    serves. [trace], if given, receives per-request spans on
-    per-shard-server tracks and shed instants.
-    @raise Invalid_argument on a bad config, unknown matrix spec or
-    malformed request. *)
-val run : ?trace:Chrome.t -> Config.t -> Request.t list -> replayed
+(** [run ?trace ?updates config requests] replays the fleet:
+    engine/tune-mode overrides from [config] are applied to every
+    request first, each distinct fingerprint builds once
+    (host-parallel, per-shard {!Asap_core.Par.lease} slices), then the
+    sequential virtual-time loop routes, admits (quota, then queue
+    limit), batches, steals and serves. [trace], if given, receives
+    per-request spans on per-shard-server tracks and shed instants.
+
+    [updates] is a stream of {!Request.Update} delta messages: a
+    request arriving at or after an update to its matrix is served
+    from the updated matrix under a version-suffixed fingerprint
+    (earlier arrivals keep the version they saw), and when an update
+    fires, every cached entry of an older version of that matrix is
+    dropped from every shard's LRU — counted as
+    [serve.(shard.<i>.)cache.invalidated], with
+    [...cache.stale_hit] proving no hit ever served a wrong-version
+    entry. Versioning is a pure function of the item stream, so
+    records stay byte-identical at any [jobs].
+    @raise Invalid_argument on a bad config, unknown matrix spec,
+    malformed request or out-of-bounds update delta. *)
+val run :
+  ?trace:Chrome.t -> ?updates:Request.Update.t list -> Config.t ->
+  Request.t list -> replayed
 
 (** [replay ?trace cfg requests] is {!run} over the one-shard
     [Config.t] equivalent to [cfg] — byte-identical to the historical

@@ -22,12 +22,15 @@ type t = {
   mutable batch_max : int;
   mutable steals_in : int;             (* batches this shard's servers stole *)
   mutable steals_out : int;            (* batches stolen from this queue *)
+  mutable invalidated : int;           (* LRU entries dropped by updates *)
+  mutable stale_hits : int;            (* hits on a wrong-version entry *)
 }
 
 let create ~index ~servers ~cache_capacity =
   { index; lru = Lru.create ~capacity:cache_capacity;
     free = Array.make servers 0.; queue = []; qlen = 0; queue_peak = 0;
-    shed = 0; batches = 0; batch_max = 0; steals_in = 0; steals_out = 0 }
+    shed = 0; batches = 0; batch_max = 0; steals_in = 0; steals_out = 0;
+    invalidated = 0; stale_hits = 0 }
 
 let enqueue t i =
   t.queue <- t.queue @ [ i ];

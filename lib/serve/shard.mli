@@ -15,6 +15,11 @@ type t = {
   mutable batch_max : int;
   mutable steals_in : int;   (** batches this shard's servers stole *)
   mutable steals_out : int;  (** batches stolen from this shard's queue *)
+  mutable invalidated : int;
+      (** LRU entries dropped by streaming-update invalidation *)
+  mutable stale_hits : int;
+      (** cache hits serving an entry of a version other than the
+          request's — 0 is the versioned-fingerprint invariant *)
 }
 
 val create : index:int -> servers:int -> cache_capacity:int -> t

@@ -39,6 +39,8 @@ type summary = {
   s_inflight_peak : int;
   s_builds : int;             (* host-side entry builds performed *)
   s_steals : int;             (* cross-shard batches stolen *)
+  s_invalidated : int;        (* LRU entries dropped by updates *)
+  s_stale_hits : int;         (* wrong-version cache hits (invariant: 0) *)
   s_p50_ms : float;
   s_p95_ms : float;
   s_p99_ms : float option;    (* None below 100 samples *)
@@ -80,15 +82,16 @@ let percentile_opt (xs : float array) ~(p : float) : float option =
   if Array.length xs < min_samples ~p then None
   else Some (percentile xs ~p)
 
-let make ~latencies_ms ~ok ~degraded ~shed ~hits ~misses ~evictions ~batches
-    ~batch_max ~queue_peak ~inflight_peak ~builds ~steals ~makespan_ms :
-    summary =
+let make ?(invalidated = 0) ?(stale_hits = 0) ~latencies_ms ~ok ~degraded
+    ~shed ~hits ~misses ~evictions ~batches ~batch_max ~queue_peak
+    ~inflight_peak ~builds ~steals ~makespan_ms () : summary =
   let served = ok + degraded in
   { s_total = ok + degraded + shed; s_ok = ok; s_degraded = degraded;
     s_shed = shed; s_hits = hits; s_misses = misses;
     s_evictions = evictions; s_batches = batches; s_batch_max = batch_max;
     s_queue_peak = queue_peak; s_inflight_peak = inflight_peak;
-    s_builds = builds; s_steals = steals;
+    s_builds = builds; s_steals = steals; s_invalidated = invalidated;
+    s_stale_hits = stale_hits;
     s_p50_ms = percentile latencies_ms ~p:50.;
     s_p95_ms = percentile latencies_ms ~p:95.;
     s_p99_ms = percentile_opt latencies_ms ~p:99.;
@@ -125,6 +128,8 @@ let register (reg : Registry.t) (s : summary) : unit =
   set "serve.inflight.peak" s.s_inflight_peak;
   set "serve.build.host" s.s_builds;
   set "serve.steal.count" s.s_steals;
+  set "serve.cache.invalidated" s.s_invalidated;
+  set "serve.cache.stale_hit" s.s_stale_hits;
   set "serve.lat.p50_us" (us s.s_p50_ms);
   set "serve.lat.p95_us" (us s.s_p95_ms);
   (match s.s_p99_ms with
@@ -154,6 +159,8 @@ let to_json (s : summary) : Jsonu.t =
       ("cache_hit", Jsonu.Int s.s_hits);
       ("cache_miss", Jsonu.Int s.s_misses);
       ("cache_evict", Jsonu.Int s.s_evictions);
+      ("cache_invalidated", Jsonu.Int s.s_invalidated);
+      ("cache_stale_hit", Jsonu.Int s.s_stale_hits);
       ("hit_rate", Jsonu.Float (hit_rate s));
       ("batches", Jsonu.Int s.s_batches);
       ("batch_max", Jsonu.Int s.s_batch_max);
@@ -200,6 +207,8 @@ type shard_summary = {
   sh_queue_peak : int;
   sh_steals_in : int;         (* batches this shard's servers stole *)
   sh_steals_out : int;        (* batches stolen from this shard's queue *)
+  sh_invalidated : int;       (* LRU entries dropped by updates *)
+  sh_stale_hits : int;        (* wrong-version cache hits (invariant: 0) *)
   sh_p50_ms : float option;   (* None below the rank resolution *)
   sh_p95_ms : float option;
   sh_p99_ms : float option;
@@ -209,14 +218,15 @@ type shard_summary = {
 (** [shard_make ~index ~latencies_ms ...] builds one shard's summary;
     every percentile goes through {!percentile_opt} — per-shard samples
     are routinely tiny, and a 5-request shard has no p99. *)
-let shard_make ~index ~latencies_ms ~ok ~degraded ~shed ~hits ~misses
-    ~evictions ~batches ~batch_max ~queue_peak ~steals_in ~steals_out :
-    shard_summary =
+let shard_make ?(invalidated = 0) ?(stale_hits = 0) ~index ~latencies_ms ~ok
+    ~degraded ~shed ~hits ~misses ~evictions ~batches ~batch_max ~queue_peak
+    ~steals_in ~steals_out () : shard_summary =
   { sh_index = index; sh_ok = ok; sh_degraded = degraded; sh_shed = shed;
     sh_hits = hits; sh_misses = misses; sh_evictions = evictions;
     sh_batches = batches; sh_batch_max = batch_max;
     sh_queue_peak = queue_peak; sh_steals_in = steals_in;
-    sh_steals_out = steals_out;
+    sh_steals_out = steals_out; sh_invalidated = invalidated;
+    sh_stale_hits = stale_hits;
     sh_p50_ms = percentile_opt latencies_ms ~p:50.;
     sh_p95_ms = percentile_opt latencies_ms ~p:95.;
     sh_p99_ms = percentile_opt latencies_ms ~p:99.;
@@ -242,6 +252,8 @@ let shard_register (reg : Registry.t) (sh : shard_summary) : unit =
   set "queue.peak" sh.sh_queue_peak;
   set "steal.in" sh.sh_steals_in;
   set "steal.out" sh.sh_steals_out;
+  set "cache.invalidated" sh.sh_invalidated;
+  set "cache.stale_hit" sh.sh_stale_hits;
   let set_lat leaf = function
     | Some v -> set leaf (us v)
     | None -> ()
@@ -260,6 +272,8 @@ let shard_to_json (sh : shard_summary) : Jsonu.t =
       ("cache_hit", Jsonu.Int sh.sh_hits);
       ("cache_miss", Jsonu.Int sh.sh_misses);
       ("cache_evict", Jsonu.Int sh.sh_evictions);
+      ("cache_invalidated", Jsonu.Int sh.sh_invalidated);
+      ("cache_stale_hit", Jsonu.Int sh.sh_stale_hits);
       ("batches", Jsonu.Int sh.sh_batches);
       ("batch_max", Jsonu.Int sh.sh_batch_max);
       ("queue_peak", Jsonu.Int sh.sh_queue_peak);

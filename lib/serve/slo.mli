@@ -29,6 +29,10 @@ type summary = {
   s_inflight_peak : int;
   s_builds : int;            (** host-side entry builds performed *)
   s_steals : int;            (** cross-shard batches stolen *)
+  s_invalidated : int;       (** LRU entries dropped by streaming updates *)
+  s_stale_hits : int;
+      (** cache hits serving a wrong-version entry — 0 is the
+          versioned-fingerprint invariant *)
   s_p50_ms : float;
   s_p95_ms : float;
   s_p99_ms : float option;   (** [None] below 100 samples *)
@@ -53,10 +57,11 @@ val min_samples : p:float -> int
 val percentile_opt : float array -> p:float -> float option
 
 val make :
-  latencies_ms:float array -> ok:int -> degraded:int -> shed:int ->
-  hits:int -> misses:int -> evictions:int -> batches:int -> batch_max:int ->
-  queue_peak:int -> inflight_peak:int -> builds:int -> steals:int ->
-  makespan_ms:float -> summary
+  ?invalidated:int -> ?stale_hits:int -> latencies_ms:float array ->
+  ok:int -> degraded:int -> shed:int -> hits:int -> misses:int ->
+  evictions:int -> batches:int -> batch_max:int -> queue_peak:int ->
+  inflight_peak:int -> builds:int -> steals:int -> makespan_ms:float ->
+  unit -> summary
 
 (** [hit_rate s] is hits / (hits + misses); 0 without lookups. *)
 val hit_rate : summary -> float
@@ -87,6 +92,8 @@ type shard_summary = {
   sh_queue_peak : int;
   sh_steals_in : int;        (** batches this shard's servers stole *)
   sh_steals_out : int;       (** batches stolen from this shard's queue *)
+  sh_invalidated : int;      (** LRU entries dropped by streaming updates *)
+  sh_stale_hits : int;       (** wrong-version cache hits (invariant: 0) *)
   sh_p50_ms : float option;  (** [None] below the rank resolution *)
   sh_p95_ms : float option;
   sh_p99_ms : float option;
@@ -94,10 +101,10 @@ type shard_summary = {
 }
 
 val shard_make :
-  index:int -> latencies_ms:float array -> ok:int -> degraded:int ->
-  shed:int -> hits:int -> misses:int -> evictions:int -> batches:int ->
-  batch_max:int -> queue_peak:int -> steals_in:int -> steals_out:int ->
-  shard_summary
+  ?invalidated:int -> ?stale_hits:int -> index:int ->
+  latencies_ms:float array -> ok:int -> degraded:int -> shed:int ->
+  hits:int -> misses:int -> evictions:int -> batches:int -> batch_max:int ->
+  queue_peak:int -> steals_in:int -> steals_out:int -> unit -> shard_summary
 
 (** [shard_register reg sh] exports [serve.shard.<i>.<leaf>] counters
     (ok / degraded / shed / cache.* / batch.* / queue.peak / steal.* /

@@ -32,6 +32,17 @@ type site = {
   s_hi : Ir.value;              (* position-loop upper bound (segment end) *)
   s_bound : Ir.value;           (* ASaP semantic bound: size(crd) - 1,
                                    hoisted to the prologue (paper §3.2.2) *)
+  s_step_elems : int;           (* tensor elements one iterator step covers:
+                                   1 normally, bh*bw at a blocked level, so
+                                   hooks can measure distance in blocks *)
+  s_inner_extent : Ir.value option;
+                                (* product of the dense-only loop extents
+                                   nested below the sparse levels (e.g.
+                                   SDDMM's and SpMM's k): each iterator
+                                   step performs that many element updates,
+                                   so hooks shrink their element-counted
+                                   lookahead by it; [None] when the body
+                                   is O(1) elements per step *)
   s_targets : target list;
 }
 

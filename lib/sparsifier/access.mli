@@ -30,6 +30,16 @@ type site = {
   s_hi : Ir.value;             (** position-loop upper bound (segment end) *)
   s_bound : Ir.value;          (** ASaP's semantic bound: size(crd) - 1,
                                    hoisted to the prologue (§3.2.2) *)
+  s_step_elems : int;          (** tensor elements one iterator step covers —
+                                   1 normally, [bh*bw] at a blocked level, so
+                                   hooks can measure lookahead in blocks *)
+  s_inner_extent : Ir.value option;
+                               (** product of the dense-only loop extents
+                                   below the sparse levels (SDDMM's and
+                                   SpMM's k): element updates one iterator
+                                   step performs, by which hooks shrink
+                                   their element-counted lookahead; [None]
+                                   when the body is O(1) per step *)
   s_targets : target list;
 }
 

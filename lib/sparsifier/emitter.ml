@@ -103,9 +103,27 @@ let compile ?(hook : Access.hook option) ?fn_name (k : Kernel.t) : compiled =
   let strides =
     List.map (fun (o, buffer) -> (o.Kernel.o_name, (o, buffer, strides_of o))) all_ops
   in
+  (* Blocked encodings tile the coordinate space: level [l] indexes block
+     coordinates, so node counts divide the extent by the block side
+     (ceiling — edge blocks are padded). *)
+  let block_side l =
+    match enc.Encoding.block with
+    | None -> 1
+    | Some (bh, bw) -> if l = 0 then bh else bw
+  in
+  let ceildiv_extent v side =
+    if side = 1 then v
+    else
+      Builder.ibin b Ir.Idiv
+        (Builder.iadd b v (Builder.index b (side - 1)))
+        (Builder.index b side)
+  in
   (* Semantic crd-buffer bounds (paper §3.2.2): node count per level via the
      recursive chain of position-buffer loads, hoisted into the prologue.
-     Only computed when a hook wants them. *)
+     Only computed when a hook wants them. For blocked levels the recursion
+     runs in block units: the dense count is ceil(extent / side) and the
+     resulting bound is a block index — the hook rescales its lookahead by
+     bh*bw ({!Access.site.s_step_elems}). *)
   let semantic_bounds = Array.make r None in
   if hook <> None then begin
     let cnt = ref None in
@@ -114,11 +132,12 @@ let compile ?(hook : Access.hook option) ?fn_name (k : Kernel.t) : compiled =
       let d = g.Iteration_graph.sparse_dims.(l) in
       (match enc.Encoding.levels.(l) with
        | Encoding.Dense ->
+         let here = ceildiv_extent extents.(d) (block_side l) in
          cnt :=
            Some
              (match !cnt with
-              | None -> extents.(d)
-              | Some c -> Builder.imul b c extents.(d))
+              | None -> here
+              | Some c -> Builder.imul b c here)
        | Encoding.Compressed _ ->
          let pos = Option.get pos_bufs.(l) in
          let idx = match !cnt with None -> c1 | Some c -> c in
@@ -135,6 +154,21 @@ let compile ?(hook : Access.hook option) ?fn_name (k : Kernel.t) : compiled =
   let coords = Array.make n None in
   let n_sites = ref 0 in
   let dense_only = Iteration_graph.dense_only_dims g in
+  (* Work per sparse step: dense-only loops (SDDMM's and SpMM's k) run in
+     full below every sparse iteration, so one step performs the product
+     of their extents in element updates. Hooks divide their lookahead by
+     it — a step that runs d_k times longer needs a d_k-times shorter
+     head start. Hoisted here into the prologue with the §3.2.2 bounds. *)
+  let inner_extent =
+    if hook = None then None
+    else
+      List.fold_left
+        (fun acc d ->
+          match acc with
+          | None -> Some extents.(d)
+          | Some c -> Some (Builder.imul b c extents.(d)))
+        None dense_only
+  in
   let out_map = k.Kernel.k_out.Kernel.o_map in
   let out_resolved () =
     Array.for_all (fun d -> coords.(d) <> None) out_map.Affine.results
@@ -227,7 +261,8 @@ let compile ?(hook : Access.hook option) ?fn_name (k : Kernel.t) : compiled =
         h b
           { Access.s_level = l; s_dim = d; s_innermost = innermost;
             s_crd = Option.get crd_bufs.(l); s_iv = iv; s_lo = lo; s_hi = hi;
-            s_bound = Option.get semantic_bounds.(l); s_targets = targets }
+            s_bound = Option.get semantic_bounds.(l); s_step_elems = 1;
+            s_inner_extent = inner_extent; s_targets = targets }
       end
   in
 
@@ -488,7 +523,92 @@ let compile ?(hook : Access.hook option) ?fn_name (k : Kernel.t) : compiled =
         coords.(d) <- None;
         res
   in
-  let (_ : Ir.value option) = emit_level 0 `Zero None in
+  (* ---- Blocked loop nest ------------------------------------------- *)
+  (* BSR-style encodings: the two storage levels index block coordinates
+     (dense block rows over compressed block columns), and each stored
+     block expands through two micro-loops clamped to the matrix edge.
+     Element coordinates are reconstructed affinely (i = ib*bh + r,
+     j = jb*bw + c) and the leaf value index is p*bh*bw + r*bw + c.
+     Prefetch sites fire at the block-column position loop: the lookahead
+     coordinate is a block column, so target scales carry an extra *bw
+     and the hook rescales its distance by bh*bw (s_step_elems). *)
+  let site_targets_blocked d cbw =
+    List.map
+      (fun (t : Access.target) ->
+        let scale =
+          match t.Access.t_scale with
+          | None -> cbw
+          | Some s -> Builder.imul b s cbw
+        in
+        { t with Access.t_scale = Some scale })
+      (site_targets d)
+  in
+  let fire_hook_blocked ~l ~d ~iv ~lo ~hi ~bh ~bw ~cbw =
+    match hook with
+    | None -> ()
+    | Some h ->
+      let targets = site_targets_blocked d cbw in
+      if targets <> [] then begin
+        incr n_sites;
+        h b
+          { Access.s_level = l; s_dim = d; s_innermost = false;
+            s_crd = Option.get crd_bufs.(l); s_iv = iv; s_lo = lo; s_hi = hi;
+            s_bound = Option.get semantic_bounds.(l);
+            s_step_elems = bh * bw; s_inner_extent = inner_extent;
+            s_targets = targets }
+      end
+  in
+  let emit_blocked ~bh ~bw =
+    let d0 = g.Iteration_graph.sparse_dims.(0)
+    and d1 = g.Iteration_graph.sparse_dims.(1) in
+    let cbh = Builder.index b bh and cbw = Builder.index b bw in
+    let cbe = Builder.index b (bh * bw) in
+    let pos = Option.get pos_bufs.(1) and crd = Option.get crd_bufs.(1) in
+    let nbr = ceildiv_extent extents.(d0) bh in
+    let (_ : Ir.value option) =
+      emit_loop ~tag:("block rows " ^ names.(d0)) ("b" ^ names.(d0)) c0 nbr
+        ~dim:d0 None (fun ib acc0 ->
+          let i0 = Builder.imul b ib cbh in
+          let rext = Builder.imin b cbh (Builder.isub b extents.(d0) i0) in
+          let ib1 = Builder.iadd b ib c1 in
+          let lo = Builder.load b ~name:"lo" pos ib in
+          let hi = Builder.load b ~name:"hi" pos ib1 in
+          emit_loop ~tag:("block cols " ^ names.(d1))
+            (names.(d1) ^ names.(d1)) lo hi ~dim:d1 acc0 (fun p accp ->
+              let jb = Builder.load b ~name:("b" ^ names.(d1)) crd p in
+              fire_hook_blocked ~l:1 ~d:d1 ~iv:p ~lo ~hi ~bh ~bw ~cbw;
+              let j0 = Builder.imul b jb cbw in
+              let cext =
+                Builder.imin b cbw (Builder.isub b extents.(d1) j0)
+              in
+              let vbase = Builder.imul b p cbe in
+              emit_loop ~tag:"block micro rows" (names.(d0) ^ "b") c0 rext
+                ~dim:d0 accp (fun rr accr ->
+                  let i = Builder.iadd b i0 rr in
+                  coords.(d0) <- Some i;
+                  let rowb = Builder.iadd b vbase (Builder.imul b rr cbw) in
+                  let res =
+                    emit_loop ~tag:"block micro cols" (names.(d1) ^ "b") c0
+                      cext ~dim:d1 accr (fun cc accc ->
+                        let j = Builder.iadd b j0 cc in
+                        coords.(d1) <- Some j;
+                        let leaf = Builder.iadd b rowb cc in
+                        let res = emit_leaf leaf accc in
+                        coords.(d1) <- None;
+                        res)
+                  in
+                  coords.(d0) <- None;
+                  res)))
+    in
+    ()
+  in
+  (match enc.Encoding.block with
+   | Some (bh, bw) ->
+     if r <> 2 then unsupported "blocked encodings must be rank-2";
+     emit_blocked ~bh ~bw
+   | None ->
+     let (_ : Ir.value option) = emit_level 0 `Zero None in
+     ());
   let default_name = Printf.sprintf "%s_%s" k.Kernel.k_name
       (String.lowercase_ascii enc.Encoding.name)
   in

@@ -18,6 +18,7 @@ type t = {
   levels : level_format array; (* one per storage level *)
   dim_to_lvl : int array;      (* level l stores dimension dim_to_lvl.(l) *)
   width : index_width;         (* pos/crd element width (paper §4.2) *)
+  block : (int * int) option;  (* Some (bh, bw): levels index bh*bw blocks *)
 }
 
 let rank t = Array.length t.levels
@@ -50,10 +51,23 @@ let validate t =
   (match t.levels.(0) with
    | Singleton -> invalid_arg "Encoding: first level cannot be singleton"
    | Dense | Compressed _ -> ());
+  (match t.block with
+   | None -> ()
+   | Some (bh, bw) ->
+     if bh < 1 || bw < 1 then
+       invalid_arg "Encoding: block sides must be positive";
+     if r <> 2 then invalid_arg "Encoding: blocked formats are rank-2";
+     (match t.levels with
+      | [| Dense; Compressed { unique = true } |]
+        when t.dim_to_lvl = [| 0; 1 |] -> ()
+      | _ ->
+        invalid_arg
+          "Encoding: blocked storage requires dense-over-compressed \
+           levels in (row, col) order"));
   t
 
 let make ?(width = W32) name levels dim_to_lvl =
-  validate { name; levels; dim_to_lvl; width }
+  validate { name; levels; dim_to_lvl; width; block = None }
 
 (* The paper's three motivating 2-D formats (Fig. 1b), plus CSC and CSF. *)
 
@@ -77,6 +91,23 @@ let dcsr ?width () =
 let sparse_vector ?width () =
   make ?width "SpVec" [| Compressed { unique = true } |] [| 0 |]
 
+(** Block Sparse Row: the matrix is tiled into [bh]x[bw] blocks; storage
+    levels index the *block* coordinate space (dense block rows over
+    compressed block columns), and each stored block carries bh*bw values
+    (row-major, explicit zeros inside a block). Matrix dimensions need
+    not divide the block sides — edge blocks are zero-padded in storage
+    and clamped at iteration time. *)
+let bsr ?(width = W32) ~bh ~bw () =
+  validate
+    { name = Printf.sprintf "BSR%dx%d" bh bw;
+      levels = [| Dense; Compressed { unique = true } |];
+      dim_to_lvl = [| 0; 1 |]; width; block = Some (bh, bw) }
+
+(** [block_elems t] is the number of values per stored leaf: bh*bw for
+    blocked encodings, 1 otherwise. *)
+let block_elems t =
+  match t.block with None -> 1 | Some (bh, bw) -> bh * bw
+
 (** Compressed Sparse Fiber: all levels compressed, identity order. *)
 let csf ?width r =
   if r < 1 then invalid_arg "Encoding.csf: rank must be positive";
@@ -93,8 +124,13 @@ let to_string t =
            Printf.sprintf "d%d : %s" t.dim_to_lvl.(l) (level_name fmt))
          t.levels)
   in
+  let blk =
+    match t.block with
+    | None -> ""
+    | Some (bh, bw) -> Printf.sprintf ", block = %dx%d" bh bw
+  in
   Printf.sprintf
-    "#sparse_tensor.encoding<{ map = (%s) -> (%s) }> // %s"
+    "#sparse_tensor.encoding<{ map = (%s) -> (%s)%s }> // %s"
     (String.concat ", "
        (List.init (rank t) (fun d -> Printf.sprintf "d%d" d)))
-    (String.concat ", " lvls) t.name
+    (String.concat ", " lvls) blk t.name

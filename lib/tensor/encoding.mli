@@ -22,6 +22,9 @@ type t = {
   levels : level_format array; (** one per storage level *)
   dim_to_lvl : int array;      (** level [l] stores dimension [dim_to_lvl.(l)] *)
   width : index_width;
+  block : (int * int) option;
+      (** [Some (bh, bw)]: levels index the block coordinate space and each
+          stored leaf carries [bh*bw] values (row-major within the block). *)
 }
 
 (** [rank t] is the number of storage levels (= tensor rank). *)
@@ -55,6 +58,16 @@ val dcsr : ?width:index_width -> unit -> t
 
 (** Rank-1 compressed sparse vector. *)
 val sparse_vector : ?width:index_width -> unit -> t
+
+(** [bsr ~bh ~bw ()] is Block Sparse Row with [bh]x[bw] blocks: dense
+    block rows over compressed block columns, each stored block holding
+    [bh*bw] row-major values (explicit zeros inside a block; edge blocks
+    are zero-padded and clamped at iteration time). *)
+val bsr : ?width:index_width -> bh:int -> bw:int -> unit -> t
+
+(** [block_elems t] is the number of values per stored leaf — [bh*bw]
+    for blocked encodings, 1 otherwise. *)
+val block_elems : t -> int
 
 (** [csf r] is the rank-[r] compressed sparse fiber format (all levels
     compressed, identity dimension order). *)

@@ -21,14 +21,12 @@ type t = {
 
 let nnz_of t = Array.length t.vals
 
-(** [pack enc coo] sorts, deduplicates and serialises [coo].
+(* [pack_plain enc coo] sorts, deduplicates and serialises [coo].
 
-    The construction sweeps levels top-down over the element range,
-    maintaining the current segmentation: one (start, end) run of elements
-    per node of the previous level. *)
-let pack (enc : Encoding.t) (coo : Coo.t) : t =
-  if Encoding.rank enc <> Coo.rank coo then
-    invalid_arg "Storage.pack: encoding rank does not match tensor rank";
+   The construction sweeps levels top-down over the element range,
+   maintaining the current segmentation: one (start, end) run of elements
+   per node of the previous level. *)
+let pack_plain (enc : Encoding.t) (coo : Coo.t) : t =
   let sorted = Coo.sorted_dedup ~perm:enc.dim_to_lvl coo in
   let n = Coo.nnz sorted in
   let rank = Encoding.rank enc in
@@ -117,9 +115,56 @@ let pack (enc : Encoding.t) (coo : Coo.t) : t =
     leaves;
   { enc; dims = Array.copy coo.dims; lvls; vals }
 
-(** [iter f t] visits every stored leaf (including explicit zeros of dense
-    leaf levels) with its dimension-order coordinates. *)
-let iter f (t : t) =
+(* [pack_blocked enc ~bh ~bw coo] serialises a rank-2 tensor into block
+   storage: the pos/crd pair indexes the bh x bw *block* coordinate
+   space (dense block rows over compressed block columns), and each
+   stored block expands to bh*bw row-major values with explicit zeros
+   for the absent coordinates. Edge blocks of non-divisible dimensions
+   are zero-padded here and clamped by consumers ({!iter}, the emitter's
+   blocked micro-loops). *)
+let pack_blocked (enc : Encoding.t) ~bh ~bw (coo : Coo.t) : t =
+  let sorted = Coo.sorted_dedup coo in
+  let n = Coo.nnz sorted in
+  let nbr = (coo.dims.(0) + bh - 1) / bh in
+  let tbl = Hashtbl.create (max 16 n) in
+  for k = 0 to n - 1 do
+    let key = (sorted.coords.(k).(0) / bh, sorted.coords.(k).(1) / bw) in
+    if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key 0
+  done;
+  let blocks =
+    Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+    |> List.sort compare |> Array.of_list
+  in
+  Array.iteri (fun idx k -> Hashtbl.replace tbl k idx) blocks;
+  let nb = Array.length blocks in
+  let pos = Array.make (nbr + 1) 0 in
+  let crd = Array.make nb 0 in
+  Array.iteri
+    (fun idx (ib, jb) ->
+      crd.(idx) <- jb;
+      pos.(ib + 1) <- pos.(ib + 1) + 1)
+    blocks;
+  for r = 1 to nbr do pos.(r) <- pos.(r) + pos.(r - 1) done;
+  let be = bh * bw in
+  let vals = Array.make (nb * be) 0. in
+  for k = 0 to n - 1 do
+    let i = sorted.coords.(k).(0) and j = sorted.coords.(k).(1) in
+    let idx = Hashtbl.find tbl (i / bh, j / bw) in
+    vals.((idx * be) + ((i mod bh) * bw) + (j mod bw)) <- sorted.vals.(k)
+  done;
+  { enc; dims = Array.copy coo.dims;
+    lvls =
+      [| Ldense { lsize = nbr }; Lcompressed { pos; crd; unique = true } |];
+    vals }
+
+let pack (enc : Encoding.t) (coo : Coo.t) : t =
+  if Encoding.rank enc <> Coo.rank coo then
+    invalid_arg "Storage.pack: encoding rank does not match tensor rank";
+  match enc.Encoding.block with
+  | None -> pack_plain enc coo
+  | Some (bh, bw) -> pack_blocked enc ~bh ~bw coo
+
+let iter_plain f (t : t) =
   let rank = Encoding.rank t.enc in
   let coord = Array.make rank 0 in
   let rec go l node =
@@ -142,6 +187,32 @@ let iter f (t : t) =
         go (l + 1) node
   in
   go 0 0
+
+(** [iter f t] visits every stored leaf (including explicit zeros of dense
+    leaf levels) with its dimension-order coordinates. Blocked storage
+    visits every in-bounds cell of every stored block. *)
+let iter f (t : t) =
+  match t.enc.Encoding.block with
+  | Some (bh, bw) ->
+    (match t.lvls with
+     | [| Ldense { lsize }; Lcompressed { pos; crd; _ } |] ->
+       let be = bh * bw in
+       for ib = 0 to lsize - 1 do
+         for p = pos.(ib) to pos.(ib + 1) - 1 do
+           let jb = crd.(p) in
+           for r = 0 to bh - 1 do
+             let i = (ib * bh) + r in
+             if i < t.dims.(0) then
+               for c = 0 to bw - 1 do
+                 let j = (jb * bw) + c in
+                 if j < t.dims.(1) then
+                   f [| i; j |] t.vals.((p * be) + (r * bw) + c)
+               done
+           done
+         done
+       done
+     | _ -> invalid_arg "Storage.iter: malformed blocked storage")
+  | None -> iter_plain f t
 
 (** [to_coo t] recovers the COO form, dropping explicit zeros. *)
 let to_coo (t : t) : Coo.t =

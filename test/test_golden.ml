@@ -24,7 +24,9 @@ let cases =
     ("spmv_csr", fun () -> Kernel.spmv ~enc:(csr ()) ());
     ("spmv_csc", fun () -> Kernel.spmv ~enc:(csc ()) ());
     ("spmv_dcsr", fun () -> Kernel.spmv ~enc:(dcsr ()) ());
+    ("spmv_bsr", fun () -> Kernel.spmv ~enc:(bsr ~bh:2 ~bw:2 ()) ());
     ("spmm_csr", fun () -> Kernel.spmm ~enc:(csr ()) ());
+    ("sddmm_csr", fun () -> Kernel.sddmm ~enc:(csr ()) ());
     ("ttv_csf", fun () -> Kernel.ttv ~enc:(csf 3) ()) ]
 
 let read_file path =

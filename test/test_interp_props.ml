@@ -213,6 +213,202 @@ let test_byte_buffer_ops () =
   check_int "masked to 8 bits" ((300 lor 1) land 0xff)
     (Bytes.get_uint8 data 0)
 
+(* --- Randomized three-engine differential harness ---------------------
+
+   Random sparse matrices — varying density, bandedness, empty rows and
+   columns, degenerate 1xN / Nx1 and nnz = 0 shapes — are driven through
+   every (kernel x format x variant) triple under all three execution
+   engines.  Structural equality of reports and outputs is the whole
+   cycle- and value-exactness contract at once (cycles, instruction mix,
+   every cache counter, float summation order — see test_engine.ml); the
+   interpreter result is additionally checked against the dense
+   reference.  Tier-1 runs a pinned kernel x format cover plus a seeded
+   sample of the grid (~40 cells); set ASAP_DIFF_FULL=1 to sweep every
+   cell. *)
+
+module Coo = Asap_tensor.Coo
+module Encoding = Asap_tensor.Encoding
+module Machine = Asap_sim.Machine
+module Pipeline = Asap_core.Pipeline
+module Driver = Asap_core.Driver
+module Asap = Asap_prefetch.Asap
+module Aj = Asap_prefetch.Ainsworth_jones
+module Rng = Asap_workloads.Rng
+
+(* One random matrix per seed: a shape class (square, wide, tall, 1xN,
+   Nx1, tiny) crossed with a fill style (empty, sparse, dense-ish,
+   banded, clustered — the last leaving rows and columns empty between
+   populated ones). Coordinates are deduped, values in [-1, 1). *)
+let gen_coo rng =
+  let rows, cols =
+    match Rng.int rng 6 with
+    | 0 -> (1, 1 + Rng.int rng 60)                   (* 1xN *)
+    | 1 -> (1 + Rng.int rng 60, 1)                   (* Nx1 *)
+    | 2 -> (2 + Rng.int rng 7, 30 + Rng.int rng 30)  (* wide *)
+    | 3 -> (30 + Rng.int rng 30, 2 + Rng.int rng 7)  (* tall *)
+    | 4 -> (1 + Rng.int rng 6, 1 + Rng.int rng 6)    (* tiny *)
+    | _ -> (8 + Rng.int rng 40, 8 + Rng.int rng 40)  (* general *)
+  in
+  let style = Rng.int rng 5 in
+  let target =
+    match style with
+    | 0 -> 0                                             (* empty *)
+    | 1 -> 1 + Rng.int rng (max 1 (rows * cols / 8))     (* sparse *)
+    | 2 -> max 1 (rows * cols / 2)                       (* dense-ish *)
+    | _ -> 1 + Rng.int rng (max 1 (2 * (rows + cols)))   (* banded/clustered *)
+  in
+  let band = 1 + Rng.int rng 4 in
+  let seen = Hashtbl.create 64 in
+  let triples = ref [] in
+  for _ = 1 to target do
+    let i0 = Rng.int rng rows and j0 = Rng.int rng cols in
+    (* Clustered fill snaps coordinates down, leaving every row not
+       divisible by 3 and every odd column empty. *)
+    let i = if style = 4 then i0 - (i0 mod 3) else i0 in
+    let j =
+      if style = 3 then begin
+        let centre =
+          if rows = 1 then j0 else i * (cols - 1) / max 1 (rows - 1)
+        in
+        let lo = max 0 (centre - band) and hi = min (cols - 1) (centre + band) in
+        lo + Rng.int rng (hi - lo + 1)
+      end
+      else if style = 4 then j0 - (j0 mod 2)
+      else j0
+    in
+    if not (Hashtbl.mem seen (i, j)) then begin
+      Hashtbl.add seen (i, j) ();
+      triples := (i, j, (2. *. Rng.float rng) -. 1.) :: !triples
+    end
+  done;
+  Coo.of_triples ~rows ~cols (List.rev !triples)
+
+let diff_machine = Machine.gracemont_scaled ()
+let diff_kernels = [ ("spmv", `Spmv); ("spmm", `Spmm); ("sddmm", `Sddmm) ]
+
+let diff_encodings () =
+  [ Encoding.coo (); Encoding.csr (); Encoding.csc (); Encoding.dcsr ();
+    Encoding.bsr ~bh:2 ~bw:2 (); Encoding.bsr ~bh:2 ~bw:3 () ]
+
+let diff_variants =
+  [ ("baseline", Pipeline.Baseline);
+    ("asap", Pipeline.Asap { Asap.default with Asap.distance = 4 });
+    ("aj", Pipeline.Ainsworth_jones { Aj.default with Aj.distance = 4 }) ]
+
+let n_matrix_seeds = 8
+let matrix_cache : (int, Coo.t) Hashtbl.t = Hashtbl.create 8
+
+let matrix_for seed =
+  match Hashtbl.find_opt matrix_cache seed with
+  | Some coo -> coo
+  | None ->
+    let coo = gen_coo (Rng.create (0xd1ff + seed)) in
+    Hashtbl.add matrix_cache seed coo;
+    coo
+
+let same_result name (a : Driver.result) (b : Driver.result) =
+  check (name ^ ": report") true (a.Driver.report = b.Driver.report);
+  check (name ^ ": nnz") true (a.Driver.nnz = b.Driver.nnz);
+  check (name ^ ": out_f") true (a.Driver.out_f = b.Driver.out_f);
+  check (name ^ ": out_b") true (a.Driver.out_b = b.Driver.out_b)
+
+let run_cell (mseed, (kname, kernel), enc, (vname, v)) =
+  let coo = matrix_for mseed in
+  let name =
+    Printf.sprintf "%s/%s/%s m%d [%dx%d nnz=%d]" kname enc.Encoding.name
+      vname mseed coo.Coo.dims.(0) coo.Coo.dims.(1) (Coo.nnz coo)
+  in
+  let f engine =
+    match kernel with
+    | `Spmv -> Driver.spmv ~engine diff_machine v enc coo
+    | `Spmm -> Driver.spmm ~engine ~n:3 diff_machine v enc coo
+    | `Sddmm -> Driver.sddmm ~engine ~kk:5 diff_machine v enc coo
+  in
+  let r_i = f `Interp in
+  same_result (name ^ " compiled") r_i (f `Compiled);
+  same_result (name ^ " bytecode") r_i (f `Bytecode);
+  let err =
+    match kernel with
+    | `Spmv -> Driver.check_spmv coo r_i
+    | `Spmm -> Driver.check_spmm coo ~n:3 r_i
+    | `Sddmm -> Driver.check_sddmm coo ~kk:5 r_i
+  in
+  check (name ^ ": against dense reference") true (err <= 1e-9)
+
+let diff_grid () =
+  List.concat_map
+    (fun mseed ->
+      List.concat_map
+        (fun k ->
+          List.concat_map
+            (fun enc -> List.map (fun v -> (mseed, k, enc, v)) diff_variants)
+            (diff_encodings ()))
+        diff_kernels)
+    (List.init n_matrix_seeds (fun i -> i + 1))
+
+(* Every (kernel, format) pair at least once, variants and matrices
+   rotating with the cell position — 18 cells. *)
+let test_differential_pinned () =
+  let encs = Array.of_list (diff_encodings ()) in
+  let vars = Array.of_list diff_variants in
+  List.iteri
+    (fun ki (kname, k) ->
+      Array.iteri
+        (fun ei enc ->
+          let v = vars.((ki + ei) mod Array.length vars) in
+          let mseed = 1 + ((ki + ei) mod n_matrix_seeds) in
+          run_cell (mseed, (kname, k), enc, v))
+        encs)
+    diff_kernels
+
+(* 22 more cells drawn without replacement from the full grid by a fixed
+   seed — or, under ASAP_DIFF_FULL=1, every cell. *)
+let test_differential_random () =
+  let grid = Array.of_list (diff_grid ()) in
+  if Sys.getenv_opt "ASAP_DIFF_FULL" <> None then Array.iter run_cell grid
+  else begin
+    let rng = Rng.create 0xd1ff in
+    let picked = Hashtbl.create 64 in
+    let drawn = ref 0 in
+    while !drawn < 22 do
+      let i = Rng.int rng (Array.length grid) in
+      if not (Hashtbl.mem picked i) then begin
+        Hashtbl.add picked i ();
+        incr drawn;
+        run_cell grid.(i)
+      end
+    done
+  end
+
+(* The matrix pool itself must keep exercising the edge shapes the
+   harness is about — a generator drift that stopped producing them
+   would silently weaken every cell above. *)
+let test_generator_shape_coverage () =
+  let pool = List.init n_matrix_seeds (fun i -> matrix_for (i + 1)) in
+  let has p = List.exists p pool in
+  check "pool has a degenerate 1xN or Nx1 shape" true
+    (has (fun c -> c.Coo.dims.(0) = 1 || c.Coo.dims.(1) = 1));
+  check "pool has an empty row or column" true
+    (has (fun c ->
+         let rows = c.Coo.dims.(0) and cols = c.Coo.dims.(1) in
+         let rseen = Array.make rows false and cseen = Array.make cols false in
+         Array.iter
+           (fun co ->
+             rseen.(co.(0)) <- true;
+             cseen.(co.(1)) <- true)
+           c.Coo.coords;
+         Array.exists not rseen || Array.exists not cseen));
+  check "pool nnz spread spans sparse to dense-ish" true
+    (let densities =
+       List.map
+         (fun c ->
+           float_of_int (Coo.nnz c)
+           /. float_of_int (max 1 (c.Coo.dims.(0) * c.Coo.dims.(1))))
+         pool
+     in
+     List.exists (fun d -> d < 0.15) densities
+     && List.exists (fun d -> d > 0.3) densities)
+
 let suite =
   [ QCheck_alcotest.to_alcotest qcheck_int_expr;
     QCheck_alcotest.to_alcotest qcheck_fold_preserves;
@@ -221,4 +417,10 @@ let suite =
     Alcotest.test_case "nested carried loops" `Quick
       test_nested_carried_loops;
     Alcotest.test_case "dim and cast" `Quick test_dim_and_cast;
-    Alcotest.test_case "byte buffers" `Quick test_byte_buffer_ops ]
+    Alcotest.test_case "byte buffers" `Quick test_byte_buffer_ops;
+    Alcotest.test_case "differential: kernel x format cover"
+      `Quick test_differential_pinned;
+    Alcotest.test_case "differential: seeded random sample" `Quick
+      test_differential_random;
+    Alcotest.test_case "differential: generator shape coverage" `Quick
+      test_generator_shape_coverage ]

@@ -298,8 +298,197 @@ let test_fold_cmp_select () =
   let _, st = Fold.run fn in
   check "cmp+select folded" true (st.Fold.folded >= 2)
 
+(* --- Printer/Parse round-trip and malformed-input fuzzing ------------
+
+   Random well-typed functions — expression trees over loads, the scalar
+   parameter and loop induction variables, under random combinations of
+   counted loops, carried accumulators, while loops and branches — must
+   print, parse back alpha-equal, and reprint byte-identically.  Random
+   mutations of valid listings and raw garbage must produce a labelled
+   {!Parse.Error} (1-based line:col) or a clean [Result.Error]: never an
+   unlabelled exception. *)
+
+type ix =
+  | XLit of int
+  | XParam
+  | XIv of int                       (* induction var, innermost first *)
+  | XBin of Ir.ibinop * ix * ix
+  | XSel of Ir.icmp * ix * ix        (* select (a cmp b) a b *)
+
+type rfn_plan = {
+  pl_expr : ix;
+  pl_loops : int;        (* 0-2 nested counted loops around the store *)
+  pl_carried : bool;     (* a carried-accumulator loop *)
+  pl_wloop : bool;       (* a while loop *)
+  pl_branch : bool;      (* store under scf.if *)
+  pl_float : bool;       (* float load/add chain vs pure index store *)
+}
+
+let gen_ix =
+  QCheck2.Gen.(
+    sized
+    @@ fix (fun self n ->
+           let leaf =
+             oneof
+               [ map (fun i -> XLit i) (int_range 0 9);
+                 pure XParam;
+                 map (fun k -> XIv k) (int_range 0 2) ]
+           in
+           if n = 0 then leaf
+           else
+             frequency
+               [ (2, leaf);
+                 ( 4,
+                   let* op =
+                     oneofl
+                       [ Ir.Iadd; Ir.Isub; Ir.Imul; Ir.Imin; Ir.Imax;
+                         Ir.Iand; Ir.Ior; Ir.Ixor ]
+                   in
+                   let* a = self (n / 2) in
+                   let* b = self (n / 2) in
+                   pure (XBin (op, a, b)) );
+                 ( 1,
+                   let* cmp =
+                     oneofl [ Ir.Eq; Ir.Ne; Ir.Ult; Ir.Ule; Ir.Slt; Ir.Sge ]
+                   in
+                   let* a = self (n / 2) in
+                   let* b = self (n / 2) in
+                   pure (XSel (cmp, a, b)) ) ]))
+
+let gen_rfn_plan =
+  QCheck2.Gen.(
+    let* pl_expr = gen_ix in
+    let* pl_loops = int_range 0 2 in
+    let* pl_carried = bool in
+    let* pl_wloop = bool in
+    let* pl_branch = bool in
+    let* pl_float = bool in
+    pure { pl_expr; pl_loops; pl_carried; pl_wloop; pl_branch; pl_float })
+
+let build_rfn (p : rfn_plan) : Ir.func =
+  let b = Builder.create () in
+  let src = Builder.buf b "src" Ir.EF64 in
+  let out = Builder.buf b "out" Ir.EF64 in
+  let iout = Builder.buf b "iout" Ir.EIdx64 in
+  let n = Builder.scalar_param b "n" Ir.Index in
+  let c0 = Builder.index b 0 in
+  let c1 = Builder.index b 1 in
+  let rec bx ivs = function
+    | XLit i -> Builder.index b i
+    | XParam -> n
+    | XIv k ->
+      (match ivs with [] -> n | _ -> List.nth ivs (k mod List.length ivs))
+    | XBin (op, a, c) -> Builder.ibin b op (bx ivs a) (bx ivs c)
+    | XSel (cmp, a, c) ->
+      let va = bx ivs a and vc = bx ivs c in
+      Builder.select b (Builder.icmp b cmp va vc) va vc
+  in
+  let body ivs =
+    let idx = bx ivs p.pl_expr in
+    if p.pl_float then begin
+      let x = Builder.load b src idx in
+      Builder.store b out idx (Builder.fadd b x (Builder.f64 b 0.5))
+    end
+    else Builder.store b iout idx idx
+  in
+  if p.pl_carried then begin
+    let fin =
+      Builder.for_ b "k" c0 n
+        ~carried:[ ("acc", Ir.Index, c0) ]
+        (fun k args -> [ Builder.iadd b (List.hd args) k ])
+    in
+    Builder.store b iout c0 (List.hd fin)
+  end;
+  if p.pl_wloop then begin
+    let ws =
+      Builder.while_ b
+        [ ("w", Ir.Index, n) ]
+        (fun args -> Builder.icmp b Ir.Sgt (List.hd args) c0)
+        (fun args -> [ Builder.isub b (List.hd args) c1 ])
+    in
+    Builder.store b iout c1 (List.hd ws)
+  end;
+  let rec nest d ivs =
+    if d = 0 then begin
+      if p.pl_branch then
+        Builder.if_ b
+          (Builder.icmp b Ir.Ult n (Builder.index b 7))
+          (fun () -> body ivs)
+          (fun () -> body ivs)
+      else body ivs
+    end
+    else
+      Builder.for0 b (Printf.sprintf "i%d" d) c0 n (fun iv ->
+          nest (d - 1) (iv :: ivs))
+  in
+  nest p.pl_loops [];
+  Builder.finish b "fuzz"
+
+let qcheck_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"random funcs round-trip alpha-equal"
+    gen_rfn_plan (fun p ->
+      let fn = build_rfn p in
+      let text = Printer.to_string fn in
+      match Parse.func_result text with
+      | Error m -> QCheck2.Test.fail_reportf "no parse: %s" m
+      | Ok fn2 ->
+        Printer.to_string fn2 = text && Parse.equal_func fn2 fn)
+
+(* A mutation never produces an unlabelled exception: [func] may raise
+   only [Parse.Error] with 1-based coordinates, [func_result] never
+   raises and formats the position as "line:col: ". *)
+let labelled_failure_only text =
+  (match Parse.func text with
+   | (_ : Ir.func) -> ()
+   | exception Parse.Error { line; col; msg = _ } ->
+     if line < 1 || col < 1 then
+       QCheck2.Test.fail_reportf "non-positive error position %d:%d" line col
+   | exception Invalid_argument _ -> ()
+     (* the verifier label for structurally bad but parseable text *));
+  match Parse.func_result text with
+  | Ok (_ : Ir.func) -> true
+  | Error m -> String.length m > 0
+
+let gen_mutation =
+  QCheck2.Gen.(
+    let* plan = gen_rfn_plan in
+    let* kind = int_range 0 3 in
+    let* at = float_range 0. 1. in
+    let* ch = oneofl [ '%'; '('; ')'; '{'; '}'; '='; ':'; ','; '@'; 'x'; '9' ] in
+    pure (plan, kind, at, ch))
+
+let qcheck_mutated_listing =
+  QCheck2.Test.make ~count:300 ~name:"mutated listings fail labelled"
+    gen_mutation (fun (plan, kind, at, ch) ->
+      let text = Printer.to_string (build_rfn plan) in
+      let n = String.length text in
+      let pos = min (n - 1) (int_of_float (at *. float_of_int n)) in
+      let mutated =
+        match kind with
+        | 0 -> String.sub text 0 pos                       (* truncate *)
+        | 1 ->                                             (* flip a char *)
+          String.mapi (fun i c -> if i = pos then ch else c) text
+        | 2 ->                                             (* delete a span *)
+          String.sub text 0 pos
+          ^ String.sub text (min n (pos + 5)) (n - min n (pos + 5))
+        | _ ->                                             (* insert a token *)
+          String.sub text 0 pos ^ String.make 3 ch
+          ^ String.sub text pos (n - pos)
+      in
+      labelled_failure_only mutated)
+
+let qcheck_garbage =
+  QCheck2.Test.make ~count:300 ~name:"garbage input fails labelled"
+    QCheck2.Gen.(string_size ~gen:(oneofl
+      [ 'f'; 'u'; 'n'; 'c'; '.'; '%'; '('; ')'; '{'; '}'; '=' ; ':'; ',';
+        '<'; '>'; 'x'; 'i'; '6'; '4'; ' '; '\n'; '"'; '-' ]) (int_range 0 80))
+    labelled_failure_only
+
 let suite =
   [ Alcotest.test_case "builder basic" `Quick test_builder_basic;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_mutated_listing;
+    QCheck_alcotest.to_alcotest qcheck_garbage;
     Alcotest.test_case "licm hoists invariants" `Quick
       test_licm_hoists_invariant;
     Alcotest.test_case "licm keeps loads" `Quick test_licm_leaves_loads;

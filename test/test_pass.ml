@@ -212,8 +212,76 @@ let test_runner_counters () =
   let aj = Pipeline.compile ~pipeline:"sparsify,aj{d=8}" k Pipeline.Baseline in
   check "aj counts matched sites" true (aj.Pipeline.n_prefetch_sites > 0)
 
+(* --- Spec fuzzing ----------------------------------------------------
+
+   Random well-formed specs must survive to_string/parse structurally
+   intact; random garbage must either parse or raise {!Spec.Error} with
+   an in-range 1-based position — never any other exception — and
+   [parse_result] must never raise at all. *)
+
+let gen_pname =
+  QCheck2.Gen.(
+    let* first = char_range 'a' 'z' in
+    let* rest =
+      string_size ~gen:(oneofl [ 'a'; 'k'; 'z'; '_'; '3' ]) (int_range 0 6)
+    in
+    pure (String.make 1 first ^ rest))
+
+let gen_spec_ast =
+  QCheck2.Gen.(
+    let gen_param =
+      let* name = gen_pname in
+      let* v =
+        oneof
+          [ map (fun i -> Spec.Vint i) (int_range (-99) 999);
+            map (fun s -> Spec.Vsym s) gen_pname ]
+      in
+      pure (name, v)
+    in
+    let gen_item =
+      let* pi_name = gen_pname in
+      let* params = list_size (int_range 0 3) gen_param in
+      (* The parser rejects duplicate parameter names; keep first wins. *)
+      let pi_params =
+        List.fold_left
+          (fun acc (n, v) ->
+            if List.mem_assoc n acc then acc else acc @ [ (n, v) ])
+          [] params
+      in
+      pure { Spec.pi_name; pi_params }
+    in
+    list_size (int_range 1 5) gen_item)
+
+let qcheck_spec_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"random specs round-trip"
+    gen_spec_ast (fun ast ->
+      let text = Spec.to_string ast in
+      Spec.parse text = ast && Spec.to_string (Spec.parse text) = text)
+
+let qcheck_spec_garbage =
+  QCheck2.Test.make ~count:500 ~name:"garbage specs fail labelled"
+    QCheck2.Gen.(
+      string_size
+        ~gen:(oneofl
+          [ 'a'; 's'; 'p'; '3'; '-'; '{'; '}'; '='; ','; ' '; '%'; ';';
+            '\t'; '.' ])
+        (int_range 0 40))
+    (fun text ->
+      (match Spec.parse text with
+       | (_ : Spec.t) -> ()
+       | exception Spec.Error { pos; msg } ->
+         if pos < 1 || pos > String.length text + 1 then
+           QCheck2.Test.fail_reportf "position %d out of range (len %d)"
+             pos (String.length text);
+         if msg = "" then QCheck2.Test.fail_report "empty error message");
+      match Spec.parse_result text with
+      | Ok (_ : Spec.t) -> true
+      | Error m -> contains m "at ")
+
 let suite =
   [ Alcotest.test_case "spec parse/print" `Quick test_spec_parse;
+    QCheck_alcotest.to_alcotest qcheck_spec_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_spec_garbage;
     Alcotest.test_case "spec error positions" `Quick
       test_spec_error_positions;
     Alcotest.test_case "resolve errors" `Quick test_resolve_errors;

@@ -811,9 +811,145 @@ let test_mix_tenants () =
      Alcotest.fail "accepted zero tenant weight"
    with Invalid_argument _ -> ())
 
+(* --- Streaming updates ------------------------------------------------- *)
+
+let upd ?(id = "u0") ?(matrix = "powerlaw:400,5") ?(at = 0.) deltas
+    : Request.Update.t =
+  { Request.Update.u_id = id; u_matrix = matrix; u_at_ms = at;
+    u_deltas = Array.of_list deltas }
+
+let contains = Astring_contains.contains
+
+let with_jsonl lines f =
+  let path = Filename.temp_file "serve_items" ".jsonl" in
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_update_jsonl () =
+  let u = upd ~id:"u7" ~at:1.25 [ (3, 4, 0.5); (0, 0, -1.0) ] in
+  (match Request.item_of_line (Request.Update.to_line u) with
+   | Ok (Request.Up u') -> check "update line roundtrip" true (u = u')
+   | Ok (Request.Req _) -> Alcotest.fail "update parsed as a request"
+   | Error e -> Alcotest.fail e);
+  (match Request.item_of_line (Request.to_line (req ())) with
+   | Ok (Request.Req _) -> ()
+   | _ -> Alcotest.fail "request line did not dispatch as Req");
+  (* Malformed deltas are rejected with the 1-based delta position. *)
+  (match
+     Request.item_of_line
+       {| {"kind":"update","id":"u1","matrix":"m",
+           "deltas":[[0,0,1.0],[1,-2,3.0]]} |}
+   with
+   | Error e -> check "bad delta is positional" true (contains e "delta 2")
+   | Ok _ -> Alcotest.fail "accepted a negative delta coordinate");
+  (* Request.load is a request-only stream: an update line is an error
+     at its 1-based line, pointing at load_items. *)
+  let rline = Request.to_line (req ()) in
+  let uline = Request.Update.to_line u in
+  with_jsonl [ rline; uline ] (fun path ->
+      (match Request.load path with
+       | Ok _ -> Alcotest.fail "Request.load accepted an update line"
+       | Error e ->
+         check "load names the kind" true (contains e "request-only");
+         check "load points at line 2" true (contains e (path ^ ":2")));
+      match Request.load_items path with
+      | Error e -> Alcotest.fail e
+      | Ok items ->
+        let rs, us = Request.split_items items in
+        check_int "one request" 1 (List.length rs);
+        check_int "one update" 1 (List.length us));
+  (* Unknown machine presets fail at ingest, with the line position. *)
+  with_jsonl
+    [ {| {"id":"x","kernel":"spmv","matrix":"powerlaw:400,5","machine":"warp9"} |} ]
+    (fun path ->
+      match Request.load path with
+      | Ok _ -> Alcotest.fail "ingested an unknown machine preset"
+      | Error e ->
+        check "machine error names the preset" true (contains e "warp9");
+        check "machine error is positional" true (contains e (path ^ ":1")))
+
+let test_update_apply () =
+  (* Set semantics over a COO with a duplicate entry: the delta must
+     replace the summed value, later deltas to one coordinate win, and
+     fresh coordinates append. *)
+  let coo =
+    Coo.of_triples ~rows:4 ~cols:4 [ (0, 0, 1.); (1, 2, 5.); (0, 0, 2.) ]
+  in
+  let u = upd ~matrix:"m" [ (0, 0, 9.); (3, 3, 7.); (3, 3, 8.) ] in
+  let d = Coo.to_dense (Coo.sorted_dedup (Request.Update.apply u coo)) in
+  check "existing coordinate set, duplicates collapsed" true (d.(0) = 9.);
+  check "untouched entry survives" true (d.((1 * 4) + 2) = 5.);
+  check "fresh coordinate appended, last delta wins" true
+    (d.((3 * 4) + 3) = 8.);
+  (try
+     ignore (Request.Update.apply (upd ~matrix:"m" [ (4, 0, 1.) ]) coo);
+     Alcotest.fail "accepted an out-of-bounds delta"
+   with Invalid_argument _ -> ())
+
+let test_streaming_updates () =
+  let profiles = small_profiles () in
+  let reqs = Mix.hot_cold ~seed:31 ~n:40 profiles in
+  let updates = Mix.update_stream ~seed:31 ~n:6 ~mean_gap_ms:0.3 profiles in
+  let run jobs =
+    Scheduler.run ~updates Config.(with_jobs jobs default) reqs
+  in
+  let a = run 1 and b = run 4 in
+  check "update replay byte-identical across jobs" true (lines a = lines b);
+  check "invalidations fired" true
+    (a.Scheduler.rp_summary.Slo.s_invalidated > 0);
+  check_int "no stale hits" 0 a.Scheduler.rp_summary.Slo.s_stale_hits;
+  check "a versioned fingerprint was served" true
+    (Array.exists
+       (fun r -> contains r.Scheduler.r_fp "|v")
+       a.Scheduler.rp_records);
+  check "registry counts invalidations" true
+    (Registry.find a.Scheduler.rp_registry "serve.cache.invalidated" > 0);
+  check_int "registry stale-hit stays zero" 0
+    (Registry.find a.Scheduler.rp_registry "serve.cache.stale_hit");
+  (* An empty update stream is byte-identical to the pre-update path. *)
+  let plain = Scheduler.run Config.default reqs in
+  let plain2 = Scheduler.run ~updates:[] Config.default reqs in
+  check "no updates = legacy replay" true (lines plain = lines plain2);
+  check_int "no invalidations without updates" 0
+    plain.Scheduler.rp_summary.Slo.s_invalidated
+
+let test_update_versioning_order () =
+  (* Two identical requests around one update: the earlier keeps the
+     suffix-free v0 key, the later is served from the updated matrix
+     under a version-suffixed key, and the v0 cache entry is dropped. *)
+  let r0 = req ~id:"a" ~arrival:0.0 () in
+  let r1 = req ~id:"b" ~arrival:2.0 () in
+  let u = upd ~at:1.0 [ (0, 0, 1234.5) ] in
+  let rp = Scheduler.run ~updates:[ u ] Config.default [ r0; r1 ] in
+  let rec0 = rp.Scheduler.rp_records.(0)
+  and rec1 = rp.Scheduler.rp_records.(1) in
+  check "pre-update arrival keeps the unsuffixed key" true
+    (not (contains rec0.Scheduler.r_fp "|v"));
+  check "post-update arrival versioned" true
+    (contains rec1.Scheduler.r_fp "|v1");
+  check "the update invalidated the v0 entry" true
+    (rp.Scheduler.rp_summary.Slo.s_invalidated >= 1);
+  check_int "no stale hits" 0 rp.Scheduler.rp_summary.Slo.s_stale_hits;
+  (* The served outputs must actually differ — the delta reached the
+     kernel, not just the cache key. *)
+  match (rec0.Scheduler.r_result, rec1.Scheduler.r_result) with
+  | Some a, Some b ->
+    check "update changed the served result" true
+      (a.Driver.out_f <> b.Driver.out_f)
+  | _ -> Alcotest.fail "expected both requests served"
+
 let suite =
   [ Alcotest.test_case "request jsonl roundtrip" `Quick
       test_request_roundtrip;
+    Alcotest.test_case "update jsonl + ingest validation" `Quick
+      test_update_jsonl;
+    Alcotest.test_case "update apply semantics" `Quick test_update_apply;
+    Alcotest.test_case "streaming updates replay" `Slow
+      test_streaming_updates;
+    Alcotest.test_case "update versioning order" `Quick
+      test_update_versioning_order;
     Alcotest.test_case "request fingerprint" `Quick test_request_fingerprint;
     Alcotest.test_case "request errors" `Quick test_request_errors;
     Alcotest.test_case "request pipeline" `Quick test_request_pipeline;

@@ -23,7 +23,9 @@ let cases =
     ("spmv_csr", Kernel.spmv ~enc:(csr ()) ());
     ("spmv_csc", Kernel.spmv ~enc:(csc ()) ());
     ("spmv_dcsr", Kernel.spmv ~enc:(dcsr ()) ());
+    ("spmv_bsr", Kernel.spmv ~enc:(bsr ~bh:2 ~bw:2 ()) ());
     ("spmm_csr", Kernel.spmm ~enc:(csr ()) ());
+    ("sddmm_csr", Kernel.sddmm ~enc:(csr ()) ());
     ("ttv_csf", Kernel.ttv ~enc:(csf 3) ()) ]
 
 let () =

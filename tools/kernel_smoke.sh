@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Kernel-scenario smoke benchmark: run bench/kernels.exe (SDDMM and
+# blocked BSR SpMV, ASaP vs baseline in virtual cycles, plus the
+# streaming-update serving replay) and emit BENCH_kernels.json.
+#
+# Gates (all enforced by kernels.exe itself, exit 1 on violation):
+#   - every scenario's ASaP variant is value-correct against the dense
+#     reference (max |err| <= 1e-9) and at least MIN_KERNEL_RATIO x the
+#     baseline's virtual cycles;
+#   - the streaming-update replay's records are byte-identical between
+#     --jobs 1 and --jobs $KERNEL_JOBS with updates in flight;
+#   - the update stream invalidates at least one cached entry
+#     (serve.cache.invalidated > 0) and serves zero stale hits
+#     (serve.cache.stale_hit = 0).
+#
+# Run directly after `dune build`, or via `dune build @kernel-smoke`
+# (also pulled in by @bench-smoke).
+set -euo pipefail
+
+OUT=${1:-BENCH_kernels.json}
+KERNELS=${KERNELS:-_build/default/bench/kernels.exe}
+case $KERNELS in */*) ;; *) KERNELS=./$KERNELS ;; esac
+TIMEOUT_S=${TIMEOUT_S:-900}
+KERNEL_N=${KERNEL_N:-120}
+KERNEL_SEED=${KERNEL_SEED:-11}
+KERNEL_JOBS=${KERNEL_JOBS:-4}
+MIN_KERNEL_RATIO=${MIN_KERNEL_RATIO:-1.0}
+KERNEL_UPDATES=${KERNEL_UPDATES:-8}
+KERNEL_ENGINE=${KERNEL_ENGINE:-bytecode}
+
+timeout "$TIMEOUT_S" "$KERNELS" --engine "$KERNEL_ENGINE" "$KERNEL_N" \
+  "$KERNEL_SEED" "$KERNEL_JOBS" "$MIN_KERNEL_RATIO" "$KERNEL_UPDATES" \
+  >"$OUT"
+
+speedups=$(grep -o '"asap_speedup": [0-9.]*' "$OUT" \
+  | grep -o '[0-9.]*$' | paste -sd, -)
+invalidated=$(grep -o '"invalidated": [0-9]*' "$OUT" | grep -o '[0-9]*$')
+stale=$(grep -o '"stale_hits": [0-9]*' "$OUT" | grep -o '[0-9]*$')
+identical=$(grep -o '"records_jobs_identical": [a-z]*' "$OUT" \
+  | grep -o '[a-z]*$')
+echo "wrote $OUT (asap_speedups=${speedups}," \
+  "invalidated=${invalidated}, stale_hits=${stale}," \
+  "jobs-identical=${identical})"
