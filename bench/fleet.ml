@@ -17,8 +17,16 @@
    Results go to stdout as JSON (tracked in BENCH_fleet.json by
    tools/serve_smoke.sh @serve-smoke).
 
+   With [--soak N] (N defaults to 1_000_000 when omitted) the fleet
+   additionally replays an N-request Zipf trace and reports the
+   outcome as an ungated "soak" row: the point is surviving the volume
+   with a sane summary (virtual throughput, shed rate, p99), not a
+   ratio gate — soak cost scales with N and would make the gate a
+   host-speed lottery.
+
    Usage: fleet.exe [--engine interp|compiled|bytecode] [--shards K]
-                    [n] [seed] [jobs] [min_ratio; 0 disables] *)
+                    [--soak [N]] [n] [seed] [jobs]
+                    [min_ratio; 0 disables] *)
 
 module Mix = Asap_serve.Mix
 module Scheduler = Asap_serve.Scheduler
@@ -30,6 +38,7 @@ module Exec = Asap_sim.Exec
 let () =
   let engine = ref Exec.default_engine in
   let shards = ref 4 in
+  let soak = ref 0 in
   let rec split acc = function
     | [] -> List.rev acc
     | "--engine" :: v :: rest ->
@@ -44,6 +53,12 @@ let () =
        | Some k when k >= 1 -> shards := k
        | _ -> Printf.eprintf "bad --shards %s\n" v; exit 1);
       split acc rest
+    | "--soak" :: v :: rest when int_of_string_opt v <> None ->
+      (match int_of_string_opt v with
+       | Some k when k >= 0 -> soak := k (* 0 disables *)
+       | _ -> Printf.eprintf "bad --soak %s\n" v; exit 1);
+      split acc rest
+    | "--soak" :: rest -> soak := 1_000_000; split acc rest
     | a :: rest -> split (a :: acc) rest
   in
   let pos = Array.of_list (split [] (List.tl (Array.to_list Sys.argv))) in
@@ -57,7 +72,7 @@ let () =
   let seed = argi 1 11 in
   let jobs = argi 2 4 in
   let min_ratio = argf 3 2.0 in
-  let engine = !engine and shards = !shards in
+  let engine = !engine and shards = !shards and soak = !soak in
   let profiles =
     List.map
       (fun p -> { p with Mix.p_engine = engine })
@@ -94,6 +109,38 @@ let () =
     Option.value ~default:0
       (Registry.get fleet.Scheduler.rp_registry "serve.steal.count")
   in
+  (* Ungated soak: same fleet config on an N-request trace. Reported,
+     never gated — see the header comment. *)
+  let soak_json =
+    if soak = 0 then ""
+    else begin
+      let sreqs =
+        Mix.hot_cold ~mean_gap_ms:0.005
+          ~tenants:[ ("alpha", 3.); ("beta", 1.); ("gamma", 1.) ]
+          ~seed:(seed + 1) ~n:soak profiles
+      in
+      let t0 = Unix.gettimeofday () in
+      let rp =
+        Scheduler.run
+          Config.(default |> with_shards shards |> with_jobs jobs)
+          sreqs
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      let s = rp.Scheduler.rp_summary in
+      Printf.sprintf
+        "  \"soak\": { \"requests\": %d, \"wall_s\": %.3f, \"served\": %d,\n\
+        \            \"shed\": %d, \"hits\": %d, \"builds\": %d,\n\
+        \            \"p99_ms\": %s, \"makespan_ms\": %.3f,\n\
+        \            \"virtual_rps\": %.1f },\n"
+        soak dt
+        (s.Slo.s_ok + s.Slo.s_degraded)
+        s.Slo.s_shed s.Slo.s_hits s.Slo.s_builds
+        (match s.Slo.s_p99_ms with
+         | Some p -> Printf.sprintf "%.3f" p
+         | None -> "null")
+        s.Slo.s_makespan_ms s.Slo.s_throughput_rps
+    end
+  in
   Printf.printf
     "{\n\
     \  \"mix\": \"hot_cold zipf n=%d seed=%d, 3 tenants, 5us mean gap\",\n\
@@ -106,6 +153,7 @@ let () =
     \              \"shed\": %d, \"steals\": %d, \"makespan_ms\": %.3f,\n\
     \              \"virtual_rps\": %.1f },\n\
     \  \"fleet_speedup\": %.2f,\n\
+     %s\
     \  \"records_jobs_identical\": %b\n\
      }\n"
     n seed
@@ -116,7 +164,7 @@ let () =
     fleet_wall
     (fs.Slo.s_ok + fs.Slo.s_degraded)
     fs.Slo.s_shed steals fs.Slo.s_makespan_ms fs.Slo.s_throughput_rps ratio
-    identical;
+    soak_json identical;
   if not identical then begin
     Printf.eprintf
       "bench/fleet: FAIL — fleet records differ between --jobs 1 and \

@@ -62,9 +62,31 @@ type measurement = {
   m_group : string;
   m_nnz : int;
   m_throughput : float;        (* nnz per ms *)
+  m_gflops : float;            (* simulated GFLOP/s at the machine clock *)
   m_mpki : float;
   m_report : Exec.report;
 }
+
+(* --- Host wall-clock protocol ---------------------------------------- *)
+
+(** [measure_wall ~warmup ~reps f] is the median wall-clock seconds of
+    one [f ()] call: [warmup] untimed calls first (caches, branch
+    predictors, allocator state), then [reps] timed calls, median
+    reported so a stray scheduler hiccup cannot skew the figure. This is
+    the one measurement protocol every host-time figure in bench/ goes
+    through; simulated quantities (cycles, throughput, GFLOP/s) never
+    need it — they are deterministic. *)
+let measure_wall ?(warmup = 2) ?(reps = 9) (f : unit -> unit) : float =
+  for _ = 1 to warmup do f () done;
+  let reps = max 1 reps in
+  let times =
+    Array.init reps (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Unix.gettimeofday () -. t0)
+  in
+  Array.sort compare times;
+  times.(reps / 2)
 
 (* Execution knobs, set by the CLI before any cell runs. [engine] selects
    the simulator's execution engine for every cell; [jobs] > 1 lets
@@ -89,6 +111,7 @@ let emit_record key (m : measurement) =
         ("engine", Asap_obs.Jsonu.Str (Exec.engine_to_string !engine));
         ("nnz", Asap_obs.Jsonu.Int m.m_nnz);
         ("throughput_nnz_per_ms", Asap_obs.Jsonu.Float m.m_throughput);
+        ("gflops", Asap_obs.Jsonu.Float m.m_gflops);
         ("l2_mpki", Asap_obs.Jsonu.Float m.m_mpki);
         Asap_obs.Run_record.counters_field (Exec.Report.registry m.m_report) ]
 
@@ -168,7 +191,8 @@ let compute_cell ~engine (c : cell) coo st : measurement =
         enc coo
   in
   { m_name = e.Suite.name; m_group = e.Suite.group; m_nnz = r.Driver.nnz;
-    m_throughput = Driver.throughput r; m_mpki = Driver.mpki r;
+    m_throughput = Driver.throughput r;
+    m_gflops = Exec.gflops r.Driver.report; m_mpki = Driver.mpki r;
     m_report = r.Driver.report }
 
 (** [measure kernel entry vkind hw] runs one cell of the grid (memoised). *)

@@ -143,6 +143,19 @@ let pipeline_arg =
                  variant's default pipeline; see $(b,asapc passes) for the \
                  registry.")
 
+let specialize_arg =
+  Arg.(value & flag
+       & info [ "specialize" ]
+           ~doc:"Ahead-of-time kernel specialization: bake the runtime \
+                 facts that are constant for the artefact (dimension \
+                 extents, dense inner extents, the variant's prefetch \
+                 distance) into the program — constants folded through \
+                 the body, small constant-trip loops fully unrolled, \
+                 prefetch hooks stripped when the distance is 0, dead \
+                 feeder arithmetic swept — before staging. Results and \
+                 reports are exactly those of the generic program; only \
+                 virtual cycles (and host time) improve.")
+
 let variant_of v ~distance ~strategy ~bound =
   match v with
   | `Baseline -> Pipeline.Baseline
@@ -179,22 +192,48 @@ let matrix_args =
 (* --- compile --------------------------------------------------------- *)
 
 let compile_cmd =
-  let run kernel enc v distance strategy bound pipeline =
+  let run kernel enc v distance strategy bound pipeline specialize =
     let kernel = match kernel with
       | `Spmv -> Kernel.spmv ~enc ()
       | `Spmm -> Kernel.spmm ~enc ()
       | `Sddmm -> Kernel.sddmm ~enc ()
     in
-    let c =
-      Pipeline.compile ?pipeline kernel
-        (variant_of v ~distance ~strategy ~bound)
-    in
-    print_string (Pipeline.listing c);
-    Printf.printf "// prefetch sites: %d\n" c.Pipeline.n_prefetch_sites
+    let variant = variant_of v ~distance ~strategy ~bound in
+    let c = Pipeline.compile ?pipeline kernel variant in
+    if specialize then begin
+      (* No matrix at compile time, so specialize against representative
+         extents (every scalar parameter = 8) — enough to show what the
+         specializer folds, unrolls and strips for this kernel shape. *)
+      let module Specialize = Asap_sim.Specialize in
+      let nscalars =
+        List.fold_left
+          (fun acc p ->
+            match p with Asap_ir.Ir.Pscalar _ -> acc + 1 | _ -> acc)
+          0 c.Pipeline.fn.Asap_ir.Ir.fn_params
+      in
+      let facts =
+        Specialize.make
+          ?distance:(Driver.variant_distance variant)
+          ~scalars:(List.init nscalars (fun _ -> 8)) ()
+      in
+      let fn, st = Specialize.apply facts c.Pipeline.fn in
+      print_string (Asap_ir.Printer.to_string fn);
+      Printf.printf
+        "// specialized (representative extents: every scalar = 8): \
+         %d consts folded, %d loops unrolled (%d iterations), %d dead \
+         lets swept, %d prefetch hooks stripped\n"
+        st.Specialize.sp_folded st.Specialize.sp_unrolled
+        st.Specialize.sp_iterations st.Specialize.sp_dce
+        st.Specialize.sp_prefetch_stripped
+    end
+    else begin
+      print_string (Pipeline.listing c);
+      Printf.printf "// prefetch sites: %d\n" c.Pipeline.n_prefetch_sites
+    end
   in
   Cmd.v (Cmd.info "compile" ~doc:"Sparsify a kernel and print the IR")
     Term.(const run $ kernel_arg $ format_arg $ variant_arg $ distance_arg
-          $ strategy_arg $ bound_arg $ pipeline_arg)
+          $ strategy_arg $ bound_arg $ pipeline_arg $ specialize_arg)
 
 (* --- run ------------------------------------------------------------- *)
 
@@ -222,7 +261,7 @@ let run_cmd =
              ~doc:"Dump the full named-counter registry after the run.")
   in
   let run coo kernel enc v distance strategy bound threads hw checkit engine
-      trace counters pipeline =
+      trace counters pipeline specialize =
     let hw = match (hw, kernel) with
       | `D, _ -> Machine.hw_default
       | `O, (`Spmv | `Sddmm) -> Machine.hw_optimized
@@ -238,7 +277,8 @@ let run_cmd =
         Asap_obs.Chrome.sink ~pf_name:Asap_sim.Hw_prefetcher.slug_of_id c
     in
     let cfg =
-      Driver.Cfg.make ~engine ~threads ~obs ?pipeline ~machine ~variant ()
+      Driver.Cfg.make ~engine ~threads ~obs ?pipeline ~specialize ~machine
+        ~variant ()
     in
     let spec = match kernel with
       | `Spmv -> Driver.Spmv enc
@@ -270,7 +310,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a kernel on the simulated machine")
     Term.(const run $ matrix_args $ kernel_arg $ format_arg $ variant_arg
           $ distance_arg $ strategy_arg $ bound_arg $ threads_arg $ hw_arg
-          $ check_arg $ engine_arg $ trace_arg $ counters_arg $ pipeline_arg)
+          $ check_arg $ engine_arg $ trace_arg $ counters_arg $ pipeline_arg
+          $ specialize_arg)
 
 (* --- inspect --------------------------------------------------------- *)
 
@@ -577,9 +618,19 @@ let serve_cmd =
                    requests and enters the artefact fingerprint in \
                    canonical form.")
   in
+  let serve_specialize_arg =
+    Arg.(value & flag
+         & info [ "specialize" ]
+             ~doc:"Override every request's specialize field: build and \
+                   serve ahead-of-time specialized artefacts (constants \
+                   baked in, constant-trip loops unrolled). Enters the \
+                   fingerprint, so specialized and generic entries never \
+                   share a cache slot. Without the flag each request's \
+                   own field applies.")
+  in
   let run requests out jobs shards servers queue cache no_cache no_batch
       no_steal quota quotas deadline_policy summary trace counters mode
-      pipelines =
+      pipelines specialize =
     match Request.load_items requests with
     | Error e -> prerr_endline ("asapc serve: " ^ e); exit 1
     | Ok items ->
@@ -601,6 +652,9 @@ let serve_cmd =
         match mode with
         | None -> config
         | Some m -> Config.with_tune_mode m config
+      in
+      let config =
+        if specialize then Config.with_specialize true config else config
       in
       let chrome = Option.map (fun _ -> Asap_obs.Chrome.create ()) trace in
       let rp = Scheduler.run ?trace:chrome ~updates config reqs in
@@ -639,7 +693,7 @@ let serve_cmd =
           $ servers_arg $ queue_arg $ cache_arg $ no_cache_arg $ no_batch_arg
           $ no_steal_arg $ quota_arg $ quotas_arg $ deadline_policy_arg
           $ summary_arg $ trace_arg $ counters_arg $ mode_arg
-          $ pipelines_arg)
+          $ pipelines_arg $ serve_specialize_arg)
 
 (* --- genreqs --------------------------------------------------------- *)
 
@@ -699,11 +753,19 @@ let genreqs_cmd =
              ~doc:"Mean exponential gap between streaming updates, \
                    virtual ms.")
   in
+  let gen_specialize_arg =
+    Arg.(value & flag
+         & info [ "specialize" ]
+             ~doc:"Stamp specialize=true on every generated request \
+                   (serve ahead-of-time specialized artefacts).")
+  in
   let run out n seed alpha gap deadline engine mode tenants updates
-      update_gap =
+      update_gap specialize =
     let profiles =
       List.map
-        (fun p -> { p with Mix.p_engine = engine; p_tune_mode = mode })
+        (fun p ->
+          { p with Mix.p_engine = engine; p_tune_mode = mode;
+            p_specialize = specialize })
         (Mix.default_profiles ())
     in
     let reqs =
@@ -737,7 +799,7 @@ let genreqs_cmd =
        ~doc:"Write a synthetic hot/cold request mix as JSONL")
     Term.(const run $ out_arg $ n_arg $ seed_arg $ alpha_arg $ gap_arg
           $ deadline_arg $ engine_arg $ mode_arg $ tenants_arg $ updates_arg
-          $ update_gap_arg)
+          $ update_gap_arg $ gen_specialize_arg)
 
 let () =
   let info =

@@ -10,6 +10,7 @@ module Emitter = Asap_sparsifier.Emitter
 module Runtime = Asap_sim.Runtime
 module Machine = Asap_sim.Machine
 module Exec = Asap_sim.Exec
+module Specialize = Asap_sim.Specialize
 
 type result = {
   report : Exec.report;
@@ -42,14 +43,24 @@ module Cfg = struct
     obs : Asap_obs.Sink.t;               (* event sink (default: off) *)
     tune_mode : Tuning.mode;             (* how `Tuned decisions are made *)
     pipeline : string option;            (* pass-pipeline spec override *)
+    specialize : bool;                   (* AoT-specialize before running *)
   }
 
   let make ?(engine = Exec.default_engine) ?(threads = 1) ?(binary = false)
       ?n ?st ?(obs = Asap_obs.Sink.null) ?(tune_mode = Tuning.default_mode)
-      ?pipeline ~machine ~variant () =
+      ?pipeline ?(specialize = false) ~machine ~variant () =
     { machine; variant; engine; threads; binary; n; st; obs; tune_mode;
-      pipeline }
+      pipeline; specialize }
 end
+
+(* The prefetch distance a variant resolves to — a specialization fact
+   ([Some 0] lets the specializer strip dead prefetch hooks). *)
+let variant_distance = function
+  | Pipeline.Baseline -> None
+  | Pipeline.Asap (c : Asap_prefetch.Asap.config) ->
+    Some c.Asap_prefetch.Asap.distance
+  | Pipeline.Ainsworth_jones (c : Asap_prefetch.Ainsworth_jones.config) ->
+    Some c.Asap_prefetch.Ainsworth_jones.distance
 
 (** What to execute: the kernel family and the sparse encoding of its
     tensor operand ([Ttv None] defaults to rank-3 CSF). *)
@@ -69,10 +80,12 @@ let dense_b n =
   done;
   b
 
-let run_compiled ~engine ~obs (c : Pipeline.compiled) ~machine ~threads
+let run_compiled ?spec ~engine ~obs (c : Pipeline.compiled) ~machine ~threads
     ~outer_extent ~bufs ~scalars =
   if threads <= 1 then
-    Exec.run ~engine ~obs machine c.Pipeline.fn ~bufs ~scalars
+    Exec.run_prepared ~obs
+      (Exec.prepare ~engine ?spec machine c.Pipeline.fn ~bufs)
+      ~scalars
   else begin
     (match c.Pipeline.cc.Emitter.kernel.Kernel.k_encoding.Encoding.levels.(0)
      with
@@ -80,8 +93,15 @@ let run_compiled ~engine ~obs (c : Pipeline.compiled) ~machine ~threads
      | Encoding.Compressed _ | Encoding.Singleton ->
        invalid_arg
          "Driver: dense-outer-loop parallelisation needs a dense top level");
-    Exec.run_parallel ~engine ~obs machine ~threads ~outer_extent
-      c.Pipeline.fn ~bufs ~scalars
+    (* The parallel path specializes the IR only — the per-fiber engines
+       compile it generically, which is value- and report-identical. *)
+    let fn =
+      match spec with
+      | None -> c.Pipeline.fn
+      | Some facts -> fst (Specialize.apply facts c.Pipeline.fn)
+    in
+    Exec.run_parallel ~engine ~obs machine ~threads ~outer_extent fn ~bufs
+      ~scalars
   end
 
 (* The kernel-specific assembly shared by the one-shot entry points and
@@ -191,11 +211,23 @@ let assemble_sddmm (cfg : Cfg.t) (enc : Encoding.t) (coo : Coo.t) :
     a_scalars = scalars; a_threads = cfg.Cfg.threads; a_outer_extent = rows;
     a_out_f = Some out; a_out_b = None }
 
+(* The specialization facts of an assembled kernel: its resolved scalar
+   arguments (extents, inner extents, block shapes) and the variant's
+   prefetch distance. [None] unless the configuration opts in. *)
+let spec_facts (cfg : Cfg.t) (a : assembled) : Specialize.facts option =
+  if not cfg.Cfg.specialize then None
+  else
+    Some
+      (Specialize.make
+         ?distance:(variant_distance cfg.Cfg.variant)
+         ~scalars:a.a_scalars ())
+
 let run_assembled (cfg : Cfg.t) (a : assembled) : result =
   let report =
-    run_compiled ~engine:cfg.Cfg.engine ~obs:cfg.Cfg.obs a.a_compiled
-      ~machine:cfg.Cfg.machine ~threads:a.a_threads
-      ~outer_extent:a.a_outer_extent ~bufs:a.a_bufs ~scalars:a.a_scalars
+    run_compiled ?spec:(spec_facts cfg a) ~engine:cfg.Cfg.engine
+      ~obs:cfg.Cfg.obs a.a_compiled ~machine:cfg.Cfg.machine
+      ~threads:a.a_threads ~outer_extent:a.a_outer_extent ~bufs:a.a_bufs
+      ~scalars:a.a_scalars
   in
   mk_result report a.a_nnz a.a_out_f a.a_out_b
 
@@ -352,8 +384,8 @@ module Prep = struct
     let prepared =
       if a.a_threads <= 1 then
         Some
-          (Exec.prepare ~engine:cfg.Cfg.engine cfg.Cfg.machine
-             a.a_compiled.Pipeline.fn ~bufs:a.a_bufs)
+          (Exec.prepare ~engine:cfg.Cfg.engine ?spec:(spec_facts cfg a)
+             cfg.Cfg.machine a.a_compiled.Pipeline.fn ~bufs:a.a_bufs)
       else None
     in
     { p_cfg = cfg; p_spec = spec; p_a = a; p_prepared = prepared }
@@ -381,8 +413,8 @@ module Prep = struct
       match p.p_prepared with
       | Some pr -> Exec.run_prepared ~obs pr ~scalars:a.a_scalars
       | None ->
-        run_compiled ~engine:p.p_cfg.Cfg.engine ~obs a.a_compiled
-          ~machine:p.p_cfg.Cfg.machine ~threads:a.a_threads
+        run_compiled ?spec:(spec_facts p.p_cfg a) ~engine:p.p_cfg.Cfg.engine
+          ~obs a.a_compiled ~machine:p.p_cfg.Cfg.machine ~threads:a.a_threads
           ~outer_extent:a.a_outer_extent ~bufs:a.a_bufs ~scalars:a.a_scalars
     in
     mk_result report a.a_nnz a.a_out_f a.a_out_b

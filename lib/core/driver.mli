@@ -43,17 +43,28 @@ module Cfg : sig
     pipeline : string option;
       (** pass-pipeline spec overriding [variant]'s default
           (see {!Pipeline.compile}) *)
+    specialize : bool;
+      (** rewrite the post-pipeline function against the resolved
+          runtime facts (extents, inner extents, tuned distance) before
+          executing — see {!Asap_sim.Specialize}; value- and
+          report-exact vs the generic form across engines, faster in
+          virtual cycles *)
   }
 
   (** [make ~machine ~variant ()] with defaults: [Exec.default_engine],
       one thread, numeric kernels, kernel-specific [n], fresh packing, no
-      observability, [`Sweep] tuning, no pipeline override. *)
+      observability, [`Sweep] tuning, no pipeline override, no
+      specialization. *)
   val make :
     ?engine:Exec.engine -> ?threads:int -> ?binary:bool -> ?n:int ->
     ?st:Asap_tensor.Storage.t -> ?obs:Asap_obs.Sink.t ->
-    ?tune_mode:Tuning.mode -> ?pipeline:string ->
+    ?tune_mode:Tuning.mode -> ?pipeline:string -> ?specialize:bool ->
     machine:Machine.t -> variant:Pipeline.variant -> unit -> t
 end
+
+(** [variant_distance v] is the prefetch distance [v] resolves to
+    ([None] for [Baseline]) — the distance fact fed to the specializer. *)
+val variant_distance : Pipeline.variant -> int option
 
 (** What to execute: the kernel family and the sparse encoding of its
     tensor operand ([Ttv None] defaults to rank-3 CSF). *)

@@ -40,6 +40,8 @@ type entry = {
   e_result : Driver.result;           (* the canonical cold run *)
   e_run_ms : float;                   (* virtual per-execution cost *)
   e_tune_ms : float;                  (* virtual decision cost on miss *)
+  e_spec : bool;                      (* an AoT-specialized artefact *)
+  e_spec_ns : int;                    (* host ns spent preparing it *)
 }
 
 let run_ms (e : entry) = e.e_run_ms
@@ -56,7 +58,8 @@ let miss_penalty_ms ~compile_ms (e : entry) = compile_ms +. e.e_tune_ms
    the default ASaP variant rather than failing the request. When tuning
    applies, the storage packed for the profile runs is returned so the
    prepared execution reuses it. *)
-let decide_variant (req : Request.t) (machine : Machine.t) (coo : Coo.t) :
+let decide_variant ?prepack (req : Request.t) (machine : Machine.t)
+    (coo : Coo.t) :
     Pipeline.variant * Select.decision option * bool * Storage.t option =
   match (req.Request.pipeline, Request.fixed_variant req.Request.variant) with
   | Some _, Some v ->
@@ -71,7 +74,11 @@ let decide_variant (req : Request.t) (machine : Machine.t) (coo : Coo.t) :
      | None -> fallback
      | Some enc when req.Request.kernel <> `Ttv && Coo.rank coo = 2 ->
        (match
-          let st = Storage.pack enc coo in
+          let st =
+            match prepack with
+            | Some st -> st
+            | None -> Storage.pack enc coo
+          in
           ( Select.decide ~engine:req.Request.engine ~jobs:1 ~st
               ~mode:req.Request.tune_mode machine enc coo,
             st )
@@ -80,13 +87,20 @@ let decide_variant (req : Request.t) (machine : Machine.t) (coo : Coo.t) :
         | exception Invalid_argument _ -> fallback)
      | Some _ -> fallback)
 
-(** [build req coo] assembles the cache entry for [req]'s fingerprint:
-    decide the variant (if asked), prepare, and execute once cold. Safe
-    to call from a {!Par} worker — it touches no shared state ([~jobs:1]
-    tuning). *)
-let build (req : Request.t) (coo : Coo.t) : entry =
+(** [build ?st req coo] assembles the cache entry for [req]'s
+    fingerprint: decide the variant (if asked), prepare, and execute
+    once cold. [st], if given, must be the packed storage of [req]'s
+    format over exactly [coo] — the scheduler's pack-memoisation
+    pre-pass supplies it so repeated formats of one matrix pack once.
+    Safe to call from a {!Par} worker — it touches no shared state
+    ([~jobs:1] tuning). *)
+let build ?st:(prepack : Storage.t option) (req : Request.t) (coo : Coo.t) :
+    entry =
   let machine = Request.machine_of req in
-  let variant, decide, fell_back, st = decide_variant req machine coo in
+  let variant, decide, fell_back, st =
+    decide_variant ?prepack req machine coo
+  in
+  let st = match st with Some _ -> st | None -> prepack in
   let tune_ms =
     match decide with
     | None -> 0.
@@ -95,13 +109,20 @@ let build (req : Request.t) (coo : Coo.t) : entry =
   let cfg =
     Driver.Cfg.make ~engine:req.Request.engine
       ~tune_mode:req.Request.tune_mode ?pipeline:req.Request.pipeline ?st
-      ~machine ~variant ()
+      ~specialize:req.Request.specialize ~machine ~variant ()
   in
+  let t0 = if req.Request.specialize then Some (Unix.gettimeofday ()) else None in
   let prep = Driver.Prep.make cfg (Request.spec req) coo in
+  let spec_ns =
+    match t0 with
+    | None -> 0
+    | Some t0 -> int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)
+  in
   let result = Driver.Prep.exec prep in
   let run_ms =
     Machine.cycles_to_ms machine (Exec.Report.cycles result.Driver.report)
   in
   { e_fp = Request.fingerprint req; e_machine = machine; e_prep = prep;
     e_decide = decide; e_tune_fell_back = fell_back; e_result = result;
-    e_run_ms = run_ms; e_tune_ms = tune_ms }
+    e_run_ms = run_ms; e_tune_ms = tune_ms;
+    e_spec = req.Request.specialize; e_spec_ns = spec_ns }

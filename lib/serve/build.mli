@@ -24,6 +24,8 @@ type entry = {
   e_result : Driver.result;           (** the canonical cold run *)
   e_run_ms : float;                   (** virtual per-execution cost *)
   e_tune_ms : float;                  (** virtual decision cost on miss *)
+  e_spec : bool;                      (** an AoT-specialized artefact *)
+  e_spec_ns : int;                    (** host ns spent preparing it *)
 }
 
 val run_ms : entry -> float
@@ -34,8 +36,11 @@ val result : entry -> Driver.result
     tuning-decision cost. *)
 val miss_penalty_ms : compile_ms:float -> entry -> float
 
-(** [build req coo] assembles the entry for [req]'s fingerprint: decide
-    the variant (if asked; falls back to default ASaP when tuning is
-    inapplicable), prepare, and execute once cold. Safe to call from a
+(** [build ?st req coo] assembles the entry for [req]'s fingerprint:
+    decide the variant (if asked; falls back to default ASaP when
+    tuning is inapplicable), prepare, and execute once cold. [st], if
+    given, must be the packed storage of [req]'s format over exactly
+    [coo] — the scheduler's pack-memoisation pre-pass supplies it so
+    repeated formats of one matrix pack once. Safe to call from a
     {!Par} worker. *)
-val build : Request.t -> Coo.t -> entry
+val build : ?st:Asap_tensor.Storage.t -> Request.t -> Coo.t -> entry

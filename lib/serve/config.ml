@@ -54,6 +54,7 @@ type t = {
   deadline_policy : deadline_policy;
   engine : Exec.engine option;    (* override every request's engine *)
   tune_mode : Tuning.mode option; (* override every request's tune_mode *)
+  specialize : bool option;       (* override every request's specialize *)
   pipelines : (string * string) list;
                            (* per-tenant pass-pipeline spec overrides *)
   jobs : int;              (* host domains for the build pass *)
@@ -64,7 +65,7 @@ let default =
     compile_ms = 0.05; batching = true; stealing = true;
     vnodes = Router.default_vnodes; quota_default = None; quotas = [];
     deadline_policy = Degrade; engine = None; tune_mode = None;
-    pipelines = []; jobs = 1 }
+    specialize = None; pipelines = []; jobs = 1 }
 
 let with_shards shards t = { t with shards }
 let with_servers servers t = { t with servers }
@@ -79,6 +80,7 @@ let with_quotas quotas t = { t with quotas }
 let with_deadline_policy deadline_policy t = { t with deadline_policy }
 let with_engine engine t = { t with engine = Some engine }
 let with_tune_mode tune_mode t = { t with tune_mode = Some tune_mode }
+let with_specialize specialize t = { t with specialize = Some specialize }
 let with_pipelines pipelines t = { t with pipelines }
 let with_jobs jobs t = { t with jobs }
 

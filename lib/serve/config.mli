@@ -39,6 +39,7 @@ type t = {
   deadline_policy : deadline_policy;
   engine : Exec.engine option;    (** override every request's engine *)
   tune_mode : Tuning.mode option; (** override every request's tune_mode *)
+  specialize : bool option;       (** override every request's specialize *)
   pipelines : (string * string) list;
       (** per-tenant pass-pipeline specs; a tenant's entry overrides
           the pipeline of every one of its requests *)
@@ -67,6 +68,7 @@ val with_quotas : (string * int) list -> t -> t
 val with_deadline_policy : deadline_policy -> t -> t
 val with_engine : Exec.engine -> t -> t
 val with_tune_mode : Tuning.mode -> t -> t
+val with_specialize : bool -> t -> t
 val with_pipelines : (string * string) list -> t -> t
 val with_jobs : int -> t -> t
 

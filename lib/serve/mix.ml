@@ -21,14 +21,15 @@ type profile = {
   p_engine : Exec.engine;
   p_machine : string;
   p_tune_mode : Tuning.mode;
+  p_specialize : bool;
 }
 
 let profile ?(kernel = `Spmv) ?(format = "csr") ?(variant = `Asap)
     ?(engine = Exec.default_engine) ?(machine = "optimized")
-    ?(tune_mode = Tuning.default_mode) matrix =
+    ?(tune_mode = Tuning.default_mode) ?(specialize = false) matrix =
   { p_kernel = kernel; p_format = format; p_matrix = matrix;
     p_variant = variant; p_engine = engine; p_machine = machine;
-    p_tune_mode = tune_mode }
+    p_tune_mode = tune_mode; p_specialize = specialize }
 
 (* A small spread over the workload suite: hot head on the irregular
    matrices prefetching helps most, cold tail over formats, variants and
@@ -134,7 +135,8 @@ let hot_cold ?(alpha = 1.2) ?(mean_gap_ms = 0.05) ?deadline_ms
         kernel = p.p_kernel; format = p.p_format; matrix = p.p_matrix;
         variant = p.p_variant; engine = p.p_engine; machine = p.p_machine;
         tune_mode = p.p_tune_mode; pipeline = None; tenant; arrival_ms = !t;
-        deadline = Option.map (fun ms -> Request.Ms ms) deadline_ms })
+        deadline = Option.map (fun ms -> Request.Ms ms) deadline_ms;
+        specialize = p.p_specialize })
 
 (* Streaming deltas against the rank-2 matrices of a profile list. The
    generator resolves each distinct spec once (deterministically) just

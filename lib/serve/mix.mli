@@ -13,14 +13,15 @@ type profile = {
   p_engine : Exec.engine;
   p_machine : string;
   p_tune_mode : Tuning.mode;
+  p_specialize : bool;        (** request the AoT-specialized artefact *)
 }
 
 (** [profile matrix] with defaults: SpMV, csr, ASaP variant, default
-    engine, "optimized" machine, sweep tuning. *)
+    engine, "optimized" machine, sweep tuning, no specialization. *)
 val profile :
   ?kernel:Request.kernel -> ?format:string -> ?variant:Request.variant ->
   ?engine:Exec.engine -> ?machine:string -> ?tune_mode:Tuning.mode ->
-  string -> profile
+  ?specialize:bool -> string -> profile
 
 (** A 10-profile spread over the workload suite, hot head first (Zipf
     weight falls with list position). *)

@@ -44,6 +44,7 @@ type t = {
   tenant : string;          (* admission-quota accounting key *)
   arrival_ms : float;       (* virtual arrival time *)
   deadline : deadline option;
+  specialize : bool;        (* serve the AoT-specialized artefact *)
 }
 
 let default_tenant = "default"
@@ -165,6 +166,10 @@ let fingerprint (r : t) : string =
     | None -> base
     | Some p -> base @ [ "pipeline=" ^ Asap_pass.Runner.canonical_of_string p ]
   in
+  (* A specialized artefact bakes the request's resolved facts into its
+     bytecode, so it can never serve (or be served by) the generic
+     entry of the same build inputs. *)
+  let base = if r.specialize then base @ [ "spec" ] else base in
   String.concat "|" base
 
 (** [fallback r] is the degraded form a timed-out request is served as:
@@ -191,6 +196,11 @@ let to_json (r : t) : Jsonu.t =
     match r.pipeline with
     | None -> base
     | Some p -> base @ [ ("pipeline", Jsonu.Str p) ]
+  in
+  (* Emitted only when set, so pre-specialization streams round-trip
+     byte-identically. *)
+  let base =
+    if r.specialize then base @ [ ("specialize", Jsonu.Bool true) ] else base
   in
   let deadline =
     match r.deadline with
@@ -310,12 +320,17 @@ let of_json (j : Jsonu.t) : (t, string) result =
         | _, _, _, _, Error e, _ | _, _, _, _, _, Error e -> Error e
         | Ok format, Ok variant, Ok engine, Ok tune_mode, Ok pipeline,
           Ok machine ->
+          let specialize =
+            match Jsonu.member "specialize" j with
+            | Some b -> Option.value (Jsonu.to_bool_opt b) ~default:false
+            | None -> false
+          in
           Ok
             { id; kernel; format; matrix; variant; engine; tune_mode;
               pipeline; machine;
               tenant = Option.value (str "tenant") ~default:default_tenant;
               arrival_ms = Option.value (num "arrival_ms") ~default:0.;
-              deadline }))
+              deadline; specialize }))
 
 let of_line (line : string) : (t, string) result =
   match Jsonu.of_string line with

@@ -38,6 +38,10 @@ type t = {
   tenant : string;          (** admission-quota accounting key *)
   arrival_ms : float;       (** virtual arrival time *)
   deadline : deadline option;
+  specialize : bool;
+      (** build and serve the ahead-of-time specialized artefact
+          ({!Asap_sim.Specialize}); enters the fingerprint, so
+          specialized and generic entries never share a cache slot *)
 }
 
 (** ["default"] — the tenant of requests that don't name one. *)

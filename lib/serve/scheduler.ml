@@ -44,6 +44,7 @@
    {!replay} wrapper reproduces historical records byte-for-byte. *)
 
 module Coo = Asap_tensor.Coo
+module Storage = Asap_tensor.Storage
 module Driver = Asap_core.Driver
 module Par = Asap_core.Par
 module Generate = Asap_workloads.Generate
@@ -127,10 +128,11 @@ let run ?(trace : Chrome.t option) ?(updates : Request.Update.t list = [])
      fingerprints, so they must precede routing and building). *)
   let requests =
     match
-      (config.Config.engine, config.Config.tune_mode, config.Config.pipelines)
+      ( config.Config.engine, config.Config.tune_mode,
+        config.Config.specialize, config.Config.pipelines )
     with
-    | None, None, [] -> requests
-    | engine, tune_mode, _ ->
+    | None, None, None, [] -> requests
+    | engine, tune_mode, specialize, _ ->
       List.map
         (fun r ->
           let r =
@@ -141,6 +143,11 @@ let run ?(trace : Chrome.t option) ?(updates : Request.Update.t list = [])
           let r =
             match tune_mode with
             | Some m -> { r with Request.tune_mode = m }
+            | None -> r
+          in
+          let r =
+            match specialize with
+            | Some s -> { r with Request.specialize = s }
             | None -> r
           in
           match Config.pipeline_of config r.Request.tenant with
@@ -222,7 +229,68 @@ let run ?(trace : Chrome.t option) ?(updates : Request.Update.t list = [])
     Array.mapi (fun i r -> vkey (Request.fingerprint r) ver.(i)) fb_req
   in
   let has_deadline = Array.map (fun r -> r.Request.deadline <> None) reqs in
-  let build_one ((req : Request.t), v) = Build.build req (coo_of req v) in
+  (* --- Pack-memoisation pre-pass ----------------------------------- *)
+  (* Packing is a pure function of (matrix, version, encoding), and many
+     distinct fingerprints share one: same matrix under the same format
+     across variants, engines or tuning modes. Each distinct triple
+     packs once here (sorted keys, index-slotted Par.map — jobs-
+     invariant) and every build consumes the shared storage. The format
+     enters the key in canonical form so spellings that resolve to the
+     same encoding (["bsr"] vs ["bsr4x4"]) share one pack. Disabled
+     with the cache ([cache_capacity = 0]): the uncached baseline pays
+     every pack, like it pays every build. *)
+  let pack_norm fmt = if String.equal fmt "bsr" then "bsr4x4" else fmt in
+  let pack_key_of (req : Request.t) v : (string * int * string) option =
+    match
+      Request.encoding_of_format req.Request.kernel req.Request.format
+    with
+    | Some _ when req.Request.kernel <> `Ttv ->
+      if Coo.rank (coo_of req v) = 2 then
+        Some (req.Request.matrix, v, pack_norm req.Request.format)
+      else None
+    | _ -> None
+  in
+  let pack_rep : (string * int * string, Request.t * int) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  if caching then
+    Array.iteri
+      (fun i r ->
+        match pack_key_of r ver.(i) with
+        | Some k ->
+          if not (Hashtbl.mem pack_rep k) then Hashtbl.add pack_rep k (r, ver.(i))
+        | None -> ())
+      reqs;
+  let pack_keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) pack_rep []
+    |> List.sort compare |> Array.of_list
+  in
+  let packed =
+    Par.map ~jobs
+      (fun k ->
+        let req, v = Hashtbl.find pack_rep k in
+        let enc =
+          Option.get
+            (Request.encoding_of_format req.Request.kernel req.Request.format)
+        in
+        Storage.pack enc (coo_of req v))
+      pack_keys
+  in
+  let prepack_tbl :
+      (string * int * string, Storage.t) Hashtbl.t =
+    Hashtbl.create (Array.length pack_keys)
+  in
+  Array.iteri (fun i k -> Hashtbl.add prepack_tbl k packed.(i)) pack_keys;
+  let prepack_of req v =
+    match pack_key_of req v with
+    | Some k -> Hashtbl.find_opt prepack_tbl k
+    | None -> None
+  in
+  let build_one ((req : Request.t), v) =
+    match prepack_of req v with
+    | Some st -> Build.build ~st req (coo_of req v)
+    | None -> Build.build req (coo_of req v)
+  in
   (* Fingerprint -> (matrix, version), for update invalidation and the
      stale-hit invariant check at dispatch. *)
   let fp_meta : (string, string * int) Hashtbl.t = Hashtbl.create (2 * n) in
@@ -238,7 +306,7 @@ let run ?(trace : Chrome.t option) ?(updates : Request.Update.t list = [])
      fingerprints when caching — grouped by home shard for a fleet —
      input order otherwise) so the tuning counters aggregated from them
      are jobs-invariant. *)
-  let entry_for, builds, built =
+  let entry_for, builds, built, pack_uses =
     if caching then begin
       (* Representative request per fingerprint: the first (by input
          index) request — or fallback form — that produces it, paired
@@ -300,11 +368,20 @@ let run ?(trace : Chrome.t option) ?(updates : Request.Update.t list = [])
       in
       let tbl = Hashtbl.create (Array.length keys) in
       Array.iteri (fun i key -> Hashtbl.add tbl key entries.(i)) keys;
+      (* Builds that consumed a shared pack, counted over the
+         deterministic key list — jobs-invariant, like the builds. *)
+      let pack_uses =
+        Array.fold_left
+          (fun acc key ->
+            let req, v = Hashtbl.find rep key in
+            if prepack_of req v <> None then acc + 1 else acc)
+          0 keys
+      in
       let lookup i = function
         | `Primary -> Hashtbl.find tbl fp.(i)
         | `Fallback -> Hashtbl.find tbl fb_fp.(i)
       in
-      (lookup, Array.length keys, entries)
+      (lookup, Array.length keys, entries, pack_uses)
     end
     else begin
       (* Uncached baseline: every request pays its own build — primaries
@@ -328,7 +405,7 @@ let run ?(trace : Chrome.t option) ?(updates : Request.Update.t list = [])
         | `Primary -> prim.(i)
         | `Fallback -> Option.get fbent.(i)
       in
-      (lookup, Array.length work, entries)
+      (lookup, Array.length work, entries, 0)
     end
   in
 
@@ -397,6 +474,9 @@ let run ?(trace : Chrome.t option) ?(updates : Request.Update.t list = [])
   let fleet_queue_peak = ref 0 in
   let inflight_peak = ref 0 in
   let steals = ref 0 in
+  (* Specialized artefacts served from cache, counted at the sequential
+     dispatch loop — jobs-invariant like every pass-2 quantity. *)
+  let spec_hits = ref 0 in
   let recs : record option array = Array.make n None in
   let trace_shed i =
     match trace with
@@ -557,6 +637,7 @@ let run ?(trace : Chrome.t option) ?(updates : Request.Update.t list = [])
          | Some (_, v_entry) when v_entry <> ver.(h) ->
            sh.Shard.stale_hits <- sh.Shard.stale_hits + 1
          | _ -> ());
+      if hit && entry.Build.e_spec then spec_hits := !spec_hits + nb;
       if not hit then ignore (Lru.add sh.Shard.lru key entry);
       let penalty =
         if hit then 0.
@@ -770,6 +851,26 @@ let run ?(trace : Chrome.t option) ?(updates : Request.Update.t list = [])
             | None -> ())
          | None -> ()))
     built;
+  (* Specialization counters: misses are the specialized builds (each
+     build IS a cache miss), hits the specialized entries served from a
+     shard LRU at dispatch, build_ns the host time Prep.make spent under
+     specialization (a wall-clock quantity — informative, not part of
+     the byte-identical record surface). Pack memoisation mirrors the
+     shape: misses are the packs performed, hits the builds that reused
+     one. *)
+  let spec_misses =
+    Array.fold_left
+      (fun acc (e : Build.entry) -> if e.Build.e_spec then acc + 1 else acc)
+      0 built
+  in
+  let spec_build_ns =
+    Array.fold_left (fun acc (e : Build.entry) -> acc + e.Build.e_spec_ns) 0 built
+  in
+  Registry.set registry "serve.spec.hit" !spec_hits;
+  Registry.set registry "serve.spec.miss" spec_misses;
+  Registry.set registry "serve.spec.build_ns" spec_build_ns;
+  Registry.set registry "serve.pack.hit" (max 0 (pack_uses - Array.length pack_keys));
+  Registry.set registry "serve.pack.miss" (Array.length pack_keys);
   { rp_records = records; rp_summary = summary; rp_shards = shard_summaries;
     rp_registry = registry }
 

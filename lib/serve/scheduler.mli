@@ -72,7 +72,12 @@ type replayed = {
         [serve.tune.rollbacks] and the hybrid-mode agreement counters
         [tune.model.agree] / [tune.model.disagree] /
         [tune.model.delta_cycles], aggregated deterministically over
-        the build list *)
+        the build list. Specialization: [serve.spec.hit] (specialized
+        entries served from cache), [serve.spec.miss] (specialized
+        builds), [serve.spec.build_ns] (host time spent preparing them
+        — wall-clock, informative only). Pack memoisation:
+        [serve.pack.hit] / [serve.pack.miss] (packs reused / performed
+        by the build pass's shared-storage pre-pass) *)
 }
 
 (** [run ?trace ?updates config requests] replays the fleet:

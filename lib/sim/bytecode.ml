@@ -91,7 +91,12 @@ let st_lat = 1
    54 POS2FOR  (POS2 operands) l         14   (falls through to FOR_TEST)
    55 FOR_LOOP l ivd body                4    (fused FOR_NEXT + FOR_TEST at
                                               the loop tail; falls through
-                                              to FOR_EXIT when done) *)
+                                              to FOR_EXIT when done)
+   56 FOR_KENTER l ivd                   3    (spec-only entry for non-top
+                                              loops with constant bounds and
+                                              trip >= 1: the statically-taken
+                                              FOR_TEST without the guard
+                                              compare; same timing events) *)
 
 let op_halt = 0
 let op_const_i = 1
@@ -129,6 +134,7 @@ let op_ldfma = 52
 let op_pos2 = 53
 let op_pos2for = 54
 let op_for_loop = 55
+let op_for_kenter = 56
 
 (* Carried-value plumbing, staged exactly as in Compile: vids of
    destinations and sources plus per-slot float-ness. *)
@@ -152,6 +158,11 @@ type loop_info = {
   l_hi : int;
   l_step : int;
   l_top : bool;
+  l_const : (int * int * int) option;
+      (* spec mode: (lo, hi, step) immediates when all three bounds are
+         literal constants in the stream — the loop entry then skips the
+         bound reload and the step trap (timing-neutral: the same ready
+         times and events are produced) *)
   l_init : carry;
   l_yield : carry;
   l_res : carry;
@@ -270,8 +281,8 @@ let icmp_code = function
   | Ir.Ugt | Ir.Sgt -> op_ceq + 4
   | Ir.Uge | Ir.Sge -> op_ceq + 5
 
-let compile ?(fuse = true) (fn : Ir.func) ~(bufs : Runtime.bound array)
-  : prog =
+let compile ?(fuse = true) ?(spec = false) (fn : Ir.func)
+    ~(bufs : Runtime.bound array) : prog =
   let e =
     { e_code = Array.make 256 0; e_len = 0;
       e_fpool = []; e_nf = 0;
@@ -279,6 +290,10 @@ let compile ?(fuse = true) (fn : Ir.func) ~(bufs : Runtime.bound array)
       e_whiles = []; e_nwhiles = 0;
       e_fused = 0 }
   in
+  (* Literal integer constants seen so far (vid -> value). In spec mode
+     loop bounds found here are baked into [l_const]; SSA dominance
+     guarantees a bound's defining let is emitted before its loop. *)
+  let consts : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let emit_load ~d ~ix (buf : Ir.buffer) =
     let b = bufs.(buf.Ir.bid) in
     let op =
@@ -301,6 +316,7 @@ let compile ?(fuse = true) (fn : Ir.func) ~(bufs : Runtime.bound array)
     | Ir.Const c ->
       (match c with
        | Ir.Cidx x | Ir.Ci64 x ->
+         Hashtbl.replace consts d x;
          emit e op_const_i; emit e d; emit e x
        | Ir.Cbool b ->
          emit e op_const_i; emit e d; emit e (if b then 1 else 0)
@@ -349,9 +365,9 @@ let compile ?(fuse = true) (fn : Ir.func) ~(bufs : Runtime.bound array)
             || (f.Ir.f_lo.Ir.vid = v2.Ir.vid && f.Ir.f_hi.Ir.vid = v1.Ir.vid)
           ->
           emit_pair op_pos2for;
-          let l = loop_of ~top f in
+          let l, li = loop_of ~top f in
           emit e l;
-          emit_for_tail l f;
+          emit_for_tail l li f;
           emit_block ~top rest'
         | _ ->
           emit_pair op_pos2;
@@ -423,9 +439,9 @@ let compile ?(fuse = true) (fn : Ir.func) ~(bufs : Runtime.bound array)
       emit e p.Ir.plocality
     | Ir.For f ->
       emit e op_for_init;
-      let l = loop_of ~top f in
+      let l, li = loop_of ~top f in
       emit e l;
-      emit_for_tail l f
+      emit_for_tail l li f
     | Ir.While w ->
       let wi =
         add_while e
@@ -470,11 +486,23 @@ let compile ?(fuse = true) (fn : Ir.func) ~(bufs : Runtime.bound array)
          emit_block ~top:false else_;
          patch e end_ph (pos e))
   and loop_of ~top (f : Ir.forloop) =
-    add_loop e
+    let l_const =
+      if not spec then None
+      else
+        match
+          ( Hashtbl.find_opt consts f.Ir.f_lo.Ir.vid,
+            Hashtbl.find_opt consts f.Ir.f_hi.Ir.vid,
+            Hashtbl.find_opt consts f.Ir.f_step.Ir.vid )
+        with
+        | Some lo, Some hi, Some step when step > 0 -> Some (lo, hi, step)
+        | _ -> None
+    in
+    let info =
       { l_lo = f.Ir.f_lo.Ir.vid;
         l_hi = f.Ir.f_hi.Ir.vid;
         l_step = f.Ir.f_step.Ir.vid;
         l_top = top;
+        l_const;
         l_init = carry_of f.Ir.f_carried;
         l_yield =
           carry_of
@@ -484,34 +512,64 @@ let compile ?(fuse = true) (fn : Ir.func) ~(bufs : Runtime.bound array)
           carry_of
             (List.map2 (fun r (arg, _) -> (r, arg)) f.Ir.f_results
                f.Ir.f_carried) }
+    in
+    (add_loop e info, info)
   (* Everything after the loop's init — the init opcode (FOR_INIT or a
      fused POS2FOR) falls through to this. *)
-  and emit_for_tail l (f : Ir.forloop) =
-    emit e op_for_test;
-    emit e l;
-    emit e f.Ir.f_iv.Ir.vid;
-    let exit_ph = pos e in
-    emit e 0;
-    let body = pos e in
-    emit_block ~top:false f.Ir.f_body;
-    if fuse then begin
-      (* Fused back-edge: FOR_NEXT and the taken FOR_TEST in one
-         dispatch; the entry FOR_TEST above still guards iteration 0. *)
+  and emit_for_tail l (li : loop_info) (f : Ir.forloop) =
+    (* Constant bounds with trip >= 1 on a non-top loop: the entry guard
+       is statically taken, so emit FOR_KENTER instead of the entry
+       FOR_TEST (same ivd write and the same two loop-overhead events,
+       no guard compare). Needs the fused FOR_LOOP back-edge — the
+       unfused FOR_NEXT jumps back through the entry test. Top loops
+       keep the guard: a run-time slice can empty their range. *)
+    let kenter =
+      fuse && (not li.l_top)
+      && (match li.l_const with
+          | Some (lo, hi, _) -> lo < hi
+          | None -> false)
+    in
+    if kenter then begin
+      emit e op_for_kenter;
+      emit e l;
+      emit e f.Ir.f_iv.Ir.vid;
+      let body = pos e in
+      emit_block ~top:false f.Ir.f_body;
       e.e_fused <- e.e_fused + 1;
       emit e op_for_loop;
       emit e l;
       emit e f.Ir.f_iv.Ir.vid;
-      emit e body
+      emit e body;
+      emit e op_for_exit;
+      emit e l
     end
     else begin
-      emit e op_for_next;
+      emit e op_for_test;
       emit e l;
-      (* Back to the FOR_TEST, 4 slots before the body. *)
-      emit e (body - 4)
-    end;
-    patch e exit_ph (pos e);
-    emit e op_for_exit;
-    emit e l
+      emit e f.Ir.f_iv.Ir.vid;
+      let exit_ph = pos e in
+      emit e 0;
+      let body = pos e in
+      emit_block ~top:false f.Ir.f_body;
+      if fuse then begin
+        (* Fused back-edge: FOR_NEXT and the taken FOR_TEST in one
+           dispatch; the entry FOR_TEST above still guards iteration 0. *)
+        e.e_fused <- e.e_fused + 1;
+        emit e op_for_loop;
+        emit e l;
+        emit e f.Ir.f_iv.Ir.vid;
+        emit e body
+      end
+      else begin
+        emit e op_for_next;
+        emit e l;
+        (* Back to the FOR_TEST, 4 slots before the body. *)
+        emit e (body - 4)
+      end;
+      patch e exit_ph (pos e);
+      emit e op_for_exit;
+      emit e l
+    end
   in
   emit_block ~top:true fn.Ir.fn_body;
   emit e op_halt;
@@ -615,9 +673,20 @@ let[@inline] copy_carry st (c : carry) =
 let for_init st (loops : loop_info array) l =
   let info = Array.unsafe_get loops l in
   let ready = st.ready and ienv = st.ienv in
-  let lo0 = ienv.(info.l_lo) and hi0 = ienv.(info.l_hi) in
-  let step = ienv.(info.l_step) in
-  if step <= 0 then raise (Interp.Trap "non-positive loop step");
+  let lo0, hi0, step =
+    match info.l_const with
+    | Some (lo, hi, step) ->
+      (* Specialized: bounds baked in at compile time — no env reload
+         and the positive-step trap is statically discharged. The
+         induction ready time below still reads [ready] so virtual
+         timing matches the generic stream exactly. *)
+      (lo, hi, step)
+    | None ->
+      let lo0 = ienv.(info.l_lo) and hi0 = ienv.(info.l_hi) in
+      let step = ienv.(info.l_step) in
+      if step <= 0 then raise (Interp.Trap "non-positive loop step");
+      (lo0, hi0, step)
+  in
   let lov, hiv =
     if info.l_top then (
       match st.slice with
@@ -1297,6 +1366,16 @@ let run ?slice ?(width = 3) ?(rob_size = 64) ?(branch_miss = 6) (p : prog)
         go (opnd (pc + 3))
       end
       else go (pc + 4) (* falls through to FOR_EXIT *)
+    | 56 (* FOR_KENTER: statically-taken entry test of a const-bound loop *) ->
+      let l = opnd (pc + 1) in
+      let riv = Array.unsafe_get st.lriv l in
+      let ivd = opnd (pc + 2) in
+      Array.unsafe_set ienv ivd (Array.unsafe_get st.liv l);
+      Array.unsafe_set ready ivd riv;
+      (* Same two loop-overhead events the entry FOR_TEST issues. *)
+      let (_ : int) = simple st int_lat riv in
+      let (_ : int) = simple st int_lat riv in
+      go (pc + 3)
     | _ -> assert false
   in
   go 0;

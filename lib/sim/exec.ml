@@ -129,28 +129,45 @@ type prepared = {
   pr_fn : Ir.func;
   pr_bound : Runtime.bound array;
   pr_staged : staged;
+  pr_spec : Specialize.stats option;  (* Some iff prepared with ~spec *)
 }
 
-(** [prepare ?engine machine fn ~bufs] lays out [bufs] in the simulated
-    address space and, for the staged engines, compiles the flat program
-    or closure tree — the run-independent half of {!run}, done once and
-    reused by every {!run_prepared}. *)
-let prepare ?(engine = default_engine) (machine : Machine.t) (fn : Ir.func)
+(** [prepare ?engine ?spec machine fn ~bufs] lays out [bufs] in the
+    simulated address space and, for the staged engines, compiles the
+    flat program or closure tree — the run-independent half of {!run},
+    done once and reused by every {!run_prepared}. When [spec] is given,
+    the function is first rewritten by {!Specialize.apply} against those
+    facts (any engine; the bytecode engine additionally bakes the
+    constant loop bounds into its loop table). *)
+let prepare ?(engine = default_engine) ?(spec : Specialize.facts option)
+    (machine : Machine.t) (fn : Ir.func)
     ~(bufs : (Ir.buffer * Runtime.rbuf) list) : prepared =
+  let fn, sp_stats =
+    match spec with
+    | None -> (fn, None)
+    | Some facts ->
+      let fn', st = Specialize.apply facts fn in
+      (fn', Some st)
+  in
   let bound = Runtime.layout fn bufs in
   let staged =
     match engine with
     | `Interp -> S_interp
     | `Compiled -> S_closure (Compile.compile fn ~bufs:bound)
-    | `Bytecode -> S_bytecode (Bytecode.compile fn ~bufs:bound)
+    | `Bytecode ->
+      S_bytecode (Bytecode.compile ~spec:(spec <> None) fn ~bufs:bound)
   in
-  { pr_machine = machine; pr_fn = fn; pr_bound = bound; pr_staged = staged }
+  { pr_machine = machine; pr_fn = fn; pr_bound = bound; pr_staged = staged;
+    pr_spec = sp_stats }
 
 let prepared_engine p : engine =
   match p.pr_staged with
   | S_interp -> `Interp
   | S_closure _ -> `Compiled
   | S_bytecode _ -> `Bytecode
+
+(** Specialization statistics, when the prepared form was specialized. *)
+let prepared_spec p = p.pr_spec
 
 (** [run_prepared ?obs ?slice p ~scalars] executes [p] on one core of a
     fresh memory hierarchy. Equal in every report field to the {!run}

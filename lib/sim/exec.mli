@@ -56,14 +56,21 @@ val engine_to_string : engine -> string
     point the serve subsystem's compile cache stores. *)
 type prepared
 
-(** [prepare ?engine machine fn ~bufs] is the run-independent half of
-    {!run}: layout plus (staged engines) program/closure compilation. *)
+(** [prepare ?engine ?spec machine fn ~bufs] is the run-independent half
+    of {!run}: layout plus (staged engines) program/closure compilation.
+    With [spec], the function is first rewritten by {!Specialize.apply}
+    against those facts (works under any engine so the differential
+    suite can cross-check the specialized IR; the bytecode engine
+    additionally bakes constant loop bounds into its loop table). *)
 val prepare :
-  ?engine:engine -> Machine.t -> Ir.func ->
+  ?engine:engine -> ?spec:Specialize.facts -> Machine.t -> Ir.func ->
   bufs:(Ir.buffer * Runtime.rbuf) list -> prepared
 
 (** The engine [p] was prepared for. *)
 val prepared_engine : prepared -> engine
+
+(** Specialization statistics, [Some] iff [p] was prepared with [~spec]. *)
+val prepared_spec : prepared -> Specialize.stats option
 
 (** [run_prepared ?obs ?slice p ~scalars] executes [p] on one core of a
     fresh memory hierarchy; equal in every report field to the {!run} it

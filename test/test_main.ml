@@ -17,4 +17,5 @@ let () =
       ("obs", Test_obs.suite);
       ("pass", Test_pass.suite);
       ("golden", Test_golden.suite);
+      ("specialize", Test_specialize.suite);
       ("serve", Test_serve.suite) ]

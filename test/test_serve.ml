@@ -31,11 +31,11 @@ let check_int = Alcotest.(check int)
 let req ?(id = "r0") ?(kernel = `Spmv) ?(format = "csr")
     ?(matrix = "powerlaw:400,5") ?(variant : Request.variant = `Asap)
     ?(tune_mode = Asap_core.Tuning.default_mode) ?pipeline
-    ?(tenant = Request.default_tenant) ?(arrival = 0.) ?deadline ()
-    : Request.t =
+    ?(tenant = Request.default_tenant) ?(arrival = 0.) ?deadline
+    ?(specialize = false) () : Request.t =
   { Request.id; kernel; format; matrix; variant;
     engine = Exec.default_engine; machine = "optimized"; tune_mode; pipeline;
-    tenant; arrival_ms = arrival; deadline }
+    tenant; arrival_ms = arrival; deadline; specialize }
 
 let small_profiles () =
   [ Mix.profile "powerlaw:400,5";

@@ -43,6 +43,7 @@ TUNE_N=${TUNE_N:-120}
 FLEET_N=${FLEET_N:-240}
 FLEET_SHARDS=${FLEET_SHARDS:-4}
 MIN_FLEET_RATIO=${MIN_FLEET_RATIO:-2.0}
+FLEET_SOAK=${FLEET_SOAK:-1000000}
 SERVE_ENGINE=${SERVE_ENGINE:-bytecode}
 
 prev_serve_rps=
@@ -90,12 +91,13 @@ agree_rate=$(grep -o '"rate": [0-9.]*' "$TUNE_OUT" | grep -o '[0-9.]*$')
 echo "wrote $TUNE_OUT (model/sweep decision ratio=${tune_ratio}x," \
   "hybrid agreement=${agree_rate})"
 
-# Fleet: sharded fleet vs single shard on the multi-tenant Zipf trace.
+# Fleet: sharded fleet vs single shard on the multi-tenant Zipf trace,
+# plus the ungated FLEET_SOAK-request Zipf soak row (0 skips it).
 # fleet.exe itself enforces both gates (>= MIN_FLEET_RATIO virtual
 # throughput, records byte-identical between --jobs 1 and --jobs N).
 timeout "$TIMEOUT_S" "$FLEET" --engine "$SERVE_ENGINE" \
-  --shards "$FLEET_SHARDS" "$FLEET_N" "$SERVE_SEED" "$SERVE_JOBS" \
-  "$MIN_FLEET_RATIO" >"$FLEET_OUT"
+  --shards "$FLEET_SHARDS" --soak "$FLEET_SOAK" "$FLEET_N" \
+  "$SERVE_SEED" "$SERVE_JOBS" "$MIN_FLEET_RATIO" >"$FLEET_OUT"
 
 fleet_speedup=$(grep -o '"fleet_speedup": [0-9.]*' "$FLEET_OUT" \
   | grep -o '[0-9.]*$')
@@ -103,3 +105,8 @@ fleet_identical=$(grep -o '"records_jobs_identical": [a-z]*' "$FLEET_OUT" \
   | grep -o '[a-z]*$')
 echo "wrote $FLEET_OUT (${FLEET_SHARDS}-shard fleet" \
   "speedup=${fleet_speedup}x, jobs-identical=${fleet_identical})"
+if [ "$FLEET_SOAK" -gt 0 ]; then
+  soak_rps=$(grep -A4 '"soak"' "$FLEET_OUT" \
+    | grep -o '"virtual_rps": [0-9.]*' | grep -o '[0-9.]*$' || true)
+  echo "soak: ${FLEET_SOAK} requests, virtual_rps=${soak_rps} (ungated)"
+fi
